@@ -1,0 +1,81 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one of the paper's tables (or
+an ablation) on the scaled benchmark analogues and reports it through
+pytest-benchmark.  The reproduced rows are printed so that
+``pytest benchmarks/ --benchmark-only -s`` (or the captured output in
+``bench_output.txt``) contains the actual numbers next to the timings.
+
+Environment knobs:
+
+* ``REPRO_BENCH_PRESET`` — ``quick`` (default), ``default`` or ``paper``;
+  controls the Monte-Carlo budget Δ, the number of Table 4 trials and the
+  dataset scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentTable, format_table
+
+
+def _build_config() -> ExperimentConfig:
+    preset = os.environ.get("REPRO_BENCH_PRESET", "quick").lower()
+    if preset == "paper":
+        return ExperimentConfig.paper()
+    if preset == "default":
+        return ExperimentConfig()
+    return ExperimentConfig(
+        num_datasets=20,
+        num_trials=2,
+        scale_multiplier=0.5,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The experiment configuration shared by all table benchmarks."""
+    return _build_config()
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def report_table():
+    """Return a helper that reports a reproduced table next to the paper's values.
+
+    The rendered table is printed (visible with ``-s`` or on failure) and also
+    written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can point at
+    the measured rows regardless of pytest's output capturing.
+    """
+
+    def _report(table: ExperimentTable) -> None:
+        rendered_lines = [table.to_text()]
+        if table.paper_reference:
+            headers = sorted({key for row in table.paper_reference for key in row})
+            rendered_lines.append("")
+            rendered_lines.append("Paper reference values:")
+            rendered_lines.append(
+                format_table(
+                    headers,
+                    [[row.get(h) for h in headers] for row in table.paper_reference],
+                )
+            )
+        rendered = "\n".join(rendered_lines)
+        print()
+        print("=" * 72)
+        print(rendered)
+        print("=" * 72)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(
+            os.path.join(RESULTS_DIR, f"{table.name}.txt"), "w", encoding="utf-8"
+        ) as handle:
+            handle.write(rendered + "\n")
+
+    return _report

@@ -1,0 +1,55 @@
+"""Ablation — sensitivity of ŝ_min to the Monte-Carlo budget Δ.
+
+The paper fixes Δ = 1000; Theorem 4 shows Δ = O(log(1/δ)/ε) samples already
+give a 1 − δ guarantee that the returned threshold satisfies the Chen–Stein
+criterion.  This ablation runs Algorithm 1 on the same null model with
+increasing budgets and reports how the estimate stabilises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.data.benchmarks import benchmark_model
+from repro.experiments.reporting import ExperimentTable
+
+DELTAS = (10, 25, 50, 100)
+
+
+def run_delta_ablation(scale_multiplier: float, seed: int) -> ExperimentTable:
+    table = ExperimentTable(
+        name="ablation_delta",
+        title="Ablation: s_min estimate versus Monte-Carlo budget (bms1 analogue, k = 2)",
+        headers=["delta", "s_min", "bound_at_s_min"],
+    )
+    from repro.data.benchmarks import benchmark_spec
+
+    scale = benchmark_spec("bms1").default_scale * scale_multiplier
+    model = benchmark_model("bms1", scale=scale)
+    for delta in DELTAS:
+        result = find_poisson_threshold(model, 2, num_datasets=delta, rng=seed)
+        table.add_row(
+            delta=delta,
+            s_min=result.s_min,
+            bound_at_s_min=result.total_bound_at_s_min,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_monte_carlo_budget(benchmark, experiment_config, report_table):
+    table = benchmark.pedantic(
+        run_delta_ablation,
+        args=(experiment_config.scale_multiplier, experiment_config.seed),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(table)
+
+    thresholds = table.column("s_min")
+    bounds = table.column("bound_at_s_min")
+    # Every budget returns a threshold satisfying the ε/4 criterion…
+    assert all(bound <= 0.01 / 4 + 1e-12 for bound in bounds)
+    # …and the estimates agree within a small factor across budgets.
+    assert max(thresholds) <= 3 * max(1, min(thresholds))

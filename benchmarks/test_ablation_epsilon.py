@@ -1,0 +1,54 @@
+"""Ablation — ŝ_min as a function of the variation-distance tolerance ε.
+
+Equation 1 defines s_min as the smallest support with b1(s) + b2(s) <= ε, so
+tightening ε can only push the threshold up.  This ablation traces that curve
+on one benchmark analogue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.data.benchmarks import benchmark_model, benchmark_spec
+from repro.experiments.reporting import ExperimentTable
+
+EPSILONS = (0.10, 0.05, 0.01, 0.002)
+
+
+def run_epsilon_ablation(scale_multiplier: float, seed: int) -> ExperimentTable:
+    table = ExperimentTable(
+        name="ablation_epsilon",
+        title="Ablation: s_min versus the tolerance epsilon (bms2 analogue, k = 2)",
+        headers=["epsilon", "s_min", "bound_at_s_min"],
+    )
+    scale = benchmark_spec("bms2").default_scale * scale_multiplier
+    model = benchmark_model("bms2", scale=scale)
+    for epsilon in EPSILONS:
+        result = find_poisson_threshold(
+            model, 2, epsilon=epsilon, num_datasets=30, rng=seed
+        )
+        table.add_row(
+            epsilon=epsilon,
+            s_min=result.s_min,
+            bound_at_s_min=result.total_bound_at_s_min,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_epsilon(benchmark, experiment_config, report_table):
+    table = benchmark.pedantic(
+        run_epsilon_ablation,
+        args=(experiment_config.scale_multiplier, experiment_config.seed),
+        rounds=1,
+        iterations=1,
+    )
+    report_table(table)
+
+    rows = table.rows
+    for row, epsilon in zip(rows, EPSILONS):
+        assert row["bound_at_s_min"] <= epsilon / 4 + 1e-12
+    thresholds = [row["s_min"] for row in rows]
+    # Tightening epsilon (left to right) never lowers the threshold.
+    assert all(a <= b for a, b in zip(thresholds, thresholds[1:]))

@@ -1,0 +1,28 @@
+"""Table 2 — Poisson thresholds ŝ_min on random versions of the benchmarks.
+
+Runs Algorithm 1 (FindPoissonThreshold) on the random analogue of every
+benchmark for k = 2, 3, 4 and checks the paper's qualitative structure: the
+threshold is positive everywhere and decreases (weakly) as the itemset size
+grows, because k-itemset probabilities shrink geometrically with k.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_poisson_thresholds(benchmark, experiment_config, report_table):
+    table = benchmark.pedantic(
+        run_table2, args=(experiment_config,), rounds=1, iterations=1
+    )
+    report_table(table)
+
+    ks = list(experiment_config.itemset_sizes)
+    for row in table.rows:
+        values = [row[f"k={k}"] for k in ks]
+        assert all(value >= 1 for value in values)
+        # s_min decreases (weakly) with k, as in the paper's Table 2.
+        assert all(a >= b for a, b in zip(values, values[1:]))

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Market-basket analysis on a benchmark analogue, end to end.
+
+This example mirrors the workload that motivates the paper's introduction:
+a retail-style transactional dataset where the analyst wants frequent
+itemsets but has no principled way to pick the support threshold.  It
+
+1. generates the ``bms1`` benchmark analogue (a web click-stream dataset with
+   strong correlations),
+2. runs Algorithm 1 and Procedure 2 for several itemset sizes ``k``,
+3. contrasts the statistically justified threshold ``s*`` with two naive
+   alternatives (an arbitrary percentage of the transactions, and the
+   threshold that keeps the output size manageable), and
+4. condenses the significant family with closed/maximal itemsets, as the
+   paper does when interpreting the large Bms1 families.
+
+Run it with::
+
+    python examples/market_basket_significance.py
+"""
+
+from __future__ import annotations
+
+from repro import SignificantItemsetMiner, generate_benchmark, mine_k_itemsets, summarize
+from repro.fim.closed import closed_frequent_itemsets, closure
+
+
+def naive_threshold_report(dataset, k: int) -> None:
+    """Show how arbitrary thresholds behave on the same data."""
+    t = dataset.num_transactions
+    for percent in (1.0, 0.5, 0.2):
+        threshold = max(1, int(t * percent / 100.0))
+        count = len(mine_k_itemsets(dataset, k, threshold))
+        print(
+            f"    naive threshold {percent:.1f}% of t (= {threshold}): "
+            f"{count} frequent {k}-itemsets, no significance guarantee"
+        )
+
+
+def main() -> None:
+    dataset = generate_benchmark("bms1", rng=1)
+    print("benchmark analogue:", summarize(dataset))
+
+    for k in (2, 3):
+        print(f"\n=== itemset size k = {k} ===")
+        miner = SignificantItemsetMiner(k=k, num_datasets=40, rng=k).fit(dataset)
+        result = miner.procedure2()
+        print(f"  Poisson threshold s_min = {miner.s_min}")
+        print(f"  significant support threshold s* = {result.s_star}")
+        print(
+            f"  itemsets with support >= s*: {result.num_significant} "
+            f"(expected in random data: {result.lambda_at_s_star:.3f})"
+        )
+        naive_threshold_report(dataset, k)
+
+        if result.found_threshold and result.significant:
+            # The paper interprets very large significant families through
+            # closed itemsets: most discoveries are subsets of a few closed
+            # sets of the same support (e.g. the cardinality-154 closed
+            # itemset behind Bms1's 27M significant 4-itemsets).
+            closed = closed_frequent_itemsets(dataset, result.significant)
+            print(
+                f"  condensed view: {len(closed)} of the {result.num_significant} "
+                f"significant {k}-itemsets are closed"
+            )
+            top_itemset, top_support = max(
+                result.significant.items(), key=lambda pair: pair[1]
+            )
+            hull = closure(dataset, top_itemset)
+            print(
+                f"  the most frequent discovery {top_itemset} (support "
+                f"{top_support}) sits inside the closed itemset of size "
+                f"{len(hull)}: {hull}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Ground-truth experiment: FDR and power on datasets with planted patterns.
+
+The paper's guarantee is that the family ``F_k(s*)`` returned by Procedure 2
+has false discovery rate at most ``beta`` (with confidence ``1 - alpha``).
+That guarantee cannot be checked on real data, where the true correlations
+are unknown — but it can be checked on synthetic data with *planted*
+itemsets.  This example sweeps the strength of the planted signal and
+reports, for both procedures:
+
+* how many itemsets are flagged significant,
+* the empirical false discovery proportion (against the planted ground
+  truth), and
+* the recall of the planted k-subsets.
+
+Run it with::
+
+    python examples/planted_pattern_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PlantedItemset,
+    find_poisson_threshold,
+    generate_planted_dataset,
+    run_procedure1,
+    run_procedure2,
+)
+from repro.stats.fdr import evaluate_discoveries
+
+NUM_ITEMS = 50
+NUM_TRANSACTIONS = 1200
+BACKGROUND_FREQUENCY = 0.05
+K = 2
+
+
+def run_once(extra_support: int, seed: int):
+    frequencies = {item: BACKGROUND_FREQUENCY for item in range(NUM_ITEMS)}
+    planted = [
+        PlantedItemset(items=(0, 1, 2, 3), extra_support=extra_support),
+        PlantedItemset(items=(10, 11, 12), extra_support=max(2, extra_support // 2)),
+        PlantedItemset(items=(20, 21), extra_support=max(2, extra_support // 3)),
+    ]
+    dataset = generate_planted_dataset(
+        frequencies,
+        NUM_TRANSACTIONS,
+        planted,
+        rng=seed,
+        name=f"planted(extra={extra_support})",
+    )
+    threshold = find_poisson_threshold(dataset, K, num_datasets=50, rng=seed + 1)
+    proc1 = run_procedure1(dataset, K, threshold_result=threshold)
+    proc2 = run_procedure2(dataset, K, threshold_result=threshold)
+    return planted, threshold, proc1, proc2
+
+
+def describe(name: str, discoveries, planted) -> str:
+    confusion = evaluate_discoveries(discoveries, planted, k=K)
+    return (
+        f"{name:<12} discoveries={confusion.num_discoveries:<4} "
+        f"FDR={confusion.false_discovery_proportion:5.3f} "
+        f"recall={confusion.recall:5.3f}"
+    )
+
+
+def main() -> None:
+    print(
+        f"{NUM_ITEMS} items, {NUM_TRANSACTIONS} transactions, background "
+        f"frequency {BACKGROUND_FREQUENCY}, k = {K}, alpha = beta = 0.05\n"
+    )
+    for extra_support in (6, 20, 80, 160):
+        planted, threshold, proc1, proc2 = run_once(extra_support, seed=extra_support)
+        print(f"planted extra support = {extra_support} (s_min = {threshold.s_min})")
+        print("  " + describe("procedure 1", proc1.significant, planted))
+        label2 = f"procedure 2 (s* = {proc2.s_star})"
+        print("  " + describe("procedure 2", proc2.significant, planted) + f"  [{label2}]")
+        print()
+
+    print(
+        "As the planted signal strengthens, both procedures move from finding "
+        "nothing (the signal is indistinguishable from noise at high supports) "
+        "to recovering every planted itemset, while the empirical FDR stays "
+        "within the configured budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

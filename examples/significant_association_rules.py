@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""From significant itemsets to significant association rules.
+
+The paper's methodology identifies a support threshold ``s*`` such that the
+family ``F_k(s*)`` is statistically significant with bounded FDR.  A common
+next step in practice is to turn those itemsets into association rules.  This
+example shows the full chain on a synthetic retail-style dataset:
+
+1. plant two product bundles into independent background purchases;
+2. find the significant 2- and 3-itemsets with Procedure 2;
+3. generate association rules from the significant family and keep only the
+   rules that are themselves significant under the independence null with
+   FDR at most 5 % (Benjamini–Yekutieli over the rule p-values).
+
+Run it with::
+
+    python examples/significant_association_rules.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PlantedItemset,
+    SignificantItemsetMiner,
+    generate_planted_dataset,
+    generate_rules,
+    significant_rules,
+)
+
+PRODUCTS = {
+    0: "espresso beans",
+    1: "grinder",
+    2: "milk frother",
+    10: "pasta",
+    11: "tomato sauce",
+    12: "parmesan",
+}
+
+
+def label(itemset) -> str:
+    return "{" + ", ".join(PRODUCTS.get(item, f"item{item}") for item in itemset) + "}"
+
+
+def build_dataset():
+    frequencies = {item: 0.06 for item in range(40)}
+    planted = [
+        PlantedItemset(items=(0, 1, 2), extra_support=90),
+        PlantedItemset(items=(10, 11, 12), extra_support=70),
+    ]
+    return generate_planted_dataset(
+        frequencies, num_transactions=1200, planted=planted, rng=11, name="shop"
+    )
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print(f"dataset: {dataset}\n")
+
+    for k in (2, 3):
+        miner = SignificantItemsetMiner(k=k, num_datasets=40, rng=k).fit(dataset)
+        result = miner.procedure2()
+        print(
+            f"k = {k}: s_min = {miner.s_min}, s* = {result.s_star}, "
+            f"{result.num_significant} significant itemsets"
+        )
+        if not result.found_threshold:
+            continue
+
+        rules = generate_rules(result.significant, dataset, min_confidence=0.5)
+        selected = significant_rules(dataset, rules, beta=0.05)
+        print(f"  {len(rules)} candidate rules, {len(selected)} significant (FDR <= 0.05):")
+        for rule, pvalue in selected[:8]:
+            print(
+                f"    {label(rule.antecedent)} -> {label(rule.consequent)}   "
+                f"confidence={rule.confidence:.2f} lift={rule.lift:.1f} "
+                f"p-value={pvalue:.2e}"
+            )
+        print()
+
+    print(
+        "Both planted bundles surface as high-confidence, statistically "
+        "significant rules; background products never do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work in offline environments that lack the ``wheel`` package required by the
+PEP 517 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,177 @@
+"""Command-line interface.
+
+Examples
+--------
+Generate a benchmark analogue and write it in FIMI format::
+
+    python -m repro generate --dataset bms1 --output bms1.dat --seed 0
+
+Find the Poisson threshold and the significant itemsets of a FIMI file::
+
+    python -m repro mine --input bms1.dat --k 2 --alpha 0.05 --beta 0.05
+
+Reproduce one of the paper's tables on the synthetic analogues::
+
+    python -m repro experiment --table table3 --preset quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.miner import SignificantItemsetMiner
+from repro.data.benchmarks import BENCHMARK_NAMES, generate_benchmark
+from repro.data.io import read_fimi, write_fimi
+from repro.data.stats import summarize
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import TABLE_RUNNERS, run_selected
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-itemsets",
+        description=(
+            "Statistically significant frequent itemset mining "
+            "(PODS 2009 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate a benchmark-analogue dataset in FIMI format"
+    )
+    generate.add_argument(
+        "--dataset", required=True, choices=sorted(BENCHMARK_NAMES)
+    )
+    generate.add_argument("--output", required=True, help="output .dat path")
+    generate.add_argument("--scale", type=float, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+
+    summary = subparsers.add_parser(
+        "summary", help="print Table 1 style statistics of a FIMI file"
+    )
+    summary.add_argument("--input", required=True, help="input .dat path")
+
+    mine = subparsers.add_parser(
+        "mine", help="find the significant k-itemsets of a FIMI file"
+    )
+    mine.add_argument("--input", required=True, help="input .dat path")
+    mine.add_argument("--k", type=int, default=2)
+    mine.add_argument("--alpha", type=float, default=0.05)
+    mine.add_argument("--beta", type=float, default=0.05)
+    mine.add_argument("--epsilon", type=float, default=0.01)
+    mine.add_argument("--delta", type=int, default=100, help="Monte-Carlo budget")
+    mine.add_argument("--seed", type=int, default=0)
+    mine.add_argument(
+        "--procedure",
+        choices=["1", "2", "both"],
+        default="2",
+        help="which procedure to run",
+    )
+    mine.add_argument(
+        "--max-print", type=int, default=20, help="cap on itemsets printed"
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="reproduce one of the paper's tables on the analogues"
+    )
+    experiment.add_argument(
+        "--table", required=True, choices=sorted(TABLE_RUNNERS)
+    )
+    experiment.add_argument(
+        "--preset", choices=["quick", "default", "paper"], default="quick"
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    dataset = generate_benchmark(args.dataset, scale=args.scale, rng=args.seed)
+    write_fimi(dataset, args.output)
+    print(summarize(dataset))
+    print(f"written to {args.output}")
+    return 0
+
+
+def _command_summary(args: argparse.Namespace) -> int:
+    dataset = read_fimi(args.input)
+    print(summarize(dataset))
+    return 0
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    dataset = read_fimi(args.input)
+    miner = SignificantItemsetMiner(
+        k=args.k,
+        alpha=args.alpha,
+        beta=args.beta,
+        epsilon=args.epsilon,
+        num_datasets=args.delta,
+        rng=args.seed,
+    ).fit(dataset)
+    print(f"dataset: {summarize(dataset)}")
+    print(f"s_min (Algorithm 1): {miner.s_min}")
+
+    if args.procedure in ("2", "both"):
+        result = miner.procedure2()
+        print(f"Procedure 2: s* = {result.s_star}")
+        print(
+            f"  Q_k,s* = {result.num_significant}, "
+            f"lambda(s*) = {result.lambda_at_s_star:.4f}"
+        )
+        _print_itemsets(result.significant, args.max_print)
+    if args.procedure in ("1", "both"):
+        result1 = miner.procedure1()
+        print(
+            f"Procedure 1 (Benjamini-Yekutieli): |R| = {result1.num_significant} "
+            f"of {result1.num_candidates} candidates"
+        )
+        _print_itemsets(result1.significant, args.max_print)
+    return 0
+
+
+def _print_itemsets(itemsets: dict, limit: int) -> None:
+    for index, (itemset, support) in enumerate(
+        sorted(itemsets.items(), key=lambda pair: -pair[1])
+    ):
+        if index >= limit:
+            print(f"  ... ({len(itemsets) - limit} more)")
+            break
+        rendered = " ".join(str(item) for item in itemset)
+        print(f"  {{{rendered}}}  support={support}")
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    if args.preset == "quick":
+        config = ExperimentConfig.quick(seed=args.seed)
+    elif args.preset == "paper":
+        config = ExperimentConfig.paper(seed=args.seed)
+    else:
+        config = ExperimentConfig(seed=args.seed)
+    results = run_selected([args.table], config)
+    for table in results.values():
+        print(table.to_text())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "summary": _command_summary,
+        "mine": _command_mine,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Core methodology: Poisson approximation and significant-itemset procedures.
+
+This package implements the paper's primary contribution:
+
+* :mod:`~repro.core.chen_stein` — analytic Chen–Stein error terms ``b1``/``b2``
+  (Theorems 1–3) and the analytic Poisson threshold ``s_min`` (Equation 1).
+* :mod:`~repro.core.lambda_estimation` — estimators of ``λ(s) = E[Q̂_{k,s}]``,
+  the expected number of k-itemsets with support ≥ s in a random dataset,
+  including the Monte-Carlo estimator shared with Algorithm 1.
+* :mod:`~repro.core.poisson_threshold` — Algorithm 1 (``FindPoissonThreshold``),
+  the Monte-Carlo estimate ``ŝ_min`` of the Poisson threshold.
+* :mod:`~repro.core.procedure1` — Procedure 1: per-itemset Binomial p-values +
+  Benjamini–Yekutieli FDR control (the baseline).
+* :mod:`~repro.core.procedure2` — Procedure 2: the support threshold ``s*``
+  with confidence ``1 − α`` and FDR ``≤ β`` (Theorem 6).
+* :mod:`~repro.core.miner` — :class:`~repro.core.miner.SignificantItemsetMiner`,
+  the high-level facade tying everything together.
+* :mod:`~repro.core.results` — result dataclasses shared by the procedures.
+"""
+
+from repro.core.chen_stein import (
+    ChenSteinBounds,
+    analytic_smin_fixed_frequency,
+    chen_stein_bound_general,
+    chen_stein_bounds_fixed_frequency,
+)
+from repro.core.empirical_null import SwapNullEstimator, run_procedure2_swap
+from repro.core.lambda_estimation import (
+    MonteCarloNullEstimator,
+    analytic_lambda,
+)
+from repro.core.miner import MinerConfig, SignificantItemsetMiner
+from repro.core.poisson_threshold import (
+    PoissonThresholdResult,
+    find_poisson_threshold,
+)
+from repro.core.procedure1 import run_procedure1
+from repro.core.procedure2 import run_procedure2
+from repro.core.results import (
+    Procedure1Result,
+    Procedure2Result,
+    Procedure2Step,
+    SignificanceReport,
+)
+
+__all__ = [
+    "ChenSteinBounds",
+    "MinerConfig",
+    "MonteCarloNullEstimator",
+    "PoissonThresholdResult",
+    "Procedure1Result",
+    "Procedure2Result",
+    "Procedure2Step",
+    "SignificanceReport",
+    "SignificantItemsetMiner",
+    "SwapNullEstimator",
+    "analytic_lambda",
+    "analytic_smin_fixed_frequency",
+    "chen_stein_bound_general",
+    "chen_stein_bounds_fixed_frequency",
+    "find_poisson_threshold",
+    "run_procedure1",
+    "run_procedure2",
+    "run_procedure2_swap",
+]

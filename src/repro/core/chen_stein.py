@@ -1,0 +1,263 @@
+"""Analytic Chen–Stein error terms (Theorems 1–3) and the analytic ``s_min``.
+
+Theorem 1 bounds the variation distance between the law of ``Q̂_{k,s}`` (the
+number of k-itemsets with support at least ``s`` in a random dataset) and a
+Poisson law of the same mean by ``b1 + b2``, where
+
+* ``b1 = Σ_X Σ_{Y ∈ I(X)} p_X p_Y`` — the "first moment of the neighbourhood"
+  term, and
+* ``b2 = Σ_X Σ_{X ≠ Y ∈ I(X)} E[Z_X Z_Y]`` — the pairwise co-occurrence term,
+
+with ``I(X)`` the set of k-itemsets sharing at least one item with ``X``.
+
+For the *fixed-frequency* regime of Theorem 2 (every item has the same
+frequency ``p``) both terms can be computed exactly:
+
+* ``p_X = Pr(Bin(t, p^k) >= s)`` is the same for every itemset;
+* the number of ordered pairs ``(X, Y)`` with ``Y ∈ I(X)`` is
+  ``C(n,k)² − C(n,k)·C(n−k,k)``;
+* ``E[Z_X Z_Y]`` for ``|X ∩ Y| = g`` is bounded by the combinatorial sum in
+  the proof of Theorem 2.
+
+For the *random-frequency* regime of Theorem 3 (item frequencies drawn i.i.d.
+from a distribution ``R``) the bound is expressed through moments ``E[R^j]``.
+
+All heavy combinatorics are carried out in log-space so that the bounds remain
+finite (and meaningful) for the paper-scale parameters (``n`` in the tens of
+thousands, ``t`` up to a million).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.stats.binomial import binomial_sf
+
+__all__ = [
+    "ChenSteinBounds",
+    "log_binomial",
+    "log_multinomial",
+    "chen_stein_bounds_fixed_frequency",
+    "chen_stein_bound_general",
+    "analytic_smin_fixed_frequency",
+]
+
+
+@dataclass(frozen=True)
+class ChenSteinBounds:
+    """The two Chen–Stein error terms and their sum.
+
+    ``total = b1 + b2`` upper-bounds the variation distance between the law of
+    ``Q̂_{k,s}`` and a Poisson law with the same mean (Theorem 1).
+    """
+
+    b1: float
+    b2: float
+
+    @property
+    def total(self) -> float:
+        """``b1 + b2``."""
+        return self.b1 + self.b2
+
+
+def log_binomial(n: int, k: int) -> float:
+    """Natural log of the binomial coefficient ``C(n, k)`` (``-inf`` if invalid)."""
+    if k < 0 or k > n or n < 0:
+        return float("-inf")
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def log_multinomial(n: int, parts: tuple[int, ...]) -> float:
+    """Natural log of the multinomial ``C(n; parts) = n! / (prod parts_i! · (n - Σparts)!)``.
+
+    Matches the paper's shorthand ``C(m; x, y, z) = C(m,x)·C(m−x,y)·C(m−x−y,z)``:
+    the remainder ``n − Σ parts`` is an implicit final part.
+    """
+    total = sum(parts)
+    if any(part < 0 for part in parts) or total > n or n < 0:
+        return float("-inf")
+    result = math.lgamma(n + 1) - math.lgamma(n - total + 1)
+    for part in parts:
+        result -= math.lgamma(part + 1)
+    return result
+
+
+def _log_sum_exp(values: list[float]) -> float:
+    finite = [value for value in values if value != float("-inf")]
+    if not finite:
+        return float("-inf")
+    peak = max(finite)
+    return peak + math.log(sum(math.exp(value - peak) for value in finite))
+
+
+def _safe_exp(log_value: float) -> float:
+    if log_value == float("-inf"):
+        return 0.0
+    if log_value > 700.0:  # would overflow float64; the bound is vacuous anyway
+        return float("inf")
+    return math.exp(log_value)
+
+
+def chen_stein_bounds_fixed_frequency(
+    num_items: int,
+    num_transactions: int,
+    k: int,
+    s: int,
+    item_probability: float,
+) -> ChenSteinBounds:
+    """Exact ``b1`` and (upper-bounded) ``b2`` in the fixed-frequency regime.
+
+    Parameters
+    ----------
+    num_items:
+        Number of items ``n``.
+    num_transactions:
+        Number of transactions ``t``.
+    k:
+        Itemset size.
+    s:
+        Support threshold.
+    item_probability:
+        The common item frequency ``p`` (``γ/n`` in Theorem 2).
+
+    Returns
+    -------
+    ChenSteinBounds
+        ``b1`` computed exactly; ``b2`` via the combinatorial upper bound used
+        in the proof of Theorem 2 (summing over the overlap size ``g`` and the
+        number ``i`` of transactions containing both itemsets).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if s < 1:
+        raise ValueError("s must be at least 1")
+    if not 0.0 <= item_probability <= 1.0:
+        raise ValueError("item_probability must be in [0, 1]")
+    n, t, p = num_items, num_transactions, item_probability
+    if k > n or p == 0.0:
+        return ChenSteinBounds(0.0, 0.0)
+
+    p_x = binomial_sf(s, t, p**k)
+
+    # Number of ordered pairs (X, Y) with Y in I(X), including Y = X:
+    # C(n,k)^2 - C(n,k) C(n-k,k).
+    log_cnk = log_binomial(n, k)
+    log_disjoint = log_binomial(n - k, k)
+    if log_disjoint == float("-inf"):
+        log_pairs = 2 * log_cnk
+    else:
+        # log(C(n,k)^2 - C(n,k)*C(n-k,k)) = log C(n,k) + log(C(n,k) - C(n-k,k))
+        # computed stably via log1p of the ratio.
+        ratio = math.exp(log_disjoint - log_cnk)
+        log_pairs = 2 * log_cnk + math.log1p(-ratio) if ratio < 1.0 else float("-inf")
+    if p_x > 0.0:
+        b1 = _safe_exp(log_pairs + 2 * math.log(p_x))
+    else:
+        b1 = 0.0
+
+    # b2: sum over overlap size g = 1..k-1 of (#ordered pairs with that overlap)
+    # times the bound on E[Z_X Z_Y].
+    log_p = math.log(p) if p > 0 else float("-inf")
+    log_terms: list[float] = []
+    for g in range(1, k):
+        log_pair_count = log_multinomial(n, (g, k - g, k - g))
+        inner: list[float] = []
+        for i in range(0, s + 1):
+            log_tr = log_multinomial(t, (i, s - i, s - i))
+            exponent = (2 * k - g) * i + 2 * k * (s - i)
+            inner.append(log_tr + exponent * log_p)
+        log_terms.append(log_pair_count + _log_sum_exp(inner))
+    b2 = _safe_exp(_log_sum_exp(log_terms)) if log_terms else 0.0
+    return ChenSteinBounds(b1=b1, b2=min(b2, float("inf")))
+
+
+def chen_stein_bound_general(
+    num_items: int,
+    num_transactions: int,
+    k: int,
+    s: int,
+    moment: Callable[[int], float],
+) -> ChenSteinBounds:
+    """Theorem 3's bound for item frequencies drawn i.i.d. from a distribution R.
+
+    Parameters
+    ----------
+    num_items, num_transactions, k, s:
+        Model parameters (as in :func:`chen_stein_bounds_fixed_frequency`).
+    moment:
+        Callable returning ``E[R^j]`` for a non-negative integer ``j``.
+
+    Returns
+    -------
+    ChenSteinBounds
+        The upper bounds on ``b1`` and ``b2`` from the proof of Theorem 3:
+        ``b1 <= (C(n,k)² − C(n,k)C(n−k,k)) · C(t,s)² · E[R^{2s}]^k`` and
+        ``b2 <= Σ_g C(n; g, k−g, k−g) Σ_i C(t; i, s−i, s−i)
+        E[R^{2s−i}]^g E[R^s]^{2(k−g)}``.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if s < 1:
+        raise ValueError("s must be at least 1")
+    n, t = num_items, num_transactions
+    if k > n:
+        return ChenSteinBounds(0.0, 0.0)
+
+    def log_moment(j: int) -> float:
+        value = moment(j)
+        if value < 0:
+            raise ValueError(f"moment({j}) must be non-negative, got {value}")
+        return math.log(value) if value > 0 else float("-inf")
+
+    log_cnk = log_binomial(n, k)
+    log_disjoint = log_binomial(n - k, k)
+    if log_disjoint == float("-inf"):
+        log_pairs = 2 * log_cnk
+    else:
+        ratio = math.exp(log_disjoint - log_cnk)
+        log_pairs = 2 * log_cnk + math.log1p(-ratio) if ratio < 1.0 else float("-inf")
+    log_b1 = log_pairs + 2 * log_binomial(t, s) + k * log_moment(2 * s)
+    b1 = _safe_exp(log_b1)
+
+    log_terms: list[float] = []
+    for g in range(1, k):
+        log_pair_count = log_multinomial(n, (g, k - g, k - g))
+        inner: list[float] = []
+        for i in range(0, s + 1):
+            log_tr = log_multinomial(t, (i, s - i, s - i))
+            inner.append(
+                log_tr + g * log_moment(2 * s - i) + 2 * (k - g) * log_moment(s)
+            )
+        log_terms.append(log_pair_count + _log_sum_exp(inner))
+    b2 = _safe_exp(_log_sum_exp(log_terms)) if log_terms else 0.0
+    return ChenSteinBounds(b1=b1, b2=b2)
+
+
+def analytic_smin_fixed_frequency(
+    num_items: int,
+    num_transactions: int,
+    k: int,
+    item_probability: float,
+    epsilon: float = 0.01,
+    max_support: Optional[int] = None,
+) -> Optional[int]:
+    """Analytic ``s_min`` (Equation 1) in the fixed-frequency regime.
+
+    Returns the smallest support ``s >= 2`` with ``b1(s) + b2(s) <= epsilon``,
+    or ``None`` if no such support exists up to ``max_support`` (default:
+    the number of transactions).  Both terms are non-increasing in ``s``,
+    matching the observation after Theorem 3, so a linear scan suffices.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must lie in (0, 1)")
+    upper = num_transactions if max_support is None else min(max_support, num_transactions)
+    for s in range(2, upper + 1):
+        bounds = chen_stein_bounds_fixed_frequency(
+            num_items, num_transactions, k, s, item_probability
+        )
+        if bounds.total <= epsilon:
+            return s
+    return None

@@ -1,0 +1,355 @@
+"""Estimators of ``λ(s) = E[Q̂_{k,s}]`` and of the empirical Chen–Stein terms.
+
+Both Algorithm 1 (the Monte-Carlo Poisson threshold) and Procedure 2 (the
+support threshold ``s*``) need properties of the random-dataset distribution
+of k-itemset supports:
+
+* Algorithm 1 needs, for each candidate support ``s``, the empirical
+  probabilities ``p_X(s) = Pr(support(X) >= s)`` and joint probabilities
+  ``p_{X,Y}(s)`` for overlapping itemsets, from which it builds the
+  Monte-Carlo estimates of ``b1(s)`` and ``b2(s)``;
+* Procedure 2 needs ``λ_i = E[Q̂_{k,s_i}]`` for its geometrically spaced
+  supports ``s_i``.
+
+The paper notes (Section 3.2) that the same ``Δ`` random datasets can serve
+both purposes; :class:`MonteCarloNullEstimator` is that shared object.  It
+samples ``Δ`` datasets from a :class:`~repro.data.random_model.RandomDatasetModel`,
+mines the k-itemsets with support at least a base threshold in each, and
+answers all the queries above from a dense support-profile matrix
+(one row per itemset of the union ``W``, one column per sampled dataset).
+All per-support queries are vectorised over that matrix, so evaluating the
+Chen–Stein bounds at many candidate supports stays cheap even when ``W``
+contains tens of thousands of itemsets.
+
+:func:`analytic_lambda` provides an independent, truncated analytic estimate
+of ``λ(s)`` (a sum of Binomial tails over the highest-frequency itemsets) used
+to cross-validate the Monte-Carlo estimator in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import nlargest
+from itertools import combinations
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data.random_model import RandomDatasetModel
+from repro.fim.itemsets import Itemset
+from repro.fim.kitemsets import mine_k_itemsets
+from repro.stats.binomial import binomial_sf
+
+__all__ = ["MonteCarloNullEstimator", "analytic_lambda"]
+
+
+class MonteCarloNullEstimator:
+    """Monte-Carlo view of the null distribution of k-itemset supports.
+
+    Parameters
+    ----------
+    model:
+        The null model (``t`` and item frequencies) to sample from.
+    k:
+        Itemset size.
+    num_datasets:
+        The Monte-Carlo budget ``Δ`` (the paper uses 1000; Theorem 4 shows
+        ``O(log(1/δ)/ε)`` suffices for a ``1 − δ`` guarantee).
+    mining_support:
+        Only itemsets reaching this support in a sampled dataset are recorded;
+        queries below this threshold are refused (they would be biased).
+    rng:
+        Seed or :class:`numpy.random.Generator`.
+    max_union_size:
+        Advisory limit used by callers (Algorithm 1 raises its starting
+        support when the union ``W`` exceeds it); the pairwise (``b2``)
+        machinery also refuses to build its pair index beyond this size.
+    """
+
+    def __init__(
+        self,
+        model: RandomDatasetModel,
+        k: int,
+        num_datasets: int,
+        mining_support: int,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+        max_union_size: int = 50_000,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if num_datasets < 1:
+            raise ValueError("num_datasets must be at least 1")
+        if mining_support < 1:
+            raise ValueError("mining_support must be at least 1")
+        self.model = model
+        self.k = k
+        self.num_datasets = int(num_datasets)
+        self.mining_support = int(mining_support)
+        self.max_union_size = int(max_union_size)
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self._itemsets: list[Itemset] = []
+        self._index_of: dict[Itemset, int] = {}
+        self._profiles: np.ndarray = np.zeros((0, self.num_datasets), dtype=np.int64)
+        self._pair_indices: Optional[tuple[np.ndarray, np.ndarray]] = None
+        self._max_observed_support = 0
+        self._collect()
+
+    # ------------------------------------------------------------------
+    # Sampling and mining
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        """Sample Δ datasets and record, per itemset, its support profile.
+
+        Collection stops early (leaving the estimator in a "truncated" state
+        with ``union_size > max_union_size``) as soon as the union exceeds
+        ``max_union_size``: callers such as Algorithm 1 interpret that as
+        "the mining support is too low" and retry at a higher support, so
+        finishing the expensive collection would be wasted work.
+        """
+        per_dataset: list[dict[Itemset, int]] = []
+        index_of: dict[Itemset, int] = {}
+        self.truncated = False
+        for _ in range(self.num_datasets):
+            dataset = self.model.sample(self._rng)
+            mined = mine_k_itemsets(dataset, self.k, self.mining_support)
+            per_dataset.append(mined)
+            for itemset, support in mined.items():
+                if itemset not in index_of:
+                    index_of[itemset] = len(index_of)
+                if support > self._max_observed_support:
+                    self._max_observed_support = support
+            if len(index_of) > self.max_union_size:
+                self.truncated = True
+                break
+
+        self._index_of = index_of
+        self._itemsets = [None] * len(index_of)  # type: ignore[list-item]
+        for itemset, position in index_of.items():
+            self._itemsets[position] = itemset
+        if self.truncated:
+            # The profile matrix would be both huge and unusable; keep it
+            # empty.  All per-support queries on a truncated estimator are
+            # invalid and refuse to run.
+            self._profiles = np.zeros((0, self.num_datasets), dtype=np.int64)
+            return
+        profiles = np.zeros((len(index_of), self.num_datasets), dtype=np.int64)
+        for column, mined in enumerate(per_dataset):
+            for itemset, support in mined.items():
+                profiles[index_of[itemset], column] = support
+        self._profiles = profiles
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def union_itemsets(self) -> list[Itemset]:
+        """The union ``W`` of itemsets mined from any of the Δ datasets."""
+        return sorted(self._itemsets)
+
+    @property
+    def union_size(self) -> int:
+        """``|W|``."""
+        return len(self._itemsets)
+
+    @property
+    def max_observed_support(self) -> int:
+        """Largest support observed in any sampled dataset (``s_max`` of Alg. 1)."""
+        return self._max_observed_support
+
+    def support_profile(self, itemset: Itemset) -> np.ndarray:
+        """Per-dataset supports of one itemset of ``W`` (zeros if absent)."""
+        position = self._index_of.get(tuple(sorted(itemset)))
+        if position is None:
+            return np.zeros(self.num_datasets, dtype=np.int64)
+        return self._profiles[position].copy()
+
+    def _require_valid_support(self, s: int) -> None:
+        if getattr(self, "truncated", False):
+            raise RuntimeError(
+                "the Monte-Carlo union exceeded max_union_size during "
+                "collection; rebuild the estimator with a higher mining_support"
+            )
+        if s < self.mining_support:
+            raise ValueError(
+                f"support {s} is below the mining support {self.mining_support}; "
+                "rebuild the estimator with a lower mining_support"
+            )
+
+    # ------------------------------------------------------------------
+    # λ(s) and empirical probabilities
+    # ------------------------------------------------------------------
+    def lambda_at(self, s: int, floor: float = 0.0) -> float:
+        """Monte-Carlo estimate of ``λ(s) = E[Q̂_{k,s}]`` for ``s >= mining_support``.
+
+        Parameters
+        ----------
+        s:
+            Support threshold.
+        floor:
+            Lower bound applied to the estimate (e.g. ``1/Δ`` to avoid a hard
+            zero caused purely by the finite Monte-Carlo budget).
+        """
+        self._require_valid_support(s)
+        if self._profiles.size == 0:
+            return max(0.0, floor)
+        total = int(np.count_nonzero(self._profiles >= s))
+        return max(total / self.num_datasets, floor)
+
+    def empirical_probability(self, itemset: Itemset, s: int) -> float:
+        """Empirical ``p_X(s) = Pr(support(X) >= s)`` for an itemset of ``W``."""
+        self._require_valid_support(s)
+        position = self._index_of.get(tuple(sorted(itemset)))
+        if position is None:
+            return 0.0
+        return float(np.count_nonzero(self._profiles[position] >= s)) / self.num_datasets
+
+    def empirical_probabilities(self, s: int) -> dict[Itemset, float]:
+        """Empirical ``p_X(s)`` for every itemset of ``W`` (zeros omitted)."""
+        self._require_valid_support(s)
+        if self._profiles.size == 0:
+            return {}
+        counts = (self._profiles >= s).sum(axis=1)
+        return {
+            self._itemsets[position]: counts[position] / self.num_datasets
+            for position in np.nonzero(counts)[0]
+        }
+
+    # ------------------------------------------------------------------
+    # Chen–Stein estimates
+    # ------------------------------------------------------------------
+    def _overlapping_pair_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Index arrays of the unordered pairs of distinct overlapping itemsets."""
+        if self._pair_indices is not None:
+            return self._pair_indices
+        if self.union_size > self.max_union_size:
+            raise RuntimeError(
+                f"the Monte-Carlo union contains {self.union_size} itemsets "
+                f"(> max_union_size={self.max_union_size}); raise mining_support"
+            )
+        by_item: dict[int, list[int]] = {}
+        for position, itemset in enumerate(self._itemsets):
+            for item in itemset:
+                by_item.setdefault(item, []).append(position)
+        pair_set: set[tuple[int, int]] = set()
+        for positions in by_item.values():
+            positions.sort()
+            for a_pos in range(len(positions)):
+                first = positions[a_pos]
+                for b_pos in range(a_pos + 1, len(positions)):
+                    pair_set.add((first, positions[b_pos]))
+        if pair_set:
+            left = np.fromiter((pair[0] for pair in pair_set), dtype=np.int64)
+            right = np.fromiter((pair[1] for pair in pair_set), dtype=np.int64)
+        else:
+            left = np.empty(0, dtype=np.int64)
+            right = np.empty(0, dtype=np.int64)
+        self._pair_indices = (left, right)
+        return self._pair_indices
+
+    def chen_stein_estimates(self, s: int) -> tuple[float, float]:
+        """Monte-Carlo estimates of ``(b1(s), b2(s))``.
+
+        ``b1(s)`` sums ``p_X p_Y`` over ordered pairs with ``Y ∈ I(X)``
+        (including ``Y = X``); ``b2(s)`` sums the empirical joint probability
+        ``Pr(Z_X = 1 ∧ Z_Y = 1)`` over ordered pairs of *distinct* overlapping
+        itemsets.  Itemsets outside ``W`` contribute zero, exactly as in
+        Section 2.1 of the paper.
+        """
+        self._require_valid_support(s)
+        if self._profiles.size == 0:
+            return 0.0, 0.0
+        indicator = self._profiles >= s
+        probabilities = indicator.sum(axis=1) / self.num_datasets
+        b1 = float(np.dot(probabilities, probabilities))
+
+        left, right = self._overlapping_pair_indices()
+        if left.size == 0:
+            return b1, 0.0
+        # Restrict the pair computation to itemsets that are still "alive" at
+        # this support; pairs with a dead member contribute nothing.
+        alive = probabilities > 0.0
+        keep = alive[left] & alive[right]
+        if not np.any(keep):
+            return b1, 0.0
+        left_kept = left[keep]
+        right_kept = right[keep]
+        b1 += 2.0 * float(np.dot(probabilities[left_kept], probabilities[right_kept]))
+        # Joint counts are accumulated in chunks to bound peak memory when the
+        # number of overlapping pairs is in the millions.
+        joint_total = 0
+        chunk = 200_000
+        for start in range(0, left_kept.size, chunk):
+            stop = start + chunk
+            joint_total += int(
+                np.count_nonzero(
+                    indicator[left_kept[start:stop]] & indicator[right_kept[start:stop]]
+                )
+            )
+        b2 = 2.0 * float(joint_total) / self.num_datasets
+        return b1, b2
+
+    def candidate_supports(self, low: int, high: Optional[int] = None) -> list[int]:
+        """Distinct support values where the empirical bounds can change.
+
+        The empirical ``b1``/``b2`` are step functions of ``s`` that only
+        change at observed support values ``+ 1``; this returns those
+        breakpoints within ``[low, high]`` plus the endpoints, sorted.
+        """
+        low = max(low, self.mining_support)
+        if high is None:
+            high = self._max_observed_support + 1
+        values: set[int] = {low, high}
+        if self._profiles.size:
+            for support in np.unique(self._profiles):
+                support = int(support)
+                if support <= 0:
+                    continue
+                for breakpoint in (support, support + 1):
+                    if low <= breakpoint <= high:
+                        values.add(breakpoint)
+        return sorted(values)
+
+
+def analytic_lambda(
+    model: RandomDatasetModel,
+    k: int,
+    s: int,
+    max_items: int = 60,
+) -> float:
+    """Truncated analytic estimate of ``λ(s) = E[Q̂_{k,s}]``.
+
+    ``λ(s) = Σ_X Pr(Bin(t, f_X) >= s)`` over all ``C(n, k)`` itemsets; the sum
+    is dominated by itemsets built from the highest-frequency items when ``s``
+    is in the high-support region, so we enumerate only the k-subsets of the
+    ``max_items`` most frequent items.  The result is therefore a *lower*
+    bound that converges to ``λ(s)`` as ``max_items`` grows; it is used for
+    cross-validating the Monte-Carlo estimator, not inside the procedures.
+
+    Parameters
+    ----------
+    model:
+        The null model.
+    k:
+        Itemset size.
+    s:
+        Support threshold.
+    max_items:
+        How many of the most frequent items to enumerate over (the number of
+        enumerated itemsets is ``C(max_items, k)``).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if s < 0:
+        raise ValueError("s must be non-negative")
+    frequencies = model.frequencies
+    if len(frequencies) < k:
+        return 0.0
+    top = nlargest(max_items, frequencies.items(), key=lambda pair: pair[1])
+    t = model.num_transactions
+    total = 0.0
+    for combo in combinations(top, k):
+        probability = math.prod(freq for _, freq in combo)
+        total += binomial_sf(s, t, probability)
+    return total

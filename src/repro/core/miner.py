@@ -1,0 +1,214 @@
+"""High-level facade: :class:`SignificantItemsetMiner`.
+
+The facade wires the whole methodology together for the common case:
+
+1. build the null model from the dataset (same ``t``, same item frequencies);
+2. run Algorithm 1 to estimate the Poisson threshold ``ŝ_min`` (and keep the
+   Monte-Carlo estimator around);
+3. run Procedure 2 to find the support threshold ``s*`` and the significant
+   family ``F_k(s*)`` (FDR ``<= β`` with confidence ``1 − α``);
+4. optionally run Procedure 1 as the baseline comparison (Table 5).
+
+Example
+-------
+>>> from repro import SignificantItemsetMiner, generate_benchmark
+>>> data = generate_benchmark("bms1", rng=0)
+>>> miner = SignificantItemsetMiner(k=2, rng=0).fit(data)
+>>> report = miner.report()
+>>> report.procedure2.found_threshold           # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.poisson_threshold import PoissonThresholdResult, find_poisson_threshold
+from repro.core.procedure1 import run_procedure1
+from repro.core.procedure2 import run_procedure2
+from repro.core.results import (
+    Procedure1Result,
+    Procedure2Result,
+    SignificanceReport,
+)
+from repro.data.dataset import TransactionDataset
+
+__all__ = ["MinerConfig", "SignificantItemsetMiner"]
+
+
+@dataclass(frozen=True)
+class MinerConfig:
+    """Configuration of :class:`SignificantItemsetMiner`.
+
+    Attributes
+    ----------
+    k:
+        Itemset size to analyse.
+    alpha:
+        Confidence budget ``α`` of Procedure 2.
+    beta:
+        FDR budget ``β`` (shared by both procedures).
+    epsilon:
+        Variation-distance tolerance ``ε`` of Algorithm 1.
+    num_datasets:
+        Monte-Carlo budget ``Δ`` of Algorithm 1.
+    lambda_floor:
+        Optional lower bound on the Monte-Carlo ``λ`` estimates (``None`` =
+        ``1/Δ``).
+    """
+
+    k: int = 2
+    alpha: float = 0.05
+    beta: float = 0.05
+    epsilon: float = 0.01
+    num_datasets: int = 100
+    lambda_floor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        for name in ("alpha", "beta", "epsilon"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must lie in (0, 1)")
+        if self.num_datasets < 1:
+            raise ValueError("num_datasets must be at least 1")
+
+
+@dataclass
+class SignificantItemsetMiner:
+    """End-to-end significant frequent itemset mining.
+
+    Parameters mirror :class:`MinerConfig`; a pre-built config can be passed
+    via ``config`` (explicit keyword parameters then override it).
+
+    The miner is *stateful*: :meth:`fit` binds it to one dataset, computes the
+    Poisson threshold, and caches the Monte-Carlo estimator so repeated calls
+    to :meth:`procedure1`, :meth:`procedure2`, or :meth:`report` do not pay
+    the simulation cost again.
+    """
+
+    k: int = 2
+    alpha: float = 0.05
+    beta: float = 0.05
+    epsilon: float = 0.01
+    num_datasets: int = 100
+    lambda_floor: Optional[float] = None
+    rng: Optional[Union[int, np.random.Generator]] = None
+    config: Optional[MinerConfig] = None
+
+    _dataset: Optional[TransactionDataset] = field(
+        default=None, init=False, repr=False
+    )
+    _threshold_result: Optional[PoissonThresholdResult] = field(
+        default=None, init=False, repr=False
+    )
+    _procedure1_result: Optional[Procedure1Result] = field(
+        default=None, init=False, repr=False
+    )
+    _procedure2_result: Optional[Procedure2Result] = field(
+        default=None, init=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.config is not None:
+            self.k = self.config.k
+            self.alpha = self.config.alpha
+            self.beta = self.config.beta
+            self.epsilon = self.config.epsilon
+            self.num_datasets = self.config.num_datasets
+            self.lambda_floor = self.config.lambda_floor
+        # Validate by round-tripping through the config dataclass.
+        self.config = MinerConfig(
+            k=self.k,
+            alpha=self.alpha,
+            beta=self.beta,
+            epsilon=self.epsilon,
+            num_datasets=self.num_datasets,
+            lambda_floor=self.lambda_floor,
+        )
+        if not isinstance(self.rng, np.random.Generator):
+            self.rng = np.random.default_rng(self.rng)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, dataset: TransactionDataset) -> "SignificantItemsetMiner":
+        """Bind the miner to a dataset and compute the Poisson threshold."""
+        self._dataset = dataset
+        self._threshold_result = find_poisson_threshold(
+            dataset,
+            self.k,
+            epsilon=self.epsilon,
+            num_datasets=self.num_datasets,
+            rng=self.rng,
+        )
+        self._procedure1_result = None
+        self._procedure2_result = None
+        return self
+
+    def _require_fit(self) -> TransactionDataset:
+        if self._dataset is None or self._threshold_result is None:
+            raise RuntimeError("call fit(dataset) before querying the miner")
+        return self._dataset
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def s_min(self) -> int:
+        """The estimated Poisson threshold ``ŝ_min``."""
+        self._require_fit()
+        assert self._threshold_result is not None
+        return self._threshold_result.s_min
+
+    @property
+    def threshold_result(self) -> PoissonThresholdResult:
+        """The full Algorithm 1 result (bound curve, estimator, …)."""
+        self._require_fit()
+        assert self._threshold_result is not None
+        return self._threshold_result
+
+    def procedure1(self) -> Procedure1Result:
+        """Run (or return the cached) Procedure 1 baseline."""
+        dataset = self._require_fit()
+        if self._procedure1_result is None:
+            self._procedure1_result = run_procedure1(
+                dataset,
+                self.k,
+                beta=self.beta,
+                threshold_result=self._threshold_result,
+            )
+        return self._procedure1_result
+
+    def procedure2(self) -> Procedure2Result:
+        """Run (or return the cached) Procedure 2."""
+        dataset = self._require_fit()
+        if self._procedure2_result is None:
+            self._procedure2_result = run_procedure2(
+                dataset,
+                self.k,
+                alpha=self.alpha,
+                beta=self.beta,
+                threshold_result=self._threshold_result,
+                lambda_floor=self.lambda_floor,
+            )
+        return self._procedure2_result
+
+    def significant_itemsets(self) -> dict:
+        """The family ``F_k(s*)`` found by Procedure 2 (empty when ``s* = ∞``)."""
+        return dict(self.procedure2().significant)
+
+    def report(self, include_procedure1: bool = True) -> SignificanceReport:
+        """Run everything and return the combined report."""
+        dataset = self._require_fit()
+        return SignificanceReport(
+            dataset_name=dataset.name,
+            k=self.k,
+            s_min=self.s_min,
+            procedure1=self.procedure1() if include_procedure1 else None,
+            procedure2=self.procedure2(),
+        )

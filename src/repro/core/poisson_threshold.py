@@ -1,0 +1,274 @@
+"""Algorithm 1: the Monte-Carlo Poisson threshold ``FindPoissonThreshold``.
+
+For supports above ``s_min`` the number of k-itemsets with support at least
+``s`` in a random dataset is approximately Poisson (Theorem 1); ``s_min`` is
+defined (Equation 1) as the smallest support at which the Chen–Stein error
+``b1(s) + b2(s)`` drops below a tolerance ``ε``.  Algorithm 1 estimates those
+error terms by Monte-Carlo simulation:
+
+1. start from ``s̃``, the largest expected support of any k-itemset;
+2. sample ``Δ`` random datasets and record every k-itemset reaching support
+   ``s̃`` in any of them (the union ``W``);
+3. estimate ``b1(s)`` and ``b2(s)`` from the empirical (joint) probabilities
+   of the events ``support(X) >= s`` for ``X ∈ W``;
+4. return the smallest ``s > s̃`` with ``b1(s) + b2(s) <= ε/4`` (the factor 4
+   gives the confidence statement of Theorem 4); if even ``s̃`` already
+   satisfies the criterion, restart from ``s̃ / 2`` so that the returned
+   threshold is never needlessly large.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.data.dataset import TransactionDataset
+from repro.data.random_model import RandomDatasetModel
+
+__all__ = ["PoissonThresholdResult", "find_poisson_threshold"]
+
+
+@dataclass(frozen=True)
+class PoissonThresholdResult:
+    """Output of Algorithm 1.
+
+    Attributes
+    ----------
+    s_min:
+        The estimated Poisson threshold ``ŝ_min``.
+    k:
+        Itemset size.
+    epsilon:
+        The tolerance ``ε`` of Equation 1 (the Monte-Carlo criterion uses
+        ``ε/4``, per Theorem 4).
+    num_datasets:
+        The Monte-Carlo budget ``Δ``.
+    initial_support:
+        The starting support ``s̃`` of the final (non-restarted) iteration.
+    bound_at_s_min:
+        The estimated ``(b1, b2)`` at ``ŝ_min``.
+    bound_curve:
+        The ``(b1, b2)`` estimates at every support where they were evaluated.
+    estimator:
+        The Monte-Carlo estimator (reused by Procedure 2 for ``λ_i``).
+    """
+
+    s_min: int
+    k: int
+    epsilon: float
+    num_datasets: int
+    initial_support: int
+    bound_at_s_min: tuple[float, float]
+    bound_curve: dict[int, tuple[float, float]]
+    estimator: MonteCarloNullEstimator
+
+    @property
+    def total_bound_at_s_min(self) -> float:
+        """``b1(ŝ_min) + b2(ŝ_min)``."""
+        return self.bound_at_s_min[0] + self.bound_at_s_min[1]
+
+
+def _as_model(
+    source: Union[TransactionDataset, RandomDatasetModel]
+) -> RandomDatasetModel:
+    if isinstance(source, RandomDatasetModel):
+        return source
+    return RandomDatasetModel.from_dataset(source)
+
+
+def find_poisson_threshold(
+    source: Union[TransactionDataset, RandomDatasetModel],
+    k: int,
+    epsilon: float = 0.01,
+    num_datasets: int = 100,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    max_halvings: int = 16,
+    max_union_size: int = 50_000,
+) -> PoissonThresholdResult:
+    """Estimate the Poisson threshold ``ŝ_min`` via Monte-Carlo simulation.
+
+    Parameters
+    ----------
+    source:
+        The real dataset (its frequencies and ``t`` define the null model) or
+        an explicit :class:`~repro.data.random_model.RandomDatasetModel`.
+    k:
+        Itemset size.
+    epsilon:
+        Variation-distance tolerance ``ε`` of Equation 1 (paper: 0.01).
+    num_datasets:
+        Monte-Carlo budget ``Δ`` (paper: 1000; 100 already gives a usable
+        estimate per Theorem 4).
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    max_halvings:
+        Upper bound on the number of times the starting support ``s̃`` may be
+        halved (either because no itemset reached ``s̃`` in any sample or
+        because the criterion was already met at ``s̃``).
+    max_union_size:
+        Safety valve forwarded to the estimator; if halving ``s̃`` would make
+        the Monte-Carlo union unmanageably large, the last support known to
+        satisfy the criterion is returned instead.
+
+    Returns
+    -------
+    PoissonThresholdResult
+        The threshold, the evaluated bound curve, and the reusable estimator.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must lie in (0, 1)")
+    model = _as_model(source)
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    criterion = epsilon / 4.0
+
+    s_tilde = max(1, int(math.ceil(model.max_expected_support(k))))
+    # Lowest starting support we are allowed to mine at.  It starts at 1 and
+    # is raised whenever mining at the current s̃ produces an unmanageably
+    # large union W (possible on small / dense datasets where even the
+    # maximum expected support is close to 1): in that case we double s̃
+    # instead of halving it, trading a (conservative) larger ŝ_min for a
+    # tractable simulation.
+    lower_limit = 1
+    last_satisfying: Optional[tuple[int, MonteCarloNullEstimator, tuple[float, float]]]
+    last_satisfying = None
+    bound_curve: dict[int, tuple[float, float]] = {}
+
+    for _ in range(2 * max_halvings + 2):
+        estimator = MonteCarloNullEstimator(
+            model,
+            k,
+            num_datasets=num_datasets,
+            mining_support=s_tilde,
+            rng=generator,
+            max_union_size=max_union_size,
+        )
+
+        if estimator.union_size > max_union_size:
+            # Too many itemsets reach s̃ for the pairwise (b2) estimate to be
+            # affordable.  If a satisfying threshold is already known, return
+            # it; otherwise raise the starting support and forbid halving
+            # below it again.
+            if last_satisfying is not None:
+                s_min, kept_estimator, bounds = last_satisfying
+                return PoissonThresholdResult(
+                    s_min=s_min,
+                    k=k,
+                    epsilon=epsilon,
+                    num_datasets=num_datasets,
+                    initial_support=s_tilde,
+                    bound_at_s_min=bounds,
+                    bound_curve=dict(bound_curve),
+                    estimator=kept_estimator,
+                )
+            s_tilde = max(s_tilde * 2, s_tilde + 1)
+            lower_limit = s_tilde
+            continue
+
+        if estimator.union_size == 0:
+            # No k-itemset reached s̃ in any sampled dataset (lines 7-9 of
+            # Algorithm 1): halve s̃ and retry, unless we have hit the lower
+            # limit, in which case the null model is (near) empty at this
+            # level and s̃ itself is trivially valid (all bounds are 0).
+            if s_tilde <= lower_limit:
+                bound_curve[s_tilde] = (0.0, 0.0)
+                return PoissonThresholdResult(
+                    s_min=s_tilde,
+                    k=k,
+                    epsilon=epsilon,
+                    num_datasets=num_datasets,
+                    initial_support=s_tilde,
+                    bound_at_s_min=(0.0, 0.0),
+                    bound_curve=dict(bound_curve),
+                    estimator=estimator,
+                )
+            s_tilde = max(lower_limit, s_tilde // 2)
+            continue
+
+        b1_start, b2_start = estimator.chen_stein_estimates(s_tilde)
+        bound_curve[s_tilde] = (b1_start, b2_start)
+
+        if b1_start + b2_start <= criterion:
+            # The criterion already holds at s̃ (lines 19-22): remember this
+            # threshold and restart from s̃/2 to look for a smaller one.
+            last_satisfying = (s_tilde, estimator, (b1_start, b2_start))
+            if s_tilde <= lower_limit:
+                return PoissonThresholdResult(
+                    s_min=s_tilde,
+                    k=k,
+                    epsilon=epsilon,
+                    num_datasets=num_datasets,
+                    initial_support=s_tilde,
+                    bound_at_s_min=(b1_start, b2_start),
+                    bound_curve=dict(bound_curve),
+                    estimator=estimator,
+                )
+            s_tilde = max(lower_limit, s_tilde // 2)
+            continue
+
+        # Normal exit (line 23): the smallest s > s̃ with b1(s)+b2(s) <= ε/4.
+        candidates = [
+            s
+            for s in estimator.candidate_supports(
+                s_tilde + 1, estimator.max_observed_support + 1
+            )
+            if s > s_tilde
+        ]
+        if not candidates:
+            candidates = [estimator.max_observed_support + 1]
+
+        # The bounds are non-increasing in s, so binary-search the first
+        # candidate satisfying the criterion.
+        lo, hi = 0, len(candidates) - 1
+        best_index = len(candidates) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            b1_mid, b2_mid = estimator.chen_stein_estimates(candidates[mid])
+            bound_curve[candidates[mid]] = (b1_mid, b2_mid)
+            if b1_mid + b2_mid <= criterion:
+                best_index = mid
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        s_min = candidates[best_index]
+        bounds = bound_curve.get(s_min)
+        if bounds is None:
+            bounds = estimator.chen_stein_estimates(s_min)
+            bound_curve[s_min] = bounds
+        return PoissonThresholdResult(
+            s_min=s_min,
+            k=k,
+            epsilon=epsilon,
+            num_datasets=num_datasets,
+            initial_support=s_tilde,
+            bound_at_s_min=bounds,
+            bound_curve=dict(bound_curve),
+            estimator=estimator,
+        )
+
+    # Halving budget exhausted: return the last threshold known to satisfy the
+    # criterion, or fail loudly.
+    if last_satisfying is not None:
+        s_min, estimator, bounds = last_satisfying
+        return PoissonThresholdResult(
+            s_min=s_min,
+            k=k,
+            epsilon=epsilon,
+            num_datasets=num_datasets,
+            initial_support=s_min,
+            bound_at_s_min=bounds,
+            bound_curve=dict(bound_curve),
+            estimator=estimator,
+        )
+    raise RuntimeError(
+        "find_poisson_threshold did not converge: no k-itemset reached the "
+        "starting support in any Monte-Carlo sample even after halving; the "
+        "null model may be degenerate"
+    )

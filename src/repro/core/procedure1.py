@@ -1,0 +1,108 @@
+"""Procedure 1: per-itemset Binomial tests with Benjamini–Yekutieli control.
+
+The baseline procedure of Section 3.1: mine the frequent k-itemsets with
+respect to the Poisson threshold ``s_min``; for each itemset ``X`` compute the
+p-value ``Pr(Bin(t, f_X) >= s_X)`` of its observed support under the
+independence null; apply the Benjamini–Yekutieli step-up correction (Theorem
+5) with ``m = C(n, k)`` hypotheses and FDR budget ``β``; return the itemsets
+whose null hypotheses are rejected.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.poisson_threshold import PoissonThresholdResult, find_poisson_threshold
+from repro.core.results import Procedure1Result
+from repro.data.dataset import TransactionDataset
+from repro.fim.kitemsets import mine_k_itemsets
+from repro.stats.multiple_testing import benjamini_yekutieli
+from repro.stats.pvalues import itemset_pvalues
+
+__all__ = ["run_procedure1"]
+
+
+def run_procedure1(
+    dataset: TransactionDataset,
+    k: int,
+    beta: float = 0.05,
+    s_min: Optional[int] = None,
+    threshold_result: Optional[PoissonThresholdResult] = None,
+    epsilon: float = 0.01,
+    num_datasets: int = 100,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+) -> Procedure1Result:
+    """Run Procedure 1 on a dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The real dataset to mine.
+    k:
+        Itemset size.
+    beta:
+        FDR budget ``β`` for the Benjamini–Yekutieli correction.
+    s_min:
+        The Poisson threshold to use as the mining support.  When omitted it
+        is taken from ``threshold_result`` or computed with Algorithm 1.
+    threshold_result:
+        A previously computed :class:`PoissonThresholdResult` (e.g. shared
+        with Procedure 2) whose ``s_min`` should be reused.
+    epsilon, num_datasets, rng:
+        Parameters forwarded to Algorithm 1 when ``s_min`` must be computed.
+
+    Returns
+    -------
+    Procedure1Result
+        Candidate supports, p-values, and the significant itemsets with FDR at
+        most ``β``.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError("beta must lie in (0, 1)")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+
+    if s_min is None:
+        if threshold_result is not None:
+            s_min = threshold_result.s_min
+        else:
+            threshold_result = find_poisson_threshold(
+                dataset, k, epsilon=epsilon, num_datasets=num_datasets, rng=rng
+            )
+            s_min = threshold_result.s_min
+    if s_min < 1:
+        raise ValueError("s_min must be at least 1")
+
+    candidates = mine_k_itemsets(dataset, k, s_min)
+    pvalues = itemset_pvalues(dataset, candidates)
+    num_hypotheses = comb(dataset.num_items, k)
+
+    ordered_itemsets = sorted(candidates)
+    ordered_pvalues = [pvalues[itemset] for itemset in ordered_itemsets]
+    if ordered_itemsets:
+        correction = benjamini_yekutieli(
+            ordered_pvalues, beta, num_hypotheses=max(num_hypotheses, len(ordered_itemsets))
+        )
+        significant = {
+            itemset: candidates[itemset]
+            for itemset, rejected in zip(ordered_itemsets, correction.rejected)
+            if rejected
+        }
+        threshold = correction.threshold
+    else:
+        significant = {}
+        threshold = 0.0
+
+    return Procedure1Result(
+        k=k,
+        s_min=s_min,
+        beta=beta,
+        num_hypotheses=num_hypotheses,
+        candidate_supports=dict(candidates),
+        pvalues=pvalues,
+        significant=significant,
+        rejection_threshold=threshold,
+    )

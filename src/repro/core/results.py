@@ -1,0 +1,154 @@
+"""Result types shared by the significant-itemset procedures."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.fim.itemsets import Itemset
+
+__all__ = [
+    "Procedure1Result",
+    "Procedure2Step",
+    "Procedure2Result",
+    "SignificanceReport",
+]
+
+
+@dataclass(frozen=True)
+class Procedure1Result:
+    """Outcome of Procedure 1 (per-itemset Binomial tests + BY correction).
+
+    Attributes
+    ----------
+    k:
+        Itemset size tested.
+    s_min:
+        The Poisson threshold used as the mining support.
+    beta:
+        FDR budget.
+    num_hypotheses:
+        The total number of hypotheses ``m = C(n, k)`` used by the correction.
+    candidate_supports:
+        Support of every itemset in ``F_k(s_min)`` (the tested itemsets).
+    pvalues:
+        Binomial-tail p-value of every tested itemset.
+    significant:
+        The itemsets whose null hypothesis was rejected, with their supports.
+    rejection_threshold:
+        The BY p-value cutoff actually applied.
+    """
+
+    k: int
+    s_min: int
+    beta: float
+    num_hypotheses: int
+    candidate_supports: dict[Itemset, int]
+    pvalues: dict[Itemset, float]
+    significant: dict[Itemset, int]
+    rejection_threshold: float
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of itemsets in ``F_k(s_min)``."""
+        return len(self.candidate_supports)
+
+    @property
+    def num_significant(self) -> int:
+        """``|R|``: number of itemsets flagged significant."""
+        return len(self.significant)
+
+
+@dataclass(frozen=True)
+class Procedure2Step:
+    """One comparison of Procedure 2 (one support level ``s_i``).
+
+    Attributes
+    ----------
+    index:
+        The comparison index ``i`` (0-based).
+    support:
+        The tested support ``s_i = s_min + 2^i`` (``s_0 = s_min``).
+    observed_count:
+        ``Q_{k,s_i}`` in the real dataset.
+    poisson_mean:
+        The null mean ``λ_i`` (possibly floored, see the procedure options).
+    pvalue:
+        ``Pr(Poisson(λ_i) >= Q_{k,s_i})``.
+    alpha_i / beta_i:
+        The per-comparison significance budget and deviation factor.
+    pvalue_ok / deviation_ok:
+        The two rejection conditions (p-value below ``α_i``; count at least
+        ``β_i λ_i``).
+    rejected:
+        Whether ``H_0^i`` was rejected (both conditions hold).
+    """
+
+    index: int
+    support: int
+    observed_count: int
+    poisson_mean: float
+    pvalue: float
+    alpha_i: float
+    beta_i: float
+    pvalue_ok: bool
+    deviation_ok: bool
+    rejected: bool
+
+
+@dataclass(frozen=True)
+class Procedure2Result:
+    """Outcome of Procedure 2 (the support threshold ``s*``).
+
+    ``s_star`` is ``math.inf`` when no support level was rejected — the paper
+    reports this as ``s* = ∞`` (no statistically significant family at high
+    supports).
+    """
+
+    k: int
+    alpha: float
+    beta: float
+    s_min: int
+    s_max: int
+    s_star: Union[int, float]
+    steps: tuple[Procedure2Step, ...]
+    significant: dict[Itemset, int] = field(default_factory=dict)
+
+    @property
+    def found_threshold(self) -> bool:
+        """True when a finite ``s*`` was identified."""
+        return not math.isinf(float(self.s_star))
+
+    @property
+    def num_significant(self) -> int:
+        """``Q_{k,s*}`` (0 when ``s* = ∞``)."""
+        return len(self.significant)
+
+    @property
+    def lambda_at_s_star(self) -> float:
+        """The null mean ``λ(s*)`` at the selected threshold (0.0 if ``s* = ∞``)."""
+        for step in self.steps:
+            if step.rejected:
+                return step.poisson_mean
+        return 0.0
+
+
+@dataclass(frozen=True)
+class SignificanceReport:
+    """Combined output of the high-level miner: both procedures side by side."""
+
+    dataset_name: Optional[str]
+    k: int
+    s_min: int
+    procedure1: Optional[Procedure1Result]
+    procedure2: Optional[Procedure2Result]
+
+    @property
+    def power_ratio(self) -> Optional[float]:
+        """``r = Q_{k,s*} / |R|`` (Table 5); ``None`` when |R| = 0."""
+        if self.procedure1 is None or self.procedure2 is None:
+            return None
+        if self.procedure1.num_significant == 0:
+            return None
+        return self.procedure2.num_significant / self.procedure1.num_significant

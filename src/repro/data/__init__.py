@@ -1,0 +1,67 @@
+"""Transaction-data substrate.
+
+This package provides everything the methodology needs to know about data:
+
+* :class:`~repro.data.dataset.TransactionDataset` — the core in-memory
+  representation of a transactional dataset (horizontal and vertical views,
+  item frequencies, support queries, summary statistics).
+* :mod:`~repro.data.io` — readers and writers for the FIMI ``.dat`` format and
+  simple CSV transaction files.
+* :mod:`~repro.data.random_model` — the paper's null model: a random dataset
+  with the same number of transactions and the same individual item
+  frequencies, items placed independently.
+* :mod:`~repro.data.generators` — synthetic dataset generators (power-law item
+  frequencies, planted correlated itemsets) used to build benchmark analogues
+  and ground-truth experiments.
+* :mod:`~repro.data.benchmarks` — the registry of benchmark-analogue
+  configurations mirroring Table 1 of the paper.
+* :mod:`~repro.data.swap` — the swap-randomisation null model of Gionis et al.
+  (margin-preserving alternative null mentioned in the paper).
+* :mod:`~repro.data.stats` — dataset summary statistics (one row of Table 1).
+"""
+
+from repro.data.benchmarks import (
+    BENCHMARK_NAMES,
+    BenchmarkSpec,
+    benchmark_spec,
+    generate_benchmark,
+    generate_random_analogue,
+)
+from repro.data.dataset import TransactionDataset
+from repro.data.generators import (
+    PlantedItemset,
+    generate_planted_dataset,
+    powerlaw_frequencies,
+    uniform_frequencies,
+)
+from repro.data.io import (
+    read_fimi,
+    read_transactions_csv,
+    write_fimi,
+    write_transactions_csv,
+)
+from repro.data.random_model import RandomDatasetModel, generate_random_dataset
+from repro.data.stats import DatasetSummary, summarize
+from repro.data.swap import swap_randomize
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BenchmarkSpec",
+    "DatasetSummary",
+    "PlantedItemset",
+    "RandomDatasetModel",
+    "TransactionDataset",
+    "benchmark_spec",
+    "generate_benchmark",
+    "generate_planted_dataset",
+    "generate_random_analogue",
+    "generate_random_dataset",
+    "powerlaw_frequencies",
+    "read_fimi",
+    "read_transactions_csv",
+    "summarize",
+    "swap_randomize",
+    "uniform_frequencies",
+    "write_fimi",
+    "write_transactions_csv",
+]

@@ -1,0 +1,325 @@
+"""Core transactional dataset representation.
+
+The methodology of the paper only needs a handful of facts about a dataset:
+the number of transactions ``t``, the set of items ``I`` with their empirical
+frequencies ``f_i = n(i) / t``, and the support of arbitrary itemsets.  The
+:class:`TransactionDataset` class packages those facts behind a small, typed
+API and keeps two synchronized views of the data:
+
+* a *horizontal* view — a list of transactions, each a sorted tuple of item
+  identifiers; and
+* a *vertical* view — for each item, the set of transaction indices that
+  contain it, stored as a Python ``int`` bitset so that the support of an
+  itemset is a chain of ``&`` operations followed by ``int.bit_count()``.
+
+The vertical view is built lazily and cached; all mining code in
+:mod:`repro.fim` works off it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+__all__ = ["TransactionDataset"]
+
+
+class TransactionDataset:
+    """An immutable transactional dataset over integer item identifiers.
+
+    Parameters
+    ----------
+    transactions:
+        An iterable of transactions.  Each transaction is an iterable of item
+        identifiers (hashable, typically ``int``).  Duplicate items within a
+        transaction are collapsed; empty transactions are kept (they still
+        count towards ``t``).
+    items:
+        Optional explicit item universe.  When given, items that never occur
+        in any transaction are still part of the universe (with frequency 0)
+        and ``num_items`` reflects the universe size.  When omitted, the
+        universe is the set of items that occur at least once.
+    name:
+        Optional human-readable name used in reports.
+
+    Examples
+    --------
+    >>> data = TransactionDataset([[1, 2, 3], [1, 2], [2, 3], [4]])
+    >>> data.num_transactions
+    4
+    >>> data.support((1, 2))
+    2
+    >>> round(data.frequency(2), 2)
+    0.75
+    """
+
+    __slots__ = (
+        "_transactions",
+        "_items",
+        "_item_supports",
+        "_vertical",
+        "_name",
+    )
+
+    def __init__(
+        self,
+        transactions: Iterable[Iterable[int]],
+        items: Optional[Iterable[int]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        normalized: list[tuple[int, ...]] = []
+        supports: Counter[int] = Counter()
+        for raw in transactions:
+            txn = tuple(sorted(set(raw)))
+            normalized.append(txn)
+            supports.update(txn)
+
+        self._transactions: tuple[tuple[int, ...], ...] = tuple(normalized)
+        if items is None:
+            universe = sorted(supports)
+        else:
+            universe = sorted(set(items) | set(supports))
+        self._items: tuple[int, ...] = tuple(universe)
+        self._item_supports: dict[int, int] = {
+            item: supports.get(item, 0) for item in self._items
+        }
+        self._vertical: Optional[dict[int, int]] = None
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_vertical(
+        cls,
+        tidsets: dict[int, Iterable[int]],
+        num_transactions: int,
+        name: Optional[str] = None,
+    ) -> "TransactionDataset":
+        """Build a dataset from a vertical representation.
+
+        Parameters
+        ----------
+        tidsets:
+            Mapping from item to an iterable of transaction indices (0-based,
+            all ``< num_transactions``) containing that item.
+        num_transactions:
+            Total number of transactions ``t``; transactions not mentioned in
+            any tidset become empty transactions.
+        name:
+            Optional dataset name.
+        """
+        if num_transactions < 0:
+            raise ValueError("num_transactions must be non-negative")
+        rows: list[list[int]] = [[] for _ in range(num_transactions)]
+        for item, tids in tidsets.items():
+            for tid in tids:
+                if not 0 <= tid < num_transactions:
+                    raise ValueError(
+                        f"transaction index {tid} out of range for item {item}"
+                    )
+                rows[tid].append(item)
+        return cls(rows, items=tidsets.keys(), name=name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> Optional[str]:
+        """Human-readable dataset name, if any."""
+        return self._name
+
+    @property
+    def transactions(self) -> tuple[tuple[int, ...], ...]:
+        """The horizontal view: a tuple of sorted item tuples."""
+        return self._transactions
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """The sorted item universe."""
+        return self._items
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions ``t``."""
+        return len(self._transactions)
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``n`` in the universe."""
+        return len(self._items)
+
+    @property
+    def item_supports(self) -> dict[int, int]:
+        """Mapping item -> number of transactions containing it (``n(i)``)."""
+        return dict(self._item_supports)
+
+    @property
+    def item_frequencies(self) -> dict[int, float]:
+        """Mapping item -> empirical frequency ``f_i = n(i) / t``."""
+        t = self.num_transactions
+        if t == 0:
+            return {item: 0.0 for item in self._items}
+        return {item: count / t for item, count in self._item_supports.items()}
+
+    def frequency(self, item: int) -> float:
+        """Empirical frequency of a single item (0.0 if unknown)."""
+        t = self.num_transactions
+        if t == 0:
+            return 0.0
+        return self._item_supports.get(item, 0) / t
+
+    def item_support(self, item: int) -> int:
+        """Support (transaction count) of a single item (0 if unknown)."""
+        return self._item_supports.get(item, 0)
+
+    @property
+    def average_transaction_length(self) -> float:
+        """Mean number of (distinct) items per transaction (``m`` in Table 1)."""
+        if not self._transactions:
+            return 0.0
+        return sum(len(txn) for txn in self._transactions) / len(self._transactions)
+
+    @property
+    def max_item_support(self) -> int:
+        """Largest single-item support; an upper bound on any itemset support."""
+        if not self._item_supports:
+            return 0
+        return max(self._item_supports.values())
+
+    # ------------------------------------------------------------------
+    # Vertical view and support queries
+    # ------------------------------------------------------------------
+    def vertical(self) -> dict[int, int]:
+        """Return the vertical bitset view (item -> transaction-id bitset).
+
+        Bit ``j`` of the bitset for item ``i`` is set iff transaction ``j``
+        contains item ``i``.  The view is computed once and cached.
+        """
+        if self._vertical is None:
+            vertical: dict[int, int] = {item: 0 for item in self._items}
+            for tid, txn in enumerate(self._transactions):
+                bit = 1 << tid
+                for item in txn:
+                    vertical[item] |= bit
+            self._vertical = vertical
+        return self._vertical
+
+    def tidset(self, item: int) -> int:
+        """Bitset of transactions containing ``item`` (0 if unknown)."""
+        return self.vertical().get(item, 0)
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Support of an itemset: number of transactions containing all items.
+
+        The support of the empty itemset is ``t`` by convention.
+        """
+        items = tuple(itemset)
+        if not items:
+            return self.num_transactions
+        vertical = self.vertical()
+        acc: Optional[int] = None
+        for item in items:
+            tids = vertical.get(item, 0)
+            if tids == 0:
+                return 0
+            acc = tids if acc is None else acc & tids
+            if acc == 0:
+                return 0
+        assert acc is not None
+        return acc.bit_count()
+
+    def supports(self, itemsets: Iterable[Iterable[int]]) -> list[int]:
+        """Supports of several itemsets, in input order."""
+        return [self.support(itemset) for itemset in itemsets]
+
+    def expected_support(self, itemset: Iterable[int]) -> float:
+        """Expected support of an itemset under the paper's null model.
+
+        Under the null model, every item ``i`` appears in each transaction
+        independently with probability ``f_i``, so an itemset ``X`` appears in
+        a given transaction with probability ``prod_{i in X} f_i`` and its
+        expected support is ``t * prod f_i``.
+        """
+        t = self.num_transactions
+        prob = 1.0
+        for item in set(itemset):
+            prob *= self.frequency(item)
+        return t * prob
+
+    def itemset_probability(self, itemset: Iterable[int]) -> float:
+        """Null-model probability that a transaction contains the itemset."""
+        prob = 1.0
+        for item in set(itemset):
+            prob *= self.frequency(item)
+        return prob
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def restrict_items(self, keep: Iterable[int]) -> "TransactionDataset":
+        """Project the dataset onto a subset of items.
+
+        Transactions are kept (possibly becoming empty) so that ``t`` is
+        unchanged — the null model depends on ``t``.
+        """
+        keep_set = set(keep)
+        rows = [tuple(i for i in txn if i in keep_set) for txn in self._transactions]
+        return TransactionDataset(
+            rows, items=keep_set & set(self._items), name=self._name
+        )
+
+    def sample_transactions(
+        self, indices: Sequence[int], name: Optional[str] = None
+    ) -> "TransactionDataset":
+        """Build a new dataset from a subset/ordering of transaction indices."""
+        rows = [self._transactions[i] for i in indices]
+        return TransactionDataset(rows, items=self._items, name=name or self._name)
+
+    def relabeled(self, mapping: dict[int, int]) -> "TransactionDataset":
+        """Return a copy with item identifiers replaced through ``mapping``.
+
+        Items missing from ``mapping`` keep their identifier.  The mapping
+        must not merge two distinct items.
+        """
+        targets = [mapping.get(item, item) for item in self._items]
+        if len(set(targets)) != len(targets):
+            raise ValueError("relabeling maps two distinct items to the same id")
+        rows = [
+            tuple(mapping.get(item, item) for item in txn)
+            for txn in self._transactions
+        ]
+        return TransactionDataset(rows, items=targets, name=self._name)
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self._transactions)
+
+    def __getitem__(self, index: int) -> tuple[int, ...]:
+        return self._transactions[index]
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._item_supports
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransactionDataset):
+            return NotImplemented
+        return (
+            self._transactions == other._transactions and self._items == other._items
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._transactions, self._items))
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<TransactionDataset{label}: t={self.num_transactions}, "
+            f"n={self.num_items}, m={self.average_transaction_length:.2f}>"
+        )

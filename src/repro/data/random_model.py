@@ -1,0 +1,236 @@
+"""The paper's null model: random datasets with fixed item frequencies.
+
+Following Section 1.1 of the paper, a dataset ``D`` of ``t`` transactions over
+items ``I`` with item frequencies ``f_i`` is associated with a probability
+space of datasets with the same ``t`` and ``I`` in which item ``i`` is placed
+in each transaction independently of everything else with probability
+``f_i``.  Statistical significance of observed supports is always measured
+against this space.
+
+:class:`RandomDatasetModel` captures the parameters of the space
+``(t, {f_i})`` and knows how to
+
+* sample datasets from it (:meth:`RandomDatasetModel.sample`),
+* compute null probabilities and expected supports of itemsets, and
+* compute the expected number of k-itemsets with support at least ``s``
+  (used as the Poisson mean λ in Procedure 2) — see
+  :mod:`repro.core.lambda_estimation` for the estimators built on top of it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.data.dataset import TransactionDataset
+
+__all__ = ["RandomDatasetModel", "generate_random_dataset"]
+
+
+class RandomDatasetModel:
+    """The independent-items null model with fixed per-item frequencies.
+
+    Parameters
+    ----------
+    frequencies:
+        Mapping from item identifier to its inclusion probability ``f_i``
+        (must lie in ``[0, 1]``).
+    num_transactions:
+        Number of transactions ``t`` of every dataset in the space.
+    name:
+        Optional name used for generated datasets.
+    """
+
+    __slots__ = ("_frequencies", "_num_transactions", "_name")
+
+    def __init__(
+        self,
+        frequencies: dict[int, float],
+        num_transactions: int,
+        name: Optional[str] = None,
+    ) -> None:
+        if num_transactions < 0:
+            raise ValueError("num_transactions must be non-negative")
+        for item, freq in frequencies.items():
+            if not 0.0 <= freq <= 1.0:
+                raise ValueError(
+                    f"frequency of item {item} must be in [0, 1], got {freq}"
+                )
+        self._frequencies = dict(frequencies)
+        self._num_transactions = int(num_transactions)
+        self._name = name
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: TransactionDataset) -> "RandomDatasetModel":
+        """Null model matching a real dataset (same ``t`` and item frequencies)."""
+        name = f"random({dataset.name})" if dataset.name else None
+        return cls(dataset.item_frequencies, dataset.num_transactions, name=name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def frequencies(self) -> dict[int, float]:
+        """Mapping item -> inclusion probability."""
+        return dict(self._frequencies)
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """Sorted item universe."""
+        return tuple(sorted(self._frequencies))
+
+    @property
+    def num_items(self) -> int:
+        """Number of items ``n``."""
+        return len(self._frequencies)
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions ``t``."""
+        return self._num_transactions
+
+    @property
+    def name(self) -> Optional[str]:
+        """Model name, if any."""
+        return self._name
+
+    def frequency(self, item: int) -> float:
+        """Inclusion probability of ``item`` (0.0 if unknown)."""
+        return self._frequencies.get(item, 0.0)
+
+    # ------------------------------------------------------------------
+    # Null-model probabilities
+    # ------------------------------------------------------------------
+    def itemset_probability(self, itemset: Iterable[int]) -> float:
+        """Probability that one random transaction contains the itemset."""
+        prob = 1.0
+        for item in set(itemset):
+            prob *= self._frequencies.get(item, 0.0)
+        return prob
+
+    def expected_support(self, itemset: Iterable[int]) -> float:
+        """Expected support of the itemset: ``t * prod_{i in X} f_i``."""
+        return self._num_transactions * self.itemset_probability(itemset)
+
+    def max_expected_support(self, k: int) -> float:
+        """Largest expected support of any k-itemset (``s~`` in Algorithm 1).
+
+        This is ``t`` times the product of the ``k`` largest item frequencies.
+        """
+        if k <= 0:
+            return float(self._num_transactions)
+        if k > self.num_items:
+            return 0.0
+        top = sorted(self._frequencies.values(), reverse=True)[:k]
+        return self._num_transactions * float(np.prod(top))
+
+    def top_frequencies(self, k: int) -> list[float]:
+        """The ``k`` largest item frequencies, descending."""
+        return sorted(self._frequencies.values(), reverse=True)[: max(k, 0)]
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+        name: Optional[str] = None,
+    ) -> TransactionDataset:
+        """Draw one random dataset from the model.
+
+        For each item ``i``, the number of transactions containing ``i`` is a
+        ``Binomial(t, f_i)`` draw and the containing transactions are chosen
+        uniformly at random without replacement — this is exactly equivalent
+        to the per-transaction Bernoulli description but much faster when the
+        frequencies are small.
+
+        Parameters
+        ----------
+        rng:
+            A :class:`numpy.random.Generator`, an integer seed, or ``None``
+            for nondeterministic sampling.
+        name:
+            Name for the generated dataset (defaults to the model name).
+        """
+        generator = np.random.default_rng(rng) if not isinstance(
+            rng, np.random.Generator
+        ) else rng
+        t = self._num_transactions
+        tidsets: dict[int, np.ndarray] = {}
+        for item in sorted(self._frequencies):
+            freq = self._frequencies[item]
+            if freq <= 0.0 or t == 0:
+                tidsets[item] = np.empty(0, dtype=np.int64)
+                continue
+            if freq >= 1.0:
+                tidsets[item] = np.arange(t, dtype=np.int64)
+                continue
+            count = int(generator.binomial(t, freq))
+            if count == 0:
+                tidsets[item] = np.empty(0, dtype=np.int64)
+            else:
+                tidsets[item] = generator.choice(t, size=count, replace=False)
+
+        rows: list[list[int]] = [[] for _ in range(t)]
+        for item, tids in tidsets.items():
+            for tid in tids:
+                rows[int(tid)].append(item)
+        return TransactionDataset(
+            rows, items=self._frequencies.keys(), name=name or self._name
+        )
+
+    def sample_many(
+        self,
+        count: int,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+    ) -> Iterator[TransactionDataset]:
+        """Yield ``count`` independent random datasets."""
+        generator = np.random.default_rng(rng) if not isinstance(
+            rng, np.random.Generator
+        ) else rng
+        for index in range(count):
+            suffix = f"#{index}" if self._name is None else f"{self._name}#{index}"
+            yield self.sample(generator, name=suffix)
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<RandomDatasetModel{label}: t={self._num_transactions}, "
+            f"n={self.num_items}>"
+        )
+
+
+def generate_random_dataset(
+    source: Union[TransactionDataset, dict[int, float]],
+    num_transactions: Optional[int] = None,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    name: Optional[str] = None,
+) -> TransactionDataset:
+    """Convenience wrapper: sample one random dataset.
+
+    Parameters
+    ----------
+    source:
+        Either a real dataset (its ``t`` and frequencies define the model) or
+        an explicit frequency mapping (then ``num_transactions`` is required).
+    num_transactions:
+        Number of transactions when ``source`` is a frequency mapping.
+    rng:
+        Seed or generator.
+    name:
+        Name for the generated dataset.
+    """
+    if isinstance(source, TransactionDataset):
+        model = RandomDatasetModel.from_dataset(source)
+    else:
+        if num_transactions is None:
+            raise ValueError(
+                "num_transactions is required when source is a frequency mapping"
+            )
+        model = RandomDatasetModel(source, num_transactions)
+    return model.sample(rng, name=name)

@@ -1,0 +1,87 @@
+"""Dataset summary statistics — the quantities reported in Table 1.
+
+Table 1 of the paper characterises each benchmark dataset by the number of
+items ``n``, the range ``[f_min, f_max]`` of individual item frequencies, the
+average transaction length ``m``, and the number of transactions ``t``.
+:func:`summarize` computes exactly that row for any
+:class:`~repro.data.dataset.TransactionDataset`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.data.dataset import TransactionDataset
+
+__all__ = ["DatasetSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One row of Table 1.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (``None`` if the dataset is unnamed).
+    num_items:
+        Number of distinct items ``n`` (items with at least one occurrence).
+    min_frequency / max_frequency:
+        Range of individual item frequencies among occurring items.
+    average_transaction_length:
+        Mean number of distinct items per transaction ``m``.
+    num_transactions:
+        Number of transactions ``t``.
+    """
+
+    name: Optional[str]
+    num_items: int
+    min_frequency: float
+    max_frequency: float
+    average_transaction_length: float
+    num_transactions: int
+
+    def as_row(self) -> dict[str, object]:
+        """Return the summary as a plain dict, ready for tabular reporting."""
+        return {
+            "dataset": self.name or "<unnamed>",
+            "n": self.num_items,
+            "f_min": self.min_frequency,
+            "f_max": self.max_frequency,
+            "m": self.average_transaction_length,
+            "t": self.num_transactions,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name or '<unnamed>'}: n={self.num_items} "
+            f"[{self.min_frequency:.3g}; {self.max_frequency:.3g}] "
+            f"m={self.average_transaction_length:.1f} t={self.num_transactions}"
+        )
+
+
+def summarize(dataset: TransactionDataset) -> DatasetSummary:
+    """Compute the Table 1 summary row for a dataset.
+
+    Items that never occur (present only in the declared universe) are ignored
+    for the frequency range and the item count, matching how Table 1 describes
+    the FIMI files (which only list occurring items).
+    """
+    frequencies = [
+        freq for freq in dataset.item_frequencies.values() if freq > 0.0
+    ]
+    if frequencies:
+        f_min = min(frequencies)
+        f_max = max(frequencies)
+    else:
+        f_min = 0.0
+        f_max = 0.0
+    return DatasetSummary(
+        name=dataset.name,
+        num_items=len(frequencies),
+        min_frequency=f_min,
+        max_frequency=f_max,
+        average_transaction_length=dataset.average_transaction_length,
+        num_transactions=dataset.num_transactions,
+    )

@@ -1,0 +1,28 @@
+"""Experiment drivers reproducing the paper's evaluation (Tables 1–5).
+
+Each ``tableN`` module exposes a ``run_tableN(config)`` function returning a
+:class:`~repro.experiments.reporting.ExperimentTable` — a structured set of
+rows plus the paper's reference values — and the shared
+:class:`~repro.experiments.config.ExperimentConfig` controls dataset scale,
+Monte-Carlo budget and seeds.  The benchmark harness under ``benchmarks/`` and
+the CLI both call these drivers.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentTable, format_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentTable",
+    "format_table",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

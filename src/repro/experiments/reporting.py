@@ -1,0 +1,83 @@
+"""Plain-text tabular reporting for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ExperimentTable", "format_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Human-friendly rendering of one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Render a fixed-width text table."""
+    rendered = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table: rows of dict cells plus descriptive metadata.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"table3"``.
+    title:
+        Human-readable description (what the paper's table reports).
+    headers:
+        Column names, in display order.
+    rows:
+        One dict per row (keys are headers; missing keys render as ``-``).
+    paper_reference:
+        Optional rows of the paper's published values, for side-by-side
+        comparison in EXPERIMENTS.md.
+    """
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[dict[str, object]] = field(default_factory=list)
+    paper_reference: Optional[list[dict[str, object]]] = None
+
+    def add_row(self, **cells: object) -> None:
+        """Append one row."""
+        self.rows.append(dict(cells))
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column, in row order."""
+        return [row.get(header) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render the measured rows as a text table."""
+        body = format_table(
+            self.headers,
+            [[row.get(header) for header in self.headers] for row in self.rows],
+        )
+        return f"{self.title}\n{body}"
+
+    def __str__(self) -> str:
+        return self.to_text()

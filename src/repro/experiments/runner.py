@@ -1,0 +1,48 @@
+"""Run all reproduced tables in one go (used by the CLI and EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Optional
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+__all__ = ["TABLE_RUNNERS", "run_all", "run_selected"]
+
+
+#: All experiment drivers, keyed by table name.
+TABLE_RUNNERS: dict[str, Callable[[ExperimentConfig], ExperimentTable]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+}
+
+
+def run_selected(
+    names: Iterable[str],
+    config: Optional[ExperimentConfig] = None,
+) -> dict[str, ExperimentTable]:
+    """Run a subset of the tables and return their results keyed by name."""
+    config = config or ExperimentConfig()
+    results: dict[str, ExperimentTable] = {}
+    for name in names:
+        key = name.strip().lower()
+        if key not in TABLE_RUNNERS:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {', '.join(TABLE_RUNNERS)}"
+            )
+        results[key] = TABLE_RUNNERS[key](config)
+    return results
+
+
+def run_all(config: Optional[ExperimentConfig] = None) -> dict[str, ExperimentTable]:
+    """Run every reproduced table."""
+    return run_selected(TABLE_RUNNERS.keys(), config)

@@ -1,0 +1,57 @@
+"""Frequent-itemset mining substrate.
+
+The methodology of the paper needs, repeatedly and on many (real and random)
+datasets, the set of itemsets of a *fixed size* ``k`` whose support exceeds a
+*high* threshold.  This package provides that primitive
+(:func:`~repro.fim.kitemsets.mine_k_itemsets`) plus the classical general
+miners it is benchmarked against:
+
+* :mod:`~repro.fim.counting` — vertical bitset index and support counting,
+* :mod:`~repro.fim.itemsets` — itemset canonicalisation and lattice helpers,
+* :mod:`~repro.fim.apriori` — level-wise Apriori,
+* :mod:`~repro.fim.eclat` — depth-first Eclat over tidset intersections,
+* :mod:`~repro.fim.fpgrowth` — FP-growth over an FP-tree,
+* :mod:`~repro.fim.kitemsets` — fixed-size k-itemset mining (the primitive the
+  methodology uses),
+* :mod:`~repro.fim.closed`, :mod:`~repro.fim.maximal` — condensed
+  representations (closed / maximal itemsets).
+"""
+
+from repro.fim.apriori import apriori
+from repro.fim.closed import closed_itemsets, closure, is_closed
+from repro.fim.counting import VerticalIndex
+from repro.fim.eclat import eclat
+from repro.fim.fpgrowth import FPTree, fpgrowth
+from repro.fim.itemsets import (
+    canonical,
+    generate_candidates,
+    itemsets_overlap,
+    neighborhood,
+    subsets_of_size,
+)
+from repro.fim.kitemsets import count_k_itemsets_at_thresholds, mine_k_itemsets
+from repro.fim.maximal import is_maximal, maximal_itemsets
+from repro.fim.rules import AssociationRule, generate_rules, significant_rules
+
+__all__ = [
+    "AssociationRule",
+    "FPTree",
+    "VerticalIndex",
+    "apriori",
+    "canonical",
+    "closed_itemsets",
+    "closure",
+    "count_k_itemsets_at_thresholds",
+    "eclat",
+    "fpgrowth",
+    "generate_candidates",
+    "generate_rules",
+    "is_closed",
+    "is_maximal",
+    "itemsets_overlap",
+    "maximal_itemsets",
+    "mine_k_itemsets",
+    "neighborhood",
+    "significant_rules",
+    "subsets_of_size",
+]

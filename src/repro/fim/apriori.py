@@ -1,0 +1,64 @@
+"""Level-wise Apriori frequent-itemset mining.
+
+The classical algorithm of Agrawal et al.: level ``r`` candidates are joined
+from level ``r - 1`` frequent itemsets and pruned by the anti-monotonicity of
+support, then counted against the vertical index.  Returned supports are
+absolute transaction counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.counting import VerticalIndex
+from repro.fim.itemsets import Itemset, generate_candidates
+
+__all__ = ["apriori"]
+
+
+def apriori(
+    data: Union[TransactionDataset, VerticalIndex],
+    min_support: int,
+    max_size: Optional[int] = None,
+) -> dict[Itemset, int]:
+    """Mine all frequent itemsets with support at least ``min_support``.
+
+    Parameters
+    ----------
+    data:
+        The dataset (or a pre-built :class:`VerticalIndex` over it).
+    min_support:
+        Absolute support threshold (number of transactions); must be >= 1.
+    max_size:
+        If given, stop after itemsets of this size.
+
+    Returns
+    -------
+    dict
+        Mapping from canonical itemset tuple to its support, including the
+        frequent 1-itemsets.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
+
+    result: dict[Itemset, int] = {}
+    current_level: list[Itemset] = []
+    for item in index.frequent_items(min_support):
+        support = index.item_support(item)
+        result[(item,)] = support
+        current_level.append((item,))
+
+    size = 2
+    while current_level and (max_size is None or size <= max_size):
+        candidates = generate_candidates(current_level, size)
+        next_level: list[Itemset] = []
+        for candidate in candidates:
+            support = index.support(candidate)
+            if support >= min_support:
+                result[candidate] = support
+                next_level.append(candidate)
+        current_level = next_level
+        size += 1
+    return result

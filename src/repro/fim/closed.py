@@ -1,0 +1,97 @@
+"""Closed itemsets.
+
+An itemset is *closed* when no proper superset has the same support.  The
+paper uses closed itemsets in Section 4.1 to interpret the very large families
+of significant itemsets found in Bms1 (a single closed itemset of cardinality
+154 accounts for more than 22M of the 27M significant 4-itemsets).  This
+module provides the closure operator and closed-set filters used by that
+analysis and by the examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Union
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.counting import VerticalIndex, tids_from_bitset
+from repro.fim.itemsets import Itemset, canonical
+
+__all__ = ["closure", "is_closed", "closed_itemsets", "closed_frequent_itemsets"]
+
+
+def closure(
+    data: Union[TransactionDataset, VerticalIndex], itemset: Iterable[int]
+) -> Itemset:
+    """The closure of an itemset: all items common to its supporting transactions.
+
+    If the itemset occurs in no transaction its closure is itself (by
+    convention), since intersecting an empty family of transactions is the
+    whole item universe and would not be informative.
+    """
+    index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
+    base = canonical(itemset)
+    tids = index.itemset_tidset(base)
+    if tids == 0:
+        return base
+    closed: set[int] = set(base)
+    for item in index.items:
+        if item in closed:
+            continue
+        item_tids = index.tidset(item)
+        # item is in every supporting transaction iff tids is a subset of item_tids.
+        if tids & ~item_tids == 0:
+            closed.add(item)
+    return canonical(closed)
+
+
+def is_closed(
+    data: Union[TransactionDataset, VerticalIndex], itemset: Iterable[int]
+) -> bool:
+    """True iff the itemset equals its own closure."""
+    return canonical(itemset) == closure(data, itemset)
+
+
+def closed_itemsets(itemsets: dict[Itemset, int]) -> dict[Itemset, int]:
+    """Filter a support map down to its closed members.
+
+    An itemset is kept iff no *proper superset present in the map* has the
+    same support.  When the map contains all frequent itemsets above a
+    threshold this coincides with the standard definition restricted to that
+    threshold.
+    """
+    by_support: dict[int, list[Itemset]] = {}
+    for itemset, support in itemsets.items():
+        by_support.setdefault(support, []).append(canonical(itemset))
+
+    closed: dict[Itemset, int] = {}
+    for support, group in by_support.items():
+        group_sets = [set(itemset) for itemset in group]
+        for index, candidate in enumerate(group):
+            candidate_set = group_sets[index]
+            dominated = any(
+                index != other_index and candidate_set < group_sets[other_index]
+                for other_index in range(len(group))
+            )
+            if not dominated:
+                closed[candidate] = support
+    return closed
+
+
+def closed_frequent_itemsets(
+    data: Union[TransactionDataset, VerticalIndex],
+    itemsets: dict[Itemset, int],
+) -> dict[Itemset, int]:
+    """Exact closed filter using the dataset's closure operator.
+
+    Unlike :func:`closed_itemsets`, which only compares against supersets
+    present in the input map, this checks each itemset against its true
+    closure in the data, so it is exact even when the input map is partial
+    (e.g. only itemsets of one size).
+    """
+    index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
+    return {
+        canonical(itemset): support
+        for itemset, support in itemsets.items()
+        if canonical(itemset) == closure(index, itemset)
+    }

@@ -1,0 +1,158 @@
+"""Vertical bitset index and support counting.
+
+All miners in :mod:`repro.fim` share the same counting backend: for every item
+we keep the set of transaction indices containing it as a Python ``int``
+bitset.  Support of an itemset is then the population count of the AND of its
+items' bitsets — a handful of machine-word operations per transaction block,
+which keeps pure-Python mining practical for the scaled benchmark analogues.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Optional, Union
+
+from repro.data.dataset import TransactionDataset
+
+__all__ = [
+    "VerticalIndex",
+    "bitset_from_tids",
+    "tids_from_bitset",
+]
+
+
+def bitset_from_tids(tids: Iterable[int]) -> int:
+    """Build a transaction-id bitset from an iterable of indices."""
+    bits = 0
+    for tid in tids:
+        if tid < 0:
+            raise ValueError("transaction indices must be non-negative")
+        bits |= 1 << tid
+    return bits
+
+
+def tids_from_bitset(bits: int) -> list[int]:
+    """Expand a transaction-id bitset into a sorted list of indices."""
+    if bits < 0:
+        raise ValueError("bitsets are non-negative integers")
+    tids: list[int] = []
+    index = 0
+    while bits:
+        if bits & 1:
+            tids.append(index)
+        bits >>= 1
+        index += 1
+    return tids
+
+
+class VerticalIndex:
+    """Vertical (item -> transaction bitset) index over a dataset.
+
+    Parameters
+    ----------
+    source:
+        Either a :class:`~repro.data.dataset.TransactionDataset` or a mapping
+        ``item -> bitset``; in the latter case ``num_transactions`` must be
+        supplied.
+    num_transactions:
+        Number of transactions (only needed for the mapping form).
+    """
+
+    __slots__ = ("_tidsets", "_num_transactions")
+
+    def __init__(
+        self,
+        source: Union[TransactionDataset, dict[int, int]],
+        num_transactions: Optional[int] = None,
+    ) -> None:
+        if isinstance(source, TransactionDataset):
+            self._tidsets = dict(source.vertical())
+            self._num_transactions = source.num_transactions
+        else:
+            if num_transactions is None:
+                raise ValueError(
+                    "num_transactions is required when building from a mapping"
+                )
+            self._tidsets = dict(source)
+            self._num_transactions = int(num_transactions)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions indexed."""
+        return self._num_transactions
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """Sorted item universe of the index."""
+        return tuple(sorted(self._tidsets))
+
+    def tidset(self, item: int) -> int:
+        """Bitset of transactions containing ``item`` (0 if unknown)."""
+        return self._tidsets.get(item, 0)
+
+    def item_support(self, item: int) -> int:
+        """Support of a single item."""
+        return self._tidsets.get(item, 0).bit_count()
+
+    def item_supports(self) -> dict[int, int]:
+        """Supports of all items."""
+        return {item: bits.bit_count() for item, bits in self._tidsets.items()}
+
+    # ------------------------------------------------------------------
+    # Itemset queries
+    # ------------------------------------------------------------------
+    def itemset_tidset(self, itemset: Iterable[int]) -> int:
+        """Bitset of transactions containing every item of ``itemset``.
+
+        The empty itemset is contained in every transaction.
+        """
+        items = list(itemset)
+        if not items:
+            if self._num_transactions == 0:
+                return 0
+            return (1 << self._num_transactions) - 1
+        acc: Optional[int] = None
+        for item in items:
+            bits = self._tidsets.get(item, 0)
+            if bits == 0:
+                return 0
+            acc = bits if acc is None else acc & bits
+            if acc == 0:
+                return 0
+        assert acc is not None
+        return acc
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Support (transaction count) of an itemset."""
+        return self.itemset_tidset(itemset).bit_count()
+
+    def frequent_items(self, min_support: int) -> list[int]:
+        """Items whose support is at least ``min_support``, sorted by item id."""
+        return sorted(
+            item
+            for item, bits in self._tidsets.items()
+            if bits.bit_count() >= min_support
+        )
+
+    def restrict(self, items: Iterable[int]) -> "VerticalIndex":
+        """A new index containing only the given items."""
+        keep = set(items)
+        return VerticalIndex(
+            {item: bits for item, bits in self._tidsets.items() if item in keep},
+            num_transactions=self._num_transactions,
+        )
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._tidsets
+
+    def __len__(self) -> int:
+        return len(self._tidsets)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VerticalIndex: items={len(self._tidsets)}, "
+            f"t={self._num_transactions}>"
+        )

@@ -1,0 +1,233 @@
+"""FP-growth frequent-itemset mining.
+
+FP-growth (Han, Pei, Yin, 2000) compresses the dataset into a prefix tree
+(the *FP-tree*) whose paths share common frequent prefixes, then mines the
+tree recursively by building conditional trees for each item, never generating
+candidate itemsets explicitly.
+
+The implementation below is a faithful, readable version of the algorithm:
+:class:`FPTree` is a standalone data structure (also useful on its own for
+compression diagnostics) and :func:`fpgrowth` drives the recursive mining.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from typing import Optional, Union
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.counting import VerticalIndex
+from repro.fim.itemsets import Itemset, canonical
+
+__all__ = ["FPNode", "FPTree", "fpgrowth"]
+
+
+class FPNode:
+    """One node of an FP-tree: an item, a count, and tree links."""
+
+    __slots__ = ("item", "count", "parent", "children", "link")
+
+    def __init__(self, item: Optional[int], parent: Optional["FPNode"]) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, "FPNode"] = {}
+        self.link: Optional["FPNode"] = None
+
+    def __repr__(self) -> str:
+        return f"<FPNode item={self.item} count={self.count}>"
+
+
+class FPTree:
+    """Prefix tree over frequency-ordered transactions.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of ``(items, count)`` pairs; ``count`` is how many identical
+        transactions the entry represents (1 for raw data, >1 for conditional
+        pattern bases).
+    min_support:
+        Items below this support are dropped before insertion.
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[tuple[Sequence[int], int]],
+        min_support: int,
+    ) -> None:
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self.min_support = min_support
+        materialized = [(tuple(items), count) for items, count in transactions]
+
+        supports: Counter[int] = Counter()
+        for items, count in materialized:
+            for item in set(items):
+                supports[item] += count
+        self.item_supports: dict[int, int] = {
+            item: support
+            for item, support in supports.items()
+            if support >= min_support
+        }
+        # Stable frequency-descending order (ties broken by item id) gives a
+        # deterministic, well-compressed tree.
+        self._order = {
+            item: rank
+            for rank, item in enumerate(
+                sorted(self.item_supports, key=lambda it: (-self.item_supports[it], it))
+            )
+        }
+        self.root = FPNode(None, None)
+        self.header: dict[int, FPNode] = {}
+        for items, count in materialized:
+            filtered = sorted(
+                {item for item in items if item in self.item_supports},
+                key=self._order.__getitem__,
+            )
+            if filtered:
+                self._insert(filtered, count)
+
+    def _insert(self, items: Sequence[int], count: int) -> None:
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                # Thread the new node onto the header list for its item.
+                child.link = self.header.get(item)
+                self.header[item] = child
+            child.count += count
+            node = child
+
+    # ------------------------------------------------------------------
+    # Queries used by the mining recursion
+    # ------------------------------------------------------------------
+    def items_by_ascending_support(self) -> list[int]:
+        """Items present in the tree, least-frequent first (mining order)."""
+        return sorted(
+            self.item_supports, key=lambda it: (self.item_supports[it], it)
+        )
+
+    def prefix_paths(self, item: int) -> list[tuple[tuple[int, ...], int]]:
+        """Conditional pattern base of ``item``: (path-to-root, count) pairs."""
+        paths: list[tuple[tuple[int, ...], int]] = []
+        node = self.header.get(item)
+        while node is not None:
+            path: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            if path:
+                paths.append((tuple(reversed(path)), node.count))
+            node = node.link
+        return paths
+
+    def is_single_path(self) -> bool:
+        """True when the tree is one chain (enables the combination shortcut)."""
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return False
+            node = next(iter(node.children.values()))
+        return True
+
+    def single_path_items(self) -> list[tuple[int, int]]:
+        """The (item, count) chain when :meth:`is_single_path` is true."""
+        chain: list[tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            node = next(iter(node.children.values()))
+            chain.append((node.item, node.count))
+        return chain
+
+    def num_nodes(self) -> int:
+        """Number of item nodes in the tree (compression diagnostic)."""
+        count = 0
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+
+def _mine(
+    tree: FPTree,
+    suffix: Itemset,
+    min_support: int,
+    max_size: Optional[int],
+    result: dict[Itemset, int],
+) -> None:
+    if max_size is not None and len(suffix) >= max_size:
+        return
+    if tree.is_single_path():
+        # Every combination of the chain's items, together with the suffix,
+        # is frequent with support equal to the minimum count along the chain.
+        from itertools import combinations
+
+        chain = tree.single_path_items()
+        for size in range(1, len(chain) + 1):
+            if max_size is not None and len(suffix) + size > max_size:
+                break
+            for combo in combinations(chain, size):
+                support = min(count for _, count in combo)
+                itemset = canonical(suffix + tuple(item for item, _ in combo))
+                result[itemset] = support
+        return
+    for item in tree.items_by_ascending_support():
+        support = tree.item_supports[item]
+        itemset = canonical(suffix + (item,))
+        result[itemset] = support
+        if max_size is not None and len(itemset) >= max_size:
+            continue
+        conditional = FPTree(tree.prefix_paths(item), min_support)
+        if conditional.item_supports:
+            _mine(conditional, itemset, min_support, max_size, result)
+
+
+def fpgrowth(
+    data: Union[TransactionDataset, VerticalIndex],
+    min_support: int,
+    max_size: Optional[int] = None,
+) -> dict[Itemset, int]:
+    """Mine all frequent itemsets with support at least ``min_support``.
+
+    Parameters
+    ----------
+    data:
+        The dataset.  A :class:`VerticalIndex` is accepted for interface
+        parity with the other miners but is converted back to transactions.
+    min_support:
+        Absolute support threshold; must be >= 1.
+    max_size:
+        If given, do not report itemsets larger than this.
+
+    Returns
+    -------
+    dict
+        Mapping from canonical itemset tuple to its support.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    if isinstance(data, VerticalIndex):
+        from repro.fim.counting import tids_from_bitset
+
+        rows: list[list[int]] = [[] for _ in range(data.num_transactions)]
+        for item in data.items:
+            for tid in tids_from_bitset(data.tidset(item)):
+                rows[tid].append(item)
+        transactions: list[tuple[tuple[int, ...], int]] = [
+            (tuple(row), 1) for row in rows
+        ]
+    else:
+        transactions = [(txn, 1) for txn in data.transactions]
+
+    tree = FPTree(transactions, min_support)
+    result: dict[Itemset, int] = {}
+    if tree.item_supports:
+        _mine(tree, (), min_support, max_size, result)
+    return result

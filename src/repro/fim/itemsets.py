@@ -1,0 +1,147 @@
+"""Itemset utilities: canonical form, lattice navigation, neighbourhoods.
+
+Throughout the library an *itemset* is represented canonically as a sorted
+tuple of item identifiers.  This module collects the small combinatorial
+helpers shared by the miners and by the Chen–Stein computation (which needs
+the neighbourhood ``I(X) = {X' : X' ∩ X ≠ ∅, |X'| = |X|}`` of an itemset).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import combinations
+
+__all__ = [
+    "canonical",
+    "subsets_of_size",
+    "all_subsets",
+    "generate_candidates",
+    "itemsets_overlap",
+    "neighborhood",
+    "overlapping_pairs",
+]
+
+Itemset = tuple[int, ...]
+
+
+def canonical(itemset: Iterable[int]) -> Itemset:
+    """Return the canonical (sorted, de-duplicated tuple) form of an itemset."""
+    return tuple(sorted(set(itemset)))
+
+
+def subsets_of_size(itemset: Iterable[int], size: int) -> list[Itemset]:
+    """All subsets of the given size, in lexicographic order."""
+    items = canonical(itemset)
+    if size < 0 or size > len(items):
+        return []
+    return [tuple(combo) for combo in combinations(items, size)]
+
+
+def all_subsets(itemset: Iterable[int], include_empty: bool = False) -> list[Itemset]:
+    """All subsets of an itemset (proper and improper), optionally with the empty set."""
+    items = canonical(itemset)
+    subsets: list[Itemset] = []
+    start = 0 if include_empty else 1
+    for size in range(start, len(items) + 1):
+        subsets.extend(tuple(combo) for combo in combinations(items, size))
+    return subsets
+
+
+def generate_candidates(frequent: Sequence[Itemset], size: int) -> list[Itemset]:
+    """Apriori candidate generation (join + prune).
+
+    Parameters
+    ----------
+    frequent:
+        The frequent itemsets of size ``size - 1`` (canonical tuples).
+    size:
+        Target candidate size (``>= 2``).
+
+    Returns
+    -------
+    list of canonical tuples
+        Candidates of the requested size whose every ``(size - 1)``-subset is
+        in ``frequent`` (the Apriori pruning rule).
+    """
+    if size < 2:
+        raise ValueError("candidate size must be at least 2")
+    previous = {canonical(itemset) for itemset in frequent}
+    if not previous:
+        return []
+    # Join step: merge itemsets sharing the same (size - 2)-prefix.
+    by_prefix: dict[Itemset, list[int]] = {}
+    for itemset in sorted(previous):
+        if len(itemset) != size - 1:
+            raise ValueError(
+                f"expected itemsets of size {size - 1}, got {itemset!r}"
+            )
+        prefix, last = itemset[:-1], itemset[-1]
+        by_prefix.setdefault(prefix, []).append(last)
+
+    candidates: list[Itemset] = []
+    for prefix, lasts in by_prefix.items():
+        lasts.sort()
+        for a_index in range(len(lasts)):
+            for b_index in range(a_index + 1, len(lasts)):
+                candidate = prefix + (lasts[a_index], lasts[b_index])
+                # Prune step: every (size-1)-subset must be frequent.
+                if all(
+                    tuple(sub) in previous
+                    for sub in combinations(candidate, size - 1)
+                ):
+                    candidates.append(candidate)
+    return candidates
+
+
+def itemsets_overlap(first: Iterable[int], second: Iterable[int]) -> bool:
+    """True iff the two itemsets share at least one item (``Y ∈ I(X)``)."""
+    return bool(set(first) & set(second))
+
+
+def neighborhood(
+    itemset: Iterable[int], others: Iterable[Itemset], include_self: bool = True
+) -> list[Itemset]:
+    """The itemsets among ``others`` that overlap ``itemset``.
+
+    This is the (restriction to ``others`` of the) neighbourhood set
+    ``I(X)`` used in the Chen–Stein bound; ``include_self`` controls whether
+    ``X`` itself is kept when present in ``others``.
+    """
+    reference = set(itemset)
+    ref_canonical = canonical(itemset)
+    result: list[Itemset] = []
+    for other in others:
+        if not include_self and canonical(other) == ref_canonical:
+            continue
+        if reference & set(other):
+            result.append(canonical(other))
+    return result
+
+
+def overlapping_pairs(
+    itemsets: Sequence[Itemset],
+) -> Iterator[tuple[Itemset, Itemset]]:
+    """Yield unordered pairs of *distinct* itemsets that share an item.
+
+    Uses an inverted index (item -> itemsets containing it) so the cost is
+    proportional to the number of overlapping pairs rather than to the square
+    of the collection size.
+    """
+    canon = [canonical(itemset) for itemset in itemsets]
+    by_item: dict[int, list[int]] = {}
+    for index, itemset in enumerate(canon):
+        for item in itemset:
+            by_item.setdefault(item, []).append(index)
+    seen: set[tuple[int, int]] = set()
+    for indices in by_item.values():
+        for a_pos in range(len(indices)):
+            for b_pos in range(a_pos + 1, len(indices)):
+                a, b = indices[a_pos], indices[b_pos]
+                if a == b:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if canon[key[0]] != canon[key[1]]:
+                    yield canon[key[0]], canon[key[1]]

@@ -1,0 +1,53 @@
+"""Maximal frequent itemsets.
+
+An itemset is *maximal* (with respect to a collection) when no proper superset
+of it is in the collection.  Maximal itemsets are the most compact lossy
+summary of a frequent-itemset family and are used by the examples to present
+large significant families compactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.fim.itemsets import Itemset, canonical
+
+__all__ = ["is_maximal", "maximal_itemsets"]
+
+
+def is_maximal(itemset: Iterable[int], collection: Iterable[Itemset]) -> bool:
+    """True iff no proper superset of ``itemset`` appears in ``collection``."""
+    reference = set(itemset)
+    for other in collection:
+        other_set = set(other)
+        if reference < other_set:
+            return False
+    return True
+
+
+def maximal_itemsets(itemsets: dict[Itemset, int]) -> dict[Itemset, int]:
+    """Filter a support map down to its maximal members.
+
+    The check uses an inverted index from items to the itemsets containing
+    them, so each itemset is only compared against candidates that could
+    actually be supersets.
+    """
+    canon = {canonical(itemset): support for itemset, support in itemsets.items()}
+    by_item: dict[int, list[Itemset]] = {}
+    for itemset in canon:
+        for item in itemset:
+            by_item.setdefault(item, []).append(itemset)
+
+    maximal: dict[Itemset, int] = {}
+    for itemset, support in canon.items():
+        itemset_size = len(itemset)
+        itemset_as_set = set(itemset)
+        candidates = by_item.get(itemset[0], []) if itemset else list(canon)
+        dominated = False
+        for other in candidates:
+            if len(other) > itemset_size and itemset_as_set < set(other):
+                dominated = True
+                break
+        if not dominated:
+            maximal[itemset] = support
+    return maximal

@@ -1,0 +1,194 @@
+"""Association rules on top of frequent / significant itemsets.
+
+The paper situates itself in the association-rule tradition (Agrawal et al.)
+and its related-work section discusses significant *rule* discovery
+(Megiddo–Srikant, Hämäläinen–Nykänen).  This module provides the standard
+rule-generation step over any itemset→support map produced by the miners in
+this package, plus a significance test for rules that reuses the library's
+independence null model: the p-value of a rule ``A → B`` is the Binomial tail
+probability of seeing the observed joint support among the transactions
+containing ``A`` if the items of ``B`` were placed independently with their
+empirical frequencies.  Combined with the Benjamini–Yekutieli correction this
+gives rule mining with a bounded false discovery rate, mirroring Procedure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Mapping, Optional, Union
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.counting import VerticalIndex
+from repro.fim.itemsets import Itemset, canonical
+from repro.stats.binomial import binomial_sf
+from repro.stats.multiple_testing import benjamini_yekutieli
+
+__all__ = ["AssociationRule", "generate_rules", "rule_pvalue", "significant_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule ``antecedent → consequent`` with its statistics.
+
+    Attributes
+    ----------
+    antecedent / consequent:
+        Disjoint, non-empty canonical itemsets.
+    support:
+        Number of transactions containing both sides.
+    antecedent_support:
+        Number of transactions containing the antecedent.
+    confidence:
+        ``support / antecedent_support``.
+    lift:
+        Ratio of the observed confidence to the consequent's unconditional
+        frequency (``> 1`` means positive association); ``None`` when the
+        consequent never occurs.
+    """
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: int
+    antecedent_support: int
+    confidence: float
+    lift: Optional[float]
+
+    @property
+    def items(self) -> Itemset:
+        """The underlying itemset (antecedent ∪ consequent)."""
+        return canonical(self.antecedent + self.consequent)
+
+    def __str__(self) -> str:
+        lhs = ", ".join(str(item) for item in self.antecedent)
+        rhs = ", ".join(str(item) for item in self.consequent)
+        return (
+            f"{{{lhs}}} -> {{{rhs}}} "
+            f"(support={self.support}, confidence={self.confidence:.3f})"
+        )
+
+
+def generate_rules(
+    itemsets: Mapping[Itemset, int],
+    data: Union[TransactionDataset, VerticalIndex],
+    min_confidence: float = 0.5,
+) -> list[AssociationRule]:
+    """Generate association rules from an itemset→support map.
+
+    Every itemset of size at least 2 is split into all (antecedent,
+    consequent) bipartitions; rules whose confidence reaches
+    ``min_confidence`` are returned.  Antecedent supports missing from the
+    input map are counted directly against ``data``, so the map may contain
+    itemsets of a single size (as produced by
+    :func:`~repro.fim.kitemsets.mine_k_itemsets`).
+
+    Parameters
+    ----------
+    itemsets:
+        Itemset → support map (e.g. the significant family ``F_k(s*)``).
+    data:
+        The dataset the supports were measured on (used for antecedent and
+        consequent supports not present in the map).
+    min_confidence:
+        Minimum confidence threshold in ``[0, 1]``.
+    """
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must lie in [0, 1]")
+    index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
+    t = index.num_transactions
+
+    support_cache: dict[Itemset, int] = {
+        canonical(itemset): support for itemset, support in itemsets.items()
+    }
+
+    def support_of(itemset: Itemset) -> int:
+        cached = support_cache.get(itemset)
+        if cached is None:
+            cached = index.support(itemset)
+            support_cache[itemset] = cached
+        return cached
+
+    rules: list[AssociationRule] = []
+    for raw_itemset, joint_support in itemsets.items():
+        itemset = canonical(raw_itemset)
+        if len(itemset) < 2 or joint_support <= 0:
+            continue
+        for antecedent_size in range(1, len(itemset)):
+            for antecedent in combinations(itemset, antecedent_size):
+                antecedent = tuple(antecedent)
+                consequent = tuple(item for item in itemset if item not in antecedent)
+                antecedent_support = support_of(antecedent)
+                if antecedent_support == 0:
+                    continue
+                confidence = joint_support / antecedent_support
+                if confidence < min_confidence:
+                    continue
+                consequent_support = support_of(consequent)
+                lift = (
+                    confidence / (consequent_support / t)
+                    if consequent_support and t
+                    else None
+                )
+                rules.append(
+                    AssociationRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        support=joint_support,
+                        antecedent_support=antecedent_support,
+                        confidence=confidence,
+                        lift=lift,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, rule.antecedent))
+    return rules
+
+
+def rule_pvalue(dataset: TransactionDataset, rule: AssociationRule) -> float:
+    """p-value of a rule under the independence null model.
+
+    Conditioned on the antecedent appearing in ``antecedent_support``
+    transactions, the null hypothesis places the consequent's items in each of
+    them independently with probability ``prod_{i in consequent} f_i``; the
+    p-value is the probability of observing at least the rule's joint support.
+    """
+    probability = 1.0
+    for item in rule.consequent:
+        probability *= dataset.frequency(item)
+    return binomial_sf(rule.support, rule.antecedent_support, probability)
+
+
+def significant_rules(
+    dataset: TransactionDataset,
+    rules: list[AssociationRule],
+    beta: float = 0.05,
+    num_hypotheses: Optional[int] = None,
+) -> list[tuple[AssociationRule, float]]:
+    """Select rules that are significant with FDR at most ``beta``.
+
+    Applies the Benjamini–Yekutieli correction (valid under arbitrary
+    dependence, as in Procedure 1) to the rules' p-values and returns the
+    rejected ones with their p-values, ordered by increasing p-value.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset the rules were mined from (defines the null model).
+    rules:
+        Candidate rules (e.g. the output of :func:`generate_rules`).
+    beta:
+        FDR budget.
+    num_hypotheses:
+        Total number of hypotheses for the correction; defaults to the number
+        of candidate rules.
+    """
+    if not rules:
+        return []
+    pvalues = [rule_pvalue(dataset, rule) for rule in rules]
+    correction = benjamini_yekutieli(pvalues, beta, num_hypotheses=num_hypotheses)
+    selected = [
+        (rule, pvalue)
+        for rule, pvalue, rejected in zip(rules, pvalues, correction.rejected)
+        if rejected
+    ]
+    selected.sort(key=lambda pair: pair[1])
+    return selected

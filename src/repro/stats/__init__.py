@@ -1,0 +1,67 @@
+"""Statistics substrate: distributions, p-values, multiple-testing control.
+
+* :mod:`~repro.stats.binomial` — exact and approximate Binomial tail
+  probabilities (the null distribution of a single itemset's support).
+* :mod:`~repro.stats.poisson` — Poisson pmf/cdf/tails (the null distribution
+  of the *count* ``Q̂_{k,s}`` above the Poisson threshold).
+* :mod:`~repro.stats.chernoff` — Chernoff concentration bounds used in the
+  paper's motivating example and in Theorem 4.
+* :mod:`~repro.stats.pvalues` — per-itemset p-values under the independence
+  null model.
+* :mod:`~repro.stats.multiple_testing` — Bonferroni, Holm, Benjamini–Hochberg
+  and Benjamini–Yekutieli corrections (Theorem 5).
+* :mod:`~repro.stats.fdr` — empirical FDR / power evaluation against known
+  ground truth (planted itemsets).
+"""
+
+from repro.stats.binomial import (
+    binomial_pmf,
+    binomial_sf,
+    binomial_tail_normal,
+    binomial_tail_poisson,
+)
+from repro.stats.chernoff import (
+    chernoff_bound_above,
+    chernoff_bound_below,
+    poisson_tail_chernoff,
+)
+from repro.stats.fdr import ConfusionCounts, evaluate_discoveries
+from repro.stats.multiple_testing import (
+    MultipleTestingResult,
+    benjamini_hochberg,
+    benjamini_yekutieli,
+    bonferroni,
+    harmonic_number,
+    holm,
+)
+from repro.stats.poisson import (
+    poisson_cdf,
+    poisson_pmf,
+    poisson_sf,
+    poisson_upper_tail,
+)
+from repro.stats.pvalues import itemset_pvalue, itemset_pvalues
+
+__all__ = [
+    "ConfusionCounts",
+    "MultipleTestingResult",
+    "benjamini_hochberg",
+    "benjamini_yekutieli",
+    "binomial_pmf",
+    "binomial_sf",
+    "binomial_tail_normal",
+    "binomial_tail_poisson",
+    "bonferroni",
+    "chernoff_bound_above",
+    "chernoff_bound_below",
+    "evaluate_discoveries",
+    "harmonic_number",
+    "holm",
+    "itemset_pvalue",
+    "itemset_pvalues",
+    "poisson_cdf",
+    "poisson_pmf",
+    "poisson_sf",
+    "poisson_tail_chernoff",
+    "poisson_upper_tail",
+]

@@ -1,0 +1,81 @@
+"""Binomial tail probabilities.
+
+Under the paper's null model the support of a fixed itemset ``X`` in a random
+dataset is ``Binomial(t, f_X)`` with ``f_X = prod_{i in X} f_i``; the p-value
+of an observed support ``s_X`` is the upper tail ``Pr(Bin(t, f_X) >= s_X)``.
+This module provides the exact tail (via :mod:`scipy.stats`, with a pure
+floating-point fallback) and the Poisson / normal approximations used in the
+documentation and cross-checked in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "binomial_pmf",
+    "binomial_sf",
+    "binomial_tail_normal",
+    "binomial_tail_poisson",
+]
+
+
+def _validate(trials: int, probability: float) -> None:
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+
+def binomial_pmf(successes: int, trials: int, probability: float) -> float:
+    """Probability of exactly ``successes`` successes in ``Binomial(trials, p)``."""
+    _validate(trials, probability)
+    if successes < 0 or successes > trials:
+        return 0.0
+    return float(_scipy_stats.binom.pmf(successes, trials, probability))
+
+
+def binomial_sf(threshold: int, trials: int, probability: float) -> float:
+    """Upper tail ``Pr(Bin(trials, p) >= threshold)``.
+
+    This is the per-itemset p-value of Procedure 1.  Note the inclusive
+    inequality: scipy's ``sf`` is strict, so we evaluate it at
+    ``threshold - 1``.
+    """
+    _validate(trials, probability)
+    if threshold <= 0:
+        return 1.0
+    if threshold > trials:
+        return 0.0
+    return float(_scipy_stats.binom.sf(threshold - 1, trials, probability))
+
+
+def binomial_tail_poisson(threshold: int, trials: int, probability: float) -> float:
+    """Poisson approximation to the Binomial upper tail.
+
+    ``Bin(t, p) ≈ Poisson(t·p)`` when ``p`` is small — the regime of the
+    high-support itemsets the paper studies.  Used for documentation and as a
+    cross-check; the procedures use the exact tail.
+    """
+    _validate(trials, probability)
+    if threshold <= 0:
+        return 1.0
+    mean = trials * probability
+    return float(_scipy_stats.poisson.sf(threshold - 1, mean))
+
+
+def binomial_tail_normal(threshold: int, trials: int, probability: float) -> float:
+    """Normal (continuity-corrected) approximation to the Binomial upper tail."""
+    _validate(trials, probability)
+    if threshold <= 0:
+        return 1.0
+    if trials == 0:
+        return 0.0
+    mean = trials * probability
+    variance = trials * probability * (1.0 - probability)
+    if variance == 0.0:
+        return 1.0 if threshold <= mean else 0.0
+    z = (threshold - 0.5 - mean) / math.sqrt(variance)
+    return float(_scipy_stats.norm.sf(z))

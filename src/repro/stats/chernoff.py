@@ -1,0 +1,70 @@
+"""Chernoff concentration bounds.
+
+The paper uses Chernoff bounds twice: in the motivating example of Section 1.2
+(the probability that 300 disjoint pairs all reach support 7 in a random
+dataset is at most ``2^-300``) and in the proof of Theorem 4 (the Monte-Carlo
+estimate of ``b_2`` concentrates).  The standard multiplicative forms for sums
+of independent 0/1 variables (and their Poisson analogues) are provided here,
+following Mitzenmacher & Upfal, *Probability and Computing*.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_bound_above",
+    "chernoff_bound_below",
+    "poisson_tail_chernoff",
+]
+
+
+def chernoff_bound_above(mean: float, threshold: float) -> float:
+    """Bound on ``Pr(X >= threshold)`` for ``X`` a sum of independent 0/1 variables.
+
+    Uses the tight multiplicative form
+    ``Pr(X >= (1+δ)μ) <= (e^δ / (1+δ)^{1+δ})^μ`` for ``threshold = (1+δ)μ``
+    with ``δ > 0``; returns 1.0 when ``threshold <= mean`` (the bound is
+    vacuous there).
+    """
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if threshold <= mean or mean == 0:
+        return 1.0 if mean > 0 or threshold <= 0 else 0.0
+    delta = threshold / mean - 1.0
+    exponent = mean * (delta - (1.0 + delta) * math.log1p(delta))
+    return min(1.0, math.exp(exponent))
+
+
+def chernoff_bound_below(mean: float, threshold: float) -> float:
+    """Bound on ``Pr(X <= threshold)`` for ``X`` a sum of independent 0/1 variables.
+
+    Uses ``Pr(X <= (1-δ)μ) <= exp(-μ δ² / 2)`` for ``0 < δ <= 1``; returns 1.0
+    when ``threshold >= mean``.
+    """
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if threshold >= mean:
+        return 1.0
+    if threshold < 0:
+        return 0.0
+    delta = 1.0 - threshold / mean
+    return min(1.0, math.exp(-mean * delta * delta / 2.0))
+
+
+def poisson_tail_chernoff(mean: float, threshold: float) -> float:
+    """Chernoff-style bound on ``Pr(Poisson(mean) >= threshold)``.
+
+    For a Poisson variable the moment-generating-function argument gives
+    ``Pr(X >= x) <= e^{-mean} (e·mean / x)^x`` for ``x > mean``; vacuous (1.0)
+    otherwise.
+    """
+    if mean < 0:
+        raise ValueError("mean must be non-negative")
+    if threshold <= mean:
+        return 1.0
+    if mean == 0:
+        return 0.0 if threshold > 0 else 1.0
+    x = float(threshold)
+    log_bound = -mean + x * (1.0 + math.log(mean) - math.log(x))
+    return min(1.0, math.exp(log_bound))

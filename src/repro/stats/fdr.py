@@ -1,0 +1,148 @@
+"""Empirical FDR / power evaluation against a known ground truth.
+
+The paper cannot measure the true FDR of its procedures on the FIMI datasets
+(the real correlations are unknown); with the planted-itemset generators of
+:mod:`repro.data.generators` we can.  The null hypothesis for an itemset is
+*mutual independence of its items*, so a discovered itemset counts as a *true*
+discovery when it contains at least two items of the same planted group —
+those items genuinely co-occur more often than independence predicts, whether
+or not the rest of the itemset is planted.  Recall, on the other hand, is
+measured against the fully planted k-subsets (the discoveries the procedure
+is unambiguously expected to make).  :func:`evaluate_discoveries` computes
+the resulting confusion counts, the false discovery proportion, and the
+recall.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.data.generators import PlantedItemset
+from repro.fim.itemsets import Itemset, canonical
+
+__all__ = [
+    "ConfusionCounts",
+    "evaluate_discoveries",
+    "is_dependent_under_planting",
+    "planted_k_subsets",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Confusion counts of a discovery procedure against planted ground truth.
+
+    Attributes
+    ----------
+    true_positives:
+        Discoveries that are subsets of some planted itemset.
+    false_positives:
+        Discoveries that are not.
+    false_negatives:
+        Planted k-subsets that were not discovered.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def num_discoveries(self) -> int:
+        """Total number of discoveries."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def false_discovery_proportion(self) -> float:
+        """V/R with the 0/0 = 0 convention used in the FDR definition."""
+        if self.num_discoveries == 0:
+            return 0.0
+        return self.false_positives / self.num_discoveries
+
+    @property
+    def precision(self) -> float:
+        """1 - false discovery proportion (1.0 when there are no discoveries)."""
+        return 1.0 - self.false_discovery_proportion
+
+    @property
+    def recall(self) -> float:
+        """Fraction of planted k-subsets recovered (1.0 when none were planted)."""
+        total = self.true_positives + self.false_negatives
+        if total == 0:
+            return 1.0
+        return self.true_positives / total
+
+
+def planted_k_subsets(
+    planted: Iterable[PlantedItemset], k: int
+) -> set[Itemset]:
+    """All size-``k`` subsets of the planted itemsets (the ground-truth positives)."""
+    positives: set[Itemset] = set()
+    for plant in planted:
+        if len(plant.items) < k:
+            continue
+        for combo in combinations(sorted(plant.items), k):
+            positives.add(tuple(combo))
+    return positives
+
+
+def is_dependent_under_planting(
+    itemset: Itemset, planted: Sequence[PlantedItemset]
+) -> bool:
+    """True iff the itemset's items are *not* mutually independent by construction.
+
+    Planting a group makes every pair of its members positively dependent, so
+    any itemset containing at least two items of the same planted group
+    violates the independence null hypothesis.
+    """
+    members = set(itemset)
+    for plant in planted:
+        if len(members & set(plant.items)) >= 2:
+            return True
+    return False
+
+
+def evaluate_discoveries(
+    discoveries: Iterable[Itemset],
+    planted: Sequence[PlantedItemset],
+    k: int,
+) -> ConfusionCounts:
+    """Score a set of discovered k-itemsets against the planted ground truth.
+
+    A discovery is a *true positive* when its items are genuinely dependent
+    (it contains at least two items of one planted group, see
+    :func:`is_dependent_under_planting`) and a *false positive* otherwise.
+    *False negatives* are the fully planted k-subsets (see
+    :func:`planted_k_subsets`) that were not discovered — the discoveries the
+    procedure is unambiguously expected to make.
+
+    Parameters
+    ----------
+    discoveries:
+        The itemsets a procedure flagged as significant (size ``k``).
+    planted:
+        The planted itemsets used to generate the dataset.
+    k:
+        The itemset size being evaluated.
+
+    Returns
+    -------
+    ConfusionCounts
+        True/false positives and false negatives, with FDR / precision /
+        recall properties.
+    """
+    expected = planted_k_subsets(planted, k)
+    discovered = {canonical(itemset) for itemset in discoveries}
+    true_positives = sum(
+        1
+        for itemset in discovered
+        if is_dependent_under_planting(itemset, planted)
+    )
+    false_positives = len(discovered) - true_positives
+    false_negatives = len(expected - discovered)
+    return ConfusionCounts(
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )

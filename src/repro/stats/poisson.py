@@ -1,0 +1,55 @@
+"""Poisson distribution helpers.
+
+Above the Poisson threshold ``s_min`` the number of k-itemsets with support at
+least ``s`` in a random dataset is approximately ``Poisson(λ(s))``; Procedure
+2 tests the observed count against that distribution.  The functions here wrap
+:mod:`scipy.stats` with the exact tail conventions used in the paper
+(``Pr(Poisson(λ) >= q)`` with an *inclusive* inequality).
+"""
+
+from __future__ import annotations
+
+from scipy import stats as _scipy_stats
+
+__all__ = ["poisson_pmf", "poisson_cdf", "poisson_sf", "poisson_upper_tail"]
+
+
+def _validate_mean(mean: float) -> None:
+    if mean < 0:
+        raise ValueError("the Poisson mean must be non-negative")
+
+
+def poisson_pmf(count: int, mean: float) -> float:
+    """``Pr(Poisson(mean) = count)``."""
+    _validate_mean(mean)
+    if count < 0:
+        return 0.0
+    return float(_scipy_stats.poisson.pmf(count, mean))
+
+
+def poisson_cdf(count: int, mean: float) -> float:
+    """``Pr(Poisson(mean) <= count)``."""
+    _validate_mean(mean)
+    if count < 0:
+        return 0.0
+    return float(_scipy_stats.poisson.cdf(count, mean))
+
+
+def poisson_sf(count: int, mean: float) -> float:
+    """Strict upper tail ``Pr(Poisson(mean) > count)``."""
+    _validate_mean(mean)
+    if count < 0:
+        return 1.0
+    return float(_scipy_stats.poisson.sf(count, mean))
+
+
+def poisson_upper_tail(count: int, mean: float) -> float:
+    """Inclusive upper tail ``Pr(Poisson(mean) >= count)``.
+
+    This is the p-value used by Procedure 2 for the observed count
+    ``Q_{k,s_i}`` against the null mean ``λ_i``.
+    """
+    _validate_mean(mean)
+    if count <= 0:
+        return 1.0
+    return float(_scipy_stats.poisson.sf(count - 1, mean))

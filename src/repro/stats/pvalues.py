@@ -1,0 +1,78 @@
+"""Per-itemset p-values under the independence null model.
+
+For an itemset ``X`` with items of frequency ``f_i`` in a dataset of ``t``
+transactions, the null distribution of its support is ``Binomial(t, f_X)``
+with ``f_X = prod f_i``; the p-value of an observed support ``s_X`` is the
+upper tail ``Pr(Bin(t, f_X) >= s_X)``.  These are the statistics Procedure 1
+feeds into the Benjamini–Yekutieli correction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Union
+
+from repro.data.dataset import TransactionDataset
+from repro.data.random_model import RandomDatasetModel
+from repro.fim.itemsets import Itemset, canonical
+from repro.stats.binomial import binomial_sf
+
+__all__ = ["itemset_pvalue", "itemset_pvalues"]
+
+FrequencySource = Union[TransactionDataset, RandomDatasetModel, Mapping[int, float]]
+
+
+def _frequency_lookup(source: FrequencySource) -> tuple[Mapping[int, float], int]:
+    """Extract (frequency mapping, number of transactions) from a source."""
+    if isinstance(source, TransactionDataset):
+        return source.item_frequencies, source.num_transactions
+    if isinstance(source, RandomDatasetModel):
+        return source.frequencies, source.num_transactions
+    raise TypeError(
+        "a frequency mapping alone does not determine t; pass a "
+        "TransactionDataset or RandomDatasetModel"
+    )
+
+
+def itemset_pvalue(
+    source: Union[TransactionDataset, RandomDatasetModel],
+    itemset: Iterable[int],
+    observed_support: int,
+) -> float:
+    """p-value of one itemset's observed support under the null model.
+
+    Parameters
+    ----------
+    source:
+        The dataset (its frequencies and ``t`` define the null) or an explicit
+        :class:`~repro.data.random_model.RandomDatasetModel`.
+    itemset:
+        The itemset whose support is being tested.
+    observed_support:
+        The support observed in the real dataset.
+
+    Returns
+    -------
+    float
+        ``Pr(Bin(t, prod_i f_i) >= observed_support)``.
+    """
+    frequencies, t = _frequency_lookup(source)
+    probability = 1.0
+    for item in set(itemset):
+        probability *= frequencies.get(item, 0.0)
+    return binomial_sf(observed_support, t, probability)
+
+
+def itemset_pvalues(
+    source: Union[TransactionDataset, RandomDatasetModel],
+    supports: Mapping[Itemset, int],
+) -> dict[Itemset, float]:
+    """p-values for a whole support map (itemset -> observed support)."""
+    frequencies, t = _frequency_lookup(source)
+    pvalues: dict[Itemset, float] = {}
+    for itemset, observed in supports.items():
+        probability = 1.0
+        for item in set(itemset):
+            probability *= frequencies.get(item, 0.0)
+        pvalues[canonical(itemset)] = binomial_sf(observed, t, probability)
+    return pvalues

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TransactionDataset
+from repro.data.random_model import RandomDatasetModel
+
+
+@pytest.fixture
+def tiny_dataset() -> TransactionDataset:
+    """A hand-checkable five-transaction dataset used across unit tests."""
+    return TransactionDataset(
+        [
+            [1, 2, 3],
+            [1, 2],
+            [2, 3],
+            [4],
+            [1, 2, 3, 4],
+        ],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def empty_dataset() -> TransactionDataset:
+    """A dataset with no transactions at all."""
+    return TransactionDataset([], name="empty")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_model() -> RandomDatasetModel:
+    """A small null model with a skewed frequency profile."""
+    frequencies = {0: 0.30, 1: 0.25, 2: 0.20, 3: 0.15, 4: 0.10, 5: 0.05}
+    return RandomDatasetModel(frequencies, num_transactions=200, name="small")
+
+
+@pytest.fixture
+def correlated_dataset(rng: np.random.Generator) -> TransactionDataset:
+    """A 400-transaction dataset with one strongly planted 3-itemset.
+
+    Items 0..9 are independent background noise with frequency 0.1; items
+    100, 101, 102 co-occur in 80 extra transactions on top of a 0.05 base
+    frequency, making {100, 101, 102} (and its subsets) genuinely
+    over-represented.
+    """
+    from repro.data.generators import PlantedItemset, generate_planted_dataset
+
+    frequencies = {item: 0.1 for item in range(10)}
+    frequencies.update({100: 0.05, 101: 0.05, 102: 0.05})
+    return generate_planted_dataset(
+        frequencies,
+        num_transactions=400,
+        planted=[PlantedItemset(items=(100, 101, 102), extra_support=80)],
+        rng=rng,
+        name="correlated",
+    )

@@ -1,0 +1,175 @@
+"""Unit tests for the analytic Chen–Stein bounds (Theorems 1–3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chen_stein import (
+    analytic_smin_fixed_frequency,
+    chen_stein_bound_general,
+    chen_stein_bounds_fixed_frequency,
+    log_binomial,
+    log_multinomial,
+)
+
+
+class TestLogCombinatorics:
+    def test_log_binomial_matches_math_comb(self):
+        for n, k in [(10, 3), (100, 5), (7, 0), (7, 7)]:
+            assert log_binomial(n, k) == pytest.approx(math.log(math.comb(n, k)))
+
+    def test_log_binomial_invalid(self):
+        assert log_binomial(5, 6) == float("-inf")
+        assert log_binomial(5, -1) == float("-inf")
+        assert log_binomial(-2, 1) == float("-inf")
+
+    def test_log_multinomial_matches_product_of_binomials(self):
+        # C(10; 2, 3, 1) = C(10,2) * C(8,3) * C(5,1)
+        expected = math.comb(10, 2) * math.comb(8, 3) * math.comb(5, 1)
+        assert log_multinomial(10, (2, 3, 1)) == pytest.approx(math.log(expected))
+
+    def test_log_multinomial_invalid(self):
+        assert log_multinomial(5, (3, 3)) == float("-inf")
+        assert log_multinomial(5, (-1, 2)) == float("-inf")
+
+    @given(
+        n=st.integers(1, 40),
+        parts=st.lists(st.integers(0, 10), min_size=1, max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_log_multinomial_property(self, n, parts):
+        if sum(parts) > n:
+            assert log_multinomial(n, tuple(parts)) == float("-inf")
+            return
+        expected = 1
+        remaining = n
+        for part in parts:
+            expected *= math.comb(remaining, part)
+            remaining -= part
+        assert log_multinomial(n, tuple(parts)) == pytest.approx(
+            math.log(expected) if expected else float("-inf")
+        )
+
+
+class TestFixedFrequencyBounds:
+    def test_bounds_are_nonnegative(self):
+        bounds = chen_stein_bounds_fixed_frequency(100, 1000, 2, 3, 0.01)
+        assert bounds.b1 >= 0.0
+        assert bounds.b2 >= 0.0
+        assert bounds.total == bounds.b1 + bounds.b2
+
+    def test_bounds_decrease_in_s(self):
+        totals = [
+            chen_stein_bounds_fixed_frequency(100, 1000, 2, s, 0.02).total
+            for s in range(2, 8)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(totals, totals[1:]))
+
+    def test_small_probability_gives_small_bounds(self):
+        bounds = chen_stein_bounds_fixed_frequency(1000, 10_000, 2, 5, 1e-3)
+        assert bounds.total < 0.01
+
+    def test_degenerate_cases(self):
+        assert chen_stein_bounds_fixed_frequency(3, 100, 5, 2, 0.1).total == 0.0
+        assert chen_stein_bounds_fixed_frequency(10, 100, 2, 2, 0.0).total == 0.0
+
+    def test_b1_matches_direct_formula(self):
+        from repro.stats.binomial import binomial_sf
+
+        n, t, k, s, p = 30, 200, 2, 3, 0.05
+        bounds = chen_stein_bounds_fixed_frequency(n, t, k, s, p)
+        p_x = binomial_sf(s, t, p**k)
+        pairs = math.comb(n, k) ** 2 - math.comb(n, k) * math.comb(n - k, k)
+        assert bounds.b1 == pytest.approx(pairs * p_x**2, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chen_stein_bounds_fixed_frequency(10, 100, 0, 2, 0.1)
+        with pytest.raises(ValueError):
+            chen_stein_bounds_fixed_frequency(10, 100, 2, 0, 0.1)
+        with pytest.raises(ValueError):
+            chen_stein_bounds_fixed_frequency(10, 100, 2, 2, 1.5)
+
+    def test_theorem2_regime_gives_vanishing_bounds(self):
+        # Theorem 2: p = γ/n, t = O(n^c) with c <= (k-1)(1-1/s); the bounds
+        # vanish as n grows.  Check monotone decrease along a growing-n path.
+        gamma, k, s, c = 5.0, 3, 3, 1.0
+        totals = []
+        for n in (50, 100, 200, 400):
+            t = int(n**c)
+            totals.append(
+                chen_stein_bounds_fixed_frequency(n, t, k, s, gamma / n).total
+            )
+        assert all(a > b for a, b in zip(totals, totals[1:]))
+        assert totals[-1] < totals[0] / 4
+
+
+class TestGeneralBounds:
+    @staticmethod
+    def _point_mass_moment(p):
+        return lambda j: p**j
+
+    def test_point_mass_b1_close_to_fixed_frequency_b1(self):
+        # With R a point mass at p the general bound's b1 uses C(t,s)^2 E[R^2s]^k
+        # which upper-bounds the exact fixed-frequency b1.
+        n, t, k, s, p = 40, 300, 2, 4, 0.03
+        general = chen_stein_bound_general(n, t, k, s, self._point_mass_moment(p))
+        exact = chen_stein_bounds_fixed_frequency(n, t, k, s, p)
+        assert general.b1 >= exact.b1 - 1e-12
+        assert general.b2 >= 0.0
+
+    def test_bounds_decrease_in_s(self):
+        moment = self._point_mass_moment(0.02)
+        totals = [
+            chen_stein_bound_general(100, 500, 2, s, moment).total for s in range(2, 7)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(totals, totals[1:]))
+
+    def test_validation(self):
+        moment = self._point_mass_moment(0.1)
+        with pytest.raises(ValueError):
+            chen_stein_bound_general(10, 100, 0, 2, moment)
+        with pytest.raises(ValueError):
+            chen_stein_bound_general(10, 100, 2, 0, moment)
+        with pytest.raises(ValueError):
+            chen_stein_bound_general(10, 100, 2, 2, lambda j: -1.0)
+
+    def test_k_larger_than_n(self):
+        assert chen_stein_bound_general(3, 100, 5, 2, self._point_mass_moment(0.1)).total == 0.0
+
+
+class TestAnalyticSmin:
+    def test_returns_smallest_satisfying_support(self):
+        n, t, p, k, eps = 200, 2000, 0.01, 2, 0.01
+        s_min = analytic_smin_fixed_frequency(n, t, k, p, epsilon=eps)
+        assert s_min is not None
+        assert chen_stein_bounds_fixed_frequency(n, t, k, s_min, p).total <= eps
+        if s_min > 2:
+            assert (
+                chen_stein_bounds_fixed_frequency(n, t, k, s_min - 1, p).total > eps
+            )
+
+    def test_none_when_unreachable(self):
+        # With a cap of 2 on the search and dense data, no threshold exists.
+        assert (
+            analytic_smin_fixed_frequency(50, 100, 2, 0.5, epsilon=1e-6, max_support=2)
+            is None
+        )
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            analytic_smin_fixed_frequency(10, 100, 2, 0.1, epsilon=1.5)
+
+    def test_smin_decreases_with_k(self):
+        # Mirrors Table 2: for fixed parameters the threshold decreases as k
+        # grows (itemset probabilities shrink geometrically).
+        n, t, p = 300, 5000, 0.05
+        thresholds = [
+            analytic_smin_fixed_frequency(n, t, k, p, epsilon=0.01) for k in (2, 3, 4)
+        ]
+        assert all(value is not None for value in thresholds)
+        assert thresholds[0] >= thresholds[1] >= thresholds[2]

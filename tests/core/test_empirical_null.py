@@ -1,0 +1,99 @@
+"""Unit tests for the swap-randomisation empirical null (extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.empirical_null import SwapNullEstimator, run_procedure2_swap
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+
+
+@pytest.fixture(scope="module")
+def planted_dataset():
+    frequencies = {item: 0.08 for item in range(25)}
+    planted = [PlantedItemset(items=(0, 1, 2, 3), extra_support=70)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=500, planted=planted, rng=31, name="planted"
+    )
+
+
+@pytest.fixture(scope="module")
+def null_dataset():
+    frequencies = {item: 0.08 for item in range(25)}
+    return generate_planted_dataset(
+        frequencies, num_transactions=500, rng=32, name="null"
+    )
+
+
+class TestSwapNullEstimator:
+    def test_validation(self, planted_dataset):
+        with pytest.raises(ValueError):
+            SwapNullEstimator(planted_dataset, 0, 5, 2)
+        with pytest.raises(ValueError):
+            SwapNullEstimator(planted_dataset, 2, 0, 2)
+        with pytest.raises(ValueError):
+            SwapNullEstimator(planted_dataset, 2, 5, 0)
+
+    def test_lambda_monotone_and_bounded(self, planted_dataset):
+        estimator = SwapNullEstimator(
+            planted_dataset, 2, num_datasets=10, mining_support=3, rng=0
+        )
+        values = [estimator.lambda_at(s) for s in range(3, 12)]
+        assert all(value >= 0.0 for value in values)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert estimator.lambda_at(3, floor=123.0) == 123.0 or values[0] >= 123.0
+
+    def test_refuses_below_mining_support(self, planted_dataset):
+        estimator = SwapNullEstimator(
+            planted_dataset, 2, num_datasets=5, mining_support=4, rng=0
+        )
+        with pytest.raises(ValueError):
+            estimator.lambda_at(3)
+
+    def test_swap_null_kills_planted_signal(self, planted_dataset):
+        # Under the swap null the planted pair's joint support is much lower
+        # than in the observed data, so λ at the observed support is tiny.
+        estimator = SwapNullEstimator(
+            planted_dataset, 2, num_datasets=10, mining_support=3, rng=1
+        )
+        observed = planted_dataset.support((0, 1))
+        assert estimator.lambda_at(observed) <= 1.0
+
+
+class TestProcedure2Swap:
+    def test_detects_planted_structure(self, planted_dataset):
+        threshold = find_poisson_threshold(planted_dataset, 2, num_datasets=25, rng=2)
+        result = run_procedure2_swap(
+            planted_dataset,
+            2,
+            s_min=threshold.s_min,
+            num_datasets=15,
+            rng=3,
+        )
+        assert result.found_threshold
+        assert (0, 1) in result.significant
+
+    def test_null_dataset_yields_nothing(self, null_dataset):
+        threshold = find_poisson_threshold(null_dataset, 2, num_datasets=25, rng=4)
+        result = run_procedure2_swap(
+            null_dataset,
+            2,
+            s_min=threshold.s_min,
+            num_datasets=15,
+            rng=5,
+        )
+        assert not result.found_threshold
+
+    def test_agrees_with_bernoulli_null_on_planted_data(self, planted_dataset):
+        from repro.core.procedure2 import run_procedure2
+
+        threshold = find_poisson_threshold(planted_dataset, 2, num_datasets=25, rng=6)
+        bernoulli = run_procedure2(planted_dataset, 2, threshold_result=threshold)
+        swap = run_procedure2_swap(
+            planted_dataset, 2, s_min=threshold.s_min, num_datasets=15, rng=7
+        )
+        assert bernoulli.found_threshold == swap.found_threshold
+        planted_pairs = {(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)}
+        assert planted_pairs <= set(bernoulli.significant)
+        assert planted_pairs <= set(swap.significant)

@@ -1,0 +1,175 @@
+"""Unit tests for the Monte-Carlo null estimator and the analytic λ estimate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lambda_estimation import MonteCarloNullEstimator, analytic_lambda
+from repro.data.random_model import RandomDatasetModel
+
+
+@pytest.fixture(scope="module")
+def estimator() -> MonteCarloNullEstimator:
+    frequencies = {item: 0.25 for item in range(8)}
+    model = RandomDatasetModel(frequencies, num_transactions=120)
+    return MonteCarloNullEstimator(
+        model, k=2, num_datasets=40, mining_support=5, rng=7
+    )
+
+
+class TestConstruction:
+    def test_validation(self, small_model):
+        with pytest.raises(ValueError):
+            MonteCarloNullEstimator(small_model, 0, 10, 5)
+        with pytest.raises(ValueError):
+            MonteCarloNullEstimator(small_model, 2, 0, 5)
+        with pytest.raises(ValueError):
+            MonteCarloNullEstimator(small_model, 2, 10, 0)
+
+    def test_reproducible_with_seed(self, small_model):
+        first = MonteCarloNullEstimator(small_model, 2, 10, 2, rng=3)
+        second = MonteCarloNullEstimator(small_model, 2, 10, 2, rng=3)
+        assert first.union_itemsets == second.union_itemsets
+        assert first.lambda_at(3) == second.lambda_at(3)
+
+    def test_union_and_max_support(self, estimator):
+        assert estimator.union_size == len(estimator.union_itemsets)
+        assert estimator.union_size > 0
+        assert estimator.max_observed_support >= estimator.mining_support
+
+    def test_truncation_on_oversized_union(self):
+        # Force truncation with an absurdly small limit.
+        frequencies = {item: 0.5 for item in range(6)}
+        model = RandomDatasetModel(frequencies, num_transactions=60)
+        estimator = MonteCarloNullEstimator(
+            model, 2, num_datasets=5, mining_support=1, rng=0, max_union_size=2
+        )
+        assert estimator.truncated
+        assert estimator.union_size > 2
+        with pytest.raises(RuntimeError):
+            estimator.lambda_at(1)
+        with pytest.raises(RuntimeError):
+            estimator.chen_stein_estimates(1)
+
+
+class TestLambda:
+    def test_lambda_is_nonincreasing_in_s(self, estimator):
+        values = [estimator.lambda_at(s) for s in range(5, 15)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_lambda_floor(self, estimator):
+        huge = estimator.max_observed_support + 50
+        assert estimator.lambda_at(huge) == 0.0
+        assert estimator.lambda_at(huge, floor=0.01) == 0.01
+
+    def test_lambda_refuses_below_mining_support(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.lambda_at(estimator.mining_support - 1)
+
+    def test_lambda_close_to_analytic_truth(self):
+        # With 8 items of frequency 0.25 and t = 120, every pair has
+        # expected support 7.5, so λ(s) = 28 * Pr(Bin(120, 0.0625) >= s).
+        frequencies = {item: 0.25 for item in range(8)}
+        model = RandomDatasetModel(frequencies, num_transactions=120)
+        estimator = MonteCarloNullEstimator(
+            model, k=2, num_datasets=200, mining_support=5, rng=11
+        )
+        for s in (8, 10, 12):
+            truth = analytic_lambda(model, 2, s, max_items=8)
+            monte_carlo = estimator.lambda_at(s)
+            assert monte_carlo == pytest.approx(truth, rel=0.25, abs=0.6)
+
+
+class TestEmpiricalProbabilities:
+    def test_probability_bounds_and_consistency(self, estimator):
+        s = estimator.mining_support + 1
+        probabilities = estimator.empirical_probabilities(s)
+        assert probabilities, "some itemset should reach the threshold"
+        for itemset, probability in probabilities.items():
+            assert 0.0 < probability <= 1.0
+            assert estimator.empirical_probability(itemset, s) == pytest.approx(
+                probability
+            )
+
+    def test_unknown_itemset_probability_is_zero(self, estimator):
+        assert estimator.empirical_probability((901, 902), 6) == 0.0
+
+    def test_lambda_equals_sum_of_probabilities(self, estimator):
+        s = estimator.mining_support + 2
+        probabilities = estimator.empirical_probabilities(s)
+        assert estimator.lambda_at(s) == pytest.approx(sum(probabilities.values()))
+
+    def test_support_profile_shape(self, estimator):
+        itemset = estimator.union_itemsets[0]
+        profile = estimator.support_profile(itemset)
+        assert profile.shape == (estimator.num_datasets,)
+        assert estimator.support_profile((901, 902)).sum() == 0
+
+
+class TestChenSteinEstimates:
+    def test_bounds_are_nonnegative_and_decreasing(self, estimator):
+        values = [estimator.chen_stein_estimates(s) for s in range(5, 14)]
+        totals = [b1 + b2 for b1, b2 in values]
+        assert all(b1 >= 0 and b2 >= 0 for b1, b2 in values)
+        assert all(a >= b - 1e-9 for a, b in zip(totals, totals[1:]))
+
+    def test_b1_matches_manual_computation(self, estimator):
+        s = estimator.mining_support + 1
+        probabilities = estimator.empirical_probabilities(s)
+        manual_b1 = 0.0
+        itemsets = list(probabilities)
+        for first in itemsets:
+            for second in itemsets:
+                if set(first) & set(second):
+                    manual_b1 += probabilities[first] * probabilities[second]
+        b1, _ = estimator.chen_stein_estimates(s)
+        assert b1 == pytest.approx(manual_b1, rel=1e-9)
+
+    def test_b2_matches_manual_computation(self, estimator):
+        s = estimator.mining_support + 1
+        itemsets = estimator.union_itemsets
+        manual_b2 = 0.0
+        for i, first in enumerate(itemsets):
+            for second in itemsets[i + 1 :]:
+                if not (set(first) & set(second)):
+                    continue
+                joint = np.count_nonzero(
+                    (estimator.support_profile(first) >= s)
+                    & (estimator.support_profile(second) >= s)
+                )
+                manual_b2 += 2.0 * joint / estimator.num_datasets
+        _, b2 = estimator.chen_stein_estimates(s)
+        assert b2 == pytest.approx(manual_b2, rel=1e-9)
+
+    def test_candidate_supports_are_sorted_and_bounded(self, estimator):
+        candidates = estimator.candidate_supports(estimator.mining_support)
+        assert candidates == sorted(candidates)
+        assert candidates[0] >= estimator.mining_support
+        assert candidates[-1] <= estimator.max_observed_support + 1
+
+
+class TestAnalyticLambda:
+    def test_matches_exact_enumeration_for_uniform_model(self):
+        from repro.stats.binomial import binomial_sf
+
+        frequencies = {item: 0.2 for item in range(6)}
+        model = RandomDatasetModel(frequencies, num_transactions=100)
+        expected = 15 * binomial_sf(8, 100, 0.04)
+        assert analytic_lambda(model, 2, 8, max_items=6) == pytest.approx(expected)
+
+    def test_monotone_in_s(self, small_model):
+        values = [analytic_lambda(small_model, 2, s) for s in range(1, 20)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_truncation_is_a_lower_bound(self, small_model):
+        assert analytic_lambda(small_model, 2, 5, max_items=3) <= analytic_lambda(
+            small_model, 2, 5, max_items=6
+        )
+
+    def test_validation_and_degenerate_cases(self, small_model):
+        with pytest.raises(ValueError):
+            analytic_lambda(small_model, 0, 5)
+        with pytest.raises(ValueError):
+            analytic_lambda(small_model, 2, -1)
+        assert analytic_lambda(small_model, 10, 5) == 0.0

@@ -1,0 +1,152 @@
+"""Unit tests for the SignificantItemsetMiner facade and result types."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.miner import MinerConfig, SignificantItemsetMiner
+from repro.core.results import SignificanceReport
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+
+
+@pytest.fixture(scope="module")
+def planted_dataset():
+    frequencies = {item: 0.08 for item in range(25)}
+    planted = [PlantedItemset(items=(0, 1, 2), extra_support=70)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=500, planted=planted, rng=21, name="planted"
+    )
+
+
+class TestMinerConfig:
+    def test_defaults(self):
+        config = MinerConfig()
+        assert config.k == 2
+        assert config.alpha == 0.05
+        assert config.beta == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinerConfig(k=0)
+        with pytest.raises(ValueError):
+            MinerConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            MinerConfig(beta=1.0)
+        with pytest.raises(ValueError):
+            MinerConfig(epsilon=2.0)
+        with pytest.raises(ValueError):
+            MinerConfig(num_datasets=0)
+
+
+class TestMiner:
+    def test_requires_fit(self):
+        miner = SignificantItemsetMiner(k=2)
+        with pytest.raises(RuntimeError):
+            _ = miner.s_min
+        with pytest.raises(RuntimeError):
+            miner.procedure2()
+
+    def test_end_to_end_on_planted_data(self, planted_dataset):
+        miner = SignificantItemsetMiner(k=2, num_datasets=30, rng=0).fit(
+            planted_dataset
+        )
+        assert miner.s_min >= 1
+        report = miner.report()
+        assert isinstance(report, SignificanceReport)
+        assert report.dataset_name == "planted"
+        assert report.k == 2
+        assert report.s_min == miner.s_min
+        # The planted triple's pairs must be discovered by Procedure 2.
+        assert report.procedure2.found_threshold
+        assert (0, 1) in report.procedure2.significant
+        # Both procedures share the same s_min.
+        assert report.procedure1.s_min == miner.s_min
+
+    def test_results_are_cached(self, planted_dataset):
+        miner = SignificantItemsetMiner(k=2, num_datasets=20, rng=1).fit(
+            planted_dataset
+        )
+        assert miner.procedure2() is miner.procedure2()
+        assert miner.procedure1() is miner.procedure1()
+
+    def test_refit_clears_cache(self, planted_dataset):
+        miner = SignificantItemsetMiner(k=2, num_datasets=20, rng=2).fit(
+            planted_dataset
+        )
+        first = miner.procedure2()
+        miner.fit(planted_dataset)
+        assert miner.procedure2() is not first
+
+    def test_config_object_overrides_defaults(self, planted_dataset):
+        config = MinerConfig(k=3, alpha=0.1, beta=0.1, num_datasets=15)
+        miner = SignificantItemsetMiner(config=config, rng=3)
+        assert miner.k == 3
+        assert miner.alpha == 0.1
+        assert miner.num_datasets == 15
+
+    def test_significant_itemsets_helper(self, planted_dataset):
+        miner = SignificantItemsetMiner(k=2, num_datasets=20, rng=4).fit(
+            planted_dataset
+        )
+        itemsets = miner.significant_itemsets()
+        assert itemsets == miner.procedure2().significant
+
+    def test_report_without_procedure1(self, planted_dataset):
+        miner = SignificantItemsetMiner(k=2, num_datasets=20, rng=5).fit(
+            planted_dataset
+        )
+        report = miner.report(include_procedure1=False)
+        assert report.procedure1 is None
+        assert report.power_ratio is None
+
+    def test_power_ratio(self, planted_dataset):
+        miner = SignificantItemsetMiner(k=2, num_datasets=25, rng=6).fit(
+            planted_dataset
+        )
+        report = miner.report()
+        if report.procedure1.num_significant:
+            assert report.power_ratio == pytest.approx(
+                report.procedure2.num_significant / report.procedure1.num_significant
+            )
+
+    def test_invalid_parameters_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            SignificantItemsetMiner(k=-1)
+        with pytest.raises(ValueError):
+            SignificantItemsetMiner(alpha=2.0)
+
+
+class TestResultProperties:
+    def test_procedure2_lambda_at_s_star_when_infinite(self, planted_dataset):
+        from repro.core.results import Procedure2Result
+
+        result = Procedure2Result(
+            k=2,
+            alpha=0.05,
+            beta=0.05,
+            s_min=5,
+            s_max=10,
+            s_star=math.inf,
+            steps=(),
+        )
+        assert not result.found_threshold
+        assert result.lambda_at_s_star == 0.0
+        assert result.num_significant == 0
+
+    def test_procedure1_counts(self):
+        from repro.core.results import Procedure1Result
+
+        result = Procedure1Result(
+            k=2,
+            s_min=3,
+            beta=0.05,
+            num_hypotheses=100,
+            candidate_supports={(1, 2): 5, (2, 3): 4},
+            pvalues={(1, 2): 0.001, (2, 3): 0.2},
+            significant={(1, 2): 5},
+            rejection_threshold=0.001,
+        )
+        assert result.num_candidates == 2
+        assert result.num_significant == 1

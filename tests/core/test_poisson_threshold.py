@@ -1,0 +1,113 @@
+"""Unit tests for Algorithm 1 (FindPoissonThreshold)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.data.random_model import RandomDatasetModel
+
+
+@pytest.fixture(scope="module")
+def uniform_model() -> RandomDatasetModel:
+    return RandomDatasetModel({item: 0.2 for item in range(10)}, num_transactions=150)
+
+
+class TestFindPoissonThreshold:
+    def test_basic_invariants(self, uniform_model):
+        result = find_poisson_threshold(
+            uniform_model, 2, epsilon=0.01, num_datasets=30, rng=0
+        )
+        assert result.s_min >= 1
+        assert result.k == 2
+        assert result.num_datasets == 30
+        # The returned threshold satisfies the Monte-Carlo criterion ε/4.
+        assert result.total_bound_at_s_min <= 0.01 / 4 + 1e-12
+        assert result.s_min in result.bound_curve or result.bound_at_s_min == (0.0, 0.0)
+
+    def test_reproducible(self, uniform_model):
+        first = find_poisson_threshold(uniform_model, 2, num_datasets=20, rng=5)
+        second = find_poisson_threshold(uniform_model, 2, num_datasets=20, rng=5)
+        assert first.s_min == second.s_min
+
+    def test_smin_exceeds_max_expected_support(self, uniform_model):
+        # With uniform frequencies the bound at the maximum expected support
+        # is large (many itemsets tie at the top), so ŝ_min must land above it.
+        result = find_poisson_threshold(uniform_model, 2, num_datasets=30, rng=1)
+        assert result.s_min > uniform_model.max_expected_support(2)
+
+    def test_smin_decreases_with_k(self, uniform_model):
+        thresholds = [
+            find_poisson_threshold(uniform_model, k, num_datasets=25, rng=k).s_min
+            for k in (2, 3)
+        ]
+        assert thresholds[0] >= thresholds[1]
+
+    def test_accepts_dataset_source(self, correlated_dataset):
+        result = find_poisson_threshold(
+            correlated_dataset, 2, num_datasets=15, rng=0
+        )
+        assert result.s_min >= 1
+        # The estimator is reusable for λ queries at and above s_min.
+        assert result.estimator.lambda_at(result.s_min) >= 0.0
+
+    def test_validation(self, uniform_model):
+        with pytest.raises(ValueError):
+            find_poisson_threshold(uniform_model, 0)
+        with pytest.raises(ValueError):
+            find_poisson_threshold(uniform_model, 2, epsilon=2.0)
+
+    def test_degenerate_model_returns_trivial_threshold(self):
+        # All frequencies are zero: no itemset ever appears, every bound is 0.
+        model = RandomDatasetModel({1: 0.0, 2: 0.0, 3: 0.0}, num_transactions=50)
+        result = find_poisson_threshold(model, 2, num_datasets=5, rng=0)
+        assert result.s_min == 1
+        assert result.bound_at_s_min == (0.0, 0.0)
+
+    def test_bound_curve_is_recorded(self, uniform_model):
+        result = find_poisson_threshold(uniform_model, 2, num_datasets=20, rng=2)
+        assert result.bound_curve
+        for b1, b2 in result.bound_curve.values():
+            assert b1 >= 0.0
+            assert b2 >= 0.0
+
+    def test_union_explosion_raises_starting_support(self):
+        # A dense model whose k-itemsets all appear at support 1: with a tiny
+        # max_union_size the algorithm must raise the starting support rather
+        # than fail, and still return a valid threshold.
+        model = RandomDatasetModel({item: 0.6 for item in range(12)}, 80)
+        result = find_poisson_threshold(
+            model, 2, num_datasets=10, rng=3, max_union_size=30
+        )
+        assert result.s_min >= 1
+        assert result.estimator.union_size <= 30 or not result.estimator.truncated
+
+    def test_smaller_epsilon_gives_larger_threshold(self, uniform_model):
+        loose = find_poisson_threshold(
+            uniform_model, 2, epsilon=0.1, num_datasets=30, rng=9
+        )
+        tight = find_poisson_threshold(
+            uniform_model, 2, epsilon=0.001, num_datasets=30, rng=9
+        )
+        assert tight.s_min >= loose.s_min
+
+
+class TestAgainstAnalyticBound:
+    def test_monte_carlo_and_analytic_smin_are_close_for_uniform_model(self):
+        """Cross-validate Algorithm 1 against Equation 1 computed analytically.
+
+        For a uniform-frequency model both routes are available; they need not
+        coincide exactly (the Monte-Carlo route uses ε/4 and finite sampling)
+        but should land in the same neighbourhood.
+        """
+        from repro.core.chen_stein import analytic_smin_fixed_frequency
+
+        n, t, p, k = 12, 400, 0.1, 2
+        model = RandomDatasetModel({item: p for item in range(n)}, t)
+        monte_carlo = find_poisson_threshold(
+            model, k, epsilon=0.01, num_datasets=150, rng=4
+        ).s_min
+        analytic = analytic_smin_fixed_frequency(n, t, k, p, epsilon=0.01 / 4)
+        assert analytic is not None
+        assert abs(monte_carlo - analytic) <= max(3, analytic)

@@ -1,0 +1,182 @@
+"""Unit tests for Procedure 1 (BY baseline) and Procedure 2 (support threshold s*)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.core.procedure1 import run_procedure1
+from repro.core.procedure2 import run_procedure2, support_levels
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.data.random_model import RandomDatasetModel
+from repro.stats.fdr import evaluate_discoveries
+
+
+@pytest.fixture(scope="module")
+def planted_case():
+    """A dataset with a strong planted 4-itemset plus its Algorithm 1 output."""
+    frequencies = {item: 0.08 for item in range(30)}
+    planted = [PlantedItemset(items=(0, 1, 2, 3), extra_support=60)]
+    dataset = generate_planted_dataset(
+        frequencies, num_transactions=600, planted=planted, rng=42, name="planted"
+    )
+    threshold = find_poisson_threshold(dataset, 2, num_datasets=40, rng=7)
+    return dataset, planted, threshold
+
+
+@pytest.fixture(scope="module")
+def null_case():
+    """A pure null dataset (same shape as planted_case, nothing planted)."""
+    frequencies = {item: 0.08 for item in range(30)}
+    dataset = generate_planted_dataset(
+        frequencies, num_transactions=600, rng=43, name="null"
+    )
+    threshold = find_poisson_threshold(dataset, 2, num_datasets=40, rng=8)
+    return dataset, threshold
+
+
+class TestSupportLevels:
+    def test_geometric_spacing(self):
+        levels = support_levels(10, 100)
+        assert levels[0] == 10
+        assert levels[1:] == [10 + 2**i for i in range(1, len(levels))]
+        assert levels[-1] <= 10 + 2 ** (len(levels) - 1)
+        # h = floor(log2(90)) + 1 = 7
+        assert len(levels) == 7
+
+    def test_degenerate_gap(self):
+        assert support_levels(10, 10) == [10]
+        assert support_levels(10, 5) == [10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            support_levels(0, 10)
+
+
+class TestProcedure2:
+    def test_detects_planted_structure(self, planted_case):
+        dataset, planted, threshold = planted_case
+        result = run_procedure2(dataset, 2, threshold_result=threshold)
+        assert result.found_threshold
+        assert result.s_star >= result.s_min
+        assert result.num_significant > 0
+        # All planted pairs should be in the significant family: their support
+        # (>= 60) dwarfs anything the null model produces.
+        discovered = set(result.significant)
+        for pair in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]:
+            assert pair in discovered
+        # And the empirical FDR against the planted ground truth is small.
+        confusion = evaluate_discoveries(discovered, planted, k=2)
+        assert confusion.false_discovery_proportion <= 0.25
+
+    def test_null_dataset_returns_infinite_threshold(self, null_case):
+        dataset, threshold = null_case
+        result = run_procedure2(dataset, 2, threshold_result=threshold)
+        assert not result.found_threshold
+        assert math.isinf(float(result.s_star))
+        assert result.num_significant == 0
+        assert result.lambda_at_s_star == 0.0
+
+    def test_steps_are_consistent(self, planted_case):
+        dataset, _, threshold = planted_case
+        result = run_procedure2(dataset, 2, threshold_result=threshold)
+        assert len(result.steps) >= 1
+        rejected_steps = [step for step in result.steps if step.rejected]
+        assert len(rejected_steps) <= 1
+        for step in result.steps:
+            assert step.support >= result.s_min
+            assert 0.0 <= step.pvalue <= 1.0
+            assert step.alpha_i == pytest.approx(result.alpha / len(result.steps))
+            assert step.beta_i == pytest.approx(len(result.steps) / result.beta)
+            assert step.rejected == (
+                step.pvalue_ok and step.deviation_ok and step.support == result.s_star
+            )
+        if rejected_steps:
+            assert result.s_star == rejected_steps[0].support
+
+    def test_significant_family_is_exactly_f_k_s_star(self, planted_case):
+        dataset, _, threshold = planted_case
+        result = run_procedure2(dataset, 2, threshold_result=threshold)
+        from repro.fim.kitemsets import mine_k_itemsets
+
+        expected = mine_k_itemsets(dataset, 2, int(result.s_star))
+        assert result.significant == expected
+
+    def test_collect_significant_flag(self, planted_case):
+        dataset, _, threshold = planted_case
+        result = run_procedure2(
+            dataset, 2, threshold_result=threshold, collect_significant=False
+        )
+        assert result.significant == {}
+        assert result.found_threshold
+
+    def test_explicit_smin_without_estimator(self, planted_case):
+        dataset, _, threshold = planted_case
+        result = run_procedure2(
+            dataset, 2, s_min=threshold.s_min, num_datasets=20, rng=3
+        )
+        assert result.s_min == threshold.s_min
+
+    def test_validation(self, planted_case):
+        dataset, _, threshold = planted_case
+        with pytest.raises(ValueError):
+            run_procedure2(dataset, 2, alpha=1.5, threshold_result=threshold)
+        with pytest.raises(ValueError):
+            run_procedure2(dataset, 2, beta=0.0, threshold_result=threshold)
+        with pytest.raises(ValueError):
+            run_procedure2(dataset, 0, threshold_result=threshold)
+        with pytest.raises(ValueError):
+            run_procedure2(dataset, 2, s_min=0, threshold_result=threshold)
+
+
+class TestProcedure1:
+    def test_detects_planted_structure(self, planted_case):
+        dataset, planted, threshold = planted_case
+        result = run_procedure1(dataset, 2, beta=0.05, threshold_result=threshold)
+        assert result.num_significant > 0
+        discovered = set(result.significant)
+        confusion = evaluate_discoveries(discovered, planted, k=2)
+        assert confusion.recall >= 0.9
+        assert confusion.false_discovery_proportion <= 0.25
+
+    def test_null_dataset_yields_no_or_few_discoveries(self, null_case):
+        dataset, threshold = null_case
+        result = run_procedure1(dataset, 2, beta=0.05, threshold_result=threshold)
+        assert result.num_significant <= 1
+
+    def test_pvalues_and_candidates_consistent(self, planted_case):
+        dataset, _, threshold = planted_case
+        result = run_procedure1(dataset, 2, threshold_result=threshold)
+        assert set(result.pvalues) == set(result.candidate_supports)
+        assert set(result.significant) <= set(result.candidate_supports)
+        for itemset in result.significant:
+            assert result.pvalues[itemset] <= result.rejection_threshold + 1e-15
+        assert result.num_hypotheses == math.comb(dataset.num_items, 2)
+
+    def test_procedure2_at_least_as_powerful_on_planted_data(self, planted_case):
+        dataset, _, threshold = planted_case
+        proc1 = run_procedure1(dataset, 2, threshold_result=threshold)
+        proc2 = run_procedure2(dataset, 2, threshold_result=threshold)
+        # The paper's Table 5 observation: wherever s* is finite, the count
+        # returned by Procedure 2 is at least (roughly) |R|.
+        assert proc2.num_significant >= proc1.num_significant * 0.9
+
+    def test_empty_candidate_set(self):
+        # A dataset whose max support is far below the requested s_min.
+        frequencies = {item: 0.02 for item in range(10)}
+        dataset = generate_planted_dataset(frequencies, 100, rng=3)
+        result = run_procedure1(dataset, 2, s_min=90)
+        assert result.num_significant == 0
+        assert result.candidate_supports == {}
+        assert result.rejection_threshold == 0.0
+
+    def test_validation(self, planted_case):
+        dataset, _, threshold = planted_case
+        with pytest.raises(ValueError):
+            run_procedure1(dataset, 2, beta=1.2, threshold_result=threshold)
+        with pytest.raises(ValueError):
+            run_procedure1(dataset, 0, threshold_result=threshold)
+        with pytest.raises(ValueError):
+            run_procedure1(dataset, 2, s_min=0)

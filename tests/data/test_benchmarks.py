@@ -1,0 +1,106 @@
+"""Unit tests for the benchmark-analogue registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.benchmarks import (
+    BENCHMARK_NAMES,
+    benchmark_frequencies,
+    benchmark_model,
+    benchmark_spec,
+    generate_benchmark,
+    generate_random_analogue,
+)
+from repro.data.stats import summarize
+
+
+class TestSpecRegistry:
+    def test_all_six_benchmarks_present(self):
+        assert len(BENCHMARK_NAMES) == 6
+        for name in BENCHMARK_NAMES:
+            spec = benchmark_spec(name)
+            assert spec.name == name
+
+    def test_lookup_is_case_insensitive_and_accepts_aliases(self):
+        assert benchmark_spec("BMS1").name == "bms1"
+        assert benchmark_spec("pumsb*").name == "pumsb_star"
+        assert benchmark_spec("Pumsb-Star").name == "pumsb_star"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark_spec("does-not-exist")
+
+    def test_scaled_sizes_are_positive_and_bounded(self):
+        for name in BENCHMARK_NAMES:
+            spec = benchmark_spec(name)
+            t = spec.scaled_num_transactions()
+            n = spec.scaled_num_items()
+            assert 200 <= t <= spec.paper_num_transactions
+            assert 50 <= n <= spec.paper_num_items
+
+    def test_scale_one_recovers_paper_transaction_count(self):
+        spec = benchmark_spec("bms1")
+        assert spec.scaled_num_transactions(1.0) == spec.paper_num_transactions
+
+
+class TestFrequencies:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_profile_matches_table1_first_order_stats(self, name):
+        spec = benchmark_spec(name)
+        freqs = benchmark_frequencies(name)
+        values = sorted(freqs.values(), reverse=True)
+        # The largest frequency matches the paper's f_max.
+        assert values[0] == pytest.approx(spec.paper_max_frequency, rel=1e-6)
+        # The expected transaction length is close to the paper's m (it may
+        # fall short when n * f_max cannot reach m at this scale).
+        target = min(spec.paper_mean_length, len(values) * spec.paper_max_frequency)
+        assert sum(values) == pytest.approx(target, rel=0.05)
+        # All frequencies are valid probabilities.
+        assert all(0.0 < value <= 1.0 for value in values)
+
+    def test_model_wraps_profile(self):
+        model = benchmark_model("bms1")
+        spec = benchmark_spec("bms1")
+        assert model.num_transactions == spec.scaled_num_transactions()
+        assert model.num_items == spec.scaled_num_items()
+
+
+class TestGeneration:
+    def test_generate_benchmark_reproducible(self):
+        first = generate_benchmark("bms1", scale=0.01, rng=7)
+        second = generate_benchmark("bms1", scale=0.01, rng=7)
+        assert first.transactions == second.transactions
+
+    def test_generate_benchmark_returns_planted_ground_truth(self):
+        dataset, planted = generate_benchmark(
+            "bms1", scale=0.01, rng=3, return_planted=True
+        )
+        assert planted, "bms1 should plant at least one itemset"
+        for plant in planted:
+            assert dataset.support(plant.items) >= plant.extra_support
+
+    def test_random_analogue_has_no_planted_structure(self):
+        dataset, planted = generate_benchmark(
+            "bms1", scale=0.01, rng=3, return_planted=True
+        )
+        random_version = generate_random_analogue("bms1", scale=0.01, rng=3)
+        assert random_version.num_transactions == dataset.num_transactions
+        # In the random version the planted itemsets should be (near) absent:
+        # their null expected support is far below the planted extra support.
+        for plant in planted:
+            assert random_version.support(plant.items) < plant.extra_support
+
+    def test_summary_matches_paper_shape(self):
+        summary = summarize(generate_benchmark("retail", scale=0.02, rng=0))
+        spec = benchmark_spec("retail")
+        assert summary.max_frequency == pytest.approx(
+            spec.paper_max_frequency, rel=0.25
+        )
+        assert summary.average_transaction_length == pytest.approx(
+            spec.paper_mean_length, rel=0.25
+        )
+
+    def test_generate_accepts_alias(self):
+        dataset = generate_benchmark("pumsb*", scale=0.01, rng=0)
+        assert dataset.name == "pumsb_star"

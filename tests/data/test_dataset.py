@@ -1,0 +1,187 @@
+"""Unit tests for :class:`repro.data.dataset.TransactionDataset`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_dataset):
+        assert tiny_dataset.num_transactions == 5
+        assert tiny_dataset.num_items == 4
+        assert tiny_dataset.items == (1, 2, 3, 4)
+
+    def test_duplicates_within_transaction_collapse(self):
+        data = TransactionDataset([[1, 1, 2, 2, 2]])
+        assert data.transactions == ((1, 2),)
+        assert data.item_support(1) == 1
+
+    def test_transactions_are_sorted_tuples(self):
+        data = TransactionDataset([[3, 1, 2]])
+        assert data.transactions[0] == (1, 2, 3)
+
+    def test_empty_transactions_are_kept(self):
+        data = TransactionDataset([[], [1], []])
+        assert data.num_transactions == 3
+        assert data.average_transaction_length == pytest.approx(1 / 3)
+
+    def test_explicit_item_universe_includes_missing_items(self):
+        data = TransactionDataset([[1]], items=[1, 2, 3])
+        assert data.num_items == 3
+        assert data.item_support(2) == 0
+        assert data.frequency(3) == 0.0
+
+    def test_empty_dataset(self, empty_dataset):
+        assert empty_dataset.num_transactions == 0
+        assert empty_dataset.num_items == 0
+        assert empty_dataset.average_transaction_length == 0.0
+        assert empty_dataset.frequency(1) == 0.0
+
+    def test_name_is_kept(self, tiny_dataset):
+        assert tiny_dataset.name == "tiny"
+        assert "tiny" in repr(tiny_dataset)
+
+    def test_from_vertical_round_trip(self, tiny_dataset):
+        vertical = {
+            item: [tid for tid, txn in enumerate(tiny_dataset.transactions) if item in txn]
+            for item in tiny_dataset.items
+        }
+        rebuilt = TransactionDataset.from_vertical(
+            vertical, tiny_dataset.num_transactions
+        )
+        assert rebuilt.transactions == tiny_dataset.transactions
+
+    def test_from_vertical_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            TransactionDataset.from_vertical({1: [5]}, num_transactions=3)
+
+    def test_from_vertical_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            TransactionDataset.from_vertical({}, num_transactions=-1)
+
+
+class TestSupports:
+    def test_item_supports(self, tiny_dataset):
+        assert tiny_dataset.item_supports == {1: 3, 2: 4, 3: 3, 4: 2}
+
+    def test_item_frequencies(self, tiny_dataset):
+        freqs = tiny_dataset.item_frequencies
+        assert freqs[2] == pytest.approx(0.8)
+        assert freqs[4] == pytest.approx(0.4)
+
+    def test_itemset_support(self, tiny_dataset):
+        assert tiny_dataset.support((1, 2)) == 3
+        assert tiny_dataset.support((1, 2, 3)) == 2
+        assert tiny_dataset.support((1, 4)) == 1
+        assert tiny_dataset.support((3, 4)) == 1
+
+    def test_support_of_unknown_item_is_zero(self, tiny_dataset):
+        assert tiny_dataset.support((99,)) == 0
+        assert tiny_dataset.support((1, 99)) == 0
+
+    def test_empty_itemset_support_is_t(self, tiny_dataset):
+        assert tiny_dataset.support(()) == 5
+
+    def test_supports_batch(self, tiny_dataset):
+        assert tiny_dataset.supports([(1,), (1, 2), (99,)]) == [3, 3, 0]
+
+    def test_max_item_support(self, tiny_dataset):
+        assert tiny_dataset.max_item_support == 4
+
+    def test_expected_support_under_null(self, tiny_dataset):
+        # f_1 = 0.6, f_2 = 0.8 -> expected support of {1,2} = 5 * 0.48 = 2.4.
+        assert tiny_dataset.expected_support((1, 2)) == pytest.approx(2.4)
+
+    def test_itemset_probability(self, tiny_dataset):
+        assert tiny_dataset.itemset_probability((1, 2)) == pytest.approx(0.48)
+
+    def test_expected_support_deduplicates_items(self, tiny_dataset):
+        assert tiny_dataset.expected_support((1, 1)) == pytest.approx(
+            tiny_dataset.expected_support((1,))
+        )
+
+
+class TestTransformations:
+    def test_restrict_items_keeps_t(self, tiny_dataset):
+        restricted = tiny_dataset.restrict_items([1, 2])
+        assert restricted.num_transactions == 5
+        assert restricted.items == (1, 2)
+        assert restricted.support((1, 2)) == 3
+
+    def test_sample_transactions(self, tiny_dataset):
+        sample = tiny_dataset.sample_transactions([0, 4], name="sampled")
+        assert sample.num_transactions == 2
+        assert sample.name == "sampled"
+        assert sample.support((1, 2, 3)) == 2
+
+    def test_relabeled(self, tiny_dataset):
+        relabeled = tiny_dataset.relabeled({1: 10, 2: 20})
+        assert relabeled.support((10, 20)) == tiny_dataset.support((1, 2))
+        assert 1 not in relabeled
+
+    def test_relabeled_rejects_merges(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.relabeled({1: 2})
+
+
+class TestDunder:
+    def test_len_iter_getitem(self, tiny_dataset):
+        assert len(tiny_dataset) == 5
+        assert list(tiny_dataset)[0] == (1, 2, 3)
+        assert tiny_dataset[3] == (4,)
+
+    def test_contains(self, tiny_dataset):
+        assert 1 in tiny_dataset
+        assert 99 not in tiny_dataset
+
+    def test_equality_and_hash(self, tiny_dataset):
+        clone = TransactionDataset(
+            [[1, 2, 3], [1, 2], [2, 3], [4], [1, 2, 3, 4]], name="other-name"
+        )
+        assert clone == tiny_dataset
+        assert hash(clone) == hash(tiny_dataset)
+        assert tiny_dataset != TransactionDataset([[1]])
+        assert tiny_dataset.__eq__(42) is NotImplemented
+
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=12), max_size=6),
+    max_size=25,
+)
+
+
+class TestProperties:
+    @given(transactions=transactions_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_support_matches_bruteforce(self, transactions):
+        data = TransactionDataset(transactions)
+        for itemset in [(0,), (0, 1), (2, 5, 7)]:
+            expected = sum(
+                1 for txn in transactions if set(itemset) <= set(txn)
+            )
+            assert data.support(itemset) == expected
+
+    @given(transactions=transactions_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_item_supports_sum_to_total_occurrences(self, transactions):
+        data = TransactionDataset(transactions)
+        total_distinct = sum(len(set(txn)) for txn in transactions)
+        assert sum(data.item_supports.values()) == total_distinct
+
+    @given(transactions=transactions_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_support_anti_monotone(self, transactions):
+        data = TransactionDataset(transactions)
+        assert data.support((0, 1)) <= data.support((0,))
+        assert data.support((0, 1, 2)) <= data.support((0, 1))
+
+    @given(transactions=transactions_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_frequencies_lie_in_unit_interval(self, transactions):
+        data = TransactionDataset(transactions)
+        for freq in data.item_frequencies.values():
+            assert 0.0 <= freq <= 1.0

@@ -1,0 +1,153 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+from repro.data.generators import (
+    PlantedItemset,
+    calibrate_frequencies_to_mean_length,
+    generate_planted_dataset,
+    plant_itemsets,
+    powerlaw_frequencies,
+    uniform_frequencies,
+)
+
+
+class TestPlantedItemset:
+    def test_items_are_canonicalised(self):
+        plant = PlantedItemset(items=(3, 1, 2, 2), extra_support=5)
+        assert plant.items == (1, 2, 3)
+
+    def test_rejects_negative_support(self):
+        with pytest.raises(ValueError):
+            PlantedItemset(items=(1, 2), extra_support=-1)
+
+    def test_rejects_singleton(self):
+        with pytest.raises(ValueError):
+            PlantedItemset(items=(1,), extra_support=3)
+
+
+class TestFrequencyProfiles:
+    def test_powerlaw_is_decreasing_and_bounded(self):
+        freqs = powerlaw_frequencies(50, exponent=1.2, min_frequency=0.001, max_frequency=0.4)
+        values = [freqs[item] for item in sorted(freqs)]
+        assert values[0] == pytest.approx(0.4)
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert min(values) >= 0.001
+
+    def test_powerlaw_empty(self):
+        assert powerlaw_frequencies(0) == {}
+
+    def test_powerlaw_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_frequencies(10, max_frequency=1.5)
+        with pytest.raises(ValueError):
+            powerlaw_frequencies(10, min_frequency=0.9, max_frequency=0.5)
+
+    def test_uniform(self):
+        freqs = uniform_frequencies(5, 0.2)
+        assert freqs == {0: 0.2, 1: 0.2, 2: 0.2, 3: 0.2, 4: 0.2}
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            uniform_frequencies(5, 1.2)
+
+    def test_calibration_hits_target_mean_length(self):
+        freqs = powerlaw_frequencies(100, exponent=1.0, max_frequency=0.5)
+        calibrated = calibrate_frequencies_to_mean_length(freqs, 4.0)
+        assert sum(calibrated.values()) == pytest.approx(4.0, rel=1e-6)
+
+    def test_calibration_respects_cap(self):
+        freqs = {0: 0.5, 1: 0.5}
+        calibrated = calibrate_frequencies_to_mean_length(freqs, 1.9, max_frequency=0.95)
+        assert max(calibrated.values()) <= 0.95
+
+    def test_calibration_edge_cases(self):
+        assert calibrate_frequencies_to_mean_length({}, 3.0) == {}
+        with pytest.raises(ValueError):
+            calibrate_frequencies_to_mean_length({0: 0.1}, -1.0)
+
+
+class TestPlanting:
+    def test_plant_raises_joint_support(self, rng):
+        base = TransactionDataset([[0] for _ in range(100)])
+        planted = plant_itemsets(
+            base, [PlantedItemset(items=(5, 6), extra_support=30)], rng=rng
+        )
+        assert planted.support((5, 6)) == 30
+        assert planted.num_transactions == 100
+
+    def test_plant_does_not_modify_input(self, rng):
+        base = TransactionDataset([[0], [1]])
+        plant_itemsets(base, [PlantedItemset(items=(5, 6), extra_support=1)], rng=rng)
+        assert base.support((5, 6)) == 0
+
+    def test_plant_rejects_oversized_support(self, rng):
+        base = TransactionDataset([[0], [1]])
+        with pytest.raises(ValueError):
+            plant_itemsets(base, [PlantedItemset(items=(5, 6), extra_support=3)], rng=rng)
+
+    def test_plant_zero_extra_support_is_noop(self, rng):
+        base = TransactionDataset([[0], [1]])
+        planted = plant_itemsets(
+            base, [PlantedItemset(items=(5, 6), extra_support=0)], rng=rng
+        )
+        assert planted.support((5, 6)) == 0
+        # The planted items still join the universe.
+        assert 5 in planted.items
+
+    def test_generate_planted_dataset_support_exceeds_expectation(self, rng):
+        frequencies = {item: 0.05 for item in range(20)}
+        planted = [PlantedItemset(items=(0, 1, 2), extra_support=60)]
+        data = generate_planted_dataset(frequencies, 300, planted, rng=rng)
+        # Null expectation of the triple is 300 * 0.05^3 ≈ 0.04; the planted
+        # support dominates.
+        assert data.support((0, 1, 2)) >= 60
+        assert data.num_transactions == 300
+
+    def test_generate_planted_without_plants_is_null_sample(self, rng):
+        frequencies = {0: 0.5, 1: 0.5}
+        data = generate_planted_dataset(frequencies, 100, rng=rng, name="null")
+        assert data.name == "null"
+        assert data.num_transactions == 100
+
+    def test_generate_planted_reproducible(self):
+        frequencies = {item: 0.1 for item in range(10)}
+        planted = [PlantedItemset(items=(0, 1), extra_support=10)]
+        first = generate_planted_dataset(frequencies, 100, planted, rng=5)
+        second = generate_planted_dataset(frequencies, 100, planted, rng=5)
+        assert first.transactions == second.transactions
+
+
+class TestPlantingProperties:
+    @given(
+        extra=st.integers(min_value=0, max_value=50),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_planted_support_at_least_extra(self, extra, seed):
+        frequencies = {item: 0.02 for item in range(8)}
+        planted = [PlantedItemset(items=(0, 1, 2, 3), extra_support=extra)]
+        data = generate_planted_dataset(frequencies, 50 + extra, planted, rng=seed)
+        assert data.support((0, 1, 2, 3)) >= extra
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_non_planted_items_unaffected(self, seed):
+        rng = np.random.default_rng(seed)
+        frequencies = {item: 0.3 for item in range(6)}
+        base_model_sample = generate_planted_dataset(frequencies, 200, rng=rng)
+        planted_sample = plant_itemsets(
+            base_model_sample,
+            [PlantedItemset(items=(10, 11), extra_support=20)],
+            rng=rng,
+        )
+        for item in range(6):
+            assert planted_sample.item_support(item) == base_model_sample.item_support(
+                item
+            )

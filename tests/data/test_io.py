@@ -1,0 +1,105 @@
+"""Unit tests for FIMI / CSV dataset IO."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+from repro.data.io import (
+    read_fimi,
+    read_transactions_csv,
+    write_fimi,
+    write_transactions_csv,
+)
+
+
+class TestFimi:
+    def test_read_simple(self):
+        text = "1 2 3\n4 5\n\n1\n"
+        data = read_fimi(io.StringIO(text))
+        assert data.num_transactions == 4
+        assert data.transactions[0] == (1, 2, 3)
+        assert data.transactions[2] == ()
+
+    def test_read_from_path(self, tmp_path):
+        path = tmp_path / "toy.dat"
+        path.write_text("10 20\n30\n")
+        data = read_fimi(path)
+        assert data.name == "toy"
+        assert data.num_transactions == 2
+
+    def test_read_rejects_non_integer_tokens(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_fimi(io.StringIO("1 2\n3 x\n"))
+
+    def test_read_max_transactions(self):
+        data = read_fimi(io.StringIO("1\n2\n3\n"), max_transactions=2)
+        assert data.num_transactions == 2
+
+    def test_write_then_read_round_trip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.dat"
+        write_fimi(tiny_dataset, path)
+        back = read_fimi(path)
+        assert back.transactions == tiny_dataset.transactions
+
+    def test_write_to_stream(self, tiny_dataset):
+        buffer = io.StringIO()
+        write_fimi(tiny_dataset, buffer)
+        assert buffer.getvalue().splitlines()[0] == "1 2 3"
+
+
+class TestCsv:
+    def test_read_assigns_ids_in_first_appearance_order(self):
+        text = "bread,milk\nmilk,eggs\n"
+        data, mapping = read_transactions_csv(io.StringIO(text))
+        assert mapping == {"bread": 0, "milk": 1, "eggs": 2}
+        assert data.transactions == ((0, 1), (1, 2))
+
+    def test_read_skips_empty_tokens(self):
+        data, mapping = read_transactions_csv(io.StringIO("a,,b\n"))
+        assert data.transactions == ((0, 1),)
+
+    def test_blank_line_is_empty_transaction(self):
+        data, _ = read_transactions_csv(io.StringIO("a\n\nb\n"))
+        assert data.num_transactions == 3
+        assert data.transactions[1] == ()
+
+    def test_write_with_labels(self, tmp_path):
+        data = TransactionDataset([[0, 1], [1]])
+        path = tmp_path / "out.csv"
+        write_transactions_csv(data, path, labels={0: "bread", 1: "milk"})
+        assert path.read_text() == "bread,milk\nmilk\n"
+
+    def test_write_without_labels_uses_ids(self):
+        data = TransactionDataset([[7, 8]])
+        buffer = io.StringIO()
+        write_transactions_csv(data, buffer)
+        assert buffer.getvalue() == "7,8\n"
+
+    def test_csv_round_trip(self, tmp_path):
+        original = TransactionDataset([[0, 1, 2], [2, 3], []])
+        path = tmp_path / "round.csv"
+        write_transactions_csv(original, path)
+        back, _ = read_transactions_csv(path)
+        assert back.transactions == original.transactions
+
+
+class TestFimiRoundTripProperty:
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=50), max_size=8),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_transactions(self, transactions, tmp_path_factory):
+        original = TransactionDataset(transactions)
+        buffer = io.StringIO()
+        write_fimi(original, buffer)
+        buffer.seek(0)
+        back = read_fimi(buffer)
+        assert back.transactions == original.transactions

@@ -1,0 +1,118 @@
+"""Unit tests for the paper's null model (:mod:`repro.data.random_model`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TransactionDataset
+from repro.data.random_model import RandomDatasetModel, generate_random_dataset
+
+
+class TestConstruction:
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            RandomDatasetModel({1: 1.5}, 10)
+        with pytest.raises(ValueError):
+            RandomDatasetModel({1: -0.1}, 10)
+
+    def test_rejects_negative_transactions(self):
+        with pytest.raises(ValueError):
+            RandomDatasetModel({1: 0.5}, -1)
+
+    def test_from_dataset_matches_frequencies(self, tiny_dataset):
+        model = RandomDatasetModel.from_dataset(tiny_dataset)
+        assert model.num_transactions == tiny_dataset.num_transactions
+        assert model.frequencies == tiny_dataset.item_frequencies
+        assert model.name == "random(tiny)"
+
+    def test_accessors(self, small_model):
+        assert small_model.num_items == 6
+        assert small_model.items == (0, 1, 2, 3, 4, 5)
+        assert small_model.frequency(0) == pytest.approx(0.30)
+        assert small_model.frequency(99) == 0.0
+        assert "small" in repr(small_model)
+
+
+class TestNullProbabilities:
+    def test_itemset_probability_is_product(self, small_model):
+        assert small_model.itemset_probability((0, 1)) == pytest.approx(0.30 * 0.25)
+
+    def test_itemset_probability_deduplicates(self, small_model):
+        assert small_model.itemset_probability((0, 0)) == pytest.approx(0.30)
+
+    def test_expected_support(self, small_model):
+        assert small_model.expected_support((0, 1)) == pytest.approx(200 * 0.075)
+
+    def test_unknown_item_gives_zero(self, small_model):
+        assert small_model.itemset_probability((0, 999)) == 0.0
+
+    def test_max_expected_support_uses_top_frequencies(self, small_model):
+        # Top-2 frequencies are 0.30 and 0.25.
+        assert small_model.max_expected_support(2) == pytest.approx(200 * 0.075)
+
+    def test_max_expected_support_edge_cases(self, small_model):
+        assert small_model.max_expected_support(0) == 200
+        assert small_model.max_expected_support(100) == 0.0
+
+    def test_top_frequencies(self, small_model):
+        assert small_model.top_frequencies(3) == [0.30, 0.25, 0.20]
+        assert small_model.top_frequencies(0) == []
+
+
+class TestSampling:
+    def test_sample_shape(self, small_model):
+        sample = small_model.sample(rng=0)
+        assert isinstance(sample, TransactionDataset)
+        assert sample.num_transactions == 200
+        assert set(sample.items) <= set(small_model.items) | set(small_model.items)
+
+    def test_sample_is_reproducible_with_seed(self, small_model):
+        first = small_model.sample(rng=42)
+        second = small_model.sample(rng=42)
+        assert first.transactions == second.transactions
+
+    def test_sample_differs_across_seeds(self, small_model):
+        assert small_model.sample(rng=1).transactions != small_model.sample(
+            rng=2
+        ).transactions
+
+    def test_sample_respects_degenerate_frequencies(self):
+        model = RandomDatasetModel({1: 0.0, 2: 1.0}, 50)
+        sample = model.sample(rng=0)
+        assert sample.item_support(1) == 0
+        assert sample.item_support(2) == 50
+
+    def test_sample_zero_transactions(self):
+        model = RandomDatasetModel({1: 0.5}, 0)
+        sample = model.sample(rng=0)
+        assert sample.num_transactions == 0
+
+    def test_item_supports_concentrate_around_expectation(self, small_model):
+        # With t = 200 and f = 0.30 the support of item 0 is Binomial(200, 0.3):
+        # mean 60, sd ~6.5.  Averaged over 30 samples the mean support should
+        # fall well within 3 standard errors.
+        rng = np.random.default_rng(7)
+        supports = [small_model.sample(rng).item_support(0) for _ in range(30)]
+        mean = float(np.mean(supports))
+        assert abs(mean - 60.0) < 3 * 6.5 / np.sqrt(30) + 1e-9
+
+    def test_sample_many_yields_independent_named_datasets(self, small_model):
+        datasets = list(small_model.sample_many(3, rng=0))
+        assert len(datasets) == 3
+        assert len({d.transactions for d in datasets}) >= 2
+        assert datasets[0].name.endswith("#0")
+
+
+class TestGenerateRandomDataset:
+    def test_from_dataset_source(self, tiny_dataset):
+        sample = generate_random_dataset(tiny_dataset, rng=0)
+        assert sample.num_transactions == tiny_dataset.num_transactions
+
+    def test_from_frequency_mapping(self):
+        sample = generate_random_dataset({1: 0.5, 2: 0.5}, num_transactions=30, rng=0)
+        assert sample.num_transactions == 30
+
+    def test_frequency_mapping_requires_t(self):
+        with pytest.raises(ValueError):
+            generate_random_dataset({1: 0.5})

@@ -1,0 +1,48 @@
+"""Unit tests for dataset summary statistics (Table 1 rows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import TransactionDataset
+from repro.data.stats import DatasetSummary, summarize
+
+
+class TestSummarize:
+    def test_tiny_dataset(self, tiny_dataset):
+        summary = summarize(tiny_dataset)
+        assert summary.name == "tiny"
+        assert summary.num_items == 4
+        assert summary.num_transactions == 5
+        assert summary.min_frequency == pytest.approx(0.4)
+        assert summary.max_frequency == pytest.approx(0.8)
+        assert summary.average_transaction_length == pytest.approx(12 / 5)
+
+    def test_empty_dataset(self, empty_dataset):
+        summary = summarize(empty_dataset)
+        assert summary.num_items == 0
+        assert summary.min_frequency == 0.0
+        assert summary.max_frequency == 0.0
+        assert summary.num_transactions == 0
+
+    def test_items_without_occurrences_are_ignored(self):
+        data = TransactionDataset([[1]], items=[1, 2, 3])
+        summary = summarize(data)
+        assert summary.num_items == 1
+        assert summary.min_frequency == pytest.approx(1.0)
+
+    def test_as_row_and_str(self, tiny_dataset):
+        summary = summarize(tiny_dataset)
+        row = summary.as_row()
+        assert row["dataset"] == "tiny"
+        assert row["t"] == 5
+        assert "tiny" in str(summary)
+
+    def test_unnamed_dataset_renders_placeholder(self):
+        summary = summarize(TransactionDataset([[1]]))
+        assert summary.as_row()["dataset"] == "<unnamed>"
+        assert "<unnamed>" in str(summary)
+
+    def test_dataclass_equality(self, tiny_dataset):
+        assert summarize(tiny_dataset) == summarize(tiny_dataset)
+        assert isinstance(summarize(tiny_dataset), DatasetSummary)

@@ -1,0 +1,77 @@
+"""Unit tests for the swap-randomisation null model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+from repro.data.swap import swap_randomize
+
+
+class TestSwapRandomize:
+    def test_preserves_margins(self, rng):
+        data = TransactionDataset(
+            [[1, 2, 3], [1, 2], [2, 3, 4], [4, 5], [1, 5], [2, 4, 5]]
+        )
+        swapped = swap_randomize(data, rng=rng)
+        assert swapped.num_transactions == data.num_transactions
+        # Column margins (item supports) are invariant.
+        assert swapped.item_supports == data.item_supports
+        # Row margins (transaction lengths) are invariant.
+        assert sorted(len(t) for t in swapped.transactions) == sorted(
+            len(t) for t in data.transactions
+        )
+        assert [len(t) for t in swapped.transactions] == [
+            len(t) for t in data.transactions
+        ]
+
+    def test_default_name(self, tiny_dataset, rng):
+        swapped = swap_randomize(tiny_dataset, rng=rng)
+        assert swapped.name == "swap(tiny)"
+
+    def test_explicit_name(self, tiny_dataset, rng):
+        swapped = swap_randomize(tiny_dataset, rng=rng, name="custom")
+        assert swapped.name == "custom"
+
+    def test_zero_swaps_returns_identical_content(self, tiny_dataset, rng):
+        swapped = swap_randomize(tiny_dataset, num_swaps=0, rng=rng)
+        assert swapped.transactions == tiny_dataset.transactions
+
+    def test_degenerate_datasets(self, rng):
+        empty = TransactionDataset([])
+        assert swap_randomize(empty, rng=rng).num_transactions == 0
+        single = TransactionDataset([[1, 2, 3]])
+        assert swap_randomize(single, rng=rng).transactions == single.transactions
+
+    def test_reproducible_with_seed(self, tiny_dataset):
+        first = swap_randomize(tiny_dataset, rng=3)
+        second = swap_randomize(tiny_dataset, rng=3)
+        assert first.transactions == second.transactions
+
+    def test_destroys_planted_correlation_on_average(self, correlated_dataset):
+        # The planted triple's support should drop substantially once the
+        # co-occurrence structure is shuffled away (margins preserved).
+        original = correlated_dataset.support((100, 101, 102))
+        swapped = swap_randomize(correlated_dataset, rng=11)
+        assert swapped.support((100, 101, 102)) < original
+
+
+class TestSwapProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=15), min_size=0, max_size=6),
+            min_size=2,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_margins_always_preserved(self, seed, transactions):
+        data = TransactionDataset(transactions)
+        swapped = swap_randomize(data, num_swaps=50, rng=seed)
+        assert swapped.item_supports == data.item_supports
+        assert [len(t) for t in swapped.transactions] == [
+            len(t) for t in data.transactions
+        ]

@@ -1,0 +1,89 @@
+"""Unit tests for the experiment configuration and reporting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.benchmarks import BENCHMARK_NAMES, benchmark_spec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import ExperimentTable, format_table, format_value
+
+
+class TestExperimentConfig:
+    def test_defaults_cover_all_benchmarks(self):
+        config = ExperimentConfig()
+        assert config.datasets == BENCHMARK_NAMES
+        assert config.itemset_sizes == (2, 3, 4)
+
+    def test_presets(self):
+        quick = ExperimentConfig.quick()
+        paper = ExperimentConfig.paper()
+        assert quick.num_datasets < paper.num_datasets
+        assert quick.num_trials < paper.num_trials
+        assert paper.num_datasets == 1000
+        assert paper.num_trials == 100
+
+    def test_scale_for_uses_spec_default(self):
+        config = ExperimentConfig(scale_multiplier=0.5)
+        spec = benchmark_spec("bms1")
+        assert config.scale_for("bms1") == pytest.approx(spec.default_scale * 0.5)
+
+    def test_seed_for_is_deterministic_and_distinct(self):
+        config = ExperimentConfig(seed=3)
+        assert config.seed_for("bms1", 2, 0) == config.seed_for("bms1", 2, 0)
+        assert config.seed_for("bms1", 2, 0) != config.seed_for("bms1", 3, 0)
+        assert config.seed_for("bms1", 2, 0) != config.seed_for("retail", 2, 0)
+        assert config.seed_for("bms1", 2, 0) != ExperimentConfig(seed=4).seed_for(
+            "bms1", 2, 0
+        )
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            ExperimentConfig(datasets=("nope",))
+        with pytest.raises(ValueError):
+            ExperimentConfig(itemset_sizes=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(itemset_sizes=(0,))
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_datasets=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale_multiplier=0.0)
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(math.inf) == "inf"
+        assert format_value(0.0) == "0"
+        assert format_value(0.25) == "0.25"
+        assert format_value(1.23e-05) == "1.23e-05"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value("abc") == "abc"
+        assert format_value(42) == "42"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long_header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_experiment_table_round_trip(self):
+        table = ExperimentTable(
+            name="demo", title="Demo", headers=["dataset", "value"]
+        )
+        table.add_row(dataset="x", value=1)
+        table.add_row(dataset="y", value=2)
+        assert table.column("value") == [1, 2]
+        rendered = table.to_text()
+        assert rendered.startswith("Demo")
+        assert "dataset" in rendered
+        assert str(table) == rendered
+
+    def test_missing_cells_render_as_dash(self):
+        table = ExperimentTable(name="demo", title="Demo", headers=["a", "b"])
+        table.add_row(a=1)
+        assert "-" in table.to_text()

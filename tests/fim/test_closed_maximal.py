@@ -1,0 +1,123 @@
+"""Unit tests for closed and maximal itemset post-processing."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.closed import (
+    closed_frequent_itemsets,
+    closed_itemsets,
+    closure,
+    is_closed,
+)
+from repro.fim.eclat import eclat
+from repro.fim.maximal import is_maximal, maximal_itemsets
+
+
+class TestClosure:
+    def test_closure_adds_always_cooccurring_items(self):
+        # Item 2 appears in every transaction that contains item 1.
+        data = TransactionDataset([[1, 2, 3], [1, 2], [2, 3]])
+        assert closure(data, (1,)) == (1, 2)
+
+    def test_closure_of_closed_set_is_itself(self, tiny_dataset):
+        assert closure(tiny_dataset, (2,)) == (2,)
+
+    def test_closure_of_unsupported_itemset_is_itself(self, tiny_dataset):
+        assert closure(tiny_dataset, (1, 99)) == (1, 99)
+
+    def test_closure_is_idempotent(self, tiny_dataset):
+        for itemset in [(1,), (1, 2), (3, 4), (2, 3)]:
+            once = closure(tiny_dataset, itemset)
+            assert closure(tiny_dataset, once) == once
+
+    def test_is_closed(self):
+        data = TransactionDataset([[1, 2, 3], [1, 2], [2, 3]])
+        assert not is_closed(data, (1,))
+        assert is_closed(data, (1, 2))
+
+
+class TestClosedFilter:
+    def test_closed_itemsets_filter(self):
+        data = TransactionDataset([[1, 2, 3], [1, 2], [2, 3]])
+        frequent = eclat(data, 1)
+        closed = closed_itemsets(frequent)
+        # {1} has the same support (2) as its superset {1, 2}: not closed.
+        assert (1,) not in closed
+        assert (1, 2) in closed
+        # {2} has support 3, strictly larger than any superset: closed.
+        assert (2,) in closed
+
+    def test_exact_closed_filter_matches_map_based_filter_on_full_lattice(self):
+        data = TransactionDataset([[1, 2, 3], [1, 2], [2, 3], [1, 3], [3, 4]])
+        frequent = eclat(data, 1)
+        assert closed_frequent_itemsets(data, frequent) == closed_itemsets(frequent)
+
+    def test_supports_preserved(self):
+        data = TransactionDataset([[1, 2], [1, 2], [2]])
+        closed = closed_itemsets(eclat(data, 1))
+        assert closed[(1, 2)] == 2
+        assert closed[(2,)] == 3
+
+    def test_empty_input(self):
+        assert closed_itemsets({}) == {}
+
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=6), max_size=5),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_support_value_has_a_closed_representative(self, transactions):
+        data = TransactionDataset(transactions)
+        frequent = eclat(data, 1)
+        if not frequent:
+            return
+        closed = closed_itemsets(frequent)
+        # Closed itemsets form a lossless summary: every frequent itemset's
+        # support equals the support of some closed superset.
+        for itemset, support in frequent.items():
+            assert any(
+                set(itemset) <= set(candidate) and closed[candidate] == support
+                for candidate in closed
+            )
+
+
+class TestMaximal:
+    def test_maximal_filter(self):
+        frequent = {(1,): 3, (2,): 3, (1, 2): 2, (3,): 1}
+        maximal = maximal_itemsets(frequent)
+        assert set(maximal) == {(1, 2), (3,)}
+
+    def test_is_maximal(self):
+        collection = [(1, 2), (1, 2, 3)]
+        assert not is_maximal((1, 2), collection)
+        assert is_maximal((1, 2, 3), collection)
+
+    def test_empty(self):
+        assert maximal_itemsets({}) == {}
+
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=6), max_size=5),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maximal_sets_are_antichain_and_cover(self, transactions):
+        data = TransactionDataset(transactions)
+        frequent = eclat(data, 1)
+        maximal = maximal_itemsets(frequent)
+        # Antichain: no maximal itemset contains another.
+        for first in maximal:
+            for second in maximal:
+                if first != second:
+                    assert not set(first) < set(second)
+        # Cover: every frequent itemset is contained in some maximal one.
+        for itemset in frequent:
+            assert any(set(itemset) <= set(best) for best in maximal)

@@ -1,0 +1,87 @@
+"""Unit tests for the vertical bitset index."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.counting import VerticalIndex, bitset_from_tids, tids_from_bitset
+
+
+class TestBitsetHelpers:
+    def test_round_trip(self):
+        tids = [0, 3, 5, 63, 64, 200]
+        assert tids_from_bitset(bitset_from_tids(tids)) == sorted(tids)
+
+    def test_empty(self):
+        assert bitset_from_tids([]) == 0
+        assert tids_from_bitset(0) == []
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bitset_from_tids([-1])
+        with pytest.raises(ValueError):
+            tids_from_bitset(-1)
+
+    @given(tids=st.sets(st.integers(min_value=0, max_value=300), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, tids):
+        assert tids_from_bitset(bitset_from_tids(tids)) == sorted(tids)
+
+    @given(
+        first=st.sets(st.integers(min_value=0, max_value=100), max_size=30),
+        second=st.sets(st.integers(min_value=0, max_value=100), max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_matches_set_intersection(self, first, second):
+        bits = bitset_from_tids(first) & bitset_from_tids(second)
+        assert set(tids_from_bitset(bits)) == first & second
+
+
+class TestVerticalIndex:
+    def test_from_dataset(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert index.num_transactions == 5
+        assert index.items == (1, 2, 3, 4)
+        assert index.item_support(2) == 4
+        assert index.item_supports()[4] == 2
+
+    def test_from_mapping_requires_t(self):
+        with pytest.raises(ValueError):
+            VerticalIndex({1: 0b101})
+        index = VerticalIndex({1: 0b101}, num_transactions=3)
+        assert index.item_support(1) == 2
+
+    def test_itemset_support_matches_dataset(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        for itemset in [(1,), (1, 2), (1, 2, 3), (3, 4), (99,)]:
+            assert index.support(itemset) == tiny_dataset.support(itemset)
+
+    def test_empty_itemset_covers_everything(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert index.support(()) == 5
+        empty_index = VerticalIndex(TransactionDataset([]))
+        assert empty_index.support(()) == 0
+
+    def test_unknown_item_short_circuits(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert index.itemset_tidset((1, 99)) == 0
+
+    def test_frequent_items(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert index.frequent_items(3) == [1, 2, 3]
+        assert index.frequent_items(5) == []
+
+    def test_restrict(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset).restrict([1, 2])
+        assert index.items == (1, 2)
+        assert index.num_transactions == 5
+        assert 3 not in index
+
+    def test_dunder(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert len(index) == 4
+        assert 1 in index
+        assert "items=4" in repr(index)

@@ -1,0 +1,108 @@
+"""Unit tests for itemset utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fim.itemsets import (
+    all_subsets,
+    canonical,
+    generate_candidates,
+    itemsets_overlap,
+    neighborhood,
+    overlapping_pairs,
+    subsets_of_size,
+)
+
+
+class TestCanonical:
+    def test_sorts_and_deduplicates(self):
+        assert canonical([3, 1, 2, 1]) == (1, 2, 3)
+
+    def test_empty(self):
+        assert canonical([]) == ()
+
+
+class TestSubsets:
+    def test_subsets_of_size(self):
+        assert subsets_of_size((1, 2, 3), 2) == [(1, 2), (1, 3), (2, 3)]
+        assert subsets_of_size((1, 2, 3), 0) == [()]
+        assert subsets_of_size((1, 2), 3) == []
+        assert subsets_of_size((1, 2), -1) == []
+
+    def test_all_subsets(self):
+        assert set(all_subsets((1, 2))) == {(1,), (2,), (1, 2)}
+        assert () in all_subsets((1, 2), include_empty=True)
+
+
+class TestCandidateGeneration:
+    def test_basic_join(self):
+        frequent = [(1, 2), (1, 3), (2, 3)]
+        assert generate_candidates(frequent, 3) == [(1, 2, 3)]
+
+    def test_prune_removes_candidates_with_infrequent_subsets(self):
+        # (2, 3) is missing, so (1, 2, 3) must be pruned.
+        frequent = [(1, 2), (1, 3)]
+        assert generate_candidates(frequent, 3) == []
+
+    def test_from_singletons(self):
+        assert generate_candidates([(1,), (2,), (3,)], 2) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_empty_input(self):
+        assert generate_candidates([], 2) == []
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            generate_candidates([(1,)], 1)
+
+    def test_wrong_size_input_rejected(self):
+        with pytest.raises(ValueError):
+            generate_candidates([(1, 2)], 4)
+
+    @given(
+        items=st.sets(st.integers(min_value=0, max_value=10), min_size=2, max_size=6)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_k_subsets_generated_from_complete_lower_level(self, items):
+        # When every (k-1)-subset of a ground set is frequent, the candidates
+        # of size k are exactly the k-subsets of the ground set.
+        from itertools import combinations
+
+        ground = tuple(sorted(items))
+        for k in (2, len(ground)):
+            lower = [tuple(c) for c in combinations(ground, k - 1)]
+            expected = sorted(tuple(c) for c in combinations(ground, k))
+            assert sorted(generate_candidates(lower, k)) == expected
+
+
+class TestNeighborhood:
+    def test_overlap(self):
+        assert itemsets_overlap((1, 2), (2, 3))
+        assert not itemsets_overlap((1, 2), (3, 4))
+
+    def test_neighborhood_includes_self_by_default(self):
+        others = [(1, 2), (2, 3), (4, 5)]
+        assert neighborhood((1, 2), others) == [(1, 2), (2, 3)]
+        assert neighborhood((1, 2), others, include_self=False) == [(2, 3)]
+
+    def test_overlapping_pairs_match_bruteforce(self):
+        itemsets = [(1, 2), (2, 3), (3, 4), (5, 6)]
+        observed = {frozenset([a, b]) for a, b in overlapping_pairs(itemsets)}
+        expected = set()
+        for i in range(len(itemsets)):
+            for j in range(i + 1, len(itemsets)):
+                if set(itemsets[i]) & set(itemsets[j]):
+                    expected.add(frozenset([itemsets[i], itemsets[j]]))
+        assert observed == expected
+
+    def test_overlapping_pairs_skips_duplicates(self):
+        pairs = list(overlapping_pairs([(1, 2), (1, 2), (2, 3)]))
+        assert (canonical((1, 2)), canonical((2, 3))) in [
+            (canonical(a), canonical(b)) for a, b in pairs
+        ] or (canonical((2, 3)), canonical((1, 2))) in [
+            (canonical(a), canonical(b)) for a, b in pairs
+        ]
+        for first, second in pairs:
+            assert first != second

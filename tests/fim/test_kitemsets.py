@@ -1,0 +1,121 @@
+"""Unit tests for fixed-size k-itemset mining."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.counting import VerticalIndex
+from repro.fim.kitemsets import (
+    count_k_itemsets_at_thresholds,
+    mine_k_itemsets,
+    support_histogram,
+)
+
+
+def brute_force_k(transactions, k, min_support):
+    items = sorted({item for txn in transactions for item in txn})
+    result = {}
+    for combo in combinations(items, k):
+        support = sum(1 for txn in transactions if set(combo) <= set(txn))
+        if support >= min_support:
+            result[combo] = support
+    return result
+
+
+TOY = [[1, 2, 3], [1, 2], [2, 3], [1, 3], [1, 2, 3, 4], [4], [1, 2, 4]]
+
+
+class TestMineKItemsets:
+    def test_matches_bruteforce(self):
+        data = TransactionDataset(TOY)
+        for k in (1, 2, 3, 4):
+            for min_support in (1, 2, 3):
+                assert mine_k_itemsets(data, k, min_support) == brute_force_k(
+                    TOY, k, min_support
+                )
+
+    def test_k_one_returns_frequent_items(self, tiny_dataset):
+        result = mine_k_itemsets(tiny_dataset, 1, 3)
+        assert result == {(1,): 3, (2,): 4, (3,): 3}
+
+    def test_only_size_k_itemsets_returned(self, tiny_dataset):
+        result = mine_k_itemsets(tiny_dataset, 2, 1)
+        assert all(len(itemset) == 2 for itemset in result)
+
+    def test_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            mine_k_itemsets(tiny_dataset, 0, 1)
+        with pytest.raises(ValueError):
+            mine_k_itemsets(tiny_dataset, 2, 0)
+
+    def test_accepts_vertical_index(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert mine_k_itemsets(index, 2, 2) == mine_k_itemsets(tiny_dataset, 2, 2)
+
+    def test_k_larger_than_item_count(self, tiny_dataset):
+        assert mine_k_itemsets(tiny_dataset, 10, 1) == {}
+
+    def test_empty_dataset(self, empty_dataset):
+        assert mine_k_itemsets(empty_dataset, 2, 1) == {}
+
+    def test_agrees_with_eclat_filtered_by_size(self):
+        from repro.fim.eclat import eclat
+
+        data = TransactionDataset(TOY)
+        full = eclat(data, 2)
+        for k in (1, 2, 3):
+            expected = {
+                itemset: support for itemset, support in full.items() if len(itemset) == k
+            }
+            assert mine_k_itemsets(data, k, 2) == expected
+
+    @given(
+        transactions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=7), max_size=5), max_size=15
+        ),
+        k=st.integers(1, 3),
+        min_support=st.integers(1, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce_property(self, transactions, k, min_support):
+        data = TransactionDataset(transactions)
+        assert mine_k_itemsets(data, k, min_support) == brute_force_k(
+            transactions, k, min_support
+        )
+
+
+class TestCountAtThresholds:
+    def test_counts_match_direct_mining(self):
+        data = TransactionDataset(TOY)
+        counts = count_k_itemsets_at_thresholds(data, 2, [1, 2, 3, 4])
+        for s, count in counts.items():
+            assert count == len(mine_k_itemsets(data, 2, s))
+
+    def test_counts_are_non_increasing_in_s(self):
+        data = TransactionDataset(TOY)
+        counts = count_k_itemsets_at_thresholds(data, 2, range(1, 8))
+        values = [counts[s] for s in sorted(counts)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_empty_thresholds(self, tiny_dataset):
+        assert count_k_itemsets_at_thresholds(tiny_dataset, 2, []) == {}
+
+    def test_base_support_does_not_change_counts(self):
+        data = TransactionDataset(TOY)
+        a = count_k_itemsets_at_thresholds(data, 2, [3, 4], base_support=1)
+        b = count_k_itemsets_at_thresholds(data, 2, [3, 4], base_support=3)
+        assert a == b
+
+
+class TestSupportHistogram:
+    def test_histogram(self):
+        itemsets = {(1, 2): 3, (1, 3): 3, (2, 3): 5}
+        assert support_histogram(itemsets) == {3: 2, 5: 1}
+
+    def test_empty(self):
+        assert support_histogram({}) == {}

@@ -1,0 +1,160 @@
+"""Tests for the Apriori / Eclat / FP-growth miners, including cross-checks."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import TransactionDataset
+from repro.fim.apriori import apriori
+from repro.fim.counting import VerticalIndex
+from repro.fim.eclat import eclat
+from repro.fim.fpgrowth import FPTree, fpgrowth
+
+
+def brute_force(transactions, min_support, max_size=None):
+    """Reference miner: enumerate every subset of every transaction."""
+    from collections import Counter
+
+    counts: Counter = Counter()
+    items = sorted({item for txn in transactions for item in txn})
+    upper = max_size or len(items)
+    for size in range(1, upper + 1):
+        for combo in combinations(items, size):
+            support = sum(1 for txn in transactions if set(combo) <= set(txn))
+            if support >= min_support:
+                counts[combo] = support
+    return dict(counts)
+
+
+TOY_TRANSACTIONS = [
+    [1, 2, 3],
+    [1, 2],
+    [2, 3],
+    [1, 3],
+    [1, 2, 3, 4],
+    [4],
+]
+
+
+class TestAprioriBasics:
+    def test_matches_bruteforce_on_toy_data(self):
+        data = TransactionDataset(TOY_TRANSACTIONS)
+        assert apriori(data, 2) == brute_force(TOY_TRANSACTIONS, 2)
+
+    def test_min_support_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            apriori(tiny_dataset, 0)
+
+    def test_max_size_limits_output(self, tiny_dataset):
+        result = apriori(tiny_dataset, 1, max_size=1)
+        assert all(len(itemset) == 1 for itemset in result)
+
+    def test_accepts_vertical_index(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert apriori(index, 2) == apriori(tiny_dataset, 2)
+
+    def test_high_threshold_returns_nothing(self, tiny_dataset):
+        assert apriori(tiny_dataset, 100) == {}
+
+
+class TestEclatBasics:
+    def test_matches_bruteforce_on_toy_data(self):
+        data = TransactionDataset(TOY_TRANSACTIONS)
+        assert eclat(data, 2) == brute_force(TOY_TRANSACTIONS, 2)
+
+    def test_min_support_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            eclat(tiny_dataset, 0)
+
+    def test_max_size(self, tiny_dataset):
+        result = eclat(tiny_dataset, 1, max_size=2)
+        assert max(len(itemset) for itemset in result) <= 2
+
+    def test_empty_dataset(self, empty_dataset):
+        assert eclat(empty_dataset, 1) == {}
+
+
+class TestFPGrowthBasics:
+    def test_matches_bruteforce_on_toy_data(self):
+        data = TransactionDataset(TOY_TRANSACTIONS)
+        assert fpgrowth(data, 2) == brute_force(TOY_TRANSACTIONS, 2)
+
+    def test_min_support_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            fpgrowth(tiny_dataset, 0)
+
+    def test_max_size(self, tiny_dataset):
+        result = fpgrowth(tiny_dataset, 1, max_size=2)
+        assert max(len(itemset) for itemset in result) <= 2
+
+    def test_accepts_vertical_index(self, tiny_dataset):
+        index = VerticalIndex(tiny_dataset)
+        assert fpgrowth(index, 2) == fpgrowth(tiny_dataset, 2)
+
+    def test_empty_dataset(self, empty_dataset):
+        assert fpgrowth(empty_dataset, 1) == {}
+
+
+class TestFPTree:
+    def test_single_path_detection(self):
+        tree = FPTree([((1, 2, 3), 1), ((1, 2), 1)], min_support=1)
+        assert tree.is_single_path()
+        chain = tree.single_path_items()
+        assert [item for item, _ in chain] == sorted(
+            [item for item, _ in chain],
+            key=lambda it: (-tree.item_supports[it], it),
+        )
+
+    def test_branching_tree_is_not_single_path(self):
+        tree = FPTree([((1, 2), 1), ((1, 3), 1), ((2, 3), 1)], min_support=1)
+        assert not tree.is_single_path()
+
+    def test_prefix_paths(self):
+        tree = FPTree([((1, 2), 2), ((1, 3), 1)], min_support=1)
+        paths = tree.prefix_paths(2)
+        assert paths == [((1,), 2)]
+
+    def test_num_nodes_compression(self):
+        # Two identical transactions share one path.
+        tree = FPTree([((1, 2, 3), 1), ((1, 2, 3), 1)], min_support=1)
+        assert tree.num_nodes() == 3
+
+    def test_min_support_filters_items(self):
+        tree = FPTree([((1, 2), 1), ((1,), 1)], min_support=2)
+        assert set(tree.item_supports) == {1}
+
+    def test_invalid_min_support(self):
+        with pytest.raises(ValueError):
+            FPTree([], min_support=0)
+
+
+transactions_strategy = st.lists(
+    st.lists(st.integers(min_value=0, max_value=8), max_size=5),
+    min_size=0,
+    max_size=15,
+)
+
+
+class TestMinersAgreeProperty:
+    @given(transactions=transactions_strategy, min_support=st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_all_miners_match_bruteforce(self, transactions, min_support):
+        data = TransactionDataset(transactions)
+        expected = brute_force(transactions, min_support)
+        assert apriori(data, min_support) == expected
+        assert eclat(data, min_support) == expected
+        assert fpgrowth(data, min_support) == expected
+
+    @given(transactions=transactions_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_min_support(self, transactions):
+        data = TransactionDataset(transactions)
+        low = eclat(data, 1)
+        high = eclat(data, 2)
+        assert set(high) <= set(low)
+        for itemset, support in high.items():
+            assert low[itemset] == support

@@ -1,0 +1,122 @@
+"""Unit tests for association-rule generation and rule significance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.dataset import TransactionDataset
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.fim.eclat import eclat
+from repro.fim.rules import (
+    AssociationRule,
+    generate_rules,
+    rule_pvalue,
+    significant_rules,
+)
+
+
+@pytest.fixture
+def rule_dataset() -> TransactionDataset:
+    # Item 1 implies item 2 in 3 of its 4 occurrences.
+    return TransactionDataset(
+        [
+            [1, 2, 3],
+            [1, 2],
+            [1, 2, 4],
+            [1, 3],
+            [2, 4],
+            [3, 4],
+        ],
+        name="rules",
+    )
+
+
+class TestGenerateRules:
+    def test_confidence_and_lift(self, rule_dataset):
+        frequent = eclat(rule_dataset, 2)
+        rules = generate_rules(frequent, rule_dataset, min_confidence=0.7)
+        by_sides = {(rule.antecedent, rule.consequent): rule for rule in rules}
+        rule = by_sides[((1,), (2,))]
+        assert rule.support == 3
+        assert rule.antecedent_support == 4
+        assert rule.confidence == pytest.approx(0.75)
+        # f_2 = 4/6, so lift = 0.75 / (4/6) = 1.125.
+        assert rule.lift == pytest.approx(1.125)
+
+    def test_min_confidence_filters(self, rule_dataset):
+        frequent = eclat(rule_dataset, 2)
+        strict = generate_rules(frequent, rule_dataset, min_confidence=0.9)
+        loose = generate_rules(frequent, rule_dataset, min_confidence=0.1)
+        assert len(strict) <= len(loose)
+        assert all(rule.confidence >= 0.9 for rule in strict)
+
+    def test_rules_from_fixed_size_map_count_antecedents_on_the_fly(self, rule_dataset):
+        from repro.fim.kitemsets import mine_k_itemsets
+
+        pairs = mine_k_itemsets(rule_dataset, 2, 2)
+        rules = generate_rules(pairs, rule_dataset, min_confidence=0.5)
+        assert rules, "single-size maps must still produce rules"
+        for rule in rules:
+            assert rule.antecedent_support == rule_dataset.support(rule.antecedent)
+
+    def test_antecedent_and_consequent_are_disjoint_and_cover_itemset(self, rule_dataset):
+        frequent = eclat(rule_dataset, 2)
+        for rule in generate_rules(frequent, rule_dataset, min_confidence=0.0):
+            assert not set(rule.antecedent) & set(rule.consequent)
+            assert rule.items == tuple(sorted(rule.antecedent + rule.consequent))
+
+    def test_sorted_by_confidence(self, rule_dataset):
+        frequent = eclat(rule_dataset, 2)
+        rules = generate_rules(frequent, rule_dataset, min_confidence=0.0)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_validation_and_degenerate_input(self, rule_dataset):
+        with pytest.raises(ValueError):
+            generate_rules({}, rule_dataset, min_confidence=1.5)
+        assert generate_rules({}, rule_dataset) == []
+        assert generate_rules({(1,): 4}, rule_dataset) == []
+
+    def test_str(self, rule_dataset):
+        frequent = eclat(rule_dataset, 2)
+        rule = generate_rules(frequent, rule_dataset, min_confidence=0.7)[0]
+        assert "->" in str(rule)
+
+
+class TestRuleSignificance:
+    def test_planted_rule_is_significant(self):
+        frequencies = {item: 0.05 for item in range(30)}
+        planted = [PlantedItemset(items=(0, 1), extra_support=80)]
+        dataset = generate_planted_dataset(frequencies, 600, planted, rng=3)
+        frequent = eclat(dataset, 30, max_size=2)
+        rules = generate_rules(frequent, dataset, min_confidence=0.3)
+        selected = significant_rules(dataset, rules, beta=0.05)
+        selected_sides = {(rule.antecedent, rule.consequent) for rule, _ in selected}
+        assert ((0,), (1,)) in selected_sides or ((1,), (0,)) in selected_sides
+        for _, pvalue in selected:
+            assert 0.0 <= pvalue <= 1.0
+
+    def test_rule_pvalue_matches_binomial_tail(self, rule_dataset):
+        from repro.stats.binomial import binomial_sf
+
+        rule = AssociationRule(
+            antecedent=(1,),
+            consequent=(2,),
+            support=3,
+            antecedent_support=4,
+            confidence=0.75,
+            lift=1.125,
+        )
+        expected = binomial_sf(3, 4, rule_dataset.frequency(2))
+        assert rule_pvalue(rule_dataset, rule) == pytest.approx(expected)
+
+    def test_no_rules_no_output(self, rule_dataset):
+        assert significant_rules(rule_dataset, [], beta=0.05) == []
+
+    def test_independent_items_produce_no_significant_rules(self):
+        frequencies = {item: 0.2 for item in range(10)}
+        dataset = generate_planted_dataset(frequencies, 400, rng=9)
+        frequent = eclat(dataset, 10, max_size=2)
+        rules = generate_rules(frequent, dataset, min_confidence=0.0)
+        selected = significant_rules(dataset, rules, beta=0.05)
+        assert len(selected) <= max(1, len(rules) // 20)

@@ -1,0 +1,121 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the complete story the paper tells, on small synthetic
+datasets with known ground truth:
+
+* planted correlations are recovered with a small empirical FDR;
+* pure-null datasets yield no (or almost no) discoveries;
+* Procedure 2 is at least as powerful as Procedure 1;
+* the full pipeline is deterministic given seeds;
+* the library round-trips through the FIMI on-disk format.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.miner import SignificantItemsetMiner
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.core.procedure1 import run_procedure1
+from repro.core.procedure2 import run_procedure2
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.data.io import read_fimi, write_fimi
+from repro.stats.fdr import evaluate_discoveries
+
+
+def make_planted(num_items=40, t=800, extra=80, seed=0):
+    frequencies = {item: 0.06 for item in range(num_items)}
+    planted = [
+        PlantedItemset(items=(0, 1, 2, 3), extra_support=extra),
+        PlantedItemset(items=(10, 11, 12), extra_support=extra // 2),
+    ]
+    dataset = generate_planted_dataset(
+        frequencies, t, planted, rng=seed, name="planted"
+    )
+    return dataset, planted
+
+
+class TestPlantedRecovery:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_procedure2_recovers_planted_itemsets_with_low_fdr(self, k):
+        dataset, planted = make_planted(seed=1)
+        result = run_procedure2(dataset, k, num_datasets=40, rng=2)
+        assert result.found_threshold
+        confusion = evaluate_discoveries(result.significant, planted, k=k)
+        # Everything planted above the threshold is discovered …
+        assert confusion.recall >= 0.9
+        # … and false discoveries are rare (β = 0.05, allow Monte-Carlo slack).
+        assert confusion.false_discovery_proportion <= 0.2
+
+    def test_procedure1_and_2_agree_on_strong_signal(self):
+        dataset, planted = make_planted(seed=3)
+        threshold = find_poisson_threshold(dataset, 2, num_datasets=40, rng=4)
+        proc1 = run_procedure1(dataset, 2, threshold_result=threshold)
+        proc2 = run_procedure2(dataset, 2, threshold_result=threshold)
+        assert proc2.num_significant >= proc1.num_significant * 0.9
+        planted_pairs = {
+            pair
+            for plant in planted
+            for pair in [
+                (a, b)
+                for i, a in enumerate(plant.items)
+                for b in plant.items[i + 1 :]
+            ]
+        }
+        assert planted_pairs <= set(proc2.significant)
+        assert planted_pairs <= set(proc1.significant)
+
+    def test_null_dataset_produces_nothing(self):
+        frequencies = {item: 0.06 for item in range(40)}
+        dataset = generate_planted_dataset(frequencies, 800, rng=9, name="null")
+        result = run_procedure2(dataset, 2, num_datasets=40, rng=10)
+        assert not result.found_threshold
+        proc1 = run_procedure1(dataset, 2, num_datasets=40, rng=11)
+        assert proc1.num_significant <= 1
+
+
+class TestDeterminism:
+    def test_full_pipeline_is_reproducible(self):
+        dataset, _ = make_planted(seed=5)
+        first = SignificantItemsetMiner(k=2, num_datasets=25, rng=6).fit(dataset)
+        second = SignificantItemsetMiner(k=2, num_datasets=25, rng=6).fit(dataset)
+        assert first.s_min == second.s_min
+        assert first.procedure2().s_star == second.procedure2().s_star
+        assert first.procedure2().significant == second.procedure2().significant
+        assert first.procedure1().significant == second.procedure1().significant
+
+
+class TestOnDiskRoundTrip:
+    def test_pipeline_on_reloaded_fimi_file(self, tmp_path):
+        dataset, planted = make_planted(seed=7)
+        path = tmp_path / "planted.dat"
+        write_fimi(dataset, path)
+        reloaded = read_fimi(path)
+        assert reloaded.transactions == dataset.transactions
+
+        original = run_procedure2(dataset, 2, num_datasets=25, rng=8)
+        repeated = run_procedure2(reloaded, 2, num_datasets=25, rng=8)
+        assert original.s_star == repeated.s_star
+        assert original.significant == repeated.significant
+
+
+class TestFdrControlUnderNull:
+    def test_false_threshold_rate_is_low_over_repeated_nulls(self):
+        """Mini Table 4: over repeated pure-null datasets, Procedure 2 should
+        (almost) never return a finite threshold."""
+        frequencies = {item: 0.06 for item in range(30)}
+        hits = 0
+        trials = 8
+        for trial in range(trials):
+            dataset = generate_planted_dataset(
+                frequencies, 500, rng=100 + trial, name=f"null{trial}"
+            )
+            result = run_procedure2(
+                dataset, 2, num_datasets=25, rng=200 + trial, collect_significant=False
+            )
+            if result.found_threshold:
+                hits += 1
+        assert hits <= 1

@@ -1,0 +1,94 @@
+"""Unit tests for Binomial tail probabilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.binomial import (
+    binomial_pmf,
+    binomial_sf,
+    binomial_tail_normal,
+    binomial_tail_poisson,
+)
+
+
+class TestBinomialSf:
+    def test_matches_hand_computation(self):
+        # Pr(Bin(3, 0.5) >= 2) = 3/8 + 1/8 = 0.5
+        assert binomial_sf(2, 3, 0.5) == pytest.approx(0.5)
+
+    def test_inclusive_tail(self):
+        # Pr(Bin(10, 0.3) >= 0) = 1 and >= 11 is impossible.
+        assert binomial_sf(0, 10, 0.3) == 1.0
+        assert binomial_sf(11, 10, 0.3) == 0.0
+
+    def test_paper_motivating_example(self):
+        # Section 1.2: 1,000,000 transactions, pair probability 1/1,000,000;
+        # the probability of support >= 7 is about 0.0001.
+        pvalue = binomial_sf(7, 1_000_000, 1e-6)
+        assert pvalue == pytest.approx(1e-4, rel=0.2)
+
+    def test_degenerate_probabilities(self):
+        assert binomial_sf(1, 10, 0.0) == 0.0
+        assert binomial_sf(10, 10, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_sf(1, -1, 0.5)
+        with pytest.raises(ValueError):
+            binomial_sf(1, 10, 1.5)
+
+    @given(
+        trials=st.integers(1, 200),
+        threshold=st.integers(0, 200),
+        probability=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_is_a_probability_and_monotone(self, trials, threshold, probability):
+        value = binomial_sf(threshold, trials, probability)
+        assert 0.0 <= value <= 1.0
+        assert value >= binomial_sf(threshold + 1, trials, probability) - 1e-12
+
+    @given(trials=st.integers(1, 60), probability=st.floats(0.01, 0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_complements_pmf_sum(self, trials, probability):
+        threshold = trials // 2
+        tail = sum(
+            binomial_pmf(value, trials, probability)
+            for value in range(threshold, trials + 1)
+        )
+        assert binomial_sf(threshold, trials, probability) == pytest.approx(
+            tail, abs=1e-9
+        )
+
+
+class TestBinomialPmf:
+    def test_sums_to_one(self):
+        total = sum(binomial_pmf(value, 12, 0.3) for value in range(13))
+        assert total == pytest.approx(1.0)
+
+    def test_out_of_range_is_zero(self):
+        assert binomial_pmf(-1, 5, 0.5) == 0.0
+        assert binomial_pmf(6, 5, 0.5) == 0.0
+
+
+class TestApproximations:
+    def test_poisson_approximation_close_for_small_p(self):
+        exact = binomial_sf(5, 10_000, 1e-4)
+        approx = binomial_tail_poisson(5, 10_000, 1e-4)
+        assert approx == pytest.approx(exact, rel=0.02)
+
+    def test_normal_approximation_close_for_large_np(self):
+        exact = binomial_sf(520, 1000, 0.5)
+        approx = binomial_tail_normal(520, 1000, 0.5)
+        assert approx == pytest.approx(exact, rel=0.1)
+
+    def test_edge_cases(self):
+        assert binomial_tail_poisson(0, 10, 0.1) == 1.0
+        assert binomial_tail_normal(0, 10, 0.1) == 1.0
+        assert binomial_tail_normal(5, 0, 0.1) == 0.0
+        assert binomial_tail_normal(3, 10, 0.0) == 0.0

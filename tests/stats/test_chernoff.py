@@ -1,0 +1,82 @@
+"""Unit tests for Chernoff bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.binomial import binomial_sf
+from repro.stats.chernoff import (
+    chernoff_bound_above,
+    chernoff_bound_below,
+    poisson_tail_chernoff,
+)
+from repro.stats.poisson import poisson_upper_tail
+
+
+class TestChernoffAbove:
+    def test_vacuous_below_mean(self):
+        assert chernoff_bound_above(10.0, 5.0) == 1.0
+
+    def test_upper_bounds_binomial_tail(self):
+        # X ~ Bin(1000, 0.01), mean 10: the bound must dominate the true tail.
+        mean = 10.0
+        for threshold in (15, 20, 30, 50):
+            bound = chernoff_bound_above(mean, threshold)
+            true_tail = binomial_sf(threshold, 1000, 0.01)
+            assert bound >= true_tail
+
+    def test_paper_disjoint_pairs_example(self):
+        # Section 1.2: 300 disjoint pairs each reaching support >= 7 when the
+        # expected number of such successes is ~0.0001 * 300; the probability
+        # is (much) less than 2^-300.  Our bound on a single Binomial with
+        # mean 0.03 reaching 300 is astronomically small.
+        bound = chernoff_bound_above(300 * 1e-4, 300)
+        assert bound < 2.0**-300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_bound_above(-1.0, 5.0)
+
+    @given(mean=st.floats(0.01, 50.0), factor=st.floats(1.01, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_bound_is_probability_and_decreasing(self, mean, factor):
+        threshold = mean * factor
+        bound = chernoff_bound_above(mean, threshold)
+        assert 0.0 <= bound <= 1.0
+        assert chernoff_bound_above(mean, threshold * 1.5) <= bound + 1e-12
+
+
+class TestChernoffBelow:
+    def test_vacuous_above_mean(self):
+        assert chernoff_bound_below(10.0, 12.0) == 1.0
+
+    def test_negative_threshold(self):
+        assert chernoff_bound_below(10.0, -1.0) == 0.0
+
+    def test_upper_bounds_binomial_lower_tail(self):
+        mean = 50.0  # Bin(1000, 0.05)
+        for threshold in (40, 30, 20):
+            bound = chernoff_bound_below(mean, threshold)
+            true_tail = 1.0 - binomial_sf(threshold + 1, 1000, 0.05)
+            assert bound >= true_tail
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_bound_below(-1.0, 0.5)
+
+
+class TestPoissonChernoff:
+    def test_upper_bounds_poisson_tail(self):
+        for mean in (0.5, 2.0, 10.0):
+            for threshold in (int(mean) + 1, int(mean) + 5, int(mean) + 20):
+                assert poisson_tail_chernoff(mean, threshold) >= poisson_upper_tail(
+                    threshold, mean
+                )
+
+    def test_edge_cases(self):
+        assert poisson_tail_chernoff(0.0, 1) == 0.0
+        assert poisson_tail_chernoff(5.0, 3) == 1.0
+        with pytest.raises(ValueError):
+            poisson_tail_chernoff(-1.0, 2)

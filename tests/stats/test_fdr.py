@@ -1,0 +1,79 @@
+"""Unit tests for empirical FDR / power evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.generators import PlantedItemset
+from repro.stats.fdr import (
+    ConfusionCounts,
+    evaluate_discoveries,
+    is_dependent_under_planting,
+    planted_k_subsets,
+)
+
+
+class TestPlantedKSubsets:
+    def test_enumerates_subsets(self):
+        planted = [PlantedItemset(items=(1, 2, 3), extra_support=5)]
+        assert planted_k_subsets(planted, 2) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_skips_groups_smaller_than_k(self):
+        planted = [PlantedItemset(items=(1, 2), extra_support=5)]
+        assert planted_k_subsets(planted, 3) == set()
+
+    def test_union_over_groups(self):
+        planted = [
+            PlantedItemset(items=(1, 2), extra_support=5),
+            PlantedItemset(items=(3, 4), extra_support=5),
+        ]
+        assert planted_k_subsets(planted, 2) == {(1, 2), (3, 4)}
+
+
+class TestEvaluateDiscoveries:
+    def test_counts(self):
+        planted = [PlantedItemset(items=(1, 2, 3), extra_support=5)]
+        counts = evaluate_discoveries([(1, 2), (7, 8)], planted, k=2)
+        assert counts.true_positives == 1
+        assert counts.false_positives == 1
+        assert counts.false_negatives == 2
+        assert counts.num_discoveries == 2
+        assert counts.false_discovery_proportion == pytest.approx(0.5)
+        assert counts.precision == pytest.approx(0.5)
+        assert counts.recall == pytest.approx(1 / 3)
+
+    def test_empty_discoveries(self):
+        planted = [PlantedItemset(items=(1, 2), extra_support=5)]
+        counts = evaluate_discoveries([], planted, k=2)
+        assert counts.false_discovery_proportion == 0.0
+        assert counts.recall == 0.0
+
+    def test_no_planted_structure(self):
+        counts = evaluate_discoveries([(1, 2)], [], k=2)
+        assert counts.false_positives == 1
+        assert counts.recall == 1.0
+
+    def test_duplicate_and_unordered_discoveries_are_canonicalised(self):
+        planted = [PlantedItemset(items=(1, 2, 3), extra_support=5)]
+        counts = evaluate_discoveries([(2, 1), (1, 2)], planted, k=2)
+        assert counts.true_positives == 1
+        assert counts.false_positives == 0
+
+    def test_perfect_recovery(self):
+        planted = [PlantedItemset(items=(1, 2, 3), extra_support=5)]
+        discoveries = [(1, 2), (1, 3), (2, 3)]
+        counts = evaluate_discoveries(discoveries, planted, k=2)
+        assert counts == ConfusionCounts(3, 0, 0)
+        assert counts.precision == 1.0
+        assert counts.recall == 1.0
+
+    def test_partially_planted_discovery_is_a_true_positive(self):
+        # {1, 2, 9} contains two members of the planted group, so its items
+        # are genuinely dependent even though 9 was never planted.
+        planted = [PlantedItemset(items=(1, 2, 3), extra_support=5)]
+        counts = evaluate_discoveries([(1, 2, 9)], planted, k=3)
+        assert counts.true_positives == 1
+        assert counts.false_positives == 0
+        # But an itemset touching only one planted item is not dependent.
+        assert not is_dependent_under_planting((1, 8, 9), planted)
+        assert is_dependent_under_planting((2, 3, 9), planted)

@@ -1,0 +1,167 @@
+"""Unit tests for the multiple-testing corrections (Bonferroni, Holm, BH, BY)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.multiple_testing import (
+    benjamini_hochberg,
+    benjamini_yekutieli,
+    bonferroni,
+    harmonic_number,
+    holm,
+)
+
+
+class TestHarmonicNumber:
+    def test_small_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_large_value_uses_asymptotic_form(self):
+        # H_n ≈ ln(n) + γ; check the approximation branch is close to the
+        # exact sum extrapolated from a smaller exact value.
+        big = 20_000_000
+        approx = harmonic_number(big)
+        assert approx == pytest.approx(np.log(big) + 0.5772156649, rel=1e-6)
+
+    def test_monotone(self):
+        values = [harmonic_number(n) for n in range(1, 50)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+
+class TestBonferroni:
+    def test_basic(self):
+        result = bonferroni([0.001, 0.02, 0.9], level=0.05)
+        assert result.rejected == (True, False, False)
+        assert result.num_rejected == 1
+        assert result.method == "bonferroni"
+
+    def test_extra_hypotheses_make_it_stricter(self):
+        loose = bonferroni([0.01], level=0.05)
+        strict = bonferroni([0.01], level=0.05, num_hypotheses=100)
+        assert loose.num_rejected == 1
+        assert strict.num_rejected == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bonferroni([0.5], level=1.5)
+        with pytest.raises(ValueError):
+            bonferroni([1.5], level=0.05)
+        with pytest.raises(ValueError):
+            bonferroni([0.5, 0.5], level=0.05, num_hypotheses=1)
+
+
+class TestHolm:
+    def test_at_least_as_powerful_as_bonferroni(self):
+        pvalues = [0.001, 0.012, 0.03, 0.2]
+        bonf = bonferroni(pvalues, 0.05)
+        holm_result = holm(pvalues, 0.05)
+        assert holm_result.num_rejected >= bonf.num_rejected
+
+    def test_step_down_stops_at_first_failure(self):
+        # Sorted p-values are 0.001, 0.03, 0.04 with Holm cutoffs 0.05/3,
+        # 0.05/2, 0.05/1.  The second one fails (0.03 > 0.025), so the walk
+        # stops after a single rejection even though 0.04 <= 0.05.
+        result = holm([0.001, 0.04, 0.03], level=0.05)
+        assert result.num_rejected == 1
+
+
+class TestStepUpProcedures:
+    def test_bh_classic_example(self):
+        pvalues = [0.01, 0.04, 0.03, 0.005, 0.9]
+        result = benjamini_hochberg(pvalues, level=0.05)
+        # Sorted: 0.005, 0.01, 0.03, 0.04, 0.9 with cutoffs 0.01, 0.02, 0.03,
+        # 0.04, 0.05 -> the largest passing rank is 4.
+        assert result.num_rejected == 4
+        assert result.rejected[-1] is False
+
+    def test_by_is_more_conservative_than_bh(self):
+        pvalues = list(np.linspace(0.001, 0.2, 25))
+        bh = benjamini_hochberg(pvalues, level=0.05)
+        by = benjamini_yekutieli(pvalues, level=0.05)
+        assert by.num_rejected <= bh.num_rejected
+        assert set(by.rejected_indices()) <= set(bh.rejected_indices())
+
+    def test_by_matches_theorem5_formula(self):
+        # Theorem 5: reject the ℓ smallest p-values where ℓ is the largest i
+        # with p_(i) <= i * β / (m * H_m).
+        pvalues = [0.00001, 0.0005, 0.002, 0.2]
+        m = 10
+        beta = 0.05
+        result = benjamini_yekutieli(pvalues, beta, num_hypotheses=m)
+        h_m = harmonic_number(m)
+        expected = 0
+        for rank, p in enumerate(sorted(pvalues), start=1):
+            if p <= rank * beta / (m * h_m):
+                expected = rank
+        assert result.num_rejected == expected
+
+    def test_no_rejections(self):
+        result = benjamini_yekutieli([0.5, 0.9], level=0.05)
+        assert result.num_rejected == 0
+        assert result.threshold == 0.0
+
+    def test_empty_input(self):
+        result = benjamini_yekutieli([], level=0.05)
+        assert result.num_rejected == 0
+
+    def test_rejections_respect_threshold(self):
+        pvalues = [0.001, 0.02, 0.2, 0.0001]
+        result = benjamini_hochberg(pvalues, 0.05)
+        for p, rejected in zip(pvalues, result.rejected):
+            assert rejected == (p <= result.threshold)
+
+
+class TestStepUpProperties:
+    @given(
+        pvalues=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=40),
+        level=st.floats(0.01, 0.2),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_step_up_invariants(self, pvalues, level):
+        for procedure in (benjamini_hochberg, benjamini_yekutieli, bonferroni, holm):
+            result = procedure(pvalues, level)
+            assert len(result.rejected) == len(pvalues)
+            assert result.num_rejected == sum(result.rejected)
+            # Rejections are always among the smallest p-values.
+            if result.num_rejected:
+                rejected_max = max(
+                    pvalues[index] for index in result.rejected_indices()
+                )
+                accepted_min = min(
+                    (
+                        pvalues[index]
+                        for index in range(len(pvalues))
+                        if not result.rejected[index]
+                    ),
+                    default=1.0,
+                )
+                assert rejected_max <= accepted_min + 1e-12
+
+    @given(
+        pvalues=st.lists(st.floats(0.0, 1.0), min_size=1, max_size=30),
+        level=st.floats(0.01, 0.2),
+        extra=st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_more_hypotheses_never_increase_rejections(self, pvalues, level, extra):
+        base = benjamini_yekutieli(pvalues, level)
+        widened = benjamini_yekutieli(
+            pvalues, level, num_hypotheses=len(pvalues) + extra
+        )
+        assert widened.num_rejected <= base.num_rejected
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_by_controls_fdr_on_null_pvalues(self, seed):
+        # Under the global null (uniform p-values) any rejection is a false
+        # discovery; BY at level 0.05 should essentially never reject.
+        rng = np.random.default_rng(seed)
+        pvalues = rng.uniform(size=50).tolist()
+        result = benjamini_yekutieli(pvalues, 0.05)
+        assert result.num_rejected <= 2

@@ -1,0 +1,59 @@
+"""Unit tests for Poisson distribution helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.poisson import poisson_cdf, poisson_pmf, poisson_sf, poisson_upper_tail
+
+
+class TestPoisson:
+    def test_pmf_at_zero(self):
+        assert poisson_pmf(0, 2.0) == pytest.approx(math.exp(-2.0))
+
+    def test_pmf_sums_to_one(self):
+        total = sum(poisson_pmf(value, 3.0) for value in range(60))
+        assert total == pytest.approx(1.0)
+
+    def test_cdf_plus_sf_is_one(self):
+        assert poisson_cdf(4, 2.5) + poisson_sf(4, 2.5) == pytest.approx(1.0)
+
+    def test_upper_tail_is_inclusive(self):
+        # Pr(X >= 1) = 1 - Pr(X = 0).
+        assert poisson_upper_tail(1, 2.0) == pytest.approx(1.0 - math.exp(-2.0))
+        # Pr(X >= 0) = 1.
+        assert poisson_upper_tail(0, 2.0) == 1.0
+
+    def test_upper_tail_zero_mean(self):
+        assert poisson_upper_tail(1, 0.0) == 0.0
+        assert poisson_upper_tail(0, 0.0) == 1.0
+
+    def test_negative_counts(self):
+        assert poisson_pmf(-1, 1.0) == 0.0
+        assert poisson_cdf(-1, 1.0) == 0.0
+        assert poisson_sf(-1, 1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_pmf(1, -1.0)
+        with pytest.raises(ValueError):
+            poisson_upper_tail(1, -0.5)
+
+    @given(mean=st.floats(0.0, 50.0), count=st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_tail_is_probability_and_monotone(self, mean, count):
+        value = poisson_upper_tail(count, mean)
+        assert 0.0 <= value <= 1.0
+        assert value >= poisson_upper_tail(count + 1, mean) - 1e-12
+
+    @given(mean=st.floats(0.01, 30.0), count=st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_upper_tail_matches_pmf_relation(self, mean, count):
+        # Pr(X >= c) = Pr(X >= c+1) + Pr(X = c).
+        lhs = poisson_upper_tail(count, mean)
+        rhs = poisson_upper_tail(count + 1, mean) + poisson_pmf(count, mean)
+        assert lhs == pytest.approx(rhs, abs=1e-9)

@@ -1,0 +1,59 @@
+"""Unit tests for per-itemset p-values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.random_model import RandomDatasetModel
+from repro.stats.binomial import binomial_sf
+from repro.stats.pvalues import itemset_pvalue, itemset_pvalues
+
+
+class TestItemsetPvalue:
+    def test_matches_binomial_tail(self, tiny_dataset):
+        # f_1 = 0.6, f_2 = 0.8 -> f_X = 0.48, t = 5, observed support 3.
+        expected = binomial_sf(3, 5, 0.48)
+        assert itemset_pvalue(tiny_dataset, (1, 2), 3) == pytest.approx(expected)
+
+    def test_accepts_model_source(self, small_model):
+        expected = binomial_sf(10, 200, 0.30 * 0.25)
+        assert itemset_pvalue(small_model, (0, 1), 10) == pytest.approx(expected)
+
+    def test_unknown_item_gives_zero_probability(self, tiny_dataset):
+        # Null probability 0 -> support >= 1 is impossible under the null.
+        assert itemset_pvalue(tiny_dataset, (1, 999), 1) == 0.0
+        assert itemset_pvalue(tiny_dataset, (1, 999), 0) == 1.0
+
+    def test_higher_support_gives_smaller_pvalue(self, tiny_dataset):
+        p_low = itemset_pvalue(tiny_dataset, (1, 2), 2)
+        p_high = itemset_pvalue(tiny_dataset, (1, 2), 4)
+        assert p_high < p_low
+
+    def test_rejects_bare_frequency_mapping(self):
+        with pytest.raises(TypeError):
+            itemset_pvalue({1: 0.5}, (1,), 2)
+
+
+class TestItemsetPvalues:
+    def test_batch_matches_single(self, tiny_dataset):
+        supports = {(1, 2): 3, (2, 3): 3, (1, 4): 1}
+        batch = itemset_pvalues(tiny_dataset, supports)
+        for itemset, support in supports.items():
+            assert batch[itemset] == pytest.approx(
+                itemset_pvalue(tiny_dataset, itemset, support)
+            )
+
+    def test_keys_are_canonical(self, tiny_dataset):
+        batch = itemset_pvalues(tiny_dataset, {(2, 1): 3})
+        assert (1, 2) in batch
+
+    def test_planted_itemset_has_tiny_pvalue(self, correlated_dataset):
+        support = correlated_dataset.support((100, 101, 102))
+        pvalue = itemset_pvalue(correlated_dataset, (100, 101, 102), support)
+        assert pvalue < 1e-20
+
+    def test_null_itemset_has_unremarkable_pvalue(self, correlated_dataset):
+        # A pair of independent background items should not look significant.
+        support = correlated_dataset.support((0, 1))
+        pvalue = itemset_pvalue(correlated_dataset, (0, 1), support)
+        assert pvalue > 1e-4

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import read_fimi
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_generate_arguments(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "bms1", "--output", "x.dat", "--seed", "3"]
+        )
+        assert args.command == "generate"
+        assert args.dataset == "bms1"
+        assert args.seed == 3
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "--input", "x.dat"])
+        assert args.k == 2
+        assert args.alpha == 0.05
+        assert args.procedure == "2"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--dataset", "nope", "--output", "x.dat"]
+            )
+
+
+class TestCommands:
+    def test_generate_then_summary_then_mine(self, tmp_path, capsys):
+        output = tmp_path / "bms1.dat"
+        code = main(
+            [
+                "generate",
+                "--dataset",
+                "bms1",
+                "--output",
+                str(output),
+                "--scale",
+                "0.01",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        dataset = read_fimi(output)
+        assert dataset.num_transactions > 0
+        generated = capsys.readouterr().out
+        assert "written to" in generated
+
+        assert main(["summary", "--input", str(output)]) == 0
+        summary_output = capsys.readouterr().out
+        assert "t=" in summary_output
+
+        code = main(
+            [
+                "mine",
+                "--input",
+                str(output),
+                "--k",
+                "2",
+                "--delta",
+                "10",
+                "--seed",
+                "1",
+                "--procedure",
+                "both",
+                "--max-print",
+                "5",
+            ]
+        )
+        assert code == 0
+        mined_output = capsys.readouterr().out
+        assert "s_min (Algorithm 1):" in mined_output
+        assert "Procedure 2: s* =" in mined_output
+        assert "Procedure 1 (Benjamini-Yekutieli)" in mined_output
+
+    def test_experiment_command(self, capsys):
+        code = main(["experiment", "--table", "table1", "--preset", "quick"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "retail" in output

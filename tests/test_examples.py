@@ -1,0 +1,51 @@
+"""Smoke tests for the example scripts.
+
+The examples are full runs of the methodology and take tens of seconds each,
+so the tests here only check that every example compiles, exposes a ``main``
+entry point, and builds its workload correctly; the cheapest example is also
+executed end to end.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_at_least_three_examples_exist(self):
+        assert len(EXAMPLE_FILES) >= 3
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+    def test_example_compiles_and_has_main(self, path):
+        py_compile.compile(str(path), doraise=True)
+        module = load_module(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_quickstart_dataset_contains_planted_structure(self):
+        module = load_module(EXAMPLES_DIR / "quickstart.py")
+        dataset, planted = module.build_dataset()
+        assert dataset.num_transactions == 1000
+        for plant in planted:
+            assert dataset.support(plant.items) >= plant.extra_support
+
+    def test_planted_pattern_recovery_single_sweep_point(self):
+        module = load_module(EXAMPLES_DIR / "planted_pattern_recovery.py")
+        planted, threshold, proc1, proc2 = module.run_once(extra_support=120, seed=3)
+        assert threshold.s_min >= 1
+        assert proc2.found_threshold
+        assert proc2.num_significant >= proc1.num_significant * 0.9

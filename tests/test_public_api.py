@@ -1,0 +1,32 @@
+"""Smoke tests for the top-level package API."""
+
+from __future__ import annotations
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_key_entry_points_are_callable_or_classes(self):
+        assert callable(repro.find_poisson_threshold)
+        assert callable(repro.run_procedure1)
+        assert callable(repro.run_procedure2)
+        assert callable(repro.mine_k_itemsets)
+        assert isinstance(repro.BENCHMARK_NAMES, tuple)
+
+    def test_subpackages_importable(self):
+        import repro.core
+        import repro.data
+        import repro.experiments
+        import repro.fim
+        import repro.stats
+
+        for module in (repro.core, repro.data, repro.fim, repro.stats, repro.experiments):
+            for name in module.__all__:
+                assert hasattr(module, name)
