@@ -1,0 +1,159 @@
+"""Counting-backend benchmark: pure-Python vs NumPy packed bitmaps.
+
+Times the two counting backends on the ``bms1`` benchmark-analogue workloads
+that drive the whole methodology and emits ``BENCH_counting.json`` next to
+this script, so later PRs have a perf trajectory to regress against:
+
+* ``mine_k_itemsets`` at the "interesting region" support (``t / 200``) for
+  ``k = 2, 3, 4`` — the fixed-k primitive issued by Algorithm 1, Procedure 1
+  and Procedure 2;
+* the end-to-end ``SignificantItemsetMiner.fit`` (Algorithm 1 with Δ = 100
+  Monte-Carlo datasets).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+
+The functions are also imported by ``benchmarks/test_backend_speedup.py``,
+which asserts (with slacker thresholds, to stay robust on noisy CI hosts)
+that the speedups recorded here do not regress.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Callable, Optional
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(__file__), "BENCH_counting.json")
+
+#: Scale of the bms1 analogue used for the fixed-k workloads (the same
+#: "half default scale" convention as benchmarks/test_miner_performance.py
+#: uses keeps the python baseline affordable).
+FIXED_K_SCALE = 0.5
+FIXED_K_SIZES = (2, 3, 4)
+FIT_NUM_DATASETS = 100
+
+
+def _time_call(function: Callable[[], object], repeats: int) -> float:
+    """Best wall-clock time of ``function()`` over ``repeats`` runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workload_entry(name: str, python_seconds: float, numpy_seconds: float) -> dict:
+    return {
+        "workload": name,
+        "python_seconds": round(python_seconds, 6),
+        "numpy_seconds": round(numpy_seconds, 6),
+        "speedup": round(python_seconds / numpy_seconds, 3),
+    }
+
+
+def bench_fixed_k(repeats: int = 3) -> list[dict]:
+    """Time ``mine_k_itemsets`` on bms1 for each backend and each k."""
+    from repro.data.benchmarks import generate_benchmark
+    from repro.fim.kitemsets import mine_k_itemsets
+
+    dataset = generate_benchmark("bms1", scale=FIXED_K_SCALE, rng=0)
+    min_support = max(2, dataset.num_transactions // 200)
+    # Warm both cached views so the timings isolate the mining kernels.
+    dataset.vertical()
+    dataset.packed()
+
+    entries: list[dict] = []
+    python_total = 0.0
+    numpy_total = 0.0
+    for k in FIXED_K_SIZES:
+        seconds = {}
+        for backend in ("python", "numpy"):
+            seconds[backend] = _time_call(
+                lambda b=backend: mine_k_itemsets(dataset, k, min_support, backend=b),
+                repeats,
+            )
+        python_total += seconds["python"]
+        numpy_total += seconds["numpy"]
+        entries.append(
+            _workload_entry(
+                f"mine_k_itemsets[bms1,scale={FIXED_K_SCALE},k={k},s={min_support}]",
+                seconds["python"],
+                seconds["numpy"],
+            )
+        )
+    entries.append(
+        _workload_entry(
+            f"mine_k_itemsets[bms1,scale={FIXED_K_SCALE},k={FIXED_K_SIZES},"
+            f"s={min_support},aggregate]",
+            python_total,
+            numpy_total,
+        )
+    )
+    return entries
+
+
+def bench_fit(repeats: int = 1) -> dict:
+    """Time end-to-end ``SignificantItemsetMiner.fit`` for each backend."""
+    from repro.core.miner import SignificantItemsetMiner
+    from repro.data.benchmarks import generate_benchmark
+
+    dataset = generate_benchmark("bms1", rng=0)
+    seconds = {}
+    for backend in ("python", "numpy"):
+        seconds[backend] = _time_call(
+            lambda b=backend: SignificantItemsetMiner(
+                k=2, num_datasets=FIT_NUM_DATASETS, rng=0, backend=b
+            ).fit(dataset),
+            repeats,
+        )
+    return _workload_entry(
+        f"miner_fit[bms1,k=2,delta={FIT_NUM_DATASETS}]",
+        seconds["python"],
+        seconds["numpy"],
+    )
+
+
+def run_all(repeats: int = 3, fit_repeats: int = 1) -> dict:
+    """Run every workload and return the report dictionary."""
+    import numpy
+    import platform
+
+    workloads = bench_fixed_k(repeats=repeats)
+    workloads.append(bench_fit(repeats=fit_repeats))
+    return {
+        "benchmark": "counting-backend",
+        "dataset": "bms1",
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "workloads": workloads,
+    }
+
+
+def write_report(report: dict, output_path: Optional[str] = None) -> str:
+    path = output_path or DEFAULT_OUTPUT
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def main(argv: list[str]) -> int:
+    output_path = argv[1] if len(argv) > 1 else DEFAULT_OUTPUT
+    report = run_all()
+    path = write_report(report, output_path)
+    for entry in report["workloads"]:
+        print(
+            f"{entry['workload']}: python={entry['python_seconds']:.4f}s "
+            f"numpy={entry['numpy_seconds']:.4f}s speedup={entry['speedup']:.2f}x"
+        )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,33 @@
+"""Regression guard: the NumPy packed backend must stay faster than Python.
+
+Times the old (pure-Python int bitsets) vs new (NumPy packed bitmaps)
+counting backends on the ``bms1`` workloads via the helpers in
+``run_bench.py``.  The committed ``BENCH_counting.json`` (regenerated with
+``PYTHONPATH=src python benchmarks/run_bench.py``) records the measured
+trajectory — >= 5x on fixed-k mining, >= 3x on the end-to-end fit; the
+assertions here use slacker floors so the suite stays robust on noisy or
+throttled CI hosts while still catching a real regression (a backend
+falling back to scalar code would land near 1x).
+"""
+
+from __future__ import annotations
+
+import run_bench
+
+
+def test_fixed_k_mining_speedup():
+    entries = run_bench.bench_fixed_k(repeats=2)
+    aggregate = entries[-1]
+    assert "aggregate" in aggregate["workload"]
+    # Measured >= 10x on an idle host; require a comfortable margin of it.
+    assert aggregate["speedup"] >= 3.0, entries
+
+    per_k = {entry["workload"]: entry["speedup"] for entry in entries[:-1]}
+    # Every individual k must at least not lose to the python backend.
+    assert all(speedup >= 1.0 for speedup in per_k.values()), per_k
+
+
+def test_end_to_end_fit_speedup():
+    entry = run_bench.bench_fit(repeats=1)
+    # Measured >= 3x on an idle host.
+    assert entry["speedup"] >= 1.5, entry

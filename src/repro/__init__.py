@@ -11,7 +11,10 @@ The public API re-exports the pieces most users need:
 * datasets: :class:`TransactionDataset`, :func:`read_fimi`,
   :func:`generate_benchmark`, :class:`RandomDatasetModel`;
 * mining: :func:`mine_k_itemsets`, :func:`apriori`, :func:`eclat`,
-  :func:`fpgrowth`;
+  :func:`fpgrowth` — the first three accepting ``backend="python" |
+  "numpy"`` (the default NumPy packed-bitmap backend is also selectable
+  globally via the ``REPRO_BACKEND`` environment variable; see
+  :mod:`repro.fim.bitmap`);
 * the methodology: :func:`find_poisson_threshold` (Algorithm 1),
   :func:`run_procedure1`, :func:`run_procedure2`, and the
   :class:`SignificantItemsetMiner` facade.
@@ -60,6 +63,7 @@ from repro.data import (
 )
 from repro.fim import (
     AssociationRule,
+    PackedIndex,
     VerticalIndex,
     apriori,
     closed_itemsets,
@@ -68,6 +72,7 @@ from repro.fim import (
     generate_rules,
     maximal_itemsets,
     mine_k_itemsets,
+    resolve_backend,
     significant_rules,
 )
 from repro.stats import (
@@ -92,6 +97,7 @@ __all__ = [
     "DatasetSummary",
     "MinerConfig",
     "MonteCarloNullEstimator",
+    "PackedIndex",
     "PlantedItemset",
     "PoissonThresholdResult",
     "Procedure1Result",
@@ -132,6 +138,7 @@ __all__ = [
     "powerlaw_frequencies",
     "read_fimi",
     "read_transactions_csv",
+    "resolve_backend",
     "run_procedure1",
     "run_procedure2",
     "run_procedure2_swap",

@@ -21,6 +21,15 @@ All per-support queries are vectorised over that matrix, so evaluating the
 Chen–Stein bounds at many candidate supports stays cheap even when ``W``
 contains tens of thousands of itemsets.
 
+With the default ``numpy`` counting backend the Δ datasets never exist as
+Python transaction lists: each one is drawn directly in packed-bitmap form
+(:meth:`~repro.data.random_model.RandomDatasetModel.sample_packed`) and mined
+with the vectorized kernels of :mod:`repro.fim.bitmap`.  Set
+``REPRO_BACKEND=python`` (or ``backend="python"``) to fall back to the
+pure-Python pipeline, and ``n_jobs > 1`` to fan the Δ sample/mine tasks out
+across worker processes (deterministic per seed: each dataset gets its own
+spawned child generator and results are consumed in submission order).
+
 :func:`analytic_lambda` provides an independent, truncated analytic estimate
 of ``λ(s)`` (a sum of Binomial tails over the highest-frequency itemsets) used
 to cross-validate the Monte-Carlo estimator in the tests.
@@ -29,6 +38,7 @@ to cross-validate the Monte-Carlo estimator in the tests.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterator
 from heapq import nlargest
 from itertools import combinations
 from typing import Optional, Union
@@ -36,11 +46,50 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.data.random_model import RandomDatasetModel
+from repro.fim.bitmap import resolve_backend
 from repro.fim.itemsets import Itemset
 from repro.fim.kitemsets import mine_k_itemsets
 from repro.stats.binomial import binomial_sf
 
 __all__ = ["MonteCarloNullEstimator", "analytic_lambda"]
+
+
+def _mine_one_null_sample(
+    model: RandomDatasetModel,
+    k: int,
+    mining_support: int,
+    backend: str,
+    generator: np.random.Generator,
+) -> dict[Itemset, int]:
+    """Sample one null dataset and mine its k-itemsets.
+
+    Module-level so that ``n_jobs > 1`` can ship it to worker processes.
+    """
+    if backend == "numpy":
+        packed = model.sample_packed(generator)
+        return mine_k_itemsets(packed, k, mining_support)
+    dataset = model.sample(generator)
+    return mine_k_itemsets(dataset, k, mining_support, backend=backend)
+
+
+def _pair_arrays_one_sample(
+    model: RandomDatasetModel,
+    mining_support: int,
+    generator: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample one packed null dataset and return its frequent pairs as arrays.
+
+    The pairs are encoded as ``position_a * n + position_b`` keys (positions
+    into the model's sorted item universe), so the whole Δ-dataset collection
+    can be aggregated with ``np.union1d``/``np.searchsorted`` instead of
+    per-itemset Python dictionaries.  Module-level for ``n_jobs`` pickling.
+    """
+    from repro.fim.bitmap import pair_supports_packed
+
+    packed = model.sample_packed(generator)
+    pairs, counts = pair_supports_packed(packed, mining_support)
+    keys = pairs[:, 0] * np.int64(model.num_items) + pairs[:, 1]
+    return keys, counts
 
 
 class MonteCarloNullEstimator:
@@ -64,6 +113,14 @@ class MonteCarloNullEstimator:
         Advisory limit used by callers (Algorithm 1 raises its starting
         support when the union ``W`` exceeds it); the pairwise (``b2``)
         machinery also refuses to build its pair index beyond this size.
+    backend:
+        Counting backend for the Δ sample/mine passes: ``"numpy"`` (packed
+        bitmaps, the default) or ``"python"``; ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable.
+    n_jobs:
+        Number of worker processes for the Δ sample/mine passes (1 =
+        sequential, in-process).  Parallel collection is deterministic per
+        seed but follows a different RNG stream than sequential collection.
     """
 
     def __init__(
@@ -74,6 +131,8 @@ class MonteCarloNullEstimator:
         mining_support: int,
         rng: Optional[Union[int, np.random.Generator]] = None,
         max_union_size: int = 50_000,
+        backend: Optional[str] = None,
+        n_jobs: int = 1,
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -81,11 +140,15 @@ class MonteCarloNullEstimator:
             raise ValueError("num_datasets must be at least 1")
         if mining_support < 1:
             raise ValueError("mining_support must be at least 1")
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
         self.model = model
         self.k = k
         self.num_datasets = int(num_datasets)
         self.mining_support = int(mining_support)
         self.max_union_size = int(max_union_size)
+        self.backend = resolve_backend(backend)
+        self.n_jobs = int(n_jobs)
         self._rng = (
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         )
@@ -99,6 +162,84 @@ class MonteCarloNullEstimator:
     # ------------------------------------------------------------------
     # Sampling and mining
     # ------------------------------------------------------------------
+    def _iter_samples(self, worker, args: tuple) -> Iterator:
+        """Yield ``worker(*args, generator)`` for each of the Δ datasets.
+
+        Sequential (``n_jobs == 1``) collection draws from the estimator's
+        own generator; parallel collection ships the worker to a process pool
+        with one spawned child generator per dataset and consumes results in
+        submission order, so both are deterministic per seed.
+        """
+        if self.n_jobs == 1:
+            for _ in range(self.num_datasets):
+                yield worker(*args, self._rng)
+            return
+        from concurrent.futures import ProcessPoolExecutor
+
+        child_rngs = self._rng.spawn(self.num_datasets)
+        max_workers = min(self.n_jobs, self.num_datasets)
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(worker, *args, child) for child in child_rngs]
+            try:
+                for future in futures:
+                    yield future.result()
+            finally:
+                # Early truncation stops consuming; drop the queued remainder.
+                for future in futures:
+                    future.cancel()
+
+    def _iter_mined(self) -> Iterator[dict[Itemset, int]]:
+        """Yield the mined k-itemset dict of each of the Δ null datasets."""
+        return self._iter_samples(
+            _mine_one_null_sample,
+            (self.model, self.k, self.mining_support, self.backend),
+        )
+
+    def _collect_pairs_numpy(self) -> None:
+        """Array-native Δ-dataset collection for ``k = 2`` (numpy backend).
+
+        Each dataset contributes a key array (``position_a * n +
+        position_b``) and a support array straight from the packed pair
+        kernel; the union ``W`` is maintained with ``np.union1d`` and the
+        profile matrix is scattered with ``np.searchsorted`` — the only
+        per-itemset Python loop left is the one that decodes the final union
+        back into itemset tuples, once.
+        """
+        self.truncated = False
+        items = self.model.items
+        n = len(items)
+        key_arrays: list[np.ndarray] = []
+        count_arrays: list[np.ndarray] = []
+        union_keys = np.empty(0, dtype=np.int64)
+        for keys, counts in self._iter_samples(
+            _pair_arrays_one_sample, (self.model, self.mining_support)
+        ):
+            key_arrays.append(keys)
+            count_arrays.append(counts)
+            if counts.size:
+                top = int(counts.max())
+                if top > self._max_observed_support:
+                    self._max_observed_support = top
+            union_keys = np.union1d(union_keys, keys)
+            if union_keys.size > self.max_union_size:
+                self.truncated = True
+                break
+
+        self._itemsets = [
+            (items[int(key) // n], items[int(key) % n]) for key in union_keys
+        ]
+        self._index_of = {
+            itemset: position for position, itemset in enumerate(self._itemsets)
+        }
+        if self.truncated:
+            self._profiles = np.zeros((0, self.num_datasets), dtype=np.int64)
+            return
+        profiles = np.zeros((union_keys.size, self.num_datasets), dtype=np.int64)
+        for column, (keys, counts) in enumerate(zip(key_arrays, count_arrays)):
+            if keys.size:
+                profiles[np.searchsorted(union_keys, keys), column] = counts
+        self._profiles = profiles
+
     def _collect(self) -> None:
         """Sample Δ datasets and record, per itemset, its support profile.
 
@@ -107,13 +248,20 @@ class MonteCarloNullEstimator:
         ``max_union_size``: callers such as Algorithm 1 interpret that as
         "the mining support is too low" and retry at a higher support, so
         finishing the expensive collection would be wasted work.
+
+        For the common ``k = 2`` case on the numpy backend, the whole
+        collection is array-native (:meth:`_collect_pairs_numpy`): each
+        dataset's frequent pairs arrive as key/support arrays from the packed
+        pair kernel and the union and profile matrix are built with
+        ``np.union1d``/``np.searchsorted`` — no per-itemset Python work.
         """
+        if self.backend == "numpy" and self.k == 2:
+            self._collect_pairs_numpy()
+            return
         per_dataset: list[dict[Itemset, int]] = []
         index_of: dict[Itemset, int] = {}
         self.truncated = False
-        for _ in range(self.num_datasets):
-            dataset = self.model.sample(self._rng)
-            mined = mine_k_itemsets(dataset, self.k, self.mining_support)
+        for mined in self._iter_mined():
             per_dataset.append(mined)
             for itemset, support in mined.items():
                 if itemset not in index_of:

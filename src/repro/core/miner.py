@@ -35,6 +35,7 @@ from repro.core.results import (
     SignificanceReport,
 )
 from repro.data.dataset import TransactionDataset
+from repro.fim.bitmap import resolve_backend
 
 __all__ = ["MinerConfig", "SignificantItemsetMiner"]
 
@@ -58,6 +59,14 @@ class MinerConfig:
     lambda_floor:
         Optional lower bound on the Monte-Carlo ``λ`` estimates (``None`` =
         ``1/Δ``).
+    backend:
+        Counting backend used for mining and the Monte-Carlo simulation:
+        ``"numpy"`` (packed bitmaps, the default) or ``"python"`` (int
+        bitsets); ``None`` defers to the ``REPRO_BACKEND`` environment
+        variable.
+    n_jobs:
+        Worker processes for the Δ Monte-Carlo sample/mine passes of
+        Algorithm 1 (1 = sequential).
     """
 
     k: int = 2
@@ -66,6 +75,8 @@ class MinerConfig:
     epsilon: float = 0.01
     num_datasets: int = 100
     lambda_floor: Optional[float] = None
+    backend: Optional[str] = None
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -76,6 +87,11 @@ class MinerConfig:
                 raise ValueError(f"{name} must lie in (0, 1)")
         if self.num_datasets < 1:
             raise ValueError("num_datasets must be at least 1")
+        if self.backend is not None:
+            # Validate eagerly so a typo fails at configuration time.
+            resolve_backend(self.backend)
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
 
 
 @dataclass
@@ -97,6 +113,8 @@ class SignificantItemsetMiner:
     epsilon: float = 0.01
     num_datasets: int = 100
     lambda_floor: Optional[float] = None
+    backend: Optional[str] = None
+    n_jobs: int = 1
     rng: Optional[Union[int, np.random.Generator]] = None
     config: Optional[MinerConfig] = None
 
@@ -121,6 +139,8 @@ class SignificantItemsetMiner:
             self.epsilon = self.config.epsilon
             self.num_datasets = self.config.num_datasets
             self.lambda_floor = self.config.lambda_floor
+            self.backend = self.config.backend
+            self.n_jobs = self.config.n_jobs
         # Validate by round-tripping through the config dataclass.
         self.config = MinerConfig(
             k=self.k,
@@ -129,6 +149,8 @@ class SignificantItemsetMiner:
             epsilon=self.epsilon,
             num_datasets=self.num_datasets,
             lambda_floor=self.lambda_floor,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
         )
         if not isinstance(self.rng, np.random.Generator):
             self.rng = np.random.default_rng(self.rng)
@@ -145,6 +167,8 @@ class SignificantItemsetMiner:
             epsilon=self.epsilon,
             num_datasets=self.num_datasets,
             rng=self.rng,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
         )
         self._procedure1_result = None
         self._procedure2_result = None
@@ -181,6 +205,8 @@ class SignificantItemsetMiner:
                 self.k,
                 beta=self.beta,
                 threshold_result=self._threshold_result,
+                backend=self.backend,
+                n_jobs=self.n_jobs,
             )
         return self._procedure1_result
 
@@ -195,6 +221,8 @@ class SignificantItemsetMiner:
                 beta=self.beta,
                 threshold_result=self._threshold_result,
                 lambda_floor=self.lambda_floor,
+                backend=self.backend,
+                n_jobs=self.n_jobs,
             )
         return self._procedure2_result
 

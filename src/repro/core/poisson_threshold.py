@@ -88,6 +88,8 @@ def find_poisson_threshold(
     rng: Optional[Union[int, np.random.Generator]] = None,
     max_halvings: int = 16,
     max_union_size: int = 50_000,
+    backend: Optional[str] = None,
+    n_jobs: int = 1,
 ) -> PoissonThresholdResult:
     """Estimate the Poisson threshold ``ŝ_min`` via Monte-Carlo simulation.
 
@@ -113,6 +115,12 @@ def find_poisson_threshold(
         Safety valve forwarded to the estimator; if halving ``s̃`` would make
         the Monte-Carlo union unmanageably large, the last support known to
         satisfy the criterion is returned instead.
+    backend:
+        Counting backend for the Monte-Carlo simulation (``"numpy"`` packed
+        bitmaps by default, ``"python"`` int bitsets; ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable).
+    n_jobs:
+        Worker processes for the Δ sample/mine passes (1 = sequential).
 
     Returns
     -------
@@ -149,6 +157,8 @@ def find_poisson_threshold(
             mining_support=s_tilde,
             rng=generator,
             max_union_size=max_union_size,
+            backend=backend,
+            n_jobs=n_jobs,
         )
 
         if estimator.union_size > max_union_size:

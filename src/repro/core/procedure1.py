@@ -34,6 +34,8 @@ def run_procedure1(
     epsilon: float = 0.01,
     num_datasets: int = 100,
     rng: Optional[Union[int, np.random.Generator]] = None,
+    backend: Optional[str] = None,
+    n_jobs: int = 1,
 ) -> Procedure1Result:
     """Run Procedure 1 on a dataset.
 
@@ -53,6 +55,12 @@ def run_procedure1(
         with Procedure 2) whose ``s_min`` should be reused.
     epsilon, num_datasets, rng:
         Parameters forwarded to Algorithm 1 when ``s_min`` must be computed.
+    backend:
+        Counting backend for the mining pass (and Algorithm 1 when it runs
+        here); ``None`` defers to ``REPRO_BACKEND``.
+    n_jobs:
+        Worker processes for Algorithm 1's Monte-Carlo collection when it
+        runs here.
 
     Returns
     -------
@@ -70,13 +78,19 @@ def run_procedure1(
             s_min = threshold_result.s_min
         else:
             threshold_result = find_poisson_threshold(
-                dataset, k, epsilon=epsilon, num_datasets=num_datasets, rng=rng
+                dataset,
+                k,
+                epsilon=epsilon,
+                num_datasets=num_datasets,
+                rng=rng,
+                backend=backend,
+                n_jobs=n_jobs,
             )
             s_min = threshold_result.s_min
     if s_min < 1:
         raise ValueError("s_min must be at least 1")
 
-    candidates = mine_k_itemsets(dataset, k, s_min)
+    candidates = mine_k_itemsets(dataset, k, s_min, backend=backend)
     pvalues = itemset_pvalues(dataset, candidates)
     num_hypotheses = comb(dataset.num_items, k)
 

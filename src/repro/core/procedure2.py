@@ -69,6 +69,8 @@ def run_procedure2(
     rng: Optional[Union[int, np.random.Generator]] = None,
     lambda_floor: Optional[float] = None,
     collect_significant: bool = True,
+    backend: Optional[str] = None,
+    n_jobs: int = 1,
 ) -> Procedure2Result:
     """Run Procedure 2 on a dataset.
 
@@ -99,6 +101,13 @@ def run_procedure2(
     collect_significant:
         When true (default) and ``s*`` is finite, the returned result carries
         the full family ``F_k(s*)`` with supports.
+    backend:
+        Counting backend for both the observed-dataset mining pass and any
+        Monte-Carlo machinery built here (``"numpy"``/``"python"``; ``None``
+        defers to ``REPRO_BACKEND``).
+    n_jobs:
+        Worker processes for Monte-Carlo collection when Algorithm 1 or the
+        estimator must be built here.
 
     Returns
     -------
@@ -120,7 +129,13 @@ def run_procedure2(
             estimator = threshold_result.estimator
     if s_min is None:
         threshold_result = find_poisson_threshold(
-            dataset, k, epsilon=epsilon, num_datasets=num_datasets, rng=rng
+            dataset,
+            k,
+            epsilon=epsilon,
+            num_datasets=num_datasets,
+            rng=rng,
+            backend=backend,
+            n_jobs=n_jobs,
         )
         s_min = threshold_result.s_min
         estimator = threshold_result.estimator
@@ -133,6 +148,8 @@ def run_procedure2(
             num_datasets=num_datasets,
             mining_support=s_min,
             rng=rng,
+            backend=backend,
+            n_jobs=n_jobs,
         )
     if lambda_floor is None:
         lambda_floor = 0.0
@@ -144,7 +161,7 @@ def run_procedure2(
     beta_i = h / beta
 
     # One mining pass at s_min serves every level (supports are thresholded).
-    mined = mine_k_itemsets(dataset, k, s_min)
+    mined = mine_k_itemsets(dataset, k, s_min, backend=backend)
     supports_sorted = sorted(mined.values())
 
     import bisect

@@ -10,17 +10,25 @@ API and keeps two synchronized views of the data:
   identifiers; and
 * a *vertical* view — for each item, the set of transaction indices that
   contain it, stored as a Python ``int`` bitset so that the support of an
-  itemset is a chain of ``&`` operations followed by ``int.bit_count()``.
+  itemset is a chain of ``&`` operations followed by ``int.bit_count()``; and
+* a *packed* view (:meth:`TransactionDataset.packed`) — the same vertical
+  information as rows of a 2-D ``uint64`` NumPy array
+  (:class:`~repro.fim.bitmap.PackedIndex`), the substrate of the vectorized
+  ``numpy`` counting backend.
 
-The vertical view is built lazily and cached; all mining code in
-:mod:`repro.fim` works off it.
+The vertical and packed views are built lazily and cached; all mining code in
+:mod:`repro.fim` works off one of them (selected via ``REPRO_BACKEND`` or a
+``backend=`` argument; the packed view is the default).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Iterable, Iterator, Sequence
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.fim.bitmap import PackedIndex
 
 __all__ = ["TransactionDataset"]
 
@@ -59,6 +67,7 @@ class TransactionDataset:
         "_items",
         "_item_supports",
         "_vertical",
+        "_packed",
         "_name",
     )
 
@@ -85,6 +94,7 @@ class TransactionDataset:
             item: supports.get(item, 0) for item in self._items
         }
         self._vertical: Optional[dict[int, int]] = None
+        self._packed: Optional["PackedIndex"] = None
         self._name = name
 
     # ------------------------------------------------------------------
@@ -205,6 +215,20 @@ class TransactionDataset:
                     vertical[item] |= bit
             self._vertical = vertical
         return self._vertical
+
+    def packed(self) -> "PackedIndex":
+        """Return the packed bitmap view (item -> ``uint64`` tidset row).
+
+        This is the substrate of the ``numpy`` counting backend (see
+        :mod:`repro.fim.bitmap`).  The view is computed once and cached.
+        """
+        if self._packed is None:
+            # Imported lazily: repro.fim modules import this module at load
+            # time, so a top-level import would be circular.
+            from repro.fim.bitmap import PackedIndex
+
+            self._packed = PackedIndex.from_dataset(self)
+        return self._packed
 
     def tidset(self, item: int) -> int:
         """Bitset of transactions containing ``item`` (0 if unknown)."""

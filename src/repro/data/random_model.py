@@ -10,7 +10,10 @@ against this space.
 :class:`RandomDatasetModel` captures the parameters of the space
 ``(t, {f_i})`` and knows how to
 
-* sample datasets from it (:meth:`RandomDatasetModel.sample`),
+* sample datasets from it (:meth:`RandomDatasetModel.sample`, or
+  :meth:`RandomDatasetModel.sample_packed` to draw the Bernoulli
+  transaction/item matrix in bulk and pack it straight into the NumPy
+  bitmap backend without ever materializing Python transaction lists),
 * compute null probabilities and expected supports of itemsets, and
 * compute the expected number of k-itemsets with support at least ``s``
   (used as the Poisson mean λ in Procedure 2) — see
@@ -20,11 +23,14 @@ against this space.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.data.dataset import TransactionDataset
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.fim.bitmap import PackedIndex
 
 __all__ = ["RandomDatasetModel", "generate_random_dataset"]
 
@@ -183,6 +189,140 @@ class RandomDatasetModel:
         return TransactionDataset(
             rows, items=self._frequencies.keys(), name=name or self._name
         )
+
+    #: Expected fraction of set cells above which :meth:`sample_packed` draws
+    #: the dense Bernoulli matrix instead of walking geometric gaps.
+    _DENSE_SAMPLING_THRESHOLD = 0.25
+
+    def sample_packed(
+        self,
+        rng: Optional[Union[int, np.random.Generator]] = None,
+        name: Optional[str] = None,
+    ) -> "PackedIndex":
+        """Draw one random dataset directly in packed-bitmap form.
+
+        The Bernoulli ``t x n`` incidence matrix is drawn in bulk and packed
+        straight into the ``uint64`` rows of a
+        :class:`~repro.fim.bitmap.PackedIndex` — no Python transaction lists
+        are ever materialized, which makes the Monte-Carlo pipeline of
+        Algorithm 1 sampling-bound rather than object-bound.  Two exactly
+        Bernoulli-distributed strategies are used:
+
+        * *dense* (expected cell occupancy above 25%): one bulk uniform draw
+          per item block, thresholded against the frequencies and bit-packed;
+        * *sparse* (the common case for the benchmark analogues): per item,
+          the gaps between successive containing transactions are
+          ``Geometric(f_i)``, so the whole matrix needs one bulk geometric
+          draw of roughly ``sum_i t * f_i`` variates — work proportional to
+          the number of item *occurrences* rather than to ``t * n``.
+
+        The result is distributed identically to :meth:`sample` but the two
+        methods consume the RNG differently, so identical seeds do not give
+        bit-identical datasets across the two representations.
+
+        Parameters
+        ----------
+        rng:
+            A :class:`numpy.random.Generator`, an integer seed, or ``None``.
+        name:
+            Name for the generated index (defaults to the model name).
+        """
+        # Imported lazily to avoid a circular import at package load time.
+        from repro.fim.bitmap import PackedIndex, pack_bool_columns, words_for
+
+        generator = np.random.default_rng(rng) if not isinstance(
+            rng, np.random.Generator
+        ) else rng
+        t = self._num_transactions
+        items = sorted(self._frequencies)
+        frequencies = np.array(
+            [self._frequencies[item] for item in items], dtype=np.float64
+        )
+        rows = np.zeros((len(items), words_for(t)), dtype=np.uint64)
+        if t and items:
+            density = float(frequencies.mean())
+            if density >= self._DENSE_SAMPLING_THRESHOLD:
+                self._sample_dense(generator, rows, frequencies, pack_bool_columns)
+            else:
+                self._sample_sparse(generator, rows, frequencies)
+        return PackedIndex(rows, items, t, name=name or self._name)
+
+    def _sample_dense(
+        self,
+        generator: np.random.Generator,
+        rows: np.ndarray,
+        frequencies: np.ndarray,
+        pack_bool_columns,
+    ) -> None:
+        """Bulk-uniform Bernoulli sampling, packed in item blocks."""
+        t = self._num_transactions
+        num_items = frequencies.size
+        # Item blocks bound peak memory while each block is one RNG call.
+        block = max(1, 8_000_000 // t)
+        for start in range(0, num_items, block):
+            stop = min(num_items, start + block)
+            uniforms = generator.random((t, stop - start))
+            rows[start:stop] = pack_bool_columns(uniforms < frequencies[start:stop])
+
+    def _sample_sparse(
+        self,
+        generator: np.random.Generator,
+        rows: np.ndarray,
+        frequencies: np.ndarray,
+    ) -> None:
+        """Geometric-gap Bernoulli sampling: work ∝ number of occurrences.
+
+        For item ``i`` the 0-based indices of the transactions containing it
+        are the partial sums (minus one) of i.i.d. ``Geometric(f_i)`` gaps,
+        truncated at ``t``.  All items' gaps are drawn in one bulk call (with
+        a 6-sigma slack per item); the rare undershoots are topped up
+        individually.
+        """
+        t = self._num_transactions
+        positive = np.flatnonzero(frequencies > 0.0)
+        if positive.size == 0:
+            return
+        freqs = frequencies[positive]
+        expected = t * freqs
+        slack = 6.0 * np.sqrt(np.maximum(expected * (1.0 - freqs), 0.0)) + 8.0
+        budget = np.minimum(np.ceil(expected + slack), t).astype(np.int64)
+        starts = np.concatenate(([0], np.cumsum(budget)[:-1]))
+        total = int(budget.sum())
+        gaps = generator.geometric(np.repeat(freqs, budget), size=total)
+        # Segmented cumulative sums: global cumsum minus each segment's offset.
+        running = np.cumsum(gaps)
+        segment = np.repeat(np.arange(positive.size), budget)
+        offsets = running[starts] - gaps[starts]
+        tids = running - offsets[segment] - 1
+
+        keep = tids < t
+        # An item undershoots when even its last budgeted gap lands before t;
+        # finish those walks one by one (6-sigma slack makes this rare).
+        item_positions_list = [positive[segment[keep]]]
+        tids_list = [tids[keep]]
+        ends = np.cumsum(budget) - 1
+        undershot = np.flatnonzero(tids[ends] < t)
+        for local in undershot:
+            frequency = float(freqs[local])
+            tid = int(tids[ends[local]])
+            extra = []
+            while True:
+                tid += int(generator.geometric(frequency))
+                if tid >= t:
+                    break
+                extra.append(tid)
+            if extra:
+                extra_arr = np.array(extra, dtype=np.int64)
+                item_positions_list.append(
+                    np.full(extra_arr.size, positive[local], dtype=np.int64)
+                )
+                tids_list.append(extra_arr)
+
+        item_positions = np.concatenate(item_positions_list)
+        all_tids = np.concatenate(tids_list)
+        if all_tids.size:
+            bits = np.left_shift(np.uint64(1), (all_tids % 64).astype(np.uint64))
+            np.bitwise_or.at(rows, (item_positions, all_tids // 64), bits)
 
     def sample_many(
         self,

@@ -13,6 +13,16 @@ such that ``a ∈ u``, ``a ∉ v``, ``b ∈ v``, ``b ∉ u``, and exchanges them
 invariant under swaps, and a long enough random walk over swaps approximately
 samples uniformly from the set of matrices with those margins.
 
+Implementation: the walk runs over a *packed* transaction/item matrix — one
+bitset of item positions per transaction — so each attempted swap is a couple
+of bitwise operations (``only_u = row_u & ~row_v``) plus a popcount, instead
+of Python set algebra.  All random choices are precomputed as bulk arrays
+(the ``u``/``v`` transaction picks and the within-row item picks), so the
+walk issues three RNG calls total rather than up to four per attempted swap,
+and no per-swap ``sorted()`` is ever needed: the r-th set bit of the
+candidate bitset is selected directly, which is uniform over the candidates
+and deterministic per seed.
+
 The paper notes that its technique "could conceivably be adapted" to this
 model; we provide the generator so that downstream users can compare the two
 nulls (see ``examples/null_model_robustness.py``).
@@ -58,43 +68,72 @@ def swap_randomize(
     generator = (
         rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     )
-    rows: list[set[int]] = [set(txn) for txn in dataset.transactions]
-    total_occurrences = sum(len(row) for row in rows)
+    items = dataset.items
+    position_of = {item: position for position, item in enumerate(items)}
+
+    # Packed transaction-major matrix: one bitset of item positions per row.
+    rows: list[int] = []
+    for txn in dataset.transactions:
+        bits = 0
+        for item in txn:
+            bits |= 1 << position_of[item]
+        rows.append(bits)
+    total_occurrences = sum(len(txn) for txn in dataset.transactions)
     if num_swaps is None:
         num_swaps = 5 * total_occurrences
 
-    # Transactions with fewer than one item can never participate in a swap.
-    eligible = [tid for tid, row in enumerate(rows) if row]
-    if len(eligible) < 2 or num_swaps <= 0:
-        result_name = name or (f"swap({dataset.name})" if dataset.name else None)
-        return TransactionDataset(rows, items=dataset.items, name=result_name)
-
-    eligible_arr = np.array(eligible, dtype=np.int64)
-    u_choices = generator.choice(eligible_arr, size=num_swaps)
-    v_choices = generator.choice(eligible_arr, size=num_swaps)
-    for u, v in zip(u_choices, v_choices):
-        u = int(u)
-        v = int(v)
-        if u == v:
-            continue
-        row_u = rows[u]
-        row_v = rows[v]
-        only_u = row_u - row_v
-        only_v = row_v - row_u
-        if not only_u or not only_v:
-            continue
-        a = _pick(sorted(only_u), generator)
-        b = _pick(sorted(only_v), generator)
-        row_u.discard(a)
-        row_u.add(b)
-        row_v.discard(b)
-        row_v.add(a)
-
     result_name = name or (f"swap({dataset.name})" if dataset.name else None)
-    return TransactionDataset(rows, items=dataset.items, name=result_name)
+
+    # Transactions with no items can never participate in a swap.
+    eligible = [tid for tid, row in enumerate(rows) if row]
+    if len(eligible) >= 2 and num_swaps > 0:
+        # Precomputed candidate arrays: the transaction pair of every
+        # attempted swap and the uniform variates that select one item out of
+        # each difference bitset — three bulk RNG calls for the whole walk.
+        eligible_arr = np.array(eligible, dtype=np.int64)
+        u_choices = generator.choice(eligible_arr, size=num_swaps)
+        v_choices = generator.choice(eligible_arr, size=num_swaps)
+        picks = generator.random((num_swaps, 2))
+        for index in range(num_swaps):
+            u = int(u_choices[index])
+            v = int(v_choices[index])
+            if u == v:
+                continue
+            row_u = rows[u]
+            row_v = rows[v]
+            only_u = row_u & ~row_v
+            if not only_u:
+                continue
+            only_v = row_v & ~row_u
+            if not only_v:
+                continue
+            a_bit = _nth_set_bit(only_u, _uniform_index(picks[index, 0], only_u))
+            b_bit = _nth_set_bit(only_v, _uniform_index(picks[index, 1], only_v))
+            rows[u] = (row_u ^ a_bit) | b_bit
+            rows[v] = (row_v ^ b_bit) | a_bit
+
+    transactions = [
+        tuple(items[position] for position in _iter_set_bits(row)) for row in rows
+    ]
+    return TransactionDataset(transactions, items=items, name=result_name)
 
 
-def _pick(candidates: list[int], generator: np.random.Generator) -> int:
-    """Pick one element uniformly from a non-empty sorted list."""
-    index = int(generator.integers(len(candidates)))
-    return candidates[index]
+def _uniform_index(variate: float, bits: int) -> int:
+    """Map a uniform [0, 1) variate to an index over the set bits of ``bits``."""
+    count = bits.bit_count()
+    return min(int(variate * count), count - 1)
+
+
+def _nth_set_bit(bits: int, n: int) -> int:
+    """The mask of the ``n``-th (0-based, lowest first) set bit of ``bits``."""
+    for _ in range(n):
+        bits &= bits - 1
+    return bits & -bits
+
+
+def _iter_set_bits(bits: int):
+    """Yield the positions of the set bits of ``bits``, lowest first."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low

@@ -6,7 +6,10 @@ datasets, the set of itemsets of a *fixed size* ``k`` whose support exceeds a
 (:func:`~repro.fim.kitemsets.mine_k_itemsets`) plus the classical general
 miners it is benchmarked against:
 
-* :mod:`~repro.fim.counting` — vertical bitset index and support counting,
+* :mod:`~repro.fim.counting` — vertical bitset index and support counting
+  (the pure-Python backend),
+* :mod:`~repro.fim.bitmap` — NumPy packed-bitmap counting backend (the
+  default; select with ``REPRO_BACKEND=python|numpy`` or ``backend=``),
 * :mod:`~repro.fim.itemsets` — itemset canonicalisation and lattice helpers,
 * :mod:`~repro.fim.apriori` — level-wise Apriori,
 * :mod:`~repro.fim.eclat` — depth-first Eclat over tidset intersections,
@@ -18,6 +21,7 @@ miners it is benchmarked against:
 """
 
 from repro.fim.apriori import apriori
+from repro.fim.bitmap import PackedIndex, resolve_backend
 from repro.fim.closed import closed_itemsets, closure, is_closed
 from repro.fim.counting import VerticalIndex
 from repro.fim.eclat import eclat
@@ -36,6 +40,7 @@ from repro.fim.rules import AssociationRule, generate_rules, significant_rules
 __all__ = [
     "AssociationRule",
     "FPTree",
+    "PackedIndex",
     "VerticalIndex",
     "apriori",
     "canonical",
@@ -52,6 +57,7 @@ __all__ = [
     "maximal_itemsets",
     "mine_k_itemsets",
     "neighborhood",
+    "resolve_backend",
     "significant_rules",
     "subsets_of_size",
 ]

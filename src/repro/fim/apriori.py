@@ -4,6 +4,12 @@ The classical algorithm of Agrawal et al.: level ``r`` candidates are joined
 from level ``r - 1`` frequent itemsets and pruned by the anti-monotonicity of
 support, then counted against the vertical index.  Returned supports are
 absolute transaction counts.
+
+Two counting backends are available (``backend=`` argument or the
+``REPRO_BACKEND`` environment variable): the default ``numpy`` backend counts
+every level's candidate list in chunked, fully vectorized gather/AND/popcount
+passes over packed ``uint64`` bitmap rows
+(:func:`repro.fim.bitmap.apriori_packed`); ``python`` uses int bitsets.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.data.dataset import TransactionDataset
+from repro.fim.bitmap import PackedIndex, apriori_packed, resolve_backend
 from repro.fim.counting import VerticalIndex
 from repro.fim.itemsets import Itemset, generate_candidates
 
@@ -18,20 +25,26 @@ __all__ = ["apriori"]
 
 
 def apriori(
-    data: Union[TransactionDataset, VerticalIndex],
+    data: Union[TransactionDataset, VerticalIndex, PackedIndex],
     min_support: int,
     max_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> dict[Itemset, int]:
     """Mine all frequent itemsets with support at least ``min_support``.
 
     Parameters
     ----------
     data:
-        The dataset (or a pre-built :class:`VerticalIndex` over it).
+        The dataset (or a pre-built :class:`VerticalIndex` /
+        :class:`~repro.fim.bitmap.PackedIndex` over it).
     min_support:
         Absolute support threshold (number of transactions); must be >= 1.
     max_size:
         If given, stop after itemsets of this size.
+    backend:
+        Counting backend (``"numpy"``/``"python"``); ``None`` defers to
+        ``REPRO_BACKEND``.  A :class:`~repro.fim.bitmap.PackedIndex` input is
+        always mined with the numpy backend.
 
     Returns
     -------
@@ -41,6 +54,13 @@ def apriori(
     """
     if min_support < 1:
         raise ValueError("min_support must be at least 1")
+    if isinstance(data, PackedIndex):
+        return apriori_packed(data, min_support, max_size)
+    if resolve_backend(backend) == "numpy":
+        packed = (
+            data.to_packed() if isinstance(data, VerticalIndex) else data.packed()
+        )
+        return apriori_packed(packed, min_support, max_size)
     index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
 
     result: dict[Itemset, int] = {}

@@ -1,0 +1,499 @@
+"""NumPy packed-bitmap counting backend.
+
+This module is the vectorized counterpart of :mod:`repro.fim.counting`: item
+tidsets are stored as rows of a 2-D ``uint64`` array (:class:`PackedIndex`),
+bit ``j`` of word ``w`` of row ``i`` set iff transaction ``64*w + j`` contains
+item ``i``.  Support counting is then a bitwise AND of rows followed by a
+population count (``np.bitwise_count`` where available, a byte lookup table
+otherwise), and — crucially — whole *batches* of candidates are counted in one
+vectorized pass:
+
+* :func:`mine_k_itemsets_packed` computes the supports of all candidate pairs
+  of frequent items with one AND/popcount sweep per pivot item (the pair level
+  dominates fixed-k mining) and descends the depth-first search only on the
+  surviving pairs, operating on packed rows throughout;
+* :func:`eclat_packed` is the same search without the fixed-size restriction;
+* :func:`apriori_packed` counts each level's candidate list with one gathered
+  ``bitwise_and.reduce`` per chunk.
+
+Backend selection
+-----------------
+Callers such as :func:`repro.fim.kitemsets.mine_k_itemsets` pick between this
+backend and the pure-Python ``int``-bitset one through :func:`resolve_backend`:
+an explicit ``backend=`` argument wins, then the ``REPRO_BACKEND`` environment
+variable (``python`` or ``numpy``), and the default is ``numpy``.  Both
+backends produce bit-identical itemset -> support mappings (enforced by
+``tests/fim/test_backend_parity.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.fim.itemsets import Itemset, generate_candidates
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataset imports us lazily)
+    from repro.data.dataset import TransactionDataset
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "PackedIndex",
+    "apriori_packed",
+    "eclat_packed",
+    "mine_k_itemsets_packed",
+    "pair_supports_packed",
+    "popcount_rows",
+    "resolve_backend",
+    "words_for",
+]
+
+#: Environment variable overriding the default counting backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_VALID_BACKENDS = ("python", "numpy")
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Per-byte population counts, the fallback when ``np.bitwise_count`` (NumPy
+#: >= 2.0) is unavailable.
+_BYTE_POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve the counting backend to use.
+
+    Precedence: the explicit ``backend`` argument, then the ``REPRO_BACKEND``
+    environment variable, then the default (``numpy``).  ``auto`` (or an empty
+    string) means "use the default".
+    """
+    value = backend if backend is not None else os.environ.get(BACKEND_ENV_VAR, "")
+    value = value.strip().lower()
+    if value in ("", "auto"):
+        return "numpy"
+    if value not in _VALID_BACKENDS:
+        raise ValueError(
+            f"unknown counting backend {value!r}; expected one of "
+            f"{', '.join(_VALID_BACKENDS)} (or 'auto')"
+        )
+    return value
+
+
+def words_for(num_transactions: int) -> int:
+    """Number of 64-bit words needed to hold ``num_transactions`` bits."""
+    if num_transactions < 0:
+        raise ValueError("num_transactions must be non-negative")
+    return (num_transactions + 63) // 64
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Population count summed over the last axis of a ``uint64`` array.
+
+    For a ``(..., W)`` array of packed rows this returns the ``(...)`` array of
+    supports as ``int64``.
+    """
+    if words.shape[-1] == 0:
+        return np.zeros(words.shape[:-1], dtype=np.int64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    as_bytes = as_bytes.reshape(words.shape[:-1] + (-1,))
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _bytes_to_words(byte_rows: np.ndarray) -> np.ndarray:
+    """Reinterpret ``(..., W*8)`` little-endian bytes as ``(..., W)`` uint64."""
+    words = byte_rows.view(np.uint64)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        words = words.byteswap()
+    return words
+
+
+class PackedIndex:
+    """Vertical item -> packed-tidset index over a transaction dataset.
+
+    Rows are a read-only-by-convention ``(num_items, W)`` ``uint64`` array
+    with ``W = ceil(t / 64)``; bit ``j`` of word ``w`` of row ``i`` is set iff
+    transaction ``64*w + j`` contains the ``i``-th item of the (sorted) item
+    universe.
+    """
+
+    __slots__ = ("_items", "_rows", "_num_transactions", "_name", "_positions")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        items: Iterable[int],
+        num_transactions: int,
+        name: Optional[str] = None,
+    ) -> None:
+        items = tuple(items)
+        rows = np.asarray(rows, dtype=np.uint64)
+        if num_transactions < 0:
+            raise ValueError("num_transactions must be non-negative")
+        expected = (len(items), words_for(num_transactions))
+        if rows.shape != expected:
+            raise ValueError(f"rows shape {rows.shape} does not match {expected}")
+        if any(a >= b for a, b in zip(items, items[1:])):
+            raise ValueError("items must be strictly increasing")
+        self._items = items
+        self._rows = rows
+        self._num_transactions = int(num_transactions)
+        self._name = name
+        self._positions: Optional[dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: "TransactionDataset") -> "PackedIndex":
+        """Pack a :class:`~repro.data.dataset.TransactionDataset`."""
+        return cls.from_vertical_bitsets(
+            dataset.vertical(),
+            dataset.num_transactions,
+            items=dataset.items,
+            name=dataset.name,
+        )
+
+    @classmethod
+    def from_vertical_bitsets(
+        cls,
+        tidsets: dict[int, int],
+        num_transactions: int,
+        items: Optional[Iterable[int]] = None,
+        name: Optional[str] = None,
+    ) -> "PackedIndex":
+        """Pack a mapping ``item -> Python int bitset`` (the pure-Python view)."""
+        item_list = sorted(tidsets) if items is None else sorted(items)
+        num_bytes = words_for(num_transactions) * 8
+        byte_rows = np.zeros((len(item_list), max(num_bytes, 1)), dtype=np.uint8)
+        for position, item in enumerate(item_list):
+            bits = tidsets.get(item, 0)
+            if bits:
+                byte_rows[position, :num_bytes] = np.frombuffer(
+                    bits.to_bytes(num_bytes, "little"), dtype=np.uint8
+                )
+        rows = _bytes_to_words(byte_rows[:, :num_bytes])
+        return cls(rows, item_list, num_transactions, name=name)
+
+    @classmethod
+    def from_bool_matrix(
+        cls,
+        matrix: np.ndarray,
+        items: Iterable[int],
+        name: Optional[str] = None,
+    ) -> "PackedIndex":
+        """Pack a ``(t, n)`` boolean transaction/item incidence matrix."""
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D (transactions x items)")
+        num_transactions, num_items = matrix.shape
+        rows = pack_bool_columns(matrix)
+        item_list = tuple(items)
+        if len(item_list) != num_items:
+            raise ValueError("items length does not match the matrix width")
+        return cls(rows, item_list, num_transactions, name=name)
+
+    @classmethod
+    def from_tidsets(
+        cls,
+        tidsets: dict[int, Iterable[int]],
+        num_transactions: int,
+        name: Optional[str] = None,
+    ) -> "PackedIndex":
+        """Pack a mapping ``item -> iterable of transaction indices``."""
+        item_list = sorted(tidsets)
+        rows = np.zeros((len(item_list), words_for(num_transactions)), dtype=np.uint64)
+        for position, item in enumerate(item_list):
+            tids = np.fromiter((int(t) for t in tidsets[item]), dtype=np.int64)
+            if tids.size == 0:
+                continue
+            if tids.min() < 0 or tids.max() >= num_transactions:
+                raise ValueError(
+                    f"transaction index out of range for item {item}"
+                )
+            set_bits(rows[position], tids)
+        return cls(rows, item_list, num_transactions, name=name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> tuple[int, ...]:
+        """Sorted item universe."""
+        return self._items
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The packed ``(num_items, W)`` tidset matrix (do not mutate)."""
+        return self._rows
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions ``t``."""
+        return self._num_transactions
+
+    @property
+    def num_words(self) -> int:
+        """Number of 64-bit words per row."""
+        return self._rows.shape[1]
+
+    @property
+    def name(self) -> Optional[str]:
+        """Optional dataset name carried through from the source."""
+        return self._name
+
+    def position(self, item: int) -> Optional[int]:
+        """Row position of ``item`` (``None`` if absent)."""
+        if self._positions is None:
+            self._positions = {item: pos for pos, item in enumerate(self._items)}
+        return self._positions.get(item)
+
+    def supports_array(self) -> np.ndarray:
+        """Per-item supports, aligned with :attr:`items`."""
+        return popcount_rows(self._rows)
+
+    def item_supports(self) -> dict[int, int]:
+        """Mapping item -> support."""
+        supports = self.supports_array()
+        return {item: int(supports[pos]) for pos, item in enumerate(self._items)}
+
+    def item_support(self, item: int) -> int:
+        """Support of a single item (0 if unknown)."""
+        position = self.position(item)
+        if position is None:
+            return 0
+        return int(popcount_rows(self._rows[position]))
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Support of an itemset (the empty itemset has support ``t``)."""
+        positions = []
+        for item in set(itemset):
+            position = self.position(item)
+            if position is None:
+                return 0
+            positions.append(position)
+        if not positions:
+            return self._num_transactions
+        acc = np.bitwise_and.reduce(self._rows[positions], axis=0)
+        return int(popcount_rows(acc))
+
+    def supports_batch(self, positions: np.ndarray) -> np.ndarray:
+        """Supports of a ``(C, k)`` array of row-position combinations.
+
+        The gather/AND/popcount is chunked over ``C`` to bound peak memory.
+        """
+        positions = np.asarray(positions, dtype=np.intp)
+        if positions.size == 0:
+            return np.zeros(positions.shape[0] if positions.ndim else 0, dtype=np.int64)
+        count, width = positions.shape
+        out = np.empty(count, dtype=np.int64)
+        per_candidate = max(1, width * max(1, self.num_words))
+        chunk = max(1, 4_000_000 // per_candidate)
+        for start in range(0, count, chunk):
+            block = self._rows[positions[start : start + chunk]]
+            acc = np.bitwise_and.reduce(block, axis=1)
+            out[start : start + chunk] = popcount_rows(acc)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return self.position(item) is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"<PackedIndex: items={len(self._items)}, "
+            f"t={self._num_transactions}, words={self.num_words}>"
+        )
+
+
+def pack_bool_columns(matrix: np.ndarray) -> np.ndarray:
+    """Pack the columns of a ``(t, n)`` bool matrix into ``(n, W)`` uint64 rows."""
+    num_transactions, num_items = matrix.shape
+    num_words = words_for(num_transactions)
+    if num_items == 0 or num_words == 0:
+        return np.zeros((num_items, num_words), dtype=np.uint64)
+    packed8 = np.packbits(matrix.T, axis=1, bitorder="little")
+    byte_rows = np.zeros((num_items, num_words * 8), dtype=np.uint8)
+    byte_rows[:, : packed8.shape[1]] = packed8
+    return _bytes_to_words(byte_rows)
+
+
+def set_bits(row: np.ndarray, tids: np.ndarray) -> None:
+    """Set transaction bits in one packed row in place."""
+    words = tids // 64
+    bits = np.left_shift(np.uint64(1), (tids % 64).astype(np.uint64))
+    np.bitwise_or.at(row, words, bits)
+
+
+# ----------------------------------------------------------------------
+# Packed miners
+# ----------------------------------------------------------------------
+def pair_supports_packed(
+    index: PackedIndex, min_support: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Supports of all frequent-item pairs, in array form.
+
+    This is the batched pair kernel underneath ``k = 2`` mining: one
+    vectorized AND/popcount sweep per pivot item against all later frequent
+    items.  The array-native return value (no per-pair Python objects) is
+    what lets the Monte-Carlo pipeline aggregate Δ datasets without building
+    Δ dictionaries.
+
+    Returns
+    -------
+    (pairs, counts):
+        ``pairs`` is an ``(M, 2)`` ``int64`` array of *positions into*
+        ``index.items`` with ``pairs[:, 0] < pairs[:, 1]``; ``counts`` the
+        matching supports.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    empty = (np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64))
+    if frequent.size < 2:
+        return empty
+    rows = np.ascontiguousarray(index.rows[frequent])
+    left_blocks: list[np.ndarray] = []
+    right_blocks: list[np.ndarray] = []
+    count_blocks: list[np.ndarray] = []
+    for pivot in range(frequent.size - 1):
+        counts = popcount_rows(rows[pivot + 1 :] & rows[pivot])
+        keep = np.flatnonzero(counts >= min_support)
+        if keep.size:
+            left_blocks.append(np.full(keep.size, frequent[pivot], dtype=np.int64))
+            right_blocks.append(frequent[pivot + 1 + keep])
+            count_blocks.append(counts[keep])
+    if not left_blocks:
+        return empty
+    pairs = np.stack(
+        [np.concatenate(left_blocks), np.concatenate(right_blocks)], axis=1
+    ).astype(np.int64, copy=False)
+    return pairs, np.concatenate(count_blocks)
+
+
+def mine_k_itemsets_packed(
+    index: PackedIndex, k: int, min_support: int
+) -> dict[Itemset, int]:
+    """All itemsets of size exactly ``k`` with support >= ``min_support``.
+
+    The pair level — which dominates fixed-k mining — is computed with one
+    vectorized AND/popcount sweep per pivot item against all later frequent
+    items; for ``k >= 3`` the depth-first search descends only on surviving
+    pairs, counting every node's candidate extensions in a single batched
+    operation on packed rows.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    items = index.items
+    if k == 1:
+        return {(items[pos],): int(supports[pos]) for pos in frequent}
+    if frequent.size < k:
+        return {}
+
+    rows = np.ascontiguousarray(index.rows[frequent])
+    ids = [items[pos] for pos in frequent]
+    count = frequent.size
+    result: dict[Itemset, int] = {}
+
+    def extend(prefix: Itemset, prefix_row: np.ndarray, candidates: np.ndarray) -> None:
+        remaining = k - len(prefix)
+        if candidates.size < remaining:
+            return
+        sub = rows[candidates] & prefix_row
+        counts = popcount_rows(sub)
+        keep = np.flatnonzero(counts >= min_support)
+        if remaining == 1:
+            for i in keep:
+                result[prefix + (ids[candidates[i]],)] = int(counts[i])
+            return
+        kept = candidates[keep]
+        for offset, i in enumerate(keep):
+            extend(prefix + (ids[candidates[i]],), sub[i], kept[offset + 1 :])
+
+    for pivot in range(count - 1):
+        extend((ids[pivot],), rows[pivot], np.arange(pivot + 1, count))
+    return result
+
+
+def eclat_packed(
+    index: PackedIndex, min_support: int, max_size: Optional[int] = None
+) -> dict[Itemset, int]:
+    """All frequent itemsets with support >= ``min_support`` (packed Eclat)."""
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    items = index.items
+    result: dict[Itemset, int] = {
+        (items[pos],): int(supports[pos]) for pos in frequent
+    }
+    if frequent.size == 0 or (max_size is not None and max_size <= 1):
+        return result
+
+    rows = np.ascontiguousarray(index.rows[frequent])
+    ids = [items[pos] for pos in frequent]
+
+    def extend(prefix: Itemset, prefix_row: np.ndarray, candidates: np.ndarray) -> None:
+        if candidates.size == 0:
+            return
+        sub = rows[candidates] & prefix_row
+        counts = popcount_rows(sub)
+        keep = np.flatnonzero(counts >= min_support)
+        kept = candidates[keep]
+        for offset, i in enumerate(keep):
+            itemset = prefix + (ids[candidates[i]],)
+            result[itemset] = int(counts[i])
+            if max_size is None or len(itemset) < max_size:
+                extend(itemset, sub[i], kept[offset + 1 :])
+
+    for pivot in range(frequent.size - 1):
+        extend((ids[pivot],), rows[pivot], np.arange(pivot + 1, frequent.size))
+    return result
+
+
+def apriori_packed(
+    index: PackedIndex, min_support: int, max_size: Optional[int] = None
+) -> dict[Itemset, int]:
+    """Level-wise Apriori with batched candidate counting on packed rows."""
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    items = index.items
+    result: dict[Itemset, int] = {}
+    current_level: list[Itemset] = []
+    for pos in frequent:
+        result[(items[pos],)] = int(supports[pos])
+        current_level.append((items[pos],))
+
+    size = 2
+    while current_level and (max_size is None or size <= max_size):
+        candidates = generate_candidates(current_level, size)
+        if not candidates:
+            break
+        positions = np.array(
+            [[index.position(item) for item in candidate] for candidate in candidates],
+            dtype=np.intp,
+        )
+        counts = index.supports_batch(positions)
+        next_level: list[Itemset] = []
+        for candidate, count in zip(candidates, counts):
+            if count >= min_support:
+                result[candidate] = int(count)
+                next_level.append(candidate)
+        current_level = next_level
+        size += 1
+    return result

@@ -1,10 +1,16 @@
-"""Vertical bitset index and support counting.
+"""Vertical bitset index and support counting (pure-Python backend).
 
-All miners in :mod:`repro.fim` share the same counting backend: for every item
-we keep the set of transaction indices containing it as a Python ``int``
-bitset.  Support of an itemset is then the population count of the AND of its
-items' bitsets — a handful of machine-word operations per transaction block,
-which keeps pure-Python mining practical for the scaled benchmark analogues.
+This module is the ``python`` counting backend: for every item we keep the
+set of transaction indices containing it as a Python ``int`` bitset.  Support
+of an itemset is then the population count of the AND of its items' bitsets —
+a handful of machine-word operations per transaction block, which keeps
+pure-Python mining practical for the scaled benchmark analogues.
+
+The vectorized ``numpy`` backend lives in :mod:`repro.fim.bitmap`
+(:class:`~repro.fim.bitmap.PackedIndex`); :meth:`VerticalIndex.to_packed`
+bridges the two.  Miners select between the backends via the
+``REPRO_BACKEND`` environment variable or an explicit ``backend=`` argument
+(see :func:`repro.fim.bitmap.resolve_backend`).
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from collections.abc import Iterable
 from typing import Optional, Union
 
 from repro.data.dataset import TransactionDataset
+from repro.fim.bitmap import PackedIndex
 
 __all__ = [
     "VerticalIndex",
@@ -32,16 +39,19 @@ def bitset_from_tids(tids: Iterable[int]) -> int:
 
 
 def tids_from_bitset(bits: int) -> list[int]:
-    """Expand a transaction-id bitset into a sorted list of indices."""
+    """Expand a transaction-id bitset into a sorted list of indices.
+
+    Iterates over the *set* bits only (``bits & -bits`` isolates the lowest
+    one), so the cost is proportional to the population count rather than to
+    the highest transaction id.
+    """
     if bits < 0:
         raise ValueError("bitsets are non-negative integers")
     tids: list[int] = []
-    index = 0
     while bits:
-        if bits & 1:
-            tids.append(index)
-        bits >>= 1
-        index += 1
+        low = bits & -bits
+        tids.append(low.bit_length() - 1)
+        bits ^= low
     return tids
 
 
@@ -135,6 +145,12 @@ class VerticalIndex:
             item
             for item, bits in self._tidsets.items()
             if bits.bit_count() >= min_support
+        )
+
+    def to_packed(self) -> "PackedIndex":
+        """Convert to the NumPy packed-bitmap index (the ``numpy`` backend)."""
+        return PackedIndex.from_vertical_bitsets(
+            self._tidsets, self._num_transactions
         )
 
     def restrict(self, items: Iterable[int]) -> "VerticalIndex":
