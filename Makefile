@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test docs-check bench
+
+# Tier-1 verification: the full test suite (includes the README block checks).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Executable documentation: run every README python block and every script
+# in examples/ end to end under the numpy backend.
+docs-check:
+	REPRO_DOCS_CHECK=1 $(PYTHON) -m pytest tests/test_docs.py -q
+
+# Regenerate the committed performance trajectory (docs/benchmarks.md).
+bench:
+	$(PYTHON) benchmarks/run_bench.py

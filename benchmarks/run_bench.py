@@ -8,7 +8,14 @@ this script, so later PRs have a perf trajectory to regress against:
   ``k = 2, 3, 4`` — the fixed-k primitive issued by Algorithm 1, Procedure 1
   and Procedure 2;
 * the end-to-end ``SignificantItemsetMiner.fit`` (Algorithm 1 with Δ = 100
-  Monte-Carlo datasets).
+  Monte-Carlo datasets);
+* the overlapping-pair kernel behind the Chen–Stein ``b2`` estimate
+  (vectorized ragged-arange expansion vs the legacy Python double loop over
+  a recorded Monte-Carlo union ``W``);
+* the null models end-to-end: ``fit`` + Procedure 2 under
+  ``null_model="bernoulli"`` vs ``null_model="swap"`` on the numpy backend
+  (reported as a cost *ratio* — it documents that Δ margin-preserving swap
+  datasets are affordable, not that one null is faster).
 
 Run as a script::
 
@@ -118,6 +125,90 @@ def bench_fit(repeats: int = 1) -> dict:
     )
 
 
+def bench_overlap_kernel(repeats: int = 3) -> dict:
+    """Time the overlapping-pair index: vectorized vs legacy double loop.
+
+    The union ``W`` is recorded once from a Monte-Carlo estimator over a
+    dense uniform model, mined low enough that ``W`` holds tens of thousands
+    of itemsets (the regime the ROADMAP flagged as dominating Algorithm 1);
+    both constructions then rebuild the pair index from the same ``W``.
+    """
+    from repro.core.lambda_estimation import MonteCarloNullEstimator
+    from repro.data.random_model import RandomDatasetModel
+
+    model = RandomDatasetModel(
+        {item: 0.05 for item in range(300)}, num_transactions=1000
+    )
+    estimator = MonteCarloNullEstimator(
+        model, k=2, num_datasets=20, mining_support=2, rng=0
+    )
+    itemsets = list(estimator._itemsets)
+
+    def double_loop() -> int:
+        by_item: dict[int, list[int]] = {}
+        for position, itemset in enumerate(itemsets):
+            for item in itemset:
+                by_item.setdefault(item, []).append(position)
+        pair_set: set[tuple[int, int]] = set()
+        for positions in by_item.values():
+            positions.sort()
+            for a_pos in range(len(positions)):
+                first = positions[a_pos]
+                for b_pos in range(a_pos + 1, len(positions)):
+                    pair_set.add((first, positions[b_pos]))
+        return len(pair_set)
+
+    def vectorized() -> int:
+        estimator._pair_indices = None
+        left, _ = estimator._overlapping_pair_indices()
+        return left.size
+
+    num_pairs = vectorized()
+    assert num_pairs == double_loop()
+    seconds_loop = _time_call(double_loop, repeats)
+    seconds_vectorized = _time_call(vectorized, repeats)
+    return _workload_entry(
+        f"overlap_kernel[uniform(n=300,f=0.05,t=1000),union={len(itemsets)},"
+        f"pairs={num_pairs}]",
+        seconds_loop,
+        seconds_vectorized,
+    )
+
+
+def bench_null_models(repeats: int = 1) -> dict:
+    """Time ``fit`` + Procedure 2 under the Bernoulli vs swap null (numpy).
+
+    Unlike the backend entries this compares two *statistical models*, not
+    two implementations of the same computation, so the entry reports the
+    swap/bernoulli cost ``ratio`` — the headline being that Δ
+    margin-preserving swap datasets are affordable at all.
+    """
+    from repro.core.miner import SignificantItemsetMiner
+    from repro.data.benchmarks import generate_benchmark
+
+    dataset = generate_benchmark("bms1", rng=0)
+    seconds = {}
+    for null_model in ("bernoulli", "swap"):
+        def run(null=null_model):
+            miner = SignificantItemsetMiner(
+                k=2,
+                num_datasets=FIT_NUM_DATASETS,
+                rng=0,
+                backend="numpy",
+                null_model=null,
+            ).fit(dataset)
+            miner.procedure2()
+
+        seconds[null_model] = _time_call(run, repeats)
+    return {
+        "workload": f"null_model[bms1,k=2,delta={FIT_NUM_DATASETS},"
+        "fit+procedure2,numpy]",
+        "bernoulli_seconds": round(seconds["bernoulli"], 6),
+        "swap_seconds": round(seconds["swap"], 6),
+        "ratio": round(seconds["swap"] / seconds["bernoulli"], 3),
+    }
+
+
 def run_all(repeats: int = 3, fit_repeats: int = 1) -> dict:
     """Run every workload and return the report dictionary."""
     import numpy
@@ -125,6 +216,8 @@ def run_all(repeats: int = 3, fit_repeats: int = 1) -> dict:
 
     workloads = bench_fixed_k(repeats=repeats)
     workloads.append(bench_fit(repeats=fit_repeats))
+    workloads.append(bench_overlap_kernel(repeats=repeats))
+    workloads.append(bench_null_models(repeats=fit_repeats))
     return {
         "benchmark": "counting-backend",
         "dataset": "bms1",
@@ -147,10 +240,16 @@ def main(argv: list[str]) -> int:
     report = run_all()
     path = write_report(report, output_path)
     for entry in report["workloads"]:
-        print(
-            f"{entry['workload']}: python={entry['python_seconds']:.4f}s "
-            f"numpy={entry['numpy_seconds']:.4f}s speedup={entry['speedup']:.2f}x"
-        )
+        if "speedup" in entry:
+            print(
+                f"{entry['workload']}: python={entry['python_seconds']:.4f}s "
+                f"numpy={entry['numpy_seconds']:.4f}s speedup={entry['speedup']:.2f}x"
+            )
+        else:
+            print(
+                f"{entry['workload']}: bernoulli={entry['bernoulli_seconds']:.4f}s "
+                f"swap={entry['swap_seconds']:.4f}s ratio={entry['ratio']:.2f}x"
+            )
     print(f"wrote {path}")
     return 0
 

@@ -31,3 +31,10 @@ def test_end_to_end_fit_speedup():
     entry = run_bench.bench_fit(repeats=1)
     # Measured >= 3x on an idle host.
     assert entry["speedup"] >= 1.5, entry
+
+
+def test_overlap_kernel_speedup():
+    entry = run_bench.bench_overlap_kernel(repeats=1)
+    # The vectorized ragged-arange construction measured >= 10x against the
+    # legacy double loop on a ~45k-itemset union; require a slack floor.
+    assert entry["speedup"] >= 2.0, entry

@@ -1,6 +1,6 @@
 """repro — statistically significant frequent itemset mining.
 
-A faithful, pure-Python reproduction of
+A faithful Python reproduction of
 
     Kirsch, Mitzenmacher, Pietracaprina, Pucci, Upfal, Vandin,
     "An Efficient Rigorous Approach for Identifying Statistically Significant
@@ -15,15 +15,22 @@ The public API re-exports the pieces most users need:
   "numpy"`` (the default NumPy packed-bitmap backend is also selectable
   globally via the ``REPRO_BACKEND`` environment variable; see
   :mod:`repro.fim.bitmap`);
+* null models: the pluggable :class:`NullModel` subsystem
+  (:class:`BernoulliNull`, :class:`SwapRandomizationNull`,
+  :func:`as_null_model`) — every procedure accepts
+  ``null_model="bernoulli" | "swap"``;
 * the methodology: :func:`find_poisson_threshold` (Algorithm 1),
   :func:`run_procedure1`, :func:`run_procedure2`, and the
   :class:`SignificantItemsetMiner` facade.
 """
 
 from repro.core import (
+    NULL_MODEL_NAMES,
+    BernoulliNull,
     ChenSteinBounds,
     MinerConfig,
     MonteCarloNullEstimator,
+    NullModel,
     PoissonThresholdResult,
     Procedure1Result,
     Procedure2Result,
@@ -31,8 +38,10 @@ from repro.core import (
     SignificanceReport,
     SignificantItemsetMiner,
     SwapNullEstimator,
+    SwapRandomizationNull,
     analytic_lambda,
     analytic_smin_fixed_frequency,
+    as_null_model,
     chen_stein_bound_general,
     chen_stein_bounds_fixed_frequency,
     find_poisson_threshold,
@@ -57,6 +66,7 @@ from repro.data import (
     read_transactions_csv,
     summarize,
     swap_randomize,
+    swap_randomize_packed,
     uniform_frequencies,
     write_fimi,
     write_transactions_csv,
@@ -93,10 +103,13 @@ __all__ = [
     "AssociationRule",
     "BENCHMARK_NAMES",
     "BenchmarkSpec",
+    "BernoulliNull",
     "ChenSteinBounds",
     "DatasetSummary",
     "MinerConfig",
     "MonteCarloNullEstimator",
+    "NULL_MODEL_NAMES",
+    "NullModel",
     "PackedIndex",
     "PlantedItemset",
     "PoissonThresholdResult",
@@ -107,11 +120,13 @@ __all__ = [
     "SignificanceReport",
     "SignificantItemsetMiner",
     "SwapNullEstimator",
+    "SwapRandomizationNull",
     "TransactionDataset",
     "VerticalIndex",
     "analytic_lambda",
     "analytic_smin_fixed_frequency",
     "apriori",
+    "as_null_model",
     "benchmark_spec",
     "benjamini_hochberg",
     "benjamini_yekutieli",
@@ -145,6 +160,7 @@ __all__ = [
     "significant_rules",
     "summarize",
     "swap_randomize",
+    "swap_randomize_packed",
     "uniform_frequencies",
     "write_fimi",
     "write_transactions_csv",

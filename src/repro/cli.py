@@ -10,6 +10,10 @@ Find the Poisson threshold and the significant itemsets of a FIMI file::
 
     python -m repro mine --input bms1.dat --k 2 --alpha 0.05 --beta 0.05
 
+Same, but against the margin-preserving swap-randomization null::
+
+    python -m repro mine --input bms1.dat --k 2 --null-model swap
+
 Reproduce one of the paper's tables on the synthetic analogues::
 
     python -m repro experiment --table table3 --preset quick
@@ -74,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="which procedure to run",
     )
     mine.add_argument(
+        "--null-model",
+        choices=["bernoulli", "swap"],
+        default="bernoulli",
+        help=(
+            "null model for the significance tests: the paper's "
+            "independent-items null (bernoulli) or the margin-preserving "
+            "swap-randomization null (swap)"
+        ),
+    )
+    mine.add_argument(
+        "--backend",
+        choices=["numpy", "python"],
+        default=None,
+        help="counting backend (default: REPRO_BACKEND env var, then numpy)",
+    )
+    mine.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the Monte-Carlo passes (results identical)",
+    )
+    mine.add_argument(
         "--max-print", type=int, default=20, help="cap on itemsets printed"
     )
 
@@ -113,9 +139,13 @@ def _command_mine(args: argparse.Namespace) -> int:
         beta=args.beta,
         epsilon=args.epsilon,
         num_datasets=args.delta,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+        null_model=args.null_model,
         rng=args.seed,
     ).fit(dataset)
     print(f"dataset: {summarize(dataset)}")
+    print(f"null model: {args.null_model}")
     print(f"s_min (Algorithm 1): {miner.s_min}")
 
     if args.procedure in ("2", "both"):

@@ -7,6 +7,10 @@ This package implements the paper's primary contribution:
 * :mod:`~repro.core.lambda_estimation` — estimators of ``λ(s) = E[Q̂_{k,s}]``,
   the expected number of k-itemsets with support ≥ s in a random dataset,
   including the Monte-Carlo estimator shared with Algorithm 1.
+* :mod:`~repro.core.null_models` — the pluggable null-model subsystem: the
+  paper's Bernoulli null and the margin-preserving swap-randomisation null,
+  behind one :class:`~repro.core.null_models.NullModel` interface
+  (``null_model="bernoulli" | "swap"`` everywhere).
 * :mod:`~repro.core.poisson_threshold` — Algorithm 1 (``FindPoissonThreshold``),
   the Monte-Carlo estimate ``ŝ_min`` of the Poisson threshold.
 * :mod:`~repro.core.procedure1` — Procedure 1: per-itemset Binomial p-values +
@@ -30,6 +34,13 @@ from repro.core.lambda_estimation import (
     analytic_lambda,
 )
 from repro.core.miner import MinerConfig, SignificantItemsetMiner
+from repro.core.null_models import (
+    NULL_MODEL_NAMES,
+    BernoulliNull,
+    NullModel,
+    SwapRandomizationNull,
+    as_null_model,
+)
 from repro.core.poisson_threshold import (
     PoissonThresholdResult,
     find_poisson_threshold,
@@ -44,9 +55,12 @@ from repro.core.results import (
 )
 
 __all__ = [
+    "BernoulliNull",
     "ChenSteinBounds",
     "MinerConfig",
     "MonteCarloNullEstimator",
+    "NULL_MODEL_NAMES",
+    "NullModel",
     "PoissonThresholdResult",
     "Procedure1Result",
     "Procedure2Result",
@@ -54,8 +68,10 @@ __all__ = [
     "SignificanceReport",
     "SignificantItemsetMiner",
     "SwapNullEstimator",
+    "SwapRandomizationNull",
     "analytic_lambda",
     "analytic_smin_fixed_frequency",
+    "as_null_model",
     "chen_stein_bound_general",
     "chen_stein_bounds_fixed_frequency",
     "find_poisson_threshold",

@@ -246,10 +246,30 @@ def analytic_smin_fixed_frequency(
 ) -> Optional[int]:
     """Analytic ``s_min`` (Equation 1) in the fixed-frequency regime.
 
-    Returns the smallest support ``s >= 2`` with ``b1(s) + b2(s) <= epsilon``,
-    or ``None`` if no such support exists up to ``max_support`` (default:
-    the number of transactions).  Both terms are non-increasing in ``s``,
-    matching the observation after Theorem 3, so a linear scan suffices.
+    Both Chen–Stein terms are non-increasing in ``s``, matching the
+    observation after Theorem 3, so a linear scan suffices.
+
+    Parameters
+    ----------
+    num_items:
+        Number of items ``n``.
+    num_transactions:
+        Number of transactions ``t``.
+    k:
+        Itemset size.
+    item_probability:
+        The shared item frequency ``p`` of the fixed-frequency regime
+        (Theorem 2).
+    epsilon:
+        Tolerance of Equation 1.
+    max_support:
+        Upper end of the scan (default: ``num_transactions``).
+
+    Returns
+    -------
+    int or None
+        The smallest support ``s >= 2`` with ``b1(s) + b2(s) <= epsilon``,
+        or ``None`` if no support up to ``max_support`` qualifies.
     """
     if not 0.0 < epsilon < 1.0:
         raise ValueError("epsilon must lie in (0, 1)")

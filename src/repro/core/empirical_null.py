@@ -1,14 +1,23 @@
-"""Swap-randomisation empirical null for the count statistics.
+"""Swap-randomisation empirical null for the count statistics (legacy path).
 
 Section 1.1 of the paper notes that its technique "could conceivably be
 adapted" to the alternative null model of Gionis et al., in which random
 datasets preserve not only the item frequencies but also the exact transaction
-lengths (sampled by swap randomisation).  This module provides that
+lengths (sampled by swap randomisation).  This module was the first such
 adaptation: :class:`SwapNullEstimator` mirrors
 :class:`~repro.core.lambda_estimation.MonteCarloNullEstimator` but draws its
 ``Δ`` datasets by swap-randomising the *observed* dataset instead of sampling
 the Bernoulli model, and :func:`run_procedure2_swap` runs Procedure 2 against
 that empirical null.
+
+The pluggable-null subsystem (:mod:`repro.core.null_models`) has since made
+the swap null a first-class citizen of the whole pipeline — prefer
+``null_model="swap"`` on :func:`~repro.core.procedure2.run_procedure2`,
+:func:`~repro.core.poisson_threshold.find_poisson_threshold`, or
+:class:`~repro.core.miner.SignificantItemsetMiner`, which also buys the
+packed swap sampler, the vectorized collection, and ``n_jobs`` fan-out.
+This module is kept for API compatibility and as the simplest reference
+implementation of the empirical null.
 
 Because the margins are conditioned on exactly, this null is stricter than
 the Bernoulli one on datasets with heterogeneous transaction lengths; the two
@@ -58,6 +67,9 @@ class SwapNullEstimator:
     rng:
         Seed or :class:`numpy.random.Generator`.
     """
+
+    #: Null family advertised to result records (see ``Procedure2Result``).
+    kind = "swap"
 
     def __init__(
         self,
@@ -135,7 +147,34 @@ def run_procedure2_swap(
     The Poisson threshold ``s_min`` must be supplied (e.g. from
     :func:`repro.core.poisson_threshold.find_poisson_threshold` under the
     Bernoulli model, or chosen by the caller); the count tests themselves then
-    use swap-randomised datasets to estimate the null means ``λ_i``.
+    use swap-randomised datasets to estimate the null means ``λ_i``.  For the
+    fully integrated path (Algorithm 1 under the swap null too, packed
+    sampling, ``n_jobs``) prefer ``run_procedure2(..., null_model="swap")``.
+
+    Parameters
+    ----------
+    dataset:
+        The observed dataset (its margins define the null).
+    k:
+        Itemset size.
+    alpha / beta:
+        Confidence and FDR budgets of Procedure 2.
+    s_min:
+        The Poisson threshold to test from (required keyword).
+    num_datasets:
+        Number of swap-randomised copies ``Δ``.
+    num_swaps:
+        Attempted swaps per copy (default: five times the occurrences).
+    rng:
+        Seed or :class:`numpy.random.Generator`.
+    lambda_floor:
+        Optional lower bound on the empirical ``λ_i`` estimates.
+
+    Returns
+    -------
+    Procedure2Result
+        As from :func:`repro.core.procedure2.run_procedure2`, with
+        ``null_model="swap"``.
     """
     estimator = SwapNullEstimator(
         dataset,

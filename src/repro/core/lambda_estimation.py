@@ -13,22 +13,31 @@ of k-itemset supports:
 
 The paper notes (Section 3.2) that the same ``Δ`` random datasets can serve
 both purposes; :class:`MonteCarloNullEstimator` is that shared object.  It
-samples ``Δ`` datasets from a :class:`~repro.data.random_model.RandomDatasetModel`,
-mines the k-itemsets with support at least a base threshold in each, and
-answers all the queries above from a dense support-profile matrix
-(one row per itemset of the union ``W``, one column per sampled dataset).
-All per-support queries are vectorised over that matrix, so evaluating the
-Chen–Stein bounds at many candidate supports stays cheap even when ``W``
-contains tens of thousands of itemsets.
+samples ``Δ`` datasets from a :class:`~repro.core.null_models.NullModel`
+(the paper's Bernoulli null by default, the margin-preserving
+swap-randomisation null with ``null_model="swap"`` upstream), mines the
+k-itemsets with support at least a base threshold in each, and answers all
+the queries above from a dense support-profile matrix (one row per itemset
+of the union ``W``, one column per sampled dataset).  All per-support
+queries are vectorised over that matrix, so evaluating the Chen–Stein bounds
+at many candidate supports stays cheap even when ``W`` contains tens of
+thousands of itemsets; the overlapping-pair index behind ``b2`` is likewise
+built with pure array ops (a grouped ragged-pair expansion over the
+item -> itemset incidence, no Python double loop).
 
 With the default ``numpy`` counting backend the Δ datasets never exist as
 Python transaction lists: each one is drawn directly in packed-bitmap form
-(:meth:`~repro.data.random_model.RandomDatasetModel.sample_packed`) and mined
-with the vectorized kernels of :mod:`repro.fim.bitmap`.  Set
+(``NullModel.sample_packed``) and mined with the vectorized kernels of
+:mod:`repro.fim.bitmap`, whose array-native k-itemset collection
+(:func:`~repro.fim.bitmap.kitemset_supports_packed`) lets the Δ datasets be
+aggregated with ``np.union1d``/``np.searchsorted`` for *any* ``k``.  Set
 ``REPRO_BACKEND=python`` (or ``backend="python"``) to fall back to the
 pure-Python pipeline, and ``n_jobs > 1`` to fan the Δ sample/mine tasks out
-across worker processes (deterministic per seed: each dataset gets its own
-spawned child generator and results are consumed in submission order).
+across worker processes.  Collection draws one spawned child generator per
+dataset in both the sequential and the parallel path, so results are
+deterministic per seed *and identical for every value of* ``n_jobs``; pass
+``executor=`` to reuse one process pool across several estimators (as the
+halving loop of Algorithm 1 does).
 
 :func:`analytic_lambda` provides an independent, truncated analytic estimate
 of ``λ(s)`` (a sum of Binomial tails over the highest-frequency itemsets) used
@@ -41,21 +50,25 @@ import math
 from collections.abc import Iterator
 from heapq import nlargest
 from itertools import combinations
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
+from repro.core.null_models import NullModel, as_null_model
 from repro.data.random_model import RandomDatasetModel
 from repro.fim.bitmap import resolve_backend
 from repro.fim.itemsets import Itemset
 from repro.fim.kitemsets import mine_k_itemsets
 from repro.stats.binomial import binomial_sf
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import Executor
+
 __all__ = ["MonteCarloNullEstimator", "analytic_lambda"]
 
 
 def _mine_one_null_sample(
-    model: RandomDatasetModel,
+    model: NullModel,
     k: int,
     mining_support: int,
     backend: str,
@@ -72,24 +85,64 @@ def _mine_one_null_sample(
     return mine_k_itemsets(dataset, k, mining_support, backend=backend)
 
 
-def _pair_arrays_one_sample(
-    model: RandomDatasetModel,
+def _kitemset_arrays_one_sample(
+    model: NullModel,
+    k: int,
     mining_support: int,
     generator: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Sample one packed null dataset and return its frequent pairs as arrays.
+    """Sample one packed null dataset and return its frequent k-itemsets as arrays.
 
-    The pairs are encoded as ``position_a * n + position_b`` keys (positions
-    into the model's sorted item universe), so the whole Δ-dataset collection
-    can be aggregated with ``np.union1d``/``np.searchsorted`` instead of
-    per-itemset Python dictionaries.  Module-level for ``n_jobs`` pickling.
+    The itemsets are encoded as base-``n`` integer keys over positions into
+    the model's sorted item universe (``n = model.num_items``), so the whole
+    Δ-dataset collection can be aggregated with ``np.union1d`` /
+    ``np.searchsorted`` instead of per-itemset Python dictionaries.
+    Module-level for ``n_jobs`` pickling.
     """
-    from repro.fim.bitmap import pair_supports_packed
+    from repro.fim.bitmap import kitemset_supports_packed
 
     packed = model.sample_packed(generator)
-    pairs, counts = pair_supports_packed(packed, mining_support)
-    keys = pairs[:, 0] * np.int64(model.num_items) + pairs[:, 1]
-    return keys, counts
+    sets, counts = kitemset_supports_packed(packed, k, mining_support)
+    return _encode_positions(sets, model.num_items), counts
+
+
+def _encode_positions(sets: np.ndarray, num_items: int) -> np.ndarray:
+    """Encode an ``(M, k)`` position array into base-``num_items`` int64 keys."""
+    if sets.size == 0:
+        return np.empty(0, dtype=np.int64)
+    keys = sets[:, 0].astype(np.int64, copy=True)
+    for column in range(1, sets.shape[1]):
+        keys *= np.int64(num_items)
+        keys += sets[:, column]
+    return keys
+
+
+def _decode_keys(keys: np.ndarray, k: int, num_items: int) -> np.ndarray:
+    """Decode base-``num_items`` keys back into an ``(M, k)`` position array."""
+    positions = np.empty((keys.size, k), dtype=np.int64)
+    remainder = keys.astype(np.int64, copy=True)
+    for column in range(k - 1, -1, -1):
+        positions[:, column] = remainder % num_items
+        remainder //= num_items
+    return positions
+
+
+def _sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of a 1-D array.
+
+    Equivalent to ``np.unique`` but implemented as sort + neighbour mask:
+    on large integer arrays this is orders of magnitude faster than the
+    hash-assisted path some NumPy builds take (measured ~100x on 13M
+    ``int64`` keys), and these unions sit on the hot path of every
+    Monte-Carlo collection.
+    """
+    if values.size == 0:
+        return values
+    ordered = np.sort(values, kind="stable")
+    keep = np.empty(ordered.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]
 
 
 class MonteCarloNullEstimator:
@@ -98,7 +151,12 @@ class MonteCarloNullEstimator:
     Parameters
     ----------
     model:
-        The null model (``t`` and item frequencies) to sample from.
+        The null model to sample from: a
+        :class:`~repro.core.null_models.NullModel` (e.g.
+        :class:`~repro.core.null_models.BernoulliNull` or
+        :class:`~repro.core.null_models.SwapRandomizationNull`) or a bare
+        :class:`~repro.data.random_model.RandomDatasetModel`, which is
+        wrapped in a Bernoulli null automatically.
     k:
         Itemset size.
     num_datasets:
@@ -119,13 +177,21 @@ class MonteCarloNullEstimator:
         ``REPRO_BACKEND`` environment variable.
     n_jobs:
         Number of worker processes for the Δ sample/mine passes (1 =
-        sequential, in-process).  Parallel collection is deterministic per
-        seed but follows a different RNG stream than sequential collection.
+        sequential, in-process).  Each dataset draws from its own spawned
+        child generator regardless of ``n_jobs``, so the collected profiles
+        are identical for every ``n_jobs`` value given the same seed.
+    executor:
+        Optional pre-built :class:`concurrent.futures.Executor` to run the
+        parallel passes on.  When provided it is *not* shut down by the
+        estimator, so one pool can serve many estimators (Algorithm 1's
+        halving loop builds several in a row); when omitted and
+        ``n_jobs > 1`` a private process pool is created and torn down
+        around the collection.
     """
 
     def __init__(
         self,
-        model: RandomDatasetModel,
+        model: Union[NullModel, RandomDatasetModel],
         k: int,
         num_datasets: int,
         mining_support: int,
@@ -133,6 +199,7 @@ class MonteCarloNullEstimator:
         max_union_size: int = 50_000,
         backend: Optional[str] = None,
         n_jobs: int = 1,
+        executor: Optional["Executor"] = None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -142,13 +209,14 @@ class MonteCarloNullEstimator:
             raise ValueError("mining_support must be at least 1")
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
-        self.model = model
+        self.model = as_null_model(model, model)
         self.k = k
         self.num_datasets = int(num_datasets)
         self.mining_support = int(mining_support)
         self.max_union_size = int(max_union_size)
         self.backend = resolve_backend(backend)
         self.n_jobs = int(n_jobs)
+        self._executor = executor
         self._rng = (
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         )
@@ -165,20 +233,27 @@ class MonteCarloNullEstimator:
     def _iter_samples(self, worker, args: tuple) -> Iterator:
         """Yield ``worker(*args, generator)`` for each of the Δ datasets.
 
-        Sequential (``n_jobs == 1``) collection draws from the estimator's
-        own generator; parallel collection ships the worker to a process pool
-        with one spawned child generator per dataset and consumes results in
-        submission order, so both are deterministic per seed.
+        Every dataset gets its own spawned child generator, drawn from the
+        estimator's RNG in one batch up front; sequential collection runs
+        the workers in-process while parallel collection ships them to a
+        process pool and consumes results in submission order.  Both paths
+        therefore produce *identical* results for the same seed — ``n_jobs``
+        only changes the wall-clock, never the statistics.
         """
-        if self.n_jobs == 1:
-            for _ in range(self.num_datasets):
-                yield worker(*args, self._rng)
-            return
-        from concurrent.futures import ProcessPoolExecutor
-
         child_rngs = self._rng.spawn(self.num_datasets)
-        max_workers = min(self.n_jobs, self.num_datasets)
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        pool = self._executor
+        if pool is None and self.n_jobs == 1:
+            for child in child_rngs:
+                yield worker(*args, child)
+            return
+        owns_pool = pool is None
+        if owns_pool:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.n_jobs, self.num_datasets)
+            )
+        try:
             futures = [pool.submit(worker, *args, child) for child in child_rngs]
             try:
                 for future in futures:
@@ -187,6 +262,9 @@ class MonteCarloNullEstimator:
                 # Early truncation stops consuming; drop the queued remainder.
                 for future in futures:
                     future.cancel()
+        finally:
+            if owns_pool:
+                pool.shutdown()
 
     def _iter_mined(self) -> Iterator[dict[Itemset, int]]:
         """Yield the mined k-itemset dict of each of the Δ null datasets."""
@@ -195,24 +273,28 @@ class MonteCarloNullEstimator:
             (self.model, self.k, self.mining_support, self.backend),
         )
 
-    def _collect_pairs_numpy(self) -> None:
-        """Array-native Δ-dataset collection for ``k = 2`` (numpy backend).
+    def _keys_fit_in_int64(self) -> bool:
+        """Whether base-``n`` k-itemset keys stay clear of int64 overflow."""
+        return self.model.num_items ** self.k < 2**62
 
-        Each dataset contributes a key array (``position_a * n +
-        position_b``) and a support array straight from the packed pair
-        kernel; the union ``W`` is maintained with ``np.union1d`` and the
-        profile matrix is scattered with ``np.searchsorted`` — the only
-        per-itemset Python loop left is the one that decodes the final union
-        back into itemset tuples, once.
+    def _collect_arrays_numpy(self) -> None:
+        """Array-native Δ-dataset collection (numpy backend, any ``k``).
+
+        Each dataset contributes a key array (k-itemsets encoded base-``n``
+        over item positions) and a support array straight from the packed
+        k-itemset kernel; the union ``W`` is maintained with ``np.union1d``
+        and the profile matrix is scattered with ``np.searchsorted`` — the
+        only per-itemset Python loop left is the one that decodes the final
+        union back into itemset tuples, once.
         """
         self.truncated = False
         items = self.model.items
-        n = len(items)
+        num_items = len(items)
         key_arrays: list[np.ndarray] = []
         count_arrays: list[np.ndarray] = []
         union_keys = np.empty(0, dtype=np.int64)
         for keys, counts in self._iter_samples(
-            _pair_arrays_one_sample, (self.model, self.mining_support)
+            _kitemset_arrays_one_sample, (self.model, self.k, self.mining_support)
         ):
             key_arrays.append(keys)
             count_arrays.append(counts)
@@ -220,13 +302,14 @@ class MonteCarloNullEstimator:
                 top = int(counts.max())
                 if top > self._max_observed_support:
                     self._max_observed_support = top
-            union_keys = np.union1d(union_keys, keys)
+            union_keys = _sorted_unique(np.concatenate((union_keys, keys)))
             if union_keys.size > self.max_union_size:
                 self.truncated = True
                 break
 
+        positions = _decode_keys(union_keys, self.k, num_items)
         self._itemsets = [
-            (items[int(key) // n], items[int(key) % n]) for key in union_keys
+            tuple(items[position] for position in row) for row in positions.tolist()
         ]
         self._index_of = {
             itemset: position for position, itemset in enumerate(self._itemsets)
@@ -249,14 +332,16 @@ class MonteCarloNullEstimator:
         "the mining support is too low" and retry at a higher support, so
         finishing the expensive collection would be wasted work.
 
-        For the common ``k = 2`` case on the numpy backend, the whole
-        collection is array-native (:meth:`_collect_pairs_numpy`): each
-        dataset's frequent pairs arrive as key/support arrays from the packed
-        pair kernel and the union and profile matrix are built with
-        ``np.union1d``/``np.searchsorted`` — no per-itemset Python work.
+        On the numpy backend the whole collection is array-native for any
+        ``k`` (:meth:`_collect_arrays_numpy`): each dataset's frequent
+        k-itemsets arrive as key/support arrays from the packed kernel and
+        the union and profile matrix are built with ``np.union1d`` /
+        ``np.searchsorted`` — no per-itemset Python work.  The dict-based
+        path remains for the python backend (and as a fallback when the item
+        universe is so large that base-``n`` keys would overflow ``int64``).
         """
-        if self.backend == "numpy" and self.k == 2:
-            self._collect_pairs_numpy()
+        if self.backend == "numpy" and self._keys_fit_in_int64():
+            self._collect_arrays_numpy()
             return
         per_dataset: list[dict[Itemset, int]] = []
         index_of: dict[Itemset, int] = {}
@@ -353,6 +438,21 @@ class MonteCarloNullEstimator:
             return 0.0
         return float(np.count_nonzero(self._profiles[position] >= s)) / self.num_datasets
 
+    def empirical_pvalue(self, itemset: Itemset, s: int) -> float:
+        """Monte-Carlo p-value of ``support(X) >= s`` with add-one correction.
+
+        Returns ``(1 + #{d : support_d(X) >= s}) / (1 + Δ)``, the standard
+        finite-sample Monte-Carlo p-value (never exactly zero; its resolution
+        is ``1/(Δ+1)``).  Used by Procedure 1 when the null model has no
+        closed-form marginal (e.g. the swap-randomisation null).
+        """
+        self._require_valid_support(s)
+        position = self._index_of.get(tuple(sorted(itemset)))
+        exceedances = 0
+        if position is not None:
+            exceedances = int(np.count_nonzero(self._profiles[position] >= s))
+        return (1 + exceedances) / (1 + self.num_datasets)
+
     def empirical_probabilities(self, s: int) -> dict[Itemset, float]:
         """Empirical ``p_X(s)`` for every itemset of ``W`` (zeros omitted)."""
         self._require_valid_support(s)
@@ -368,32 +468,62 @@ class MonteCarloNullEstimator:
     # Chen–Stein estimates
     # ------------------------------------------------------------------
     def _overlapping_pair_indices(self) -> tuple[np.ndarray, np.ndarray]:
-        """Index arrays of the unordered pairs of distinct overlapping itemsets."""
+        """Index arrays of the unordered pairs of distinct overlapping itemsets.
+
+        Fully vectorized: the (itemset position, item) incidence pairs are
+        lexsorted by item, each item's group of positions is expanded into
+        its within-group ordered pairs with a ragged-``arange`` construction
+        (no Python loop over the union ``W``), and pairs sharing several
+        items are deduplicated with one ``np.unique`` over encoded keys.
+        """
         if self._pair_indices is not None:
             return self._pair_indices
-        if self.union_size > self.max_union_size:
+        union_size = self.union_size
+        if union_size > self.max_union_size:
             raise RuntimeError(
-                f"the Monte-Carlo union contains {self.union_size} itemsets "
+                f"the Monte-Carlo union contains {union_size} itemsets "
                 f"(> max_union_size={self.max_union_size}); raise mining_support"
             )
-        by_item: dict[int, list[int]] = {}
-        for position, itemset in enumerate(self._itemsets):
-            for item in itemset:
-                by_item.setdefault(item, []).append(position)
-        pair_set: set[tuple[int, int]] = set()
-        for positions in by_item.values():
-            positions.sort()
-            for a_pos in range(len(positions)):
-                first = positions[a_pos]
-                for b_pos in range(a_pos + 1, len(positions)):
-                    pair_set.add((first, positions[b_pos]))
-        if pair_set:
-            left = np.fromiter((pair[0] for pair in pair_set), dtype=np.int64)
-            right = np.fromiter((pair[1] for pair in pair_set), dtype=np.int64)
-        else:
-            left = np.empty(0, dtype=np.int64)
-            right = np.empty(0, dtype=np.int64)
-        self._pair_indices = (left, right)
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        if union_size == 0:
+            self._pair_indices = empty
+            return self._pair_indices
+        sets = np.asarray(self._itemsets, dtype=np.int64)  # (W, k)
+        positions = np.repeat(np.arange(union_size, dtype=np.int64), sets.shape[1])
+        item_ids = sets.ravel()
+        order = np.lexsort((positions, item_ids))
+        items_sorted = item_ids[order]
+        pos_sorted = positions[order]
+
+        # Group boundaries: one group per distinct item.
+        new_group = np.empty(items_sorted.size, dtype=bool)
+        new_group[0] = True
+        np.not_equal(items_sorted[1:], items_sorted[:-1], out=new_group[1:])
+        group_start = np.flatnonzero(new_group)
+        group_id = np.cumsum(new_group) - 1
+        group_sizes = np.diff(np.append(group_start, items_sorted.size))
+        # Element at local index i of a group of size c pairs with the
+        # c - 1 - i later elements of the same group.
+        local = np.arange(items_sorted.size) - group_start[group_id]
+        reps = group_sizes[group_id] - 1 - local
+        total = int(reps.sum())
+        if total == 0:
+            self._pair_indices = empty
+            return self._pair_indices
+        left = np.repeat(pos_sorted, reps)
+        # Ragged arange: for each element, the indices of its later
+        # group-mates in the sorted order.
+        cumulative = np.cumsum(reps)
+        right_indices = (
+            np.arange(total)
+            - np.repeat(cumulative - reps, reps)
+            + np.repeat(np.arange(items_sorted.size) + 1, reps)
+        )
+        right = pos_sorted[right_indices]
+        # Positions ascend within a group, so left < right already holds;
+        # pairs sharing several items appear once per shared item — dedupe.
+        keys = _sorted_unique(left * np.int64(union_size) + right)
+        self._pair_indices = (keys // union_size, keys % union_size)
         return self._pair_indices
 
     def chen_stein_estimates(self, s: int) -> tuple[float, float]:
@@ -450,7 +580,7 @@ class MonteCarloNullEstimator:
             high = self._max_observed_support + 1
         values: set[int] = {low, high}
         if self._profiles.size:
-            for support in np.unique(self._profiles):
+            for support in _sorted_unique(self._profiles.ravel()):
                 support = int(support)
                 if support <= 0:
                     continue
@@ -461,12 +591,12 @@ class MonteCarloNullEstimator:
 
 
 def analytic_lambda(
-    model: RandomDatasetModel,
+    model: Union[RandomDatasetModel, NullModel],
     k: int,
     s: int,
     max_items: int = 60,
 ) -> float:
-    """Truncated analytic estimate of ``λ(s) = E[Q̂_{k,s}]``.
+    """Truncated analytic estimate of ``λ(s) = E[Q̂_{k,s}]`` (Bernoulli null).
 
     ``λ(s) = Σ_X Pr(Bin(t, f_X) >= s)`` over all ``C(n, k)`` itemsets; the sum
     is dominated by itemsets built from the highest-frequency items when ``s``
@@ -474,11 +604,15 @@ def analytic_lambda(
     ``max_items`` most frequent items.  The result is therefore a *lower*
     bound that converges to ``λ(s)`` as ``max_items`` grows; it is used for
     cross-validating the Monte-Carlo estimator, not inside the procedures.
+    It only applies to the Bernoulli null (the swap null has no closed-form
+    itemset marginals).
 
     Parameters
     ----------
     model:
-        The null model.
+        The null model (a :class:`~repro.data.random_model.RandomDatasetModel`
+        or a Bernoulli :class:`~repro.core.null_models.NullModel` exposing
+        ``frequencies``).
     k:
         Itemset size.
     s:

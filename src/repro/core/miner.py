@@ -26,6 +26,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.null_models import NullModel
 from repro.core.poisson_threshold import PoissonThresholdResult, find_poisson_threshold
 from repro.core.procedure1 import run_procedure1
 from repro.core.procedure2 import run_procedure2
@@ -66,7 +67,13 @@ class MinerConfig:
         variable.
     n_jobs:
         Worker processes for the Δ Monte-Carlo sample/mine passes of
-        Algorithm 1 (1 = sequential).
+        Algorithm 1 (1 = sequential; results are identical for every value,
+        and one shared process pool serves the whole halving loop).
+    null_model:
+        Null model the significance machinery simulates: ``"bernoulli"``
+        (the paper's independent-items null, the default), ``"swap"`` (the
+        margin-preserving swap-randomisation null of Gionis et al.), or any
+        :class:`~repro.core.null_models.NullModel` instance.
     """
 
     k: int = 2
@@ -77,6 +84,7 @@ class MinerConfig:
     lambda_floor: Optional[float] = None
     backend: Optional[str] = None
     n_jobs: int = 1
+    null_model: Union[str, NullModel, None] = "bernoulli"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -92,6 +100,14 @@ class MinerConfig:
             resolve_backend(self.backend)
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
+        if isinstance(self.null_model, str):
+            from repro.core.null_models import NULL_MODEL_NAMES
+
+            if self.null_model.strip().lower() not in NULL_MODEL_NAMES:
+                raise ValueError(
+                    f"unknown null model {self.null_model!r}; expected one of "
+                    f"{', '.join(NULL_MODEL_NAMES)}"
+                )
 
 
 @dataclass
@@ -115,6 +131,7 @@ class SignificantItemsetMiner:
     lambda_floor: Optional[float] = None
     backend: Optional[str] = None
     n_jobs: int = 1
+    null_model: Union[str, NullModel, None] = "bernoulli"
     rng: Optional[Union[int, np.random.Generator]] = None
     config: Optional[MinerConfig] = None
 
@@ -141,6 +158,7 @@ class SignificantItemsetMiner:
             self.lambda_floor = self.config.lambda_floor
             self.backend = self.config.backend
             self.n_jobs = self.config.n_jobs
+            self.null_model = self.config.null_model
         # Validate by round-tripping through the config dataclass.
         self.config = MinerConfig(
             k=self.k,
@@ -151,6 +169,7 @@ class SignificantItemsetMiner:
             lambda_floor=self.lambda_floor,
             backend=self.backend,
             n_jobs=self.n_jobs,
+            null_model=self.null_model,
         )
         if not isinstance(self.rng, np.random.Generator):
             self.rng = np.random.default_rng(self.rng)
@@ -169,6 +188,7 @@ class SignificantItemsetMiner:
             rng=self.rng,
             backend=self.backend,
             n_jobs=self.n_jobs,
+            null_model=self.null_model,
         )
         self._procedure1_result = None
         self._procedure2_result = None
@@ -205,8 +225,11 @@ class SignificantItemsetMiner:
                 self.k,
                 beta=self.beta,
                 threshold_result=self._threshold_result,
+                num_datasets=self.num_datasets,
+                rng=self.rng,
                 backend=self.backend,
                 n_jobs=self.n_jobs,
+                null_model=self.null_model,
             )
         return self._procedure1_result
 
@@ -223,6 +246,7 @@ class SignificantItemsetMiner:
                 lambda_floor=self.lambda_floor,
                 backend=self.backend,
                 n_jobs=self.n_jobs,
+                null_model=self.null_model,
             )
         return self._procedure2_result
 

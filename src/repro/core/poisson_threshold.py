@@ -26,6 +26,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.core.null_models import NullModel, as_null_model
 from repro.data.dataset import TransactionDataset
 from repro.data.random_model import RandomDatasetModel
 
@@ -72,16 +73,8 @@ class PoissonThresholdResult:
         return self.bound_at_s_min[0] + self.bound_at_s_min[1]
 
 
-def _as_model(
-    source: Union[TransactionDataset, RandomDatasetModel]
-) -> RandomDatasetModel:
-    if isinstance(source, RandomDatasetModel):
-        return source
-    return RandomDatasetModel.from_dataset(source)
-
-
 def find_poisson_threshold(
-    source: Union[TransactionDataset, RandomDatasetModel],
+    source: Union[TransactionDataset, RandomDatasetModel, NullModel],
     k: int,
     epsilon: float = 0.01,
     num_datasets: int = 100,
@@ -90,14 +83,16 @@ def find_poisson_threshold(
     max_union_size: int = 50_000,
     backend: Optional[str] = None,
     n_jobs: int = 1,
+    null_model: Union[str, NullModel, None] = None,
 ) -> PoissonThresholdResult:
     """Estimate the Poisson threshold ``ŝ_min`` via Monte-Carlo simulation.
 
     Parameters
     ----------
     source:
-        The real dataset (its frequencies and ``t`` define the null model) or
-        an explicit :class:`~repro.data.random_model.RandomDatasetModel`.
+        The real dataset, an explicit
+        :class:`~repro.data.random_model.RandomDatasetModel`, or a
+        :class:`~repro.core.null_models.NullModel`.
     k:
         Itemset size.
     epsilon:
@@ -120,7 +115,16 @@ def find_poisson_threshold(
         bitmaps by default, ``"python"`` int bitsets; ``None`` defers to the
         ``REPRO_BACKEND`` environment variable).
     n_jobs:
-        Worker processes for the Δ sample/mine passes (1 = sequential).
+        Worker processes for the Δ sample/mine passes.  The Monte-Carlo
+        results are identical for every value (each dataset has its own
+        spawned child generator); when ``n_jobs > 1`` one shared process
+        pool serves *all* iterations of the halving loop.
+    null_model:
+        Which null to simulate: ``None``/``"bernoulli"`` for the paper's
+        independent-items null, ``"swap"`` for the margin-preserving
+        swap-randomisation null (``source`` must then be the observed
+        :class:`~repro.data.dataset.TransactionDataset`), or a ready-made
+        :class:`~repro.core.null_models.NullModel`.
 
     Returns
     -------
@@ -131,10 +135,40 @@ def find_poisson_threshold(
         raise ValueError("k must be at least 1")
     if not 0.0 < epsilon < 1.0:
         raise ValueError("epsilon must lie in (0, 1)")
-    model = _as_model(source)
+    model = as_null_model(null_model, source)
     generator = (
         rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     )
+
+    if n_jobs > 1:
+        # One process pool serves every estimator of the halving loop; the
+        # per-iteration respawn cost used to dominate short iterations.
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(n_jobs, num_datasets)) as pool:
+            return _threshold_search(
+                model, k, epsilon, num_datasets, generator, max_halvings,
+                max_union_size, backend, n_jobs, pool,
+            )
+    return _threshold_search(
+        model, k, epsilon, num_datasets, generator, max_halvings,
+        max_union_size, backend, n_jobs, None,
+    )
+
+
+def _threshold_search(
+    model: NullModel,
+    k: int,
+    epsilon: float,
+    num_datasets: int,
+    generator: np.random.Generator,
+    max_halvings: int,
+    max_union_size: int,
+    backend: Optional[str],
+    n_jobs: int,
+    executor,
+) -> PoissonThresholdResult:
+    """The halving search of Algorithm 1 (one shared ``executor`` throughout)."""
     criterion = epsilon / 4.0
 
     s_tilde = max(1, int(math.ceil(model.max_expected_support(k))))
@@ -159,6 +193,7 @@ def find_poisson_threshold(
             max_union_size=max_union_size,
             backend=backend,
             n_jobs=n_jobs,
+            executor=executor,
         )
 
         if estimator.union_size > max_union_size:

@@ -1,11 +1,19 @@
-"""Procedure 1: per-itemset Binomial tests with Benjamini–Yekutieli control.
+"""Procedure 1: per-itemset tests with Benjamini–Yekutieli control.
 
 The baseline procedure of Section 3.1: mine the frequent k-itemsets with
 respect to the Poisson threshold ``s_min``; for each itemset ``X`` compute the
-p-value ``Pr(Bin(t, f_X) >= s_X)`` of its observed support under the
-independence null; apply the Benjamini–Yekutieli step-up correction (Theorem
-5) with ``m = C(n, k)`` hypotheses and FDR budget ``β``; return the itemsets
-whose null hypotheses are rejected.
+p-value of its observed support under the null; apply the Benjamini–Yekutieli
+step-up correction (Theorem 5) with ``m = C(n, k)`` hypotheses and FDR budget
+``β``; return the itemsets whose null hypotheses are rejected.
+
+Under the paper's Bernoulli null the p-value is the closed-form Binomial tail
+``Pr(Bin(t, f_X) >= s_X)``.  Under a non-Bernoulli null (e.g. the
+swap-randomisation null selected with ``null_model="swap"``) no closed form
+exists, so the p-values are Monte-Carlo empirical:
+``(1 + #{d : support_d(X) >= s_X}) / (1 + Δ)`` over the Δ null datasets of
+the shared :class:`~repro.core.lambda_estimation.MonteCarloNullEstimator`.
+Their resolution is ``1/(Δ+1)``, so a large Monte-Carlo budget is needed for
+the BY correction to have any power at ``m = C(n, k)`` hypotheses.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.core.null_models import NullModel, as_null_model, null_model_kind
 from repro.core.poisson_threshold import PoissonThresholdResult, find_poisson_threshold
 from repro.core.results import Procedure1Result
 from repro.data.dataset import TransactionDataset
@@ -36,6 +46,7 @@ def run_procedure1(
     rng: Optional[Union[int, np.random.Generator]] = None,
     backend: Optional[str] = None,
     n_jobs: int = 1,
+    null_model: Union[str, NullModel, None] = None,
 ) -> Procedure1Result:
     """Run Procedure 1 on a dataset.
 
@@ -52,15 +63,21 @@ def run_procedure1(
         is taken from ``threshold_result`` or computed with Algorithm 1.
     threshold_result:
         A previously computed :class:`PoissonThresholdResult` (e.g. shared
-        with Procedure 2) whose ``s_min`` should be reused.
+        with Procedure 2) whose ``s_min`` (and, under a non-Bernoulli null,
+        estimator) should be reused.
     epsilon, num_datasets, rng:
         Parameters forwarded to Algorithm 1 when ``s_min`` must be computed.
     backend:
         Counting backend for the mining pass (and Algorithm 1 when it runs
         here); ``None`` defers to ``REPRO_BACKEND``.
     n_jobs:
-        Worker processes for Algorithm 1's Monte-Carlo collection when it
-        runs here.
+        Worker processes for Monte-Carlo collection when it runs here.
+    null_model:
+        ``None``/``"bernoulli"`` for the paper's independent-items null
+        (closed-form Binomial p-values), ``"swap"`` for the
+        margin-preserving swap-randomisation null (Monte-Carlo empirical
+        p-values), or a ready-made
+        :class:`~repro.core.null_models.NullModel`.
 
     Returns
     -------
@@ -73,6 +90,10 @@ def run_procedure1(
     if k < 1:
         raise ValueError("k must be at least 1")
 
+    null_kind = null_model_kind(null_model)
+    estimator: Optional[MonteCarloNullEstimator] = None
+    if threshold_result is not None:
+        estimator = threshold_result.estimator
     if s_min is None:
         if threshold_result is not None:
             s_min = threshold_result.s_min
@@ -85,13 +106,44 @@ def run_procedure1(
                 rng=rng,
                 backend=backend,
                 n_jobs=n_jobs,
+                null_model=null_model,
             )
             s_min = threshold_result.s_min
+            estimator = threshold_result.estimator
     if s_min < 1:
         raise ValueError("s_min must be at least 1")
 
     candidates = mine_k_itemsets(dataset, k, s_min, backend=backend)
-    pvalues = itemset_pvalues(dataset, candidates)
+
+    if null_kind == "bernoulli":
+        # Closed-form Binomial tails under the independence null.
+        pvalues = itemset_pvalues(dataset, candidates)
+    else:
+        # No closed-form marginal: use Monte-Carlo empirical p-values from
+        # the Δ null datasets.  The estimator must resolve supports down to
+        # s_min and honour the requested Monte-Carlo budget (the p-value
+        # resolution is 1/(Δ+1)); rebuild it when the inherited one was
+        # mined higher, carries fewer datasets, or simulated another null.
+        if (
+            estimator is None
+            or estimator.mining_support > s_min
+            or estimator.num_datasets < num_datasets
+            or getattr(getattr(estimator, "model", None), "kind", None) != null_kind
+        ):
+            estimator = MonteCarloNullEstimator(
+                as_null_model(null_model, dataset),
+                k,
+                num_datasets=num_datasets,
+                mining_support=s_min,
+                rng=rng,
+                backend=backend,
+                n_jobs=n_jobs,
+            )
+        pvalues = {
+            itemset: estimator.empirical_pvalue(itemset, support)
+            for itemset, support in candidates.items()
+        }
+
     num_hypotheses = comb(dataset.num_items, k)
 
     ordered_itemsets = sorted(candidates)
@@ -119,4 +171,5 @@ def run_procedure1(
         pvalues=pvalues,
         significant=significant,
         rejection_threshold=threshold,
+        null_model=null_kind,
     )

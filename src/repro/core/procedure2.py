@@ -28,6 +28,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.core.null_models import NullModel, as_null_model
 from repro.core.poisson_threshold import PoissonThresholdResult, find_poisson_threshold
 from repro.core.results import Procedure2Result, Procedure2Step
 from repro.data.dataset import TransactionDataset
@@ -71,6 +72,7 @@ def run_procedure2(
     collect_significant: bool = True,
     backend: Optional[str] = None,
     n_jobs: int = 1,
+    null_model: Union[str, NullModel, None] = None,
 ) -> Procedure2Result:
     """Run Procedure 2 on a dataset.
 
@@ -108,6 +110,14 @@ def run_procedure2(
     n_jobs:
         Worker processes for Monte-Carlo collection when Algorithm 1 or the
         estimator must be built here.
+    null_model:
+        Which null the λ estimates are simulated under when the Monte-Carlo
+        machinery is built here: ``None``/``"bernoulli"`` for the paper's
+        independent-items null, ``"swap"`` for the margin-preserving
+        swap-randomisation null, or a ready-made
+        :class:`~repro.core.null_models.NullModel`.  Ignored when a prebuilt
+        ``estimator``/``threshold_result`` is supplied (those carry their own
+        null).
 
     Returns
     -------
@@ -136,6 +146,7 @@ def run_procedure2(
             rng=rng,
             backend=backend,
             n_jobs=n_jobs,
+            null_model=null_model,
         )
         s_min = threshold_result.s_min
         estimator = threshold_result.estimator
@@ -143,7 +154,7 @@ def run_procedure2(
         raise ValueError("s_min must be at least 1")
     if estimator is None:
         estimator = MonteCarloNullEstimator(
-            model=_null_model(dataset),
+            model=as_null_model(null_model, dataset),
             k=k,
             num_datasets=num_datasets,
             mining_support=s_min,
@@ -206,6 +217,12 @@ def run_procedure2(
             if support >= s_star
         }
 
+    # Which null the λ estimates came from: the estimator knows (legacy
+    # estimators such as SwapNullEstimator advertise a ``kind`` directly).
+    null_kind = getattr(getattr(estimator, "model", None), "kind", None)
+    if null_kind is None:
+        null_kind = getattr(estimator, "kind", "bernoulli")
+
     return Procedure2Result(
         k=k,
         alpha=alpha,
@@ -215,10 +232,5 @@ def run_procedure2(
         s_star=s_star,
         steps=tuple(steps),
         significant=significant,
+        null_model=null_kind,
     )
-
-
-def _null_model(dataset: TransactionDataset):
-    from repro.data.random_model import RandomDatasetModel
-
-    return RandomDatasetModel.from_dataset(dataset)

@@ -38,6 +38,10 @@ class Procedure1Result:
         The itemsets whose null hypothesis was rejected, with their supports.
     rejection_threshold:
         The BY p-value cutoff actually applied.
+    null_model:
+        Which null the p-values were computed under (``"bernoulli"`` =
+        closed-form Binomial tails, ``"swap"`` = Monte-Carlo empirical
+        p-values against swap-randomised datasets).
     """
 
     k: int
@@ -48,6 +52,7 @@ class Procedure1Result:
     pvalues: dict[Itemset, float]
     significant: dict[Itemset, int]
     rejection_threshold: float
+    null_model: str = "bernoulli"
 
     @property
     def num_candidates(self) -> int:
@@ -103,7 +108,8 @@ class Procedure2Result:
 
     ``s_star`` is ``math.inf`` when no support level was rejected — the paper
     reports this as ``s* = ∞`` (no statistically significant family at high
-    supports).
+    supports).  ``null_model`` records which null the λ estimates were
+    simulated under (``"bernoulli"`` or ``"swap"``).
     """
 
     k: int
@@ -114,6 +120,7 @@ class Procedure2Result:
     s_star: Union[int, float]
     steps: tuple[Procedure2Step, ...]
     significant: dict[Itemset, int] = field(default_factory=dict)
+    null_model: str = "bernoulli"
 
     @property
     def found_threshold(self) -> bool:

@@ -42,7 +42,7 @@ from repro.data.io import (
 )
 from repro.data.random_model import RandomDatasetModel, generate_random_dataset
 from repro.data.stats import DatasetSummary, summarize
-from repro.data.swap import swap_randomize
+from repro.data.swap import swap_randomize, swap_randomize_packed
 
 __all__ = [
     "BENCHMARK_NAMES",
@@ -61,6 +61,7 @@ __all__ = [
     "read_transactions_csv",
     "summarize",
     "swap_randomize",
+    "swap_randomize_packed",
     "uniform_frequencies",
     "write_fimi",
     "write_transactions_csv",

@@ -402,6 +402,21 @@ def generate_random_analogue(
 
     This is the workload of Tables 2 and 4: a pure sample from the null model
     with the analogue's item frequencies and transaction count.
+
+    Parameters
+    ----------
+    name:
+        Benchmark analogue name (one of :data:`BENCHMARK_NAMES`).
+    scale:
+        Optional size multiplier applied to the analogue's transaction
+        count (``None`` = the registered default).
+    rng:
+        Seed or :class:`numpy.random.Generator`.
+
+    Returns
+    -------
+    TransactionDataset
+        A fresh Bernoulli sample — any "frequent" structure in it is noise.
     """
     spec = benchmark_spec(name)
     model = benchmark_model(name, scale)

@@ -82,6 +82,20 @@ def powerlaw_frequencies(
     Real transactional datasets (Retail, Kosarak, the BMS family) have highly
     skewed, approximately power-law item frequencies, which is what makes the
     paper's high-support region interesting; this profile mimics that shape.
+
+    Parameters
+    ----------
+    num_items:
+        Number of items ``n`` (identifiers ``0 .. n-1``, rank = identifier).
+    exponent:
+        Power-law exponent; larger values skew harder toward the top ranks.
+    min_frequency / max_frequency:
+        Clamp for the smallest and largest frequency after rescaling.
+
+    Returns
+    -------
+    dict
+        Mapping item -> frequency, non-increasing in the item identifier.
     """
     if num_items <= 0:
         return {}
@@ -97,7 +111,20 @@ def powerlaw_frequencies(
 
 
 def uniform_frequencies(num_items: int, frequency: float) -> dict[int, float]:
-    """All items share the same frequency (the regime of Theorem 2)."""
+    """All items share the same frequency (the regime of Theorem 2).
+
+    Parameters
+    ----------
+    num_items:
+        Number of items ``n`` (identifiers ``0 .. n-1``).
+    frequency:
+        The shared inclusion probability, in ``[0, 1]``.
+
+    Returns
+    -------
+    dict
+        Mapping item -> ``frequency`` for every item.
+    """
     if not 0.0 <= frequency <= 1.0:
         raise ValueError("frequency must be in [0, 1]")
     return {item: frequency for item in range(num_items)}

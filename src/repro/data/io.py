@@ -89,7 +89,16 @@ def read_fimi(
 
 
 def write_fimi(dataset: TransactionDataset, target: PathOrFile) -> None:
-    """Write a dataset in FIMI ``.dat`` format (one transaction per line)."""
+    """Write a dataset in FIMI ``.dat`` format (one transaction per line).
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to serialise; items are written as space-separated
+        integers in transaction order.
+    target:
+        Path or writable text handle (handles are left open).
+    """
     handle, should_close = _open_for_write(target)
     try:
         for txn in dataset.transactions:
@@ -107,9 +116,23 @@ def read_transactions_csv(
 ) -> tuple[TransactionDataset, dict[str, int]]:
     """Read a CSV transaction file with arbitrary string items.
 
-    Each line is one transaction; empty tokens are ignored.  Returns the
-    dataset together with the label-to-identifier mapping that was used
-    (labels are assigned identifiers in order of first appearance).
+    Each line is one transaction; empty tokens are ignored.
+
+    Parameters
+    ----------
+    source:
+        Path or readable text handle.
+    delimiter:
+        Field separator (default comma).
+    name:
+        Optional dataset name.
+
+    Returns
+    -------
+    (dataset, labels):
+        The parsed dataset and the label-to-identifier mapping that was
+        used (labels are assigned identifiers in order of first
+        appearance).
     """
     handle, should_close = _open_for_read(source)
     if name is None and not hasattr(source, "read"):

@@ -23,20 +23,93 @@ and no per-swap ``sorted()`` is ever needed: the r-th set bit of the
 candidate bitset is selected directly, which is uniform over the candidates
 and deterministic per seed.
 
+Two entry points share the walk:
+
+* :func:`swap_randomize` returns a :class:`~repro.data.dataset.TransactionDataset`;
+* :func:`swap_randomize_packed` returns a
+  :class:`~repro.fim.bitmap.PackedIndex` directly, skipping the Python
+  transaction lists entirely — this is what lets
+  :class:`~repro.core.null_models.SwapRandomizationNull` feed the vectorized
+  NumPy counting kernels with Δ margin-preserving datasets at the same
+  per-dataset cost as the Bernoulli null.
+
 The paper notes that its technique "could conceivably be adapted" to this
-model; we provide the generator so that downstream users can compare the two
-nulls (see ``examples/null_model_robustness.py``).
+model; :mod:`repro.core.null_models` provides exactly that adaptation for
+Algorithm 1 and Procedures 1/2 (see also ``examples/null_model_robustness.py``).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.data.dataset import TransactionDataset
 
-__all__ = ["swap_randomize"]
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.fim.bitmap import PackedIndex
+
+__all__ = ["swap_randomize", "swap_randomize_packed"]
+
+
+def transaction_bitsets(dataset: TransactionDataset) -> list[int]:
+    """Pack a dataset into transaction-major int bitsets of item *positions*.
+
+    Bit ``p`` of entry ``tid`` is set iff transaction ``tid`` contains the
+    ``p``-th item of the sorted item universe ``dataset.items``.  This is the
+    representation the swap walk operates on;
+    :class:`~repro.core.null_models.SwapRandomizationNull` caches it so the
+    Δ-dataset Monte-Carlo loop packs the observed dataset only once.
+    """
+    position_of = {item: position for position, item in enumerate(dataset.items)}
+    rows: list[int] = []
+    for txn in dataset.transactions:
+        bits = 0
+        for item in txn:
+            bits |= 1 << position_of[item]
+        rows.append(bits)
+    return rows
+
+
+def _run_swap_walk(
+    rows: list[int], num_swaps: int, generator: np.random.Generator
+) -> list[int]:
+    """Run the swap walk on a copy of ``rows`` and return the shuffled copy."""
+    rows = list(rows)
+    # Transactions with no items can never participate in a swap.
+    eligible = [tid for tid, row in enumerate(rows) if row]
+    if len(eligible) < 2 or num_swaps <= 0:
+        return rows
+    # Precomputed candidate arrays: the transaction pair of every attempted
+    # swap and the uniform variates that select one item out of each
+    # difference bitset — three bulk RNG calls for the whole walk.
+    eligible_arr = np.array(eligible, dtype=np.int64)
+    u_choices = generator.choice(eligible_arr, size=num_swaps)
+    v_choices = generator.choice(eligible_arr, size=num_swaps)
+    picks = generator.random((num_swaps, 2))
+    for index in range(num_swaps):
+        u = int(u_choices[index])
+        v = int(v_choices[index])
+        if u == v:
+            continue
+        row_u = rows[u]
+        row_v = rows[v]
+        only_u = row_u & ~row_v
+        if not only_u:
+            continue
+        only_v = row_v & ~row_u
+        if not only_v:
+            continue
+        a_bit = _nth_set_bit(only_u, _uniform_index(picks[index, 0], only_u))
+        b_bit = _nth_set_bit(only_v, _uniform_index(picks[index, 1], only_v))
+        rows[u] = (row_u ^ a_bit) | b_bit
+        rows[v] = (row_v ^ b_bit) | a_bit
+    return rows
+
+
+def _default_num_swaps(dataset: TransactionDataset) -> int:
+    """Five times the number of item occurrences (the usual mixing heuristic)."""
+    return 5 * sum(len(txn) for txn in dataset.transactions)
 
 
 def swap_randomize(
@@ -69,53 +142,73 @@ def swap_randomize(
         rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     )
     items = dataset.items
-    position_of = {item: position for position, item in enumerate(items)}
-
-    # Packed transaction-major matrix: one bitset of item positions per row.
-    rows: list[int] = []
-    for txn in dataset.transactions:
-        bits = 0
-        for item in txn:
-            bits |= 1 << position_of[item]
-        rows.append(bits)
-    total_occurrences = sum(len(txn) for txn in dataset.transactions)
     if num_swaps is None:
-        num_swaps = 5 * total_occurrences
-
+        num_swaps = _default_num_swaps(dataset)
+    rows = _run_swap_walk(transaction_bitsets(dataset), num_swaps, generator)
     result_name = name or (f"swap({dataset.name})" if dataset.name else None)
-
-    # Transactions with no items can never participate in a swap.
-    eligible = [tid for tid, row in enumerate(rows) if row]
-    if len(eligible) >= 2 and num_swaps > 0:
-        # Precomputed candidate arrays: the transaction pair of every
-        # attempted swap and the uniform variates that select one item out of
-        # each difference bitset — three bulk RNG calls for the whole walk.
-        eligible_arr = np.array(eligible, dtype=np.int64)
-        u_choices = generator.choice(eligible_arr, size=num_swaps)
-        v_choices = generator.choice(eligible_arr, size=num_swaps)
-        picks = generator.random((num_swaps, 2))
-        for index in range(num_swaps):
-            u = int(u_choices[index])
-            v = int(v_choices[index])
-            if u == v:
-                continue
-            row_u = rows[u]
-            row_v = rows[v]
-            only_u = row_u & ~row_v
-            if not only_u:
-                continue
-            only_v = row_v & ~row_u
-            if not only_v:
-                continue
-            a_bit = _nth_set_bit(only_u, _uniform_index(picks[index, 0], only_u))
-            b_bit = _nth_set_bit(only_v, _uniform_index(picks[index, 1], only_v))
-            rows[u] = (row_u ^ a_bit) | b_bit
-            rows[v] = (row_v ^ b_bit) | a_bit
-
     transactions = [
         tuple(items[position] for position in _iter_set_bits(row)) for row in rows
     ]
     return TransactionDataset(transactions, items=items, name=result_name)
+
+
+def swap_randomize_packed(
+    dataset: TransactionDataset,
+    num_swaps: Optional[int] = None,
+    rng: Optional[Union[int, np.random.Generator]] = None,
+    name: Optional[str] = None,
+    _rows: Optional[list[int]] = None,
+) -> "PackedIndex":
+    """Swap-randomise ``dataset`` straight into packed-bitmap form.
+
+    Identical walk and RNG stream as :func:`swap_randomize` (the same seed
+    yields the same random matrix), but the result is returned as a
+    :class:`~repro.fim.bitmap.PackedIndex` without ever materialising Python
+    transaction tuples — the representation the NumPy counting kernels mine
+    directly.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset whose margins should be preserved.
+    num_swaps:
+        Number of attempted swaps (default: five times the occurrences).
+    rng:
+        Seed or :class:`numpy.random.Generator`.
+    name:
+        Name for the packed index (defaults to ``"swap(<name>)"``).
+    _rows:
+        Internal: precomputed :func:`transaction_bitsets` of ``dataset``,
+        used by :class:`~repro.core.null_models.SwapRandomizationNull` to
+        avoid re-packing the observed dataset for every Monte-Carlo draw.
+    """
+    from repro.fim.bitmap import PackedIndex
+
+    generator = (
+        rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    )
+    items = dataset.items
+    if num_swaps is None:
+        num_swaps = _default_num_swaps(dataset)
+    base = transaction_bitsets(dataset) if _rows is None else _rows
+    rows = _run_swap_walk(base, num_swaps, generator)
+
+    # Transpose the transaction-major walk representation into the item-major
+    # vertical bitsets the packed index is built from (O(occurrences)).
+    item_bits = [0] * len(items)
+    for tid, row in enumerate(rows):
+        tid_bit = 1 << tid
+        while row:
+            low = row & -row
+            item_bits[low.bit_length() - 1] |= tid_bit
+            row ^= low
+    result_name = name or (f"swap({dataset.name})" if dataset.name else None)
+    return PackedIndex.from_vertical_bitsets(
+        {item: item_bits[position] for position, item in enumerate(items)},
+        dataset.num_transactions,
+        items=items,
+        name=result_name,
+    )
 
 
 def _uniform_index(variate: float, bits: int) -> int:

@@ -45,6 +45,7 @@ __all__ = [
     "PackedIndex",
     "apriori_packed",
     "eclat_packed",
+    "kitemset_supports_packed",
     "mine_k_itemsets_packed",
     "pair_supports_packed",
     "popcount_rows",
@@ -377,6 +378,80 @@ def pair_supports_packed(
         [np.concatenate(left_blocks), np.concatenate(right_blocks)], axis=1
     ).astype(np.int64, copy=False)
     return pairs, np.concatenate(count_blocks)
+
+
+def kitemset_supports_packed(
+    index: PackedIndex, k: int, min_support: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Supports of all frequent k-itemsets, in array form.
+
+    The array-native counterpart of :func:`mine_k_itemsets_packed`: instead
+    of a per-itemset Python dictionary the result is a pair of arrays, which
+    is what lets the Monte-Carlo pipeline of
+    :class:`~repro.core.lambda_estimation.MonteCarloNullEstimator` aggregate
+    Δ null datasets for *any* ``k`` without per-itemset Python work (the
+    ``k = 2`` case reduces to :func:`pair_supports_packed`).  For ``k >= 3``
+    the depth-first search is the same as :func:`mine_k_itemsets_packed`, but
+    each leaf batch is emitted as one block row-stack rather than one dict
+    entry per itemset.
+
+    Returns
+    -------
+    (sets, counts):
+        ``sets`` is an ``(M, k)`` ``int64`` array of *positions into*
+        ``index.items`` with strictly increasing columns per row; ``counts``
+        the matching supports.  Rows are in depth-first discovery order, not
+        sorted.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    empty = (np.empty((0, k), dtype=np.int64), np.empty(0, dtype=np.int64))
+    if k == 1:
+        return (
+            frequent.reshape(-1, 1).astype(np.int64, copy=False),
+            supports[frequent].astype(np.int64, copy=False),
+        )
+    if frequent.size < k:
+        return empty
+    if k == 2:
+        return pair_supports_packed(index, min_support)
+
+    rows = np.ascontiguousarray(index.rows[frequent])
+    set_blocks: list[np.ndarray] = []
+    count_blocks: list[np.ndarray] = []
+
+    def extend(
+        prefix: tuple[int, ...], prefix_row: np.ndarray, candidates: np.ndarray
+    ) -> None:
+        remaining = k - len(prefix)
+        if candidates.size < remaining:
+            return
+        sub = rows[candidates] & prefix_row
+        counts = popcount_rows(sub)
+        keep = np.flatnonzero(counts >= min_support)
+        if remaining == 1:
+            if keep.size:
+                block = np.empty((keep.size, k), dtype=np.int64)
+                block[:, : k - 1] = prefix
+                block[:, k - 1] = frequent[candidates[keep]]
+                set_blocks.append(block)
+                count_blocks.append(counts[keep])
+            return
+        kept = candidates[keep]
+        for offset, i in enumerate(keep):
+            extend(
+                prefix + (int(frequent[candidates[i]]),), sub[i], kept[offset + 1 :]
+            )
+
+    for pivot in range(frequent.size - 1):
+        extend((int(frequent[pivot]),), rows[pivot], np.arange(pivot + 1, frequent.size))
+    if not set_blocks:
+        return empty
+    return np.concatenate(set_blocks), np.concatenate(count_blocks)
 
 
 def mine_k_itemsets_packed(

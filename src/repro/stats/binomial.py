@@ -43,6 +43,21 @@ def binomial_sf(threshold: int, trials: int, probability: float) -> float:
     This is the per-itemset p-value of Procedure 1.  Note the inclusive
     inequality: scipy's ``sf`` is strict, so we evaluate it at
     ``threshold - 1``.
+
+    Parameters
+    ----------
+    threshold:
+        The observed support ``s`` (``<= 0`` returns 1.0).
+    trials:
+        Number of Bernoulli trials ``t`` (the transaction count).
+    probability:
+        Per-trial success probability ``p`` (the itemset probability
+        ``Π f_i``), in ``[0, 1]``.
+
+    Returns
+    -------
+    float
+        ``Pr(Bin(trials, probability) >= threshold)``.
     """
     _validate(trials, probability)
     if threshold <= 0:

@@ -94,7 +94,25 @@ def bonferroni(
     level: float,
     num_hypotheses: Optional[int] = None,
 ) -> MultipleTestingResult:
-    """Bonferroni FWER control: reject iff ``p <= level / m``."""
+    """Bonferroni FWER control: reject iff ``p <= level / m``.
+
+    Parameters
+    ----------
+    pvalues:
+        The observed p-values, in any order (results align with this order).
+    level:
+        The error budget (family-wise error rate).
+    num_hypotheses:
+        Total number of hypotheses ``m``; defaults to ``len(pvalues)``.  The
+        paper passes ``m = C(n, k)`` so untested itemsets count as accepted
+        nulls.
+
+    Returns
+    -------
+    MultipleTestingResult
+        Per-hypothesis rejection flags, their count, and the applied
+        p-value threshold.
+    """
     m = _validate(pvalues, level, num_hypotheses)
     threshold = level / m if m else 0.0
     rejected = tuple(p <= threshold for p in pvalues)
@@ -112,7 +130,25 @@ def holm(
     level: float,
     num_hypotheses: Optional[int] = None,
 ) -> MultipleTestingResult:
-    """Holm's step-down FWER control (uniformly more powerful than Bonferroni)."""
+    """Holm's step-down FWER control (uniformly more powerful than Bonferroni).
+
+    Parameters
+    ----------
+    pvalues:
+        The observed p-values, in any order (results align with this order).
+    level:
+        The error budget (family-wise error rate).
+    num_hypotheses:
+        Total number of hypotheses ``m``; defaults to ``len(pvalues)``.  The
+        paper passes ``m = C(n, k)`` so untested itemsets count as accepted
+        nulls.
+
+    Returns
+    -------
+    MultipleTestingResult
+        Per-hypothesis rejection flags, their count, and the applied
+        p-value threshold.
+    """
     m = _validate(pvalues, level, num_hypotheses)
     order = sorted(range(len(pvalues)), key=lambda index: pvalues[index])
     rejected = [False] * len(pvalues)
@@ -166,7 +202,25 @@ def benjamini_hochberg(
     level: float,
     num_hypotheses: Optional[int] = None,
 ) -> MultipleTestingResult:
-    """Benjamini–Hochberg step-up FDR control (independent / PRDS tests)."""
+    """Benjamini–Hochberg step-up FDR control (independent / PRDS tests).
+
+    Parameters
+    ----------
+    pvalues:
+        The observed p-values, in any order (results align with this order).
+    level:
+        The error budget (false-discovery rate).
+    num_hypotheses:
+        Total number of hypotheses ``m``; defaults to ``len(pvalues)``.  The
+        paper passes ``m = C(n, k)`` so untested itemsets count as accepted
+        nulls.
+
+    Returns
+    -------
+    MultipleTestingResult
+        Per-hypothesis rejection flags, their count, and the applied
+        p-value threshold.
+    """
     m = _validate(pvalues, level, num_hypotheses)
     return _step_up(pvalues, level, m, 1.0, "benjamini_hochberg")
 
@@ -182,6 +236,23 @@ def benjamini_yekutieli(
     p_(m)``, reject the ``ℓ`` smallest where ``ℓ`` is the largest index with
     ``p_(ℓ) <= ℓ β / (m · H_m)`` and ``H_m`` the harmonic number.  The
     resulting FDR is at most ``β``.
+
+    Parameters
+    ----------
+    pvalues:
+        The observed p-values, in any order (results align with this order).
+    level:
+        The error budget (false-discovery rate ``β``).
+    num_hypotheses:
+        Total number of hypotheses ``m``; defaults to ``len(pvalues)``.  The
+        paper passes ``m = C(n, k)`` so untested itemsets count as accepted
+        nulls.
+
+    Returns
+    -------
+    MultipleTestingResult
+        Per-hypothesis rejection flags, their count, and the applied
+        p-value threshold.
     """
     m = _validate(pvalues, level, num_hypotheses)
     if m == 0:

@@ -48,6 +48,19 @@ def poisson_upper_tail(count: int, mean: float) -> float:
 
     This is the p-value used by Procedure 2 for the observed count
     ``Q_{k,s_i}`` against the null mean ``λ_i``.
+
+    Parameters
+    ----------
+    count:
+        The observed count (``<= 0`` returns 1.0).
+    mean:
+        The Poisson mean ``λ`` (must be non-negative; 0 gives a point mass
+        at zero).
+
+    Returns
+    -------
+    float
+        ``Pr(Poisson(mean) >= count)``.
     """
     _validate_mean(mean)
     if count <= 0:

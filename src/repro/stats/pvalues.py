@@ -67,7 +67,25 @@ def itemset_pvalues(
     source: Union[TransactionDataset, RandomDatasetModel],
     supports: Mapping[Itemset, int],
 ) -> dict[Itemset, float]:
-    """p-values for a whole support map (itemset -> observed support)."""
+    """p-values for a whole support map (itemset -> observed support).
+
+    Parameters
+    ----------
+    source:
+        The observed dataset or a
+        :class:`~repro.data.random_model.RandomDatasetModel`; either way it
+        supplies the item frequencies ``f_i`` and the transaction count
+        ``t`` of the Bernoulli null.
+    supports:
+        Mapping from itemset to its observed support (e.g. the candidates
+        mined by Procedure 1).
+
+    Returns
+    -------
+    dict
+        Mapping itemset -> ``Pr(Bin(t, f_X) >= s_X)``, the inclusive
+        Binomial upper tail under the independence null.
+    """
     frequencies, t = _frequency_lookup(source)
     pvalues: dict[Itemset, float] = {}
     for itemset, observed in supports.items():

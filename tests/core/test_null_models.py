@@ -1,0 +1,260 @@
+"""Unit tests for the pluggable null-model subsystem.
+
+Covers: margin preservation and per-seed determinism of the swap null,
+resolution via :func:`as_null_model`, Procedure 1/2 smoke runs under both
+nulls, ``n_jobs`` invariance of the Monte-Carlo collection, and a regression
+test pinning the vectorized overlapping-pair kernel to the original
+double-loop construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.core.miner import MinerConfig, SignificantItemsetMiner
+from repro.core.null_models import (
+    NULL_MODEL_NAMES,
+    BernoulliNull,
+    NullModel,
+    SwapRandomizationNull,
+    as_null_model,
+)
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.core.procedure1 import run_procedure1
+from repro.core.procedure2 import run_procedure2
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.data.random_model import RandomDatasetModel
+
+
+@pytest.fixture(scope="module")
+def planted_dataset():
+    frequencies = {item: 0.08 for item in range(25)}
+    planted = [PlantedItemset(items=(0, 1, 2, 3), extra_support=70)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=500, planted=planted, rng=31, name="planted"
+    )
+
+
+@pytest.fixture(scope="module")
+def small_bernoulli_model() -> RandomDatasetModel:
+    return RandomDatasetModel({item: 0.2 for item in range(12)}, num_transactions=200)
+
+
+class TestResolution:
+    def test_names(self):
+        assert NULL_MODEL_NAMES == ("bernoulli", "swap")
+
+    def test_default_is_bernoulli(self, planted_dataset):
+        null = as_null_model(None, planted_dataset)
+        assert isinstance(null, BernoulliNull)
+        assert null.kind == "bernoulli"
+        assert isinstance(null, NullModel)
+
+    def test_bernoulli_by_name_and_model(self, planted_dataset, small_bernoulli_model):
+        assert isinstance(as_null_model("bernoulli", planted_dataset), BernoulliNull)
+        wrapped = as_null_model(small_bernoulli_model, small_bernoulli_model)
+        assert isinstance(wrapped, BernoulliNull)
+        assert wrapped.model is small_bernoulli_model
+
+    def test_swap_by_name(self, planted_dataset):
+        null = as_null_model("swap", planted_dataset)
+        assert isinstance(null, SwapRandomizationNull)
+        assert null.kind == "swap"
+        assert isinstance(null, NullModel)
+        assert null.items == planted_dataset.items
+        assert null.num_transactions == planted_dataset.num_transactions
+
+    def test_instance_passthrough(self, planted_dataset):
+        null = SwapRandomizationNull(planted_dataset)
+        assert as_null_model(null, planted_dataset) is null
+        assert as_null_model("swap", null) is null
+
+    def test_unknown_name_rejected(self, planted_dataset):
+        with pytest.raises(ValueError):
+            as_null_model("gaussian", planted_dataset)
+
+    def test_swap_requires_dataset(self, small_bernoulli_model):
+        with pytest.raises(ValueError):
+            as_null_model("swap", small_bernoulli_model)
+
+    def test_miner_config_validates_name(self):
+        with pytest.raises(ValueError):
+            MinerConfig(null_model="nope")
+        assert MinerConfig(null_model="swap").null_model == "swap"
+
+    def test_bernoulli_delegates_analytic_helpers(self, small_bernoulli_model):
+        null = BernoulliNull(small_bernoulli_model)
+        assert null.itemset_probability((0, 1)) == pytest.approx(0.04)
+        assert null.max_expected_support(2) == pytest.approx(200 * 0.04)
+
+
+class TestSwapNullSampling:
+    def test_preserves_margins(self, planted_dataset):
+        null = SwapRandomizationNull(planted_dataset)
+        sampled = null.sample(rng=0)
+        # Column margins: every item keeps its exact support.
+        assert sampled.item_supports == planted_dataset.item_supports
+        # Row margins: the multiset of transaction lengths is preserved
+        # (swaps move single items between transactions, lengths fixed).
+        assert sorted(len(txn) for txn in sampled.transactions) == sorted(
+            len(txn) for txn in planted_dataset.transactions
+        )
+
+    def test_packed_sampling_matches_dataset_sampling(self, planted_dataset):
+        null = SwapRandomizationNull(planted_dataset)
+        packed = null.sample_packed(rng=11)
+        dataset = null.sample(rng=11)
+        # Same walk, same seed: bit-identical matrices in both representations.
+        assert np.array_equal(packed.rows, dataset.packed().rows)
+        assert packed.item_supports() == planted_dataset.item_supports
+
+    def test_deterministic_per_seed(self, planted_dataset):
+        null = SwapRandomizationNull(planted_dataset)
+        first = null.sample_packed(rng=5)
+        second = null.sample_packed(rng=5)
+        third = null.sample_packed(rng=6)
+        assert np.array_equal(first.rows, second.rows)
+        assert not np.array_equal(first.rows, third.rows)
+
+    def test_estimator_accepts_swap_null(self, planted_dataset):
+        null = SwapRandomizationNull(planted_dataset)
+        estimator = MonteCarloNullEstimator(
+            null, k=2, num_datasets=8, mining_support=3, rng=0
+        )
+        assert estimator.union_size > 0
+        assert estimator.lambda_at(3) >= 0.0
+        assert estimator.model is null
+
+
+class TestProceduresUnderBothNulls:
+    @pytest.mark.parametrize("null_model", ["bernoulli", "swap"])
+    def test_procedure2_smoke(self, planted_dataset, null_model):
+        result = run_procedure2(
+            planted_dataset, 2, num_datasets=15, rng=2, null_model=null_model
+        )
+        assert result.null_model == null_model
+        assert result.found_threshold
+        # The planted pair must survive under either null.
+        assert (0, 1) in result.significant
+
+    @pytest.mark.parametrize("null_model", ["bernoulli", "swap"])
+    def test_procedure1_smoke(self, planted_dataset, null_model):
+        threshold = find_poisson_threshold(
+            planted_dataset, 2, num_datasets=15, rng=4, null_model=null_model
+        )
+        result = run_procedure1(
+            planted_dataset,
+            2,
+            threshold_result=threshold,
+            num_datasets=15,
+            rng=5,
+            null_model=null_model,
+        )
+        assert result.null_model == null_model
+        assert result.num_candidates > 0
+        assert set(result.pvalues) == set(result.candidate_supports)
+        for pvalue in result.pvalues.values():
+            assert 0.0 < pvalue <= 1.0
+
+    def test_procedure1_swap_uses_empirical_pvalues(self, planted_dataset):
+        threshold = find_poisson_threshold(
+            planted_dataset, 2, num_datasets=10, rng=6, null_model="swap"
+        )
+        result = run_procedure1(
+            planted_dataset,
+            2,
+            threshold_result=threshold,
+            num_datasets=10,
+            rng=7,
+            null_model="swap",
+        )
+        # Monte-Carlo p-values have resolution 1/(Δ+1) and are never zero.
+        delta = threshold.estimator.num_datasets
+        for pvalue in result.pvalues.values():
+            assert pvalue >= 1.0 / (delta + 1)
+            assert round(pvalue * (delta + 1)) == pytest.approx(
+                pvalue * (delta + 1)
+            )
+
+    def test_miner_end_to_end_with_swap_null(self, planted_dataset):
+        miner = SignificantItemsetMiner(
+            k=2, num_datasets=15, rng=0, null_model="swap"
+        ).fit(planted_dataset)
+        report = miner.report()
+        assert report.procedure2.null_model == "swap"
+        assert report.procedure2.found_threshold
+        assert (0, 1) in report.procedure2.significant
+
+
+class TestNJobsInvariance:
+    def test_estimator_results_identical_across_n_jobs(self, small_bernoulli_model):
+        sequential = MonteCarloNullEstimator(
+            small_bernoulli_model, k=2, num_datasets=8, mining_support=4, rng=9
+        )
+        parallel = MonteCarloNullEstimator(
+            small_bernoulli_model,
+            k=2,
+            num_datasets=8,
+            mining_support=4,
+            rng=9,
+            n_jobs=2,
+        )
+        assert sequential.union_itemsets == parallel.union_itemsets
+        for itemset in sequential.union_itemsets:
+            assert np.array_equal(
+                sequential.support_profile(itemset), parallel.support_profile(itemset)
+            )
+
+    def test_threshold_search_identical_across_n_jobs(self, planted_dataset):
+        sequential = find_poisson_threshold(
+            planted_dataset, 2, num_datasets=8, rng=12, n_jobs=1
+        )
+        pooled = find_poisson_threshold(
+            planted_dataset, 2, num_datasets=8, rng=12, n_jobs=2
+        )
+        assert sequential.s_min == pooled.s_min
+        assert sequential.bound_curve == pooled.bound_curve
+
+
+class TestOverlapKernelRegression:
+    def _reference_double_loop(self, itemsets):
+        """The pre-vectorization construction, kept verbatim as the oracle."""
+        by_item: dict[int, list[int]] = {}
+        for position, itemset in enumerate(itemsets):
+            for item in itemset:
+                by_item.setdefault(item, []).append(position)
+        pair_set: set[tuple[int, int]] = set()
+        for positions in by_item.values():
+            positions.sort()
+            for a_pos in range(len(positions)):
+                first = positions[a_pos]
+                for b_pos in range(a_pos + 1, len(positions)):
+                    pair_set.add((first, positions[b_pos]))
+        return pair_set
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_double_loop_on_recorded_union(self, small_bernoulli_model, k):
+        estimator = MonteCarloNullEstimator(
+            small_bernoulli_model, k=k, num_datasets=20, mining_support=2, rng=13
+        )
+        assert estimator.union_size > 1
+        left, right = estimator._overlapping_pair_indices()
+        vectorized = set(zip(left.tolist(), right.tolist()))
+        assert vectorized == self._reference_double_loop(estimator._itemsets)
+        # Unordered, distinct, canonical orientation.
+        assert np.all(left < right)
+
+    def test_disjoint_union_has_no_pairs(self):
+        # Two items per itemset, all itemsets pairwise disjoint.
+        model = RandomDatasetModel(
+            {item: 0.0 for item in range(4)}, num_transactions=10
+        )
+        estimator = MonteCarloNullEstimator(
+            model, k=2, num_datasets=3, mining_support=1, rng=0
+        )
+        estimator._itemsets = [(0, 1), (2, 3)]
+        estimator._pair_indices = None
+        left, right = estimator._overlapping_pair_indices()
+        assert left.size == 0 and right.size == 0

@@ -1,0 +1,79 @@
+"""Executable-documentation checks: the docs cannot rot.
+
+Two layers:
+
+* always (tier-1): every ``python`` code block in the top-level
+  ``README.md`` is executed, in order, in one shared namespace under the
+  numpy backend — so the quickstart and the null-model snippets keep
+  working exactly as printed;
+* under ``REPRO_DOCS_CHECK=1`` (set by ``make docs-check``): every script
+  in ``examples/`` is additionally run end to end via its ``main()``.
+
+Documentation files referenced from the README are also checked to exist,
+so a rename cannot silently orphan a link.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+_CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def readme_python_blocks() -> list[str]:
+    return _CODE_BLOCK.findall(README.read_text(encoding="utf-8"))
+
+
+class TestReadme:
+    def test_readme_exists_with_quickstart(self):
+        text = README.read_text(encoding="utf-8")
+        assert "## Quickstart" in text
+        assert "REPRO_BACKEND" in text
+        assert "--null-model" in text
+        assert "python -m pytest -x -q" in text
+
+    def test_readme_links_resolve(self):
+        text = README.read_text(encoding="utf-8")
+        for relative in re.findall(r"`((?:docs|examples|src|benchmarks)/[\w./]+)`", text):
+            assert (REPO_ROOT / relative).exists(), f"README references missing {relative}"
+        for name in ("docs/architecture.md", "docs/benchmarks.md", "ROADMAP.md"):
+            assert (REPO_ROOT / name).exists()
+
+    def test_readme_python_blocks_execute(self, monkeypatch):
+        """Run every README ``python`` block in order, in one namespace."""
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        blocks = readme_python_blocks()
+        assert blocks, "README has no python code blocks"
+        namespace: dict = {}
+        for index, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"README.md[block {index}]", "exec"), namespace)
+            except Exception as error:  # pragma: no cover - failure reporting
+                pytest.fail(f"README block {index} failed: {error!r}\n{block}")
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_DOCS_CHECK") != "1",
+    reason="full example execution only under make docs-check (REPRO_DOCS_CHECK=1)",
+)
+class TestExamplesEndToEnd:
+    @pytest.mark.parametrize(
+        "script", sorted(EXAMPLES_DIR.glob("*.py")), ids=lambda p: p.name
+    )
+    def test_example_runs(self, script, monkeypatch, capsys):
+        import importlib.util
+
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        spec = importlib.util.spec_from_file_location(script.stem, script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        assert capsys.readouterr().out.strip()
