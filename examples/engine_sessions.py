@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Engine sessions: amortize the Monte-Carlo null across many queries.
+
+This example shows the session-oriented API (``docs/engine.md``) doing what
+the classic one-shot miner cannot:
+
+1. register a dataset once (content fingerprint, cached bitmap index);
+2. answer a multi-``k`` run plus an ``alpha``/``beta`` re-grid with exactly
+   one Monte-Carlo simulation per ``k`` (watch ``engine.stats``);
+3. persist the null artifacts to disk and *resume* them from a second
+   Engine — zero simulations, bit-identical JSON;
+4. round-trip the full ``RunResult`` through JSON.
+
+Run it with::
+
+    python examples/engine_sessions.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    DirectoryArtifactStore,
+    Engine,
+    PlantedItemset,
+    RunResult,
+    RunSpec,
+    generate_planted_dataset,
+)
+
+
+def build_dataset():
+    """A 600-transaction dataset with one planted 3-item correlation."""
+    frequencies = {item: 0.06 for item in range(30)}
+    planted = [PlantedItemset(items=(0, 1, 2), extra_support=70)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=600, planted=planted, rng=7, name="session-demo"
+    )
+
+
+def main() -> None:
+    dataset = build_dataset()
+    print(f"dataset: {dataset}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "artifacts"
+        engine = Engine(store=DirectoryArtifactStore(store_dir))
+        handle = engine.register(dataset)
+        print(f"registered: fingerprint {handle[:16]}…")
+
+        # One declarative run: k = 2 and 3, Procedures 1 and 2.
+        spec = RunSpec(
+            ks=(2, 3), alphas=0.05, betas=0.05,
+            num_datasets=30, procedures="both", seed=0,
+        )
+        result = engine.run(spec, dataset=handle)
+        print(
+            f"\nmulti-k run: {len(result.queries)} queries, "
+            f"{engine.stats.simulations_run} simulations"
+        )
+        for query in result.queries:
+            procedure2 = query.report.procedure2
+            print(
+                f"  k={query.k}: s_min={query.report.s_min}, "
+                f"s*={procedure2.s_star}, significant={procedure2.num_significant}"
+            )
+
+        # Re-query at different budgets: the artifact cache answers.
+        engine.run(
+            RunSpec(ks=(2, 3), alphas=0.01, betas=0.1, num_datasets=30, seed=0),
+            dataset=handle,
+        )
+        print(
+            f"after alpha/beta re-grid: still "
+            f"{engine.stats.simulations_run} simulations "
+            f"({engine.stats.artifact_cache_hits} cache hits)"
+        )
+
+        # A fresh Engine over the same directory resumes without simulating.
+        resumed_engine = Engine(store=DirectoryArtifactStore(store_dir))
+        resumed = resumed_engine.run(spec, dataset=dataset)
+        print(
+            f"resumed from disk: {resumed_engine.stats.simulations_run} "
+            f"simulations, identical JSON: {resumed.to_json() == result.to_json()}"
+        )
+
+    # Results are plain values: exact JSON round-trip.
+    rebuilt = RunResult.from_json(result.to_json())
+    print(f"JSON round-trip exact: {rebuilt == result}")
+
+
+if __name__ == "__main__":
+    main()

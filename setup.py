@@ -4,8 +4,23 @@ The canonical build configuration lives in ``pyproject.toml``; this file only
 exists so that legacy editable installs (``pip install -e . --no-use-pep517``)
 work in offline environments that lack the ``wheel`` package required by the
 PEP 517 editable-install path.
+
+The version is single-sourced from ``src/repro/_version.py`` (parsed
+textually so that building never requires the runtime dependencies).
 """
+
+import pathlib
+import re
 
 from setuptools import setup
 
-setup()
+_VERSION_FILE = pathlib.Path(__file__).parent / "src" / "repro" / "_version.py"
+_MATCH = re.search(
+    r'^__version__ = "(?P<version>[^"]+)"',
+    _VERSION_FILE.read_text(encoding="utf-8"),
+    re.MULTILINE,
+)
+if _MATCH is None:  # pragma: no cover - build-time guard
+    raise RuntimeError(f"cannot parse __version__ from {_VERSION_FILE}")
+
+setup(version=_MATCH.group("version"))

@@ -21,8 +21,16 @@ The public API re-exports the pieces most users need:
   ``null_model="bernoulli" | "swap"``;
 * the methodology: :func:`find_poisson_threshold` (Algorithm 1),
   :func:`run_procedure1`, :func:`run_procedure2`, and the
-  :class:`SignificantItemsetMiner` facade.
+  :class:`SignificantItemsetMiner` facade;
+* the session API: :class:`Engine` + :class:`RunSpec` — register datasets
+  once, answer multi-``k`` / ``alpha``-``beta``-grid queries with exactly one
+  Monte-Carlo simulation per ``(dataset, null model, Δ, seed, k, ε)``, and
+  serialize every result to JSON (:class:`RunResult`,
+  :class:`DirectoryArtifactStore` for resumable on-disk caches).  See
+  ``docs/engine.md``.
 """
+
+from repro._version import __version__
 
 from repro.core import (
     NULL_MODEL_NAMES,
@@ -48,6 +56,18 @@ from repro.core import (
     run_procedure1,
     run_procedure2,
     run_procedure2_swap,
+)
+from repro.engine import (
+    ArtifactStore,
+    DirectoryArtifactStore,
+    Engine,
+    EngineStats,
+    MemoryArtifactStore,
+    NullArtifact,
+    QueryResult,
+    RunResult,
+    RunSpec,
+    dataset_fingerprint,
 )
 from repro.data import (
     BENCHMARK_NAMES,
@@ -97,18 +117,22 @@ from repro.stats import (
     poisson_upper_tail,
 )
 
-__version__ = "1.0.0"
-
 __all__ = [
+    "ArtifactStore",
     "AssociationRule",
     "BENCHMARK_NAMES",
     "BenchmarkSpec",
     "BernoulliNull",
     "ChenSteinBounds",
     "DatasetSummary",
+    "DirectoryArtifactStore",
+    "Engine",
+    "EngineStats",
+    "MemoryArtifactStore",
     "MinerConfig",
     "MonteCarloNullEstimator",
     "NULL_MODEL_NAMES",
+    "NullArtifact",
     "NullModel",
     "PackedIndex",
     "PlantedItemset",
@@ -116,7 +140,10 @@ __all__ = [
     "Procedure1Result",
     "Procedure2Result",
     "Procedure2Step",
+    "QueryResult",
     "RandomDatasetModel",
+    "RunResult",
+    "RunSpec",
     "SignificanceReport",
     "SignificantItemsetMiner",
     "SwapNullEstimator",
@@ -135,6 +162,7 @@ __all__ = [
     "chen_stein_bound_general",
     "chen_stein_bounds_fixed_frequency",
     "closed_itemsets",
+    "dataset_fingerprint",
     "eclat",
     "evaluate_discoveries",
     "find_poisson_threshold",

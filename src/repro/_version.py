@@ -1,0 +1,8 @@
+"""Single source of truth for the package version.
+
+``setup.py`` parses this file textually (no import, so building does not
+require NumPy/SciPy to be installed) and ``repro/__init__.py`` re-exports
+``__version__``; the CLI surfaces it via ``python -m repro --version``.
+"""
+
+__version__ = "1.1.0"

@@ -14,6 +14,11 @@ Same, but against the margin-preserving swap-randomization null::
 
     python -m repro mine --input bms1.dat --k 2 --null-model swap
 
+Emit the full machine-readable result and render it again later::
+
+    python -m repro mine --input bms1.dat --k 2 --output json > result.json
+    python -m repro report --input result.json
+
 Reproduce one of the paper's tables on the synthetic analogues::
 
     python -m repro experiment --table table3 --preset quick
@@ -23,12 +28,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.miner import SignificantItemsetMiner
+from repro._version import __version__
 from repro.data.benchmarks import BENCHMARK_NAMES, generate_benchmark
 from repro.data.io import read_fimi, write_fimi
 from repro.data.stats import summarize
+from repro.engine import Engine, RunResult, RunSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import TABLE_RUNNERS, run_selected
 
@@ -43,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Statistically significant frequent itemset mining "
             "(PODS 2009 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -100,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the Monte-Carlo passes (results identical)",
     )
     mine.add_argument(
+        "--output",
+        choices=["text", "json"],
+        default="text",
+        help=(
+            "output format: human-readable text (default) or the full "
+            "serialized RunResult as JSON (re-render it with the report "
+            "subcommand)"
+        ),
+    )
+    mine.add_argument(
+        "--max-print", type=int, default=20, help="cap on itemsets printed"
+    )
+
+    report = subparsers.add_parser(
+        "report",
+        help="render a stored JSON RunResult (from mine --output json)",
+    )
+    report.add_argument(
+        "--input", required=True, help="path to a RunResult JSON file"
+    )
+    report.add_argument(
         "--max-print", type=int, default=20, help="cap on itemsets printed"
     )
 
@@ -133,37 +164,58 @@ def _command_summary(args: argparse.Namespace) -> int:
 
 def _command_mine(args: argparse.Namespace) -> int:
     dataset = read_fimi(args.input)
-    miner = SignificantItemsetMiner(
-        k=args.k,
-        alpha=args.alpha,
-        beta=args.beta,
+    engine = Engine(backend=args.backend, n_jobs=args.n_jobs)
+    spec = RunSpec(
+        ks=args.k,
+        alphas=args.alpha,
+        betas=args.beta,
         epsilon=args.epsilon,
         num_datasets=args.delta,
-        backend=args.backend,
-        n_jobs=args.n_jobs,
         null_model=args.null_model,
-        rng=args.seed,
-    ).fit(dataset)
+        seed=args.seed,
+        procedures=args.procedure,
+    )
+    result = engine.run(spec, dataset=dataset)
+    if args.output == "json":
+        print(result.to_json(indent=2))
+        return 0
     print(f"dataset: {summarize(dataset)}")
-    print(f"null model: {args.null_model}")
-    print(f"s_min (Algorithm 1): {miner.s_min}")
-
-    if args.procedure in ("2", "both"):
-        result = miner.procedure2()
-        print(f"Procedure 2: s* = {result.s_star}")
-        print(
-            f"  Q_k,s* = {result.num_significant}, "
-            f"lambda(s*) = {result.lambda_at_s_star:.4f}"
-        )
-        _print_itemsets(result.significant, args.max_print)
-    if args.procedure in ("1", "both"):
-        result1 = miner.procedure1()
-        print(
-            f"Procedure 1 (Benjamini-Yekutieli): |R| = {result1.num_significant} "
-            f"of {result1.num_candidates} candidates"
-        )
-        _print_itemsets(result1.significant, args.max_print)
+    _render_run_result(result, args.max_print)
     return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    result = RunResult.from_json(Path(args.input).read_text(encoding="utf-8"))
+    name = result.dataset_name or "<unnamed>"
+    print(f"dataset: {name} (fingerprint {result.fingerprint[:16]}…)")
+    _render_run_result(result, args.max_print)
+    return 0
+
+
+def _render_run_result(result: RunResult, max_print: int) -> None:
+    """Render a :class:`RunResult` in the classic mine output format."""
+    print(f"null model: {result.spec.null_model}")
+    multi = len(result.queries) > 1
+    for query in result.queries:
+        if multi:
+            print(f"--- k={query.k} alpha={query.alpha} beta={query.beta} ---")
+        print(f"s_min (Algorithm 1): {query.report.s_min}")
+        procedure2 = query.report.procedure2
+        if procedure2 is not None:
+            print(f"Procedure 2: s* = {procedure2.s_star}")
+            print(
+                f"  Q_k,s* = {procedure2.num_significant}, "
+                f"lambda(s*) = {procedure2.lambda_at_s_star:.4f}"
+            )
+            _print_itemsets(procedure2.significant, max_print)
+        procedure1 = query.report.procedure1
+        if procedure1 is not None:
+            print(
+                f"Procedure 1 (Benjamini-Yekutieli): "
+                f"|R| = {procedure1.num_significant} "
+                f"of {procedure1.num_candidates} candidates"
+            )
+            _print_itemsets(procedure1.significant, max_print)
 
 
 def _print_itemsets(itemsets: dict, limit: int) -> None:
@@ -198,6 +250,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _command_generate,
         "summary": _command_summary,
         "mine": _command_mine,
+        "report": _command_report,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

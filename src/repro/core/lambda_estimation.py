@@ -589,6 +589,87 @@ class MonteCarloNullEstimator:
                         values.add(breakpoint)
         return sorted(values)
 
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Everything needed to answer queries, as plain metadata + arrays.
+
+        The returned dict has JSON-compatible scalar entries plus two NumPy
+        arrays (``"itemsets"``: the union ``W`` as an ``(|W|, k)`` int64
+        item-id matrix; ``"profiles"``: the ``(|W|, Δ)`` support-profile
+        matrix).  :meth:`from_state` inverts it without re-running the
+        Monte-Carlo collection, which is what makes Engine artifact stores
+        resumable across processes.  Only estimators over integer item
+        identifiers can be exported (always true for datasets read through
+        :mod:`repro.data`).
+        """
+        if self._itemsets:
+            itemsets = np.asarray(self._itemsets, dtype=np.int64)
+        else:
+            itemsets = np.empty((0, self.k), dtype=np.int64)
+        kind = getattr(self.model, "kind", None)
+        if kind is None:
+            # A model-less estimator (from_state without reattachment) still
+            # carries the original null family in self.kind; falling back to
+            # "bernoulli" here would mislabel re-saved swap artifacts.
+            kind = getattr(self, "kind", "bernoulli")
+        return {
+            "k": self.k,
+            "num_datasets": self.num_datasets,
+            "mining_support": self.mining_support,
+            "max_union_size": self.max_union_size,
+            "backend": self.backend,
+            "truncated": bool(getattr(self, "truncated", False)),
+            "max_observed_support": self._max_observed_support,
+            "kind": str(kind),
+            "itemsets": itemsets,
+            "profiles": self._profiles,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, model: Optional[NullModel] = None
+    ) -> "MonteCarloNullEstimator":
+        """Rebuild an estimator from :meth:`state_dict` output — no sampling.
+
+        Parameters
+        ----------
+        state:
+            A dict produced by :meth:`state_dict` (arrays may arrive as the
+            lazily loaded members of an ``npz`` file).
+        model:
+            Optional live null model to reattach.  All per-support queries
+            (``lambda_at``, ``chen_stein_estimates``, ``empirical_pvalue``)
+            work without one; attaching the model restores the full interface
+            (e.g. ``max_expected_support`` and the ``model.kind`` introspection
+            used by the procedures).
+        """
+        self = cls.__new__(cls)
+        self.model = model
+        self.k = int(state["k"])
+        self.num_datasets = int(state["num_datasets"])
+        self.mining_support = int(state["mining_support"])
+        self.max_union_size = int(state["max_union_size"])
+        self.backend = str(state["backend"])
+        self.n_jobs = 1
+        self._executor = None
+        self._rng = np.random.default_rng()
+        self.truncated = bool(state["truncated"])
+        self._max_observed_support = int(state["max_observed_support"])
+        itemsets = np.asarray(state["itemsets"], dtype=np.int64)
+        self._itemsets = [tuple(row) for row in itemsets.tolist()]
+        self._index_of = {
+            itemset: position for position, itemset in enumerate(self._itemsets)
+        }
+        self._profiles = np.asarray(state["profiles"], dtype=np.int64)
+        self._pair_indices = None
+        if model is None:
+            # Let callers that introspect the null family (Procedures 1/2)
+            # still see the original kind even before a model is reattached.
+            self.kind = str(state.get("kind", "bernoulli"))
+        return self
+
 
 def analytic_lambda(
     model: Union[RandomDatasetModel, NullModel],

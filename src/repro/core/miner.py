@@ -1,13 +1,12 @@
 """High-level facade: :class:`SignificantItemsetMiner`.
 
-The facade wires the whole methodology together for the common case:
-
-1. build the null model from the dataset (same ``t``, same item frequencies);
-2. run Algorithm 1 to estimate the Poisson threshold ``ŝ_min`` (and keep the
-   Monte-Carlo estimator around);
-3. run Procedure 2 to find the support threshold ``s*`` and the significant
-   family ``F_k(s*)`` (FDR ``<= β`` with confidence ``1 − α``);
-4. optionally run Procedure 1 as the baseline comparison (Table 5).
+Since the introduction of :mod:`repro.engine`, the miner is a thin
+backward-compatible adapter over an :class:`~repro.engine.session.Engine`
+session: :meth:`fit` registers the dataset and computes (and caches) the
+Monte-Carlo null artifact; :meth:`procedure1`/:meth:`procedure2`/:meth:`report`
+are cached queries against it.  Randomness is derived per pipeline stage from
+one root draw at ``fit`` time, so the order in which results are queried can
+never change them.
 
 Example
 -------
@@ -17,28 +16,40 @@ Example
 >>> report = miner.report()
 >>> report.procedure2.found_threshold           # doctest: +SKIP
 True
+
+New code answering several queries over the same data should use the Engine
+directly — see ``docs/engine.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from repro.core.null_models import NullModel
-from repro.core.poisson_threshold import PoissonThresholdResult, find_poisson_threshold
-from repro.core.procedure1 import run_procedure1
-from repro.core.procedure2 import run_procedure2
+from repro.core.poisson_threshold import PoissonThresholdResult
 from repro.core.results import (
     Procedure1Result,
     Procedure2Result,
     SignificanceReport,
 )
 from repro.data.dataset import TransactionDataset
+from repro.data.random_model import RandomDatasetModel
 from repro.fim.bitmap import resolve_backend
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import Engine
+
 __all__ = ["MinerConfig", "SignificantItemsetMiner"]
+
+#: Attributes an object must expose to satisfy the :class:`NullModel`
+#: protocol (used for the eager instance validation in :class:`MinerConfig`).
+#: Derived from the protocol itself so the list cannot drift from it.
+_NULL_MODEL_MEMBERS = tuple(
+    sorted(member for member in dir(NullModel) if not member.startswith("_"))
+)
 
 
 @dataclass(frozen=True)
@@ -73,7 +84,10 @@ class MinerConfig:
         Null model the significance machinery simulates: ``"bernoulli"``
         (the paper's independent-items null, the default), ``"swap"`` (the
         margin-preserving swap-randomisation null of Gionis et al.), or any
-        :class:`~repro.core.null_models.NullModel` instance.
+        :class:`~repro.core.null_models.NullModel` instance.  Instances are
+        validated eagerly against the protocol, so a malformed custom null
+        fails at configuration time with a :class:`TypeError` naming the
+        missing members.
     """
 
     k: int = 2
@@ -108,6 +122,25 @@ class MinerConfig:
                     f"unknown null model {self.null_model!r}; expected one of "
                     f"{', '.join(NULL_MODEL_NAMES)}"
                 )
+        elif self.null_model is not None and not isinstance(
+            self.null_model, RandomDatasetModel
+        ):
+            # Instance case: check the NullModel protocol eagerly, so a
+            # malformed object fails here rather than deep inside a
+            # Monte-Carlo pass.  (A bare RandomDatasetModel is accepted —
+            # as_null_model wraps it in a BernoulliNull.)
+            missing = [
+                member
+                for member in _NULL_MODEL_MEMBERS
+                if not hasattr(self.null_model, member)
+            ]
+            if missing:
+                raise TypeError(
+                    f"null_model must be a name ('bernoulli' | 'swap') or an "
+                    f"object satisfying the NullModel protocol; "
+                    f"{type(self.null_model).__name__} is missing "
+                    f"{', '.join(missing)}"
+                )
 
 
 @dataclass
@@ -118,9 +151,12 @@ class SignificantItemsetMiner:
     via ``config`` (explicit keyword parameters then override it).
 
     The miner is *stateful*: :meth:`fit` binds it to one dataset, computes the
-    Poisson threshold, and caches the Monte-Carlo estimator so repeated calls
-    to :meth:`procedure1`, :meth:`procedure2`, or :meth:`report` do not pay
-    the simulation cost again.
+    Poisson threshold, and caches the Monte-Carlo artifact in a private
+    :class:`~repro.engine.session.Engine`, so repeated calls to
+    :meth:`procedure1`, :meth:`procedure2`, or :meth:`report` do not pay the
+    simulation cost again.  Each stage draws from its own independent random
+    stream (derived from one root draw at ``fit`` time), so calling
+    ``procedure1`` before or after ``procedure2`` yields identical results.
     """
 
     k: int = 2
@@ -135,6 +171,9 @@ class SignificantItemsetMiner:
     rng: Optional[Union[int, np.random.Generator]] = None
     config: Optional[MinerConfig] = None
 
+    _engine: Optional["Engine"] = field(default=None, init=False, repr=False)
+    _handle: Optional[str] = field(default=None, init=False, repr=False)
+    _seed: Optional[int] = field(default=None, init=False, repr=False)
     _dataset: Optional[TransactionDataset] = field(
         default=None, init=False, repr=False
     )
@@ -178,17 +217,26 @@ class SignificantItemsetMiner:
     # Fitting
     # ------------------------------------------------------------------
     def fit(self, dataset: TransactionDataset) -> "SignificantItemsetMiner":
-        """Bind the miner to a dataset and compute the Poisson threshold."""
+        """Bind the miner to a dataset and compute the Poisson threshold.
+
+        The miner's root generator is consumed exactly once here, to derive
+        the session seed; afterwards every stage (the Algorithm 1 simulation,
+        either procedure) uses its own independent stream, so the order of
+        later queries cannot influence any result.
+        """
+        from repro.engine.session import Engine
+
+        self._engine = Engine(backend=self.backend, n_jobs=self.n_jobs)
+        self._handle = self._engine.register(dataset)
+        self._seed = int(self.rng.integers(0, np.iinfo(np.int64).max))
         self._dataset = dataset
-        self._threshold_result = find_poisson_threshold(
-            dataset,
+        self._threshold_result = self._engine.threshold(
+            self._handle,
             self.k,
             epsilon=self.epsilon,
             num_datasets=self.num_datasets,
-            rng=self.rng,
-            backend=self.backend,
-            n_jobs=self.n_jobs,
             null_model=self.null_model,
+            seed=self._seed,
         )
         self._procedure1_result = None
         self._procedure2_result = None
@@ -216,37 +264,44 @@ class SignificantItemsetMiner:
         assert self._threshold_result is not None
         return self._threshold_result
 
+    @property
+    def engine(self) -> "Engine":
+        """The underlying Engine session (available after :meth:`fit`)."""
+        self._require_fit()
+        assert self._engine is not None
+        return self._engine
+
     def procedure1(self) -> Procedure1Result:
         """Run (or return the cached) Procedure 1 baseline."""
-        dataset = self._require_fit()
+        self._require_fit()
         if self._procedure1_result is None:
-            self._procedure1_result = run_procedure1(
-                dataset,
+            assert self._engine is not None and self._handle is not None
+            self._procedure1_result = self._engine.procedure1(
+                self._handle,
                 self.k,
                 beta=self.beta,
-                threshold_result=self._threshold_result,
+                epsilon=self.epsilon,
                 num_datasets=self.num_datasets,
-                rng=self.rng,
-                backend=self.backend,
-                n_jobs=self.n_jobs,
                 null_model=self.null_model,
+                seed=self._seed,
             )
         return self._procedure1_result
 
     def procedure2(self) -> Procedure2Result:
         """Run (or return the cached) Procedure 2."""
-        dataset = self._require_fit()
+        self._require_fit()
         if self._procedure2_result is None:
-            self._procedure2_result = run_procedure2(
-                dataset,
+            assert self._engine is not None and self._handle is not None
+            self._procedure2_result = self._engine.procedure2(
+                self._handle,
                 self.k,
                 alpha=self.alpha,
                 beta=self.beta,
-                threshold_result=self._threshold_result,
-                lambda_floor=self.lambda_floor,
-                backend=self.backend,
-                n_jobs=self.n_jobs,
+                epsilon=self.epsilon,
+                num_datasets=self.num_datasets,
                 null_model=self.null_model,
+                seed=self._seed,
+                lambda_floor=self.lambda_floor,
             )
         return self._procedure2_result
 

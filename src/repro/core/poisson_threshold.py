@@ -20,13 +20,14 @@ error terms by Monte-Carlo simulation:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.core.lambda_estimation import MonteCarloNullEstimator
 from repro.core.null_models import NullModel, as_null_model
+from repro.core.results import SerializableResult, _require_type
 from repro.data.dataset import TransactionDataset
 from repro.data.random_model import RandomDatasetModel
 
@@ -34,7 +35,7 @@ __all__ = ["PoissonThresholdResult", "find_poisson_threshold"]
 
 
 @dataclass(frozen=True)
-class PoissonThresholdResult:
+class PoissonThresholdResult(SerializableResult):
     """Output of Algorithm 1.
 
     Attributes
@@ -71,6 +72,58 @@ class PoissonThresholdResult:
     def total_bound_at_s_min(self) -> float:
         """``b1(ŝ_min) + b2(ŝ_min)``."""
         return self.bound_at_s_min[0] + self.bound_at_s_min[1]
+
+    def without_estimator(self) -> "PoissonThresholdResult":
+        """A copy with ``estimator = None`` (the pure value part of the result).
+
+        Used wherever the result must behave as a plain value — e.g. inside a
+        serializable :class:`~repro.engine.results.RunResult` — while the live
+        estimator stays with the Engine's artifact cache.
+        """
+        return replace(self, estimator=None)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the value fields (the estimator is omitted).
+
+        The Monte-Carlo estimator is *not* part of the dict — its array state
+        is persisted separately by the
+        :class:`~repro.engine.store.DirectoryArtifactStore` (NPZ), which
+        reattaches it on load via :meth:`from_dict`'s ``estimator`` argument.
+        """
+        return {
+            "type": "PoissonThresholdResult",
+            "s_min": self.s_min,
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "num_datasets": self.num_datasets,
+            "initial_support": self.initial_support,
+            "bound_at_s_min": list(self.bound_at_s_min),
+            "bound_curve": [
+                [support, bounds[0], bounds[1]]
+                for support, bounds in sorted(self.bound_curve.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, data: dict, estimator: Optional[MonteCarloNullEstimator] = None
+    ) -> "PoissonThresholdResult":
+        """Inverse of :meth:`to_dict`; ``estimator`` reattaches a live estimator."""
+        _require_type(data, "PoissonThresholdResult")
+        b1, b2 = data["bound_at_s_min"]
+        return cls(
+            s_min=int(data["s_min"]),
+            k=int(data["k"]),
+            epsilon=float(data["epsilon"]),
+            num_datasets=int(data["num_datasets"]),
+            initial_support=int(data["initial_support"]),
+            bound_at_s_min=(float(b1), float(b2)),
+            bound_curve={
+                int(support): (float(low), float(high))
+                for support, low, high in data["bound_curve"]
+            },
+            estimator=estimator,  # type: ignore[arg-type]
+        )
 
 
 def find_poisson_threshold(

@@ -47,6 +47,7 @@ def run_procedure1(
     backend: Optional[str] = None,
     n_jobs: int = 1,
     null_model: Union[str, NullModel, None] = None,
+    mined: Optional[dict] = None,
 ) -> Procedure1Result:
     """Run Procedure 1 on a dataset.
 
@@ -78,6 +79,11 @@ def run_procedure1(
         margin-preserving swap-randomisation null (Monte-Carlo empirical
         p-values), or a ready-made
         :class:`~repro.core.null_models.NullModel`.
+    mined:
+        Optional precomputed ``F_k(s_min)`` (itemset -> support, exactly the
+        output of mining the observed dataset at ``s_min``).  Lets callers
+        answering many ``beta`` budgets — e.g. the Engine's grid runs —
+        mine the real dataset once per ``(k, s_min)`` instead of per call.
 
     Returns
     -------
@@ -113,7 +119,11 @@ def run_procedure1(
     if s_min < 1:
         raise ValueError("s_min must be at least 1")
 
-    candidates = mine_k_itemsets(dataset, k, s_min, backend=backend)
+    candidates = (
+        mined
+        if mined is not None
+        else mine_k_itemsets(dataset, k, s_min, backend=backend)
+    )
 
     if null_kind == "bernoulli":
         # Closed-form Binomial tails under the independence null.

@@ -73,6 +73,7 @@ def run_procedure2(
     backend: Optional[str] = None,
     n_jobs: int = 1,
     null_model: Union[str, NullModel, None] = None,
+    mined: Optional[dict] = None,
 ) -> Procedure2Result:
     """Run Procedure 2 on a dataset.
 
@@ -118,6 +119,12 @@ def run_procedure2(
         :class:`~repro.core.null_models.NullModel`.  Ignored when a prebuilt
         ``estimator``/``threshold_result`` is supplied (those carry their own
         null).
+    mined:
+        Optional precomputed ``F_k(s_min)`` (itemset -> support, exactly the
+        output of mining the observed dataset at ``s_min``).  Lets callers
+        answering many ``alpha``/``beta`` budgets — e.g. the Engine's grid
+        runs — mine the real dataset once per ``(k, s_min)`` instead of per
+        call.
 
     Returns
     -------
@@ -172,7 +179,8 @@ def run_procedure2(
     beta_i = h / beta
 
     # One mining pass at s_min serves every level (supports are thresholded).
-    mined = mine_k_itemsets(dataset, k, s_min, backend=backend)
+    if mined is None:
+        mined = mine_k_itemsets(dataset, k, s_min, backend=backend)
     supports_sorted = sorted(mined.values())
 
     import bisect

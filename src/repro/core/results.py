@@ -1,10 +1,20 @@
-"""Result types shared by the significant-itemset procedures."""
+"""Result types shared by the significant-itemset procedures.
+
+Every result type is a frozen dataclass that also round-trips losslessly
+through plain JSON: ``to_dict()``/``from_dict()`` convert to/from a
+JSON-compatible dict (itemset keys become sorted ``[[items...], value]``
+pairs, ``s* = ∞`` becomes the string ``"inf"``) and
+``to_json()``/``from_json()`` wrap them with :mod:`json`.  Floats survive
+exactly (JSON text round-trips Python floats bit-for-bit), so
+``from_json(x.to_json()) == x`` holds structurally for all of them.
+"""
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.fim.itemsets import Itemset
 
@@ -12,12 +22,45 @@ __all__ = [
     "Procedure1Result",
     "Procedure2Step",
     "Procedure2Result",
+    "SerializableResult",
     "SignificanceReport",
 ]
 
 
+def _encode_itemset_map(mapping: dict[Itemset, Any]) -> list[list]:
+    """Encode ``{itemset tuple: value}`` as sorted ``[[items...], value]`` pairs."""
+    return [[list(itemset), value] for itemset, value in sorted(mapping.items())]
+
+
+def _decode_itemset_map(pairs: list) -> dict[Itemset, Any]:
+    """Inverse of :func:`_encode_itemset_map` (tuple keys restored)."""
+    return {tuple(items): value for items, value in pairs}
+
+
+def _require_type(data: dict, expected: str) -> None:
+    found = data.get("type")
+    if found != expected:
+        raise ValueError(f"expected a serialized {expected}, got type={found!r}")
+
+
+class SerializableResult:
+    """Mixin adding ``to_json``/``from_json`` over ``to_dict``/``from_dict``."""
+
+    def to_dict(self) -> dict:  # pragma: no cover - overridden by every subclass
+        raise NotImplementedError
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string (keys sorted, so the text is canonical)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str):
+        """Reconstruct an instance from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+
 @dataclass(frozen=True)
-class Procedure1Result:
+class Procedure1Result(SerializableResult):
     """Outcome of Procedure 1 (per-itemset Binomial tests + BY correction).
 
     Attributes
@@ -64,6 +107,37 @@ class Procedure1Result:
         """``|R|``: number of itemsets flagged significant."""
         return len(self.significant)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (itemset keys become sorted pairs)."""
+        return {
+            "type": "Procedure1Result",
+            "k": self.k,
+            "s_min": self.s_min,
+            "beta": self.beta,
+            "num_hypotheses": self.num_hypotheses,
+            "candidate_supports": _encode_itemset_map(self.candidate_supports),
+            "pvalues": _encode_itemset_map(self.pvalues),
+            "significant": _encode_itemset_map(self.significant),
+            "rejection_threshold": self.rejection_threshold,
+            "null_model": self.null_model,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Procedure1Result":
+        """Inverse of :meth:`to_dict`."""
+        _require_type(data, "Procedure1Result")
+        return cls(
+            k=int(data["k"]),
+            s_min=int(data["s_min"]),
+            beta=float(data["beta"]),
+            num_hypotheses=int(data["num_hypotheses"]),
+            candidate_supports=_decode_itemset_map(data["candidate_supports"]),
+            pvalues=_decode_itemset_map(data["pvalues"]),
+            significant=_decode_itemset_map(data["significant"]),
+            rejection_threshold=float(data["rejection_threshold"]),
+            null_model=str(data["null_model"]),
+        )
+
 
 @dataclass(frozen=True)
 class Procedure2Step:
@@ -101,9 +175,42 @@ class Procedure2Step:
     deviation_ok: bool
     rejected: bool
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict of the step record."""
+        return {
+            "type": "Procedure2Step",
+            "index": self.index,
+            "support": self.support,
+            "observed_count": self.observed_count,
+            "poisson_mean": self.poisson_mean,
+            "pvalue": self.pvalue,
+            "alpha_i": self.alpha_i,
+            "beta_i": self.beta_i,
+            "pvalue_ok": self.pvalue_ok,
+            "deviation_ok": self.deviation_ok,
+            "rejected": self.rejected,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Procedure2Step":
+        """Inverse of :meth:`to_dict`."""
+        _require_type(data, "Procedure2Step")
+        return cls(
+            index=int(data["index"]),
+            support=int(data["support"]),
+            observed_count=int(data["observed_count"]),
+            poisson_mean=float(data["poisson_mean"]),
+            pvalue=float(data["pvalue"]),
+            alpha_i=float(data["alpha_i"]),
+            beta_i=float(data["beta_i"]),
+            pvalue_ok=bool(data["pvalue_ok"]),
+            deviation_ok=bool(data["deviation_ok"]),
+            rejected=bool(data["rejected"]),
+        )
+
 
 @dataclass(frozen=True)
-class Procedure2Result:
+class Procedure2Result(SerializableResult):
     """Outcome of Procedure 2 (the support threshold ``s*``).
 
     ``s_star`` is ``math.inf`` when no support level was rejected — the paper
@@ -140,9 +247,45 @@ class Procedure2Result:
                 return step.poisson_mean
         return 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (``s* = ∞`` encodes as the string ``"inf"``)."""
+        s_star = "inf" if math.isinf(float(self.s_star)) else int(self.s_star)
+        return {
+            "type": "Procedure2Result",
+            "k": self.k,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "s_min": self.s_min,
+            "s_max": self.s_max,
+            "s_star": s_star,
+            "steps": [step.to_dict() for step in self.steps],
+            "significant": _encode_itemset_map(self.significant),
+            "null_model": self.null_model,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Procedure2Result":
+        """Inverse of :meth:`to_dict`."""
+        _require_type(data, "Procedure2Result")
+        raw_s_star = data["s_star"]
+        s_star: Union[int, float] = (
+            math.inf if raw_s_star == "inf" else int(raw_s_star)
+        )
+        return cls(
+            k=int(data["k"]),
+            alpha=float(data["alpha"]),
+            beta=float(data["beta"]),
+            s_min=int(data["s_min"]),
+            s_max=int(data["s_max"]),
+            s_star=s_star,
+            steps=tuple(Procedure2Step.from_dict(step) for step in data["steps"]),
+            significant=_decode_itemset_map(data["significant"]),
+            null_model=str(data["null_model"]),
+        )
+
 
 @dataclass(frozen=True)
-class SignificanceReport:
+class SignificanceReport(SerializableResult):
     """Combined output of the high-level miner: both procedures side by side."""
 
     dataset_name: Optional[str]
@@ -159,3 +302,38 @@ class SignificanceReport:
         if self.procedure1.num_significant == 0:
             return None
         return self.procedure2.num_significant / self.procedure1.num_significant
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict; missing procedures serialize as ``None``."""
+        return {
+            "type": "SignificanceReport",
+            "dataset_name": self.dataset_name,
+            "k": self.k,
+            "s_min": self.s_min,
+            "procedure1": (
+                None if self.procedure1 is None else self.procedure1.to_dict()
+            ),
+            "procedure2": (
+                None if self.procedure2 is None else self.procedure2.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SignificanceReport":
+        """Inverse of :meth:`to_dict`."""
+        _require_type(data, "SignificanceReport")
+        return cls(
+            dataset_name=data["dataset_name"],
+            k=int(data["k"]),
+            s_min=int(data["s_min"]),
+            procedure1=(
+                None
+                if data["procedure1"] is None
+                else Procedure1Result.from_dict(data["procedure1"])
+            ),
+            procedure2=(
+                None
+                if data["procedure2"] is None
+                else Procedure2Result.from_dict(data["procedure2"])
+            ),
+        )

@@ -1,0 +1,47 @@
+"""repro.engine — the session-oriented public API.
+
+Register datasets once, describe queries declaratively, pay for each
+Monte-Carlo null simulation exactly once, and get serializable results back:
+
+>>> from repro.engine import Engine, RunSpec
+>>> engine = Engine()
+>>> handle = engine.register(dataset)                        # doctest: +SKIP
+>>> result = engine.run(RunSpec(ks=(2, 3)), dataset=handle)  # doctest: +SKIP
+>>> text = result.to_json()                                  # doctest: +SKIP
+
+See ``docs/engine.md`` for the full tour, including on-disk artifact stores
+(:class:`DirectoryArtifactStore`) that make threshold runs resumable across
+processes.  The classic :class:`~repro.core.miner.SignificantItemsetMiner`
+facade and the CLI ``mine`` command are thin adapters over this package.
+"""
+
+from repro.engine.fingerprint import (
+    artifact_key,
+    dataset_fingerprint,
+    null_model_key,
+)
+from repro.engine.results import QueryResult, RunResult
+from repro.engine.session import Engine, EngineStats
+from repro.engine.spec import PROCEDURE_CHOICES, RunSpec
+from repro.engine.store import (
+    ArtifactStore,
+    DirectoryArtifactStore,
+    MemoryArtifactStore,
+    NullArtifact,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "DirectoryArtifactStore",
+    "Engine",
+    "EngineStats",
+    "MemoryArtifactStore",
+    "NullArtifact",
+    "PROCEDURE_CHOICES",
+    "QueryResult",
+    "RunResult",
+    "RunSpec",
+    "artifact_key",
+    "dataset_fingerprint",
+    "null_model_key",
+]

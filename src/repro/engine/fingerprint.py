@@ -1,0 +1,133 @@
+"""Content fingerprints and cache keys for the Engine.
+
+The Engine caches two kinds of expensive artifacts:
+
+* per-dataset structures (the :class:`~repro.fim.bitmap.PackedIndex`), keyed
+  by :func:`dataset_fingerprint` — a SHA-256 digest of the dataset *content*
+  (transactions + item universe), so registering the same data twice, under
+  any name, hits the same cache entry;
+* per-simulation null artifacts (Algorithm 1's threshold plus its
+  Monte-Carlo estimator), keyed by :func:`artifact_key` — the dataset
+  fingerprint combined with everything that determines the simulation:
+  the null model, the Monte-Carlo budget ``Δ``, the seed, the itemset size
+  ``k`` and the tolerance ``ε``.
+
+Both keys are plain strings, stable across processes and Python versions,
+so an on-disk :class:`~repro.engine.store.DirectoryArtifactStore` written by
+one session is valid for every later session.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.null_models import (
+    NULL_MODEL_NAMES,
+    NullModel,
+    SwapRandomizationNull,
+)
+from repro.data.dataset import TransactionDataset
+
+__all__ = [
+    "artifact_key",
+    "dataset_fingerprint",
+    "derive_rng",
+    "null_model_key",
+]
+
+#: Version tag baked into every fingerprint/key; bump on format changes so
+#: stale on-disk artifacts are ignored rather than misread.
+_FORMAT = "repro-engine-v1"
+
+
+def dataset_fingerprint(dataset: TransactionDataset) -> str:
+    """SHA-256 content fingerprint of a :class:`TransactionDataset`.
+
+    Two datasets have the same fingerprint iff they compare equal (same
+    transactions in the same order, same item universe); the name is
+    deliberately excluded so renaming a dataset does not invalidate caches.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to fingerprint.
+
+    Returns
+    -------
+    str
+        A 64-character hexadecimal digest.
+    """
+    digest = hashlib.sha256()
+    digest.update(_FORMAT.encode("ascii"))
+    digest.update(b"|items:")
+    digest.update(" ".join(map(str, dataset.items)).encode("utf-8"))
+    digest.update(b"|transactions:")
+    for transaction in dataset.transactions:
+        digest.update(" ".join(map(str, transaction)).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def null_model_key(null_model: Union[str, NullModel, None]) -> str:
+    """Stable cache-key fragment describing a null-model specification.
+
+    Names map to themselves; shipped instances include their parameters
+    (``SwapRandomizationNull(num_swaps=...)`` keys differently from the
+    default walk length); custom :class:`NullModel` instances are keyed by
+    their ``kind`` — two *different* custom models of the same kind would
+    collide, so give bespoke nulls distinct ``kind`` strings.
+    """
+    if null_model is None:
+        return "bernoulli"
+    if isinstance(null_model, str):
+        spec = null_model.strip().lower()
+        if spec not in NULL_MODEL_NAMES:
+            raise ValueError(
+                f"unknown null model {null_model!r}; expected one of "
+                f"{', '.join(NULL_MODEL_NAMES)}"
+            )
+        return spec
+    if isinstance(null_model, SwapRandomizationNull):
+        if null_model.num_swaps is None:
+            return "swap"
+        return f"swap:num_swaps={null_model.num_swaps}"
+    return str(getattr(null_model, "kind", "bernoulli"))
+
+
+def artifact_key(
+    fingerprint: str,
+    null_model: Union[str, NullModel, None],
+    num_datasets: int,
+    seed: Optional[int],
+    k: int,
+    epsilon: float,
+) -> str:
+    """The cache key of one Monte-Carlo null artifact.
+
+    One Algorithm 1 simulation is run (and cached) per distinct key; every
+    query — any ``alpha``/``beta``, either procedure — that shares the key
+    reuses the same artifact.
+    """
+    return (
+        f"{_FORMAT}/{fingerprint}/null={null_model_key(null_model)}"
+        f"/delta={int(num_datasets)}/seed={seed}/k={int(k)}/eps={float(epsilon)!r}"
+    )
+
+
+def derive_rng(key: str, stage: str) -> np.random.Generator:
+    """Deterministic, independent random generator for one pipeline stage.
+
+    The generator is seeded from a SHA-256 digest of ``key`` plus a stage
+    tag, so
+
+    * the same artifact key always replays the same stream (on-disk
+      artifacts are exact resumes of the simulation that produced them), and
+    * distinct stages (the Algorithm 1 simulation, a Procedure 1 estimator
+      rebuild, …) draw from independent streams — query order can never
+      change results.
+    """
+    digest = hashlib.sha256(f"{key}#stage={stage}".encode("utf-8")).digest()
+    return np.random.default_rng(np.frombuffer(digest, dtype=np.uint64))

@@ -1,0 +1,126 @@
+"""The Engine's unified result type.
+
+A :class:`RunResult` bundles everything one :class:`~repro.engine.spec.RunSpec`
+produced — the per-``k`` Algorithm 1 thresholds and one
+:class:`~repro.core.results.SignificanceReport` per ``(k, alpha, beta)``
+query — together with the spec itself and the dataset's content fingerprint.
+It is a pure value object (thresholds carry no live estimator) and
+round-trips exactly through JSON: ``RunResult.from_json(r.to_json()) == r``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.poisson_threshold import PoissonThresholdResult
+from repro.core.results import (
+    SerializableResult,
+    SignificanceReport,
+    _require_type,
+)
+from repro.engine.spec import RunSpec
+
+__all__ = ["QueryResult", "RunResult"]
+
+
+@dataclass(frozen=True)
+class QueryResult(SerializableResult):
+    """One ``(k, alpha, beta)`` cell of a run, with its combined report."""
+
+    k: int
+    alpha: float
+    beta: float
+    report: SignificanceReport
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict."""
+        return {
+            "type": "QueryResult",
+            "k": self.k,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryResult":
+        """Inverse of :meth:`to_dict`."""
+        _require_type(data, "QueryResult")
+        return cls(
+            k=int(data["k"]),
+            alpha=float(data["alpha"]),
+            beta=float(data["beta"]),
+            report=SignificanceReport.from_dict(data["report"]),
+        )
+
+
+@dataclass(frozen=True)
+class RunResult(SerializableResult):
+    """Everything a :meth:`~repro.engine.session.Engine.run` call produced.
+
+    Attributes
+    ----------
+    spec:
+        The spec that was answered, with its ``dataset`` field resolved to
+        the content fingerprint.
+    fingerprint:
+        Content fingerprint of the analysed dataset.
+    dataset_name:
+        The dataset's display name, if any.
+    thresholds:
+        Per-``k`` Algorithm 1 results, *without* live estimators (those stay
+        in the Engine's artifact cache).
+    queries:
+        One :class:`QueryResult` per ``(k, alpha, beta)`` combination, in
+        ``ks × alphas × betas`` order.
+    """
+
+    spec: RunSpec
+    fingerprint: str
+    dataset_name: Optional[str]
+    thresholds: dict[int, PoissonThresholdResult]
+    queries: tuple[QueryResult, ...]
+
+    def query(self, k: int, alpha: float, beta: float) -> QueryResult:
+        """The result cell of one ``(k, alpha, beta)`` combination."""
+        for entry in self.queries:
+            if entry.k == k and entry.alpha == alpha and entry.beta == beta:
+                return entry
+        raise KeyError(f"no query for k={k}, alpha={alpha}, beta={beta}")
+
+    @property
+    def reports(self) -> tuple[SignificanceReport, ...]:
+        """All combined reports, in query order."""
+        return tuple(entry.report for entry in self.queries)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (threshold map as sorted ``[k, dict]`` pairs)."""
+        return {
+            "type": "RunResult",
+            "spec": self.spec.to_dict(),
+            "fingerprint": self.fingerprint,
+            "dataset_name": self.dataset_name,
+            "thresholds": [
+                [k, threshold.to_dict()]
+                for k, threshold in sorted(self.thresholds.items())
+            ],
+            "queries": [entry.to_dict() for entry in self.queries],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Inverse of :meth:`to_dict`."""
+        _require_type(data, "RunResult")
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            fingerprint=str(data["fingerprint"]),
+            dataset_name=data["dataset_name"],
+            thresholds={
+                int(k): PoissonThresholdResult.from_dict(threshold)
+                for k, threshold in data["thresholds"]
+            },
+            queries=tuple(
+                QueryResult.from_dict(entry) for entry in data["queries"]
+            ),
+        )

@@ -1,0 +1,439 @@
+"""The :class:`Engine`: a session-oriented front door to the methodology.
+
+The paper's pipeline is dominated by one expensive step — the Monte-Carlo
+null simulation of Algorithm 1.  The classic facade
+(:class:`~repro.core.miner.SignificantItemsetMiner`) pays it once per fitted
+miner and discards it when ``k``/``alpha``/``beta`` change.  The Engine turns
+that inside out:
+
+* datasets are **registered once** (content fingerprint → cached dataset +
+  packed bitmap index);
+* queries arrive as declarative :class:`~repro.engine.spec.RunSpec` objects
+  (one or many ``k``, an ``alpha``/``beta`` grid, null model, budget ``Δ``);
+* every query that shares ``(fingerprint, null model, Δ, seed, k, ε)``
+  reuses **one** simulation, cached in an
+  :class:`~repro.engine.store.ArtifactStore` (in-memory by default; point it
+  at a :class:`~repro.engine.store.DirectoryArtifactStore` and threshold
+  runs resume across processes);
+* answers come back as a serializable
+  :class:`~repro.engine.results.RunResult`.
+
+Example
+-------
+>>> from repro import Engine, RunSpec, generate_benchmark
+>>> engine = Engine()
+>>> handle = engine.register(generate_benchmark("bms1", scale=0.01, rng=0))
+>>> result = engine.run(RunSpec(ks=(2, 3), num_datasets=20), dataset=handle)
+>>> engine.stats.simulations_run                     # doctest: +SKIP
+2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.null_models import NullModel, as_null_model
+from repro.core.poisson_threshold import (
+    PoissonThresholdResult,
+    find_poisson_threshold,
+)
+from repro.core.procedure1 import run_procedure1
+from repro.core.procedure2 import run_procedure2
+from repro.core.results import (
+    Procedure1Result,
+    Procedure2Result,
+    SignificanceReport,
+)
+from repro.data.dataset import TransactionDataset
+from repro.engine.fingerprint import (
+    artifact_key,
+    dataset_fingerprint,
+    derive_rng,
+    null_model_key,
+)
+from repro.engine.results import QueryResult, RunResult
+from repro.engine.spec import RunSpec
+from repro.engine.store import ArtifactStore, MemoryArtifactStore, NullArtifact
+from repro.fim.bitmap import resolve_backend
+
+__all__ = ["Engine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters describing what a session actually paid for.
+
+    ``simulations_run`` counts Algorithm 1 Monte-Carlo simulations executed
+    by this Engine — the acceptance criterion of the caching design is that
+    it equals the number of *distinct* ``(dataset, null model, Δ, seed, k,
+    ε)`` tuples queried, no matter how many ``alpha``/``beta`` combinations
+    or repeated runs were answered.
+    """
+
+    datasets_registered: int = 0
+    simulations_run: int = 0
+    artifact_cache_hits: int = 0
+
+
+class Engine:
+    """A session answering many significance queries over registered datasets.
+
+    Parameters
+    ----------
+    store:
+        Artifact store for the Monte-Carlo null artifacts.  Defaults to a
+        fresh in-memory store; pass a
+        :class:`~repro.engine.store.DirectoryArtifactStore` to persist (and
+        resume) simulations across processes.
+    backend:
+        Counting backend for every mining/simulation pass of the session
+        (``"numpy"``/``"python"``; ``None`` defers to ``REPRO_BACKEND``).
+    n_jobs:
+        Worker processes for the Δ Monte-Carlo passes (results are identical
+        for every value).
+
+    Notes
+    -----
+    Randomness is derived *per artifact and per stage* from the artifact key
+    (see :func:`~repro.engine.fingerprint.derive_rng`), never from shared
+    mutable generator state — so query order cannot change any result, and a
+    cached artifact is bit-identical to the simulation it stands for.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        *,
+        backend: Optional[str] = None,
+        n_jobs: int = 1,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        if backend is not None:
+            resolve_backend(backend)  # fail fast on typos
+        self.store: ArtifactStore = store if store is not None else MemoryArtifactStore()
+        self.backend = backend
+        self.n_jobs = int(n_jobs)
+        self.stats = EngineStats()
+        self._datasets: dict[str, TransactionDataset] = {}
+        self._names: dict[str, str] = {}
+        self._models: dict[tuple[str, str], NullModel] = {}
+        # Per-session memo of live thresholds, so repeated queries against an
+        # on-disk store do not re-deserialize the NPZ arrays each time.
+        self._threshold_memo: dict[str, PoissonThresholdResult] = {}
+        # Per-session memo of the observed-dataset mining pass F_k(s_min),
+        # which depends only on (fingerprint, k, s_min) — an alpha/beta grid
+        # must not repeat it per cell.
+        self._mined_memo: dict[tuple[str, int, int], dict] = {}
+        # Session-local entropy used only when a spec asks for seed=None.
+        self._salt: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Dataset registry
+    # ------------------------------------------------------------------
+    def register(
+        self, dataset: TransactionDataset, name: Optional[str] = None
+    ) -> str:
+        """Register a dataset and return its content fingerprint (the handle).
+
+        Registering the same *content* twice — under any name — returns the
+        same handle and reuses the already-built packed index.  The optional
+        ``name`` (falling back to ``dataset.name``) becomes an alias usable
+        wherever a handle is accepted.
+        """
+        fingerprint = dataset_fingerprint(dataset)
+        if fingerprint not in self._datasets:
+            self._datasets[fingerprint] = dataset
+            if resolve_backend(self.backend) == "numpy":
+                dataset.packed()  # build the bitmap index once, eagerly
+            self.stats.datasets_registered += 1
+        alias = name if name is not None else dataset.name
+        if alias:
+            self._names[alias] = fingerprint
+        return fingerprint
+
+    def dataset(self, ref: Union[str, TransactionDataset]) -> TransactionDataset:
+        """Resolve a handle/name/dataset to the registered dataset object."""
+        return self._resolve(ref)[1]
+
+    def fingerprints(self) -> tuple[str, ...]:
+        """Handles of every registered dataset."""
+        return tuple(self._datasets)
+
+    def _resolve(
+        self, ref: Union[str, TransactionDataset, None]
+    ) -> tuple[str, TransactionDataset]:
+        if ref is None:
+            raise ValueError(
+                "no dataset given: pass one to run(), or set RunSpec.dataset "
+                "to a registered name or fingerprint"
+            )
+        if isinstance(ref, TransactionDataset):
+            fingerprint = self.register(ref)
+            return fingerprint, self._datasets[fingerprint]
+        if ref in self._datasets:
+            return ref, self._datasets[ref]
+        if ref in self._names:
+            fingerprint = self._names[ref]
+            return fingerprint, self._datasets[fingerprint]
+        raise KeyError(
+            f"unknown dataset {ref!r}: register it first (or pass the "
+            "TransactionDataset itself)"
+        )
+
+    # ------------------------------------------------------------------
+    # Null models and artifact cache
+    # ------------------------------------------------------------------
+    def _null_for(
+        self, fingerprint: str, null_model: Union[str, NullModel, None]
+    ) -> NullModel:
+        """The (cached) live null model for one registered dataset."""
+        if not isinstance(null_model, (str, type(None))):
+            return as_null_model(null_model, self._datasets[fingerprint])
+        cache_key = (fingerprint, null_model_key(null_model))
+        model = self._models.get(cache_key)
+        if model is None:
+            model = as_null_model(null_model, self._datasets[fingerprint])
+            self._models[cache_key] = model
+        return model
+
+    def _mined_for(
+        self, fingerprint: str, dataset: TransactionDataset, k: int, s_min: int
+    ) -> dict:
+        """The (cached) observed-dataset mining pass ``F_k(s_min)``."""
+        from repro.fim.kitemsets import mine_k_itemsets
+
+        memo_key = (fingerprint, k, s_min)
+        mined = self._mined_memo.get(memo_key)
+        if mined is None:
+            mined = mine_k_itemsets(dataset, k, s_min, backend=self.backend)
+            self._mined_memo[memo_key] = mined
+        return mined
+
+    def _effective_seed(self, seed: Optional[int]) -> int:
+        if seed is not None:
+            return int(seed)
+        if self._salt is None:
+            self._salt = int(np.random.SeedSequence().entropy % (2**63))
+        return self._salt
+
+    # ------------------------------------------------------------------
+    # Imperative query surface (what the facades build on)
+    # ------------------------------------------------------------------
+    def threshold(
+        self,
+        ref: Union[str, TransactionDataset],
+        k: int,
+        *,
+        epsilon: float = 0.01,
+        num_datasets: int = 100,
+        null_model: Union[str, NullModel, None] = "bernoulli",
+        seed: Optional[int] = 0,
+    ) -> PoissonThresholdResult:
+        """Algorithm 1, cached: one simulation per distinct artifact key.
+
+        Returns the full :class:`PoissonThresholdResult` *with* its live
+        Monte-Carlo estimator; repeated calls with the same parameters are
+        answered from the store (memory or disk) without re-simulating.
+        """
+        fingerprint, _ = self._resolve(ref)
+        key = artifact_key(
+            fingerprint,
+            null_model,
+            num_datasets,
+            self._effective_seed(seed),
+            k,
+            epsilon,
+        )
+        memoized = self._threshold_memo.get(key)
+        if memoized is not None:
+            self.stats.artifact_cache_hits += 1
+            return memoized
+        artifact = self.store.load(key)
+        if artifact is not None:
+            self.stats.artifact_cache_hits += 1
+            artifact.attach_model(self._null_for(fingerprint, null_model))
+            self._threshold_memo[key] = artifact.threshold
+            return artifact.threshold
+        model = self._null_for(fingerprint, null_model)
+        self.stats.simulations_run += 1
+        threshold = find_poisson_threshold(
+            model,
+            k,
+            epsilon=epsilon,
+            num_datasets=num_datasets,
+            rng=derive_rng(key, "threshold"),
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+        )
+        self.store.save(key, NullArtifact(key=key, threshold=threshold))
+        self._threshold_memo[key] = threshold
+        return threshold
+
+    def procedure1(
+        self,
+        ref: Union[str, TransactionDataset],
+        k: int,
+        *,
+        beta: float = 0.05,
+        epsilon: float = 0.01,
+        num_datasets: int = 100,
+        null_model: Union[str, NullModel, None] = "bernoulli",
+        seed: Optional[int] = 0,
+    ) -> Procedure1Result:
+        """Procedure 1 against the cached null artifact."""
+        fingerprint, dataset = self._resolve(ref)
+        threshold = self.threshold(
+            fingerprint,
+            k,
+            epsilon=epsilon,
+            num_datasets=num_datasets,
+            null_model=null_model,
+            seed=seed,
+        )
+        key = artifact_key(
+            fingerprint,
+            null_model,
+            num_datasets,
+            self._effective_seed(seed),
+            k,
+            epsilon,
+        )
+        return run_procedure1(
+            dataset,
+            k,
+            beta=beta,
+            threshold_result=threshold,
+            num_datasets=num_datasets,
+            rng=derive_rng(key, "procedure1"),
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+            null_model=self._null_for(fingerprint, null_model),
+            mined=self._mined_for(fingerprint, dataset, k, threshold.s_min),
+        )
+
+    def procedure2(
+        self,
+        ref: Union[str, TransactionDataset],
+        k: int,
+        *,
+        alpha: float = 0.05,
+        beta: float = 0.05,
+        epsilon: float = 0.01,
+        num_datasets: int = 100,
+        null_model: Union[str, NullModel, None] = "bernoulli",
+        seed: Optional[int] = 0,
+        lambda_floor: Optional[float] = None,
+    ) -> Procedure2Result:
+        """Procedure 2 against the cached null artifact."""
+        fingerprint, dataset = self._resolve(ref)
+        threshold = self.threshold(
+            fingerprint,
+            k,
+            epsilon=epsilon,
+            num_datasets=num_datasets,
+            null_model=null_model,
+            seed=seed,
+        )
+        return run_procedure2(
+            dataset,
+            k,
+            alpha=alpha,
+            beta=beta,
+            threshold_result=threshold,
+            lambda_floor=lambda_floor,
+            backend=self.backend,
+            n_jobs=self.n_jobs,
+            null_model=self._null_for(fingerprint, null_model),
+            mined=self._mined_for(fingerprint, dataset, k, threshold.s_min),
+        )
+
+    # ------------------------------------------------------------------
+    # Declarative surface
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        spec: RunSpec,
+        dataset: Union[str, TransactionDataset, None] = None,
+    ) -> RunResult:
+        """Answer a :class:`RunSpec`: every ``(k, alpha, beta)`` combination.
+
+        ``dataset`` may be a registered handle/name or a
+        :class:`TransactionDataset` (auto-registered); when omitted,
+        ``spec.dataset`` is resolved instead.  One Monte-Carlo simulation is
+        run (or loaded) per ``k``; the whole ``alpha × beta`` grid — and any
+        later spec sharing the artifact key — reuses it.
+        """
+        fingerprint, data = self._resolve(
+            dataset if dataset is not None else spec.dataset
+        )
+        thresholds: dict[int, PoissonThresholdResult] = {}
+        queries: list[QueryResult] = []
+        procedure1_memo: dict[tuple[int, float], Procedure1Result] = {}
+        for k in spec.ks:
+            threshold = self.threshold(
+                fingerprint,
+                k,
+                epsilon=spec.epsilon,
+                num_datasets=spec.num_datasets,
+                null_model=spec.null_model,
+                seed=spec.seed,
+            )
+            thresholds[k] = threshold.without_estimator()
+            for alpha in spec.alphas:
+                for beta in spec.betas:
+                    procedure2_result = None
+                    if spec.procedures in ("2", "both"):
+                        procedure2_result = self.procedure2(
+                            fingerprint,
+                            k,
+                            alpha=alpha,
+                            beta=beta,
+                            epsilon=spec.epsilon,
+                            num_datasets=spec.num_datasets,
+                            null_model=spec.null_model,
+                            seed=spec.seed,
+                            lambda_floor=spec.lambda_floor,
+                        )
+                    procedure1_result = None
+                    if spec.procedures in ("1", "both"):
+                        memo_key = (k, beta)  # Procedure 1 ignores alpha
+                        procedure1_result = procedure1_memo.get(memo_key)
+                        if procedure1_result is None:
+                            procedure1_result = self.procedure1(
+                                fingerprint,
+                                k,
+                                beta=beta,
+                                epsilon=spec.epsilon,
+                                num_datasets=spec.num_datasets,
+                                null_model=spec.null_model,
+                                seed=spec.seed,
+                            )
+                            procedure1_memo[memo_key] = procedure1_result
+                    report = SignificanceReport(
+                        dataset_name=data.name,
+                        k=k,
+                        s_min=threshold.s_min,
+                        procedure1=procedure1_result,
+                        procedure2=procedure2_result,
+                    )
+                    queries.append(
+                        QueryResult(k=k, alpha=alpha, beta=beta, report=report)
+                    )
+        return RunResult(
+            spec=replace(spec, dataset=fingerprint),
+            fingerprint=fingerprint,
+            dataset_name=data.name,
+            thresholds=thresholds,
+            queries=tuple(queries),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Engine: {len(self._datasets)} datasets, "
+            f"{self.stats.simulations_run} simulations run, "
+            f"{self.stats.artifact_cache_hits} cache hits>"
+        )

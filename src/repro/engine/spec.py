@@ -1,0 +1,163 @@
+"""Declarative run specifications for the Engine.
+
+A :class:`RunSpec` describes *what* to compute — one or many itemset sizes
+``k``, a grid of ``alpha``/``beta`` budgets, the null model, the Monte-Carlo
+budget ``Δ``, and a seed — without saying anything about *how* (backend,
+process pool, caching); those are session-wide Engine knobs.  Specs are plain
+frozen dataclasses that serialize to JSON, so a stored
+:class:`~repro.engine.results.RunResult` always records exactly what was
+asked for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.null_models import NULL_MODEL_NAMES
+from repro.core.results import SerializableResult, _require_type
+
+__all__ = ["PROCEDURE_CHOICES", "RunSpec"]
+
+#: Valid values of :attr:`RunSpec.procedures`.
+PROCEDURE_CHOICES = ("1", "2", "both")
+
+
+def _as_tuple(value, kind) -> tuple:
+    if isinstance(value, Iterable) and not isinstance(value, (str, bytes)):
+        return tuple(kind(entry) for entry in value)
+    return (kind(value),)
+
+
+@dataclass(frozen=True)
+class RunSpec(SerializableResult):
+    """One declarative significance query (or grid of queries).
+
+    Attributes
+    ----------
+    ks:
+        Itemset size(s) to analyse.  A scalar or any iterable of ints; always
+        normalized to a tuple.
+    alphas / betas:
+        Confidence / FDR budget grid.  A scalar or iterable of floats; the
+        Engine answers every ``(k, alpha, beta)`` combination, reusing one
+        Monte-Carlo simulation per ``k``.
+    epsilon:
+        Variation-distance tolerance ``ε`` of Algorithm 1.
+    num_datasets:
+        Monte-Carlo budget ``Δ``.
+    null_model:
+        Null model *name* (``"bernoulli"`` or ``"swap"``).  Specs are
+        serializable by construction, so only names are accepted here; pass
+        :class:`~repro.core.null_models.NullModel` instances to the Engine's
+        imperative methods (``threshold``/``procedure1``/``procedure2``)
+        instead.
+    seed:
+        Seed of the per-artifact random streams.  ``None`` asks the Engine
+        for a session-local random seed (results are then cached within the
+        session but not reproducible across sessions).
+    procedures:
+        Which procedures to run per query: ``"1"``, ``"2"`` (default), or
+        ``"both"``.
+    lambda_floor:
+        Optional lower bound on the Monte-Carlo ``λ`` estimates of
+        Procedure 2.
+    dataset:
+        Optional dataset reference (a registered name or content
+        fingerprint).  May be omitted when the dataset is passed to
+        :meth:`~repro.engine.session.Engine.run` directly; the Engine fills
+        it in on the returned result's spec.
+    """
+
+    ks: Union[int, tuple[int, ...]] = 2
+    alphas: Union[float, tuple[float, ...]] = 0.05
+    betas: Union[float, tuple[float, ...]] = 0.05
+    epsilon: float = 0.01
+    num_datasets: int = 100
+    null_model: str = "bernoulli"
+    seed: Optional[int] = 0
+    procedures: str = "2"
+    lambda_floor: Optional[float] = None
+    dataset: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ks", _as_tuple(self.ks, int))
+        object.__setattr__(self, "alphas", _as_tuple(self.alphas, float))
+        object.__setattr__(self, "betas", _as_tuple(self.betas, float))
+        if not self.ks:
+            raise ValueError("ks must contain at least one itemset size")
+        for k in self.ks:
+            if k < 1:
+                raise ValueError("every k must be at least 1")
+        if len(set(self.ks)) != len(self.ks):
+            raise ValueError("ks must not repeat")
+        for name, values in (("alphas", self.alphas), ("betas", self.betas)):
+            if not values:
+                raise ValueError(f"{name} must contain at least one value")
+            for value in values:
+                if not 0.0 < value < 1.0:
+                    raise ValueError(f"every value of {name} must lie in (0, 1)")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must lie in (0, 1)")
+        if self.num_datasets < 1:
+            raise ValueError("num_datasets must be at least 1")
+        if not isinstance(self.null_model, str):
+            raise TypeError(
+                "RunSpec.null_model must be a null-model name "
+                f"({', '.join(NULL_MODEL_NAMES)}); pass NullModel instances to "
+                "the Engine's imperative methods instead"
+            )
+        normalized = self.null_model.strip().lower()
+        if normalized not in NULL_MODEL_NAMES:
+            raise ValueError(
+                f"unknown null model {self.null_model!r}; expected one of "
+                f"{', '.join(NULL_MODEL_NAMES)}"
+            )
+        object.__setattr__(self, "null_model", normalized)
+        if self.procedures not in PROCEDURE_CHOICES:
+            raise ValueError(
+                f"procedures must be one of {', '.join(PROCEDURE_CHOICES)}"
+            )
+
+    @property
+    def num_queries(self) -> int:
+        """Number of ``(k, alpha, beta)`` combinations this spec expands to."""
+        return len(self.ks) * len(self.alphas) * len(self.betas)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict."""
+        return {
+            "type": "RunSpec",
+            "ks": list(self.ks),
+            "alphas": list(self.alphas),
+            "betas": list(self.betas),
+            "epsilon": self.epsilon,
+            "num_datasets": self.num_datasets,
+            "null_model": self.null_model,
+            "seed": self.seed,
+            "procedures": self.procedures,
+            "lambda_floor": self.lambda_floor,
+            "dataset": self.dataset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_type(data, "RunSpec")
+        return cls(
+            ks=tuple(int(k) for k in data["ks"]),
+            alphas=tuple(float(a) for a in data["alphas"]),
+            betas=tuple(float(b) for b in data["betas"]),
+            epsilon=float(data["epsilon"]),
+            num_datasets=int(data["num_datasets"]),
+            null_model=str(data["null_model"]),
+            seed=None if data["seed"] is None else int(data["seed"]),
+            procedures=str(data["procedures"]),
+            lambda_floor=(
+                None
+                if data["lambda_floor"] is None
+                else float(data["lambda_floor"])
+            ),
+            dataset=data["dataset"],
+        )

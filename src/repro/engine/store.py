@@ -1,0 +1,192 @@
+"""Artifact stores: where the Engine keeps its Monte-Carlo null artifacts.
+
+A *null artifact* is the expensive output of one Algorithm 1 run — the
+:class:`~repro.core.poisson_threshold.PoissonThresholdResult` together with
+its live :class:`~repro.core.lambda_estimation.MonteCarloNullEstimator`
+(the ``(|W|, Δ)`` support-profile matrix every later query reads).  Stores
+map :func:`~repro.engine.fingerprint.artifact_key` strings to artifacts:
+
+* :class:`MemoryArtifactStore` — a plain dict; artifacts live (and die) with
+  the process.  The Engine's default.
+* :class:`DirectoryArtifactStore` — one ``<digest>.json`` (key, threshold
+  fields, estimator metadata) plus one ``<digest>.npz`` (the profile and
+  itemset arrays) per artifact under a root directory.  Because the Engine
+  derives every random stream deterministically from the artifact key, a
+  loaded artifact is indistinguishable from re-running the simulation —
+  threshold runs resume across processes for free.
+
+Any object with the same ``load``/``save``/``keys`` surface can be plugged
+in (e.g. an object-store adapter); :class:`ArtifactStore` is the protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Protocol, Union, runtime_checkable
+
+import numpy as np
+
+from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.core.null_models import NullModel
+from repro.core.poisson_threshold import PoissonThresholdResult
+
+__all__ = [
+    "ArtifactStore",
+    "DirectoryArtifactStore",
+    "MemoryArtifactStore",
+    "NullArtifact",
+]
+
+#: On-disk format version; readers skip entries with a different version.
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class NullArtifact:
+    """One cached Monte-Carlo simulation: key + threshold (with estimator)."""
+
+    key: str
+    threshold: PoissonThresholdResult
+
+    def attach_model(self, model: NullModel) -> None:
+        """Reattach a live null model to a deserialized estimator.
+
+        Disk round-trips drop the model (it is cheap to rebuild from the
+        registered dataset and may not be picklable); the Engine calls this
+        after loading so the estimator exposes the full interface again.
+        """
+        estimator = self.threshold.estimator
+        if estimator is not None and getattr(estimator, "model", None) is None:
+            estimator.model = model
+
+
+@runtime_checkable
+class ArtifactStore(Protocol):
+    """What the Engine needs from an artifact store."""
+
+    def load(self, key: str) -> Optional[NullArtifact]:
+        """Return the artifact stored under ``key``, or ``None``."""
+
+    def save(self, key: str, artifact: NullArtifact) -> None:
+        """Persist ``artifact`` under ``key`` (overwriting any previous one)."""
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored artifact keys."""
+
+
+class MemoryArtifactStore:
+    """In-process artifact store (a dict); the Engine's default."""
+
+    def __init__(self) -> None:
+        self._artifacts: dict[str, NullArtifact] = {}
+
+    def load(self, key: str) -> Optional[NullArtifact]:
+        """Return the stored artifact (the live object, not a copy)."""
+        return self._artifacts.get(key)
+
+    def save(self, key: str, artifact: NullArtifact) -> None:
+        """Store the artifact."""
+        self._artifacts[key] = artifact
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the stored keys."""
+        return iter(self._artifacts)
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def __repr__(self) -> str:
+        return f"<MemoryArtifactStore: {len(self._artifacts)} artifacts>"
+
+
+class DirectoryArtifactStore:
+    """On-disk artifact store: JSON metadata + NPZ arrays per artifact.
+
+    Parameters
+    ----------
+    root:
+        Directory to keep artifacts in (created if missing).  Filenames are
+        SHA-256 digests of the artifact key; the full key is stored inside
+        the JSON and verified on load, so digest collisions cannot alias.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:40]
+        return self.root / f"{digest}.json", self.root / f"{digest}.npz"
+
+    def load(self, key: str) -> Optional[NullArtifact]:
+        """Load and reconstruct the artifact stored under ``key``, if any.
+
+        The estimator comes back fully queryable but with no null model
+        attached (see :meth:`NullArtifact.attach_model`).
+        """
+        meta_path, array_path = self._paths(key)
+        if not meta_path.exists() or not array_path.exists():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            if meta.get("format") != _FORMAT_VERSION or meta.get("key") != key:
+                return None
+            with np.load(array_path) as arrays:
+                state = dict(meta["estimator"])
+                state["itemsets"] = arrays["itemsets"]
+                state["profiles"] = arrays["profiles"]
+                estimator = MonteCarloNullEstimator.from_state(state)
+            threshold = PoissonThresholdResult.from_dict(
+                meta["threshold"], estimator=estimator
+            )
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # A torn write (killed mid-save) or hand-edited file must read as
+            # a cache miss — the Engine then re-simulates and overwrites —
+            # never as a permanently poisoned store.
+            return None
+        return NullArtifact(key=key, threshold=threshold)
+
+    def save(self, key: str, artifact: NullArtifact) -> None:
+        """Serialize the artifact to ``<digest>.json`` + ``<digest>.npz``."""
+        estimator = artifact.threshold.estimator
+        if estimator is None:
+            raise ValueError(
+                "cannot persist an artifact without its estimator; store the "
+                "full PoissonThresholdResult, not .without_estimator()"
+            )
+        meta_path, array_path = self._paths(key)
+        state = estimator.state_dict()
+        arrays = {
+            "itemsets": state.pop("itemsets"),
+            "profiles": state.pop("profiles"),
+        }
+        meta = {
+            "format": _FORMAT_VERSION,
+            "key": key,
+            "threshold": artifact.threshold.to_dict(),
+            "estimator": state,
+        }
+        # Write arrays first: a torn write leaves a JSON-less (ignored) NPZ
+        # rather than metadata pointing at missing arrays.
+        with open(array_path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        meta_path.write_text(
+            json.dumps(meta, sort_keys=True), encoding="utf-8"
+        )
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over the keys of every readable artifact in the directory."""
+        for meta_path in sorted(self.root.glob("*.json")):
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):  # pragma: no cover - corrupt
+                continue
+            if meta.get("format") == _FORMAT_VERSION and "key" in meta:
+                yield meta["key"]
+
+    def __repr__(self) -> str:
+        return f"<DirectoryArtifactStore: {self.root}>"

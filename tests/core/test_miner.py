@@ -39,6 +39,33 @@ class TestMinerConfig:
         with pytest.raises(ValueError):
             MinerConfig(num_datasets=0)
 
+    def test_null_model_name_validated(self):
+        with pytest.raises(ValueError):
+            MinerConfig(null_model="not-a-null")
+
+    def test_null_model_instance_must_satisfy_protocol(self):
+        """Arbitrary objects are rejected eagerly with a clear TypeError."""
+
+        class NotANull:
+            kind = "custom"
+
+        with pytest.raises(TypeError) as excinfo:
+            MinerConfig(null_model=NotANull())
+        message = str(excinfo.value)
+        assert "NullModel protocol" in message
+        assert "sample_packed" in message  # names the missing members
+        with pytest.raises(TypeError):
+            MinerConfig(null_model=object())
+
+    def test_null_model_protocol_instances_accepted(self, tiny_dataset):
+        from repro.core.null_models import BernoulliNull, SwapRandomizationNull
+        from repro.data.random_model import RandomDatasetModel
+
+        MinerConfig(null_model=BernoulliNull.from_dataset(tiny_dataset))
+        MinerConfig(null_model=SwapRandomizationNull(tiny_dataset))
+        # A bare RandomDatasetModel is wrapped downstream, so it stays legal.
+        MinerConfig(null_model=RandomDatasetModel.from_dataset(tiny_dataset))
+
 
 class TestMiner:
     def test_requires_fit(self):
@@ -116,6 +143,44 @@ class TestMiner:
             SignificantItemsetMiner(k=-1)
         with pytest.raises(ValueError):
             SignificantItemsetMiner(alpha=2.0)
+
+
+class TestQueryOrderIndependence:
+    """Regression: procedure1/procedure2 results must not depend on call order.
+
+    Historically ``fit``, ``procedure1`` and ``procedure2`` all drew from the
+    same mutated ``self.rng``, so the first query could shift the stream seen
+    by the second.  The miner now derives independent per-stage streams from
+    one root draw at ``fit`` time.
+    """
+
+    @pytest.mark.parametrize("null_model", ["bernoulli", "swap"])
+    def test_call_order_does_not_change_results(self, planted_dataset, null_model):
+        def build():
+            return SignificantItemsetMiner(
+                k=2, num_datasets=20, rng=7, null_model=null_model
+            ).fit(planted_dataset)
+
+        miner_12 = build()
+        first_p1 = miner_12.procedure1()
+        first_p2 = miner_12.procedure2()
+
+        miner_21 = build()
+        second_p2 = miner_21.procedure2()
+        second_p1 = miner_21.procedure1()
+
+        assert first_p1 == second_p1
+        assert first_p2 == second_p2
+
+    def test_queries_do_not_consume_the_root_rng(self, planted_dataset):
+        miner = SignificantItemsetMiner(k=2, num_datasets=20, rng=8).fit(
+            planted_dataset
+        )
+        state_after_fit = miner.rng.bit_generator.state
+        miner.procedure2()
+        miner.procedure1()
+        miner.report()
+        assert miner.rng.bit_generator.state == state_after_fit
 
 
 class TestResultProperties:

@@ -1,0 +1,310 @@
+"""Tests for the session-oriented Engine API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.engine.session as session_module
+from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.engine import (
+    Engine,
+    MemoryArtifactStore,
+    RunSpec,
+    dataset_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def planted_dataset():
+    frequencies = {item: 0.08 for item in range(20)}
+    planted = [PlantedItemset(items=(0, 1, 2), extra_support=60)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=400, planted=planted, rng=11, name="planted"
+    )
+
+
+class TestRegistry:
+    def test_register_returns_fingerprint(self, planted_dataset):
+        engine = Engine()
+        handle = engine.register(planted_dataset)
+        assert handle == dataset_fingerprint(planted_dataset)
+        assert engine.dataset(handle) is planted_dataset
+        assert engine.dataset("planted") is planted_dataset
+
+    def test_same_content_registers_once(self, planted_dataset):
+        from repro.data.dataset import TransactionDataset
+
+        engine = Engine()
+        first = engine.register(planted_dataset)
+        clone = TransactionDataset(
+            planted_dataset.transactions,
+            items=planted_dataset.items,
+            name="other-name",
+        )
+        second = engine.register(clone)
+        assert first == second
+        assert engine.stats.datasets_registered == 1
+        # The originally registered object (and its packed index) is kept.
+        assert engine.dataset(second) is planted_dataset
+        assert engine.dataset("other-name") is planted_dataset
+
+    def test_unknown_reference_rejected(self):
+        engine = Engine()
+        with pytest.raises(KeyError):
+            engine.dataset("nope")
+        with pytest.raises(ValueError):
+            engine.run(RunSpec(ks=2))
+
+
+class TestRunSpec:
+    def test_scalars_normalize_to_tuples(self):
+        spec = RunSpec(ks=2, alphas=0.05, betas=0.1)
+        assert spec.ks == (2,)
+        assert spec.alphas == (0.05,)
+        assert spec.betas == (0.1,)
+        assert spec.num_queries == 1
+
+    def test_grids(self):
+        spec = RunSpec(ks=(2, 3), alphas=(0.05, 0.1), betas=(0.05,))
+        assert spec.num_queries == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec(ks=0)
+        with pytest.raises(ValueError):
+            RunSpec(ks=(2, 2))
+        with pytest.raises(ValueError):
+            RunSpec(ks=2, alphas=1.5)
+        with pytest.raises(ValueError):
+            RunSpec(ks=2, num_datasets=0)
+        with pytest.raises(ValueError):
+            RunSpec(ks=2, procedures="3")
+        with pytest.raises(ValueError):
+            RunSpec(ks=2, null_model="nope")
+        with pytest.raises(TypeError):
+            RunSpec(ks=2, null_model=object())  # instances are not serializable
+
+    def test_round_trip(self):
+        spec = RunSpec(
+            ks=(2, 3),
+            alphas=(0.05, 0.1),
+            betas=0.05,
+            num_datasets=42,
+            null_model="swap",
+            seed=7,
+            procedures="both",
+            lambda_floor=0.01,
+            dataset="abc",
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+
+class TestSimulationAmortization:
+    """The acceptance criterion: one simulation per (dataset, null, Δ, seed, k, ε)."""
+
+    def test_multi_k_plus_regrid_pays_one_simulation_per_k(
+        self, planted_dataset, monkeypatch
+    ):
+        simulation_calls: list[int] = []
+        real_find = session_module.find_poisson_threshold
+
+        def counting_find(*args, **kwargs):
+            simulation_calls.append(1)
+            return real_find(*args, **kwargs)
+
+        monkeypatch.setattr(
+            session_module, "find_poisson_threshold", counting_find
+        )
+
+        engine = Engine()
+        handle = engine.register(planted_dataset)
+
+        # One multi-k run: k=2 and k=3 with the default alpha/beta.
+        first = engine.run(
+            RunSpec(ks=(2, 3), num_datasets=20, procedures="both", seed=0),
+            dataset=handle,
+        )
+        assert len(first.queries) == 2
+        assert len(simulation_calls) == 2  # one per k, nothing else
+        assert engine.stats.simulations_run == 2
+
+        # A second query over the same ks at different alpha/beta budgets:
+        # the (fingerprint, null, Δ, seed, k, ε) keys are unchanged, so NO
+        # new Monte-Carlo simulation may run.
+        second = engine.run(
+            RunSpec(
+                ks=(2, 3),
+                alphas=(0.01, 0.1),
+                betas=0.1,
+                num_datasets=20,
+                procedures="both",
+                seed=0,
+            ),
+            dataset=handle,
+        )
+        assert len(second.queries) == 4
+        assert len(simulation_calls) == 2
+        assert engine.stats.simulations_run == 2
+        assert engine.stats.artifact_cache_hits > 0
+
+        # Thresholds agree across the two runs (same artifact).
+        for k in (2, 3):
+            assert first.thresholds[k] == second.thresholds[k]
+
+        # Changing the Monte-Carlo budget is a different artifact.
+        engine.run(RunSpec(ks=2, num_datasets=25, seed=0), dataset=handle)
+        assert len(simulation_calls) == 3
+
+    def test_monte_carlo_collections_also_amortized(
+        self, planted_dataset, monkeypatch
+    ):
+        """Ground truth below the counter: no estimator collection either."""
+        collections: list[int] = []
+        real_collect = MonteCarloNullEstimator._collect
+
+        def counting_collect(self):
+            collections.append(1)
+            return real_collect(self)
+
+        monkeypatch.setattr(
+            MonteCarloNullEstimator, "_collect", counting_collect
+        )
+
+        engine = Engine()
+        handle = engine.register(planted_dataset)
+        engine.run(RunSpec(ks=2, num_datasets=15, seed=1), dataset=handle)
+        after_first = len(collections)
+        assert after_first >= 1  # the halving loop may build several
+        engine.run(
+            RunSpec(ks=2, alphas=0.1, betas=0.1, num_datasets=15, seed=1),
+            dataset=handle,
+        )
+        assert len(collections) == after_first
+
+    def test_observed_mining_pass_amortized_across_the_grid(
+        self, planted_dataset, monkeypatch
+    ):
+        """F_k(s_min) is mined once per (dataset, k, s_min), not per grid cell."""
+        import repro.core.procedure1 as procedure1_module
+        import repro.core.procedure2 as procedure2_module
+        import repro.fim.kitemsets as kitemsets_module
+
+        calls: list[int] = []
+        real_mine = kitemsets_module.mine_k_itemsets
+
+        def counting_mine(*args, **kwargs):
+            calls.append(1)
+            return real_mine(*args, **kwargs)
+
+        # Patch every binding an observed-dataset pass could go through.
+        monkeypatch.setattr(kitemsets_module, "mine_k_itemsets", counting_mine)
+        monkeypatch.setattr(procedure1_module, "mine_k_itemsets", counting_mine)
+        monkeypatch.setattr(procedure2_module, "mine_k_itemsets", counting_mine)
+
+        engine = Engine()
+        handle = engine.register(planted_dataset)
+        engine.threshold(handle, 2, num_datasets=15, seed=6)  # simulation done
+        before = len(calls)
+        engine.run(
+            RunSpec(
+                ks=2,
+                alphas=(0.01, 0.05, 0.1),
+                betas=(0.05, 0.1),
+                num_datasets=15,
+                procedures="both",
+                seed=6,
+            ),
+            dataset=handle,
+        )
+        # One observed-dataset pass serves all 6 grid cells of both procedures.
+        assert len(calls) - before == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_result_regardless_of_engine(self, planted_dataset):
+        spec = RunSpec(ks=(2,), num_datasets=20, procedures="both", seed=123)
+        first = Engine().run(spec, dataset=planted_dataset)
+        second = Engine().run(spec, dataset=planted_dataset)
+        assert first == second
+        assert first.to_json() == second.to_json()
+
+    def test_query_order_cannot_change_results(self, planted_dataset):
+        engine_a = Engine()
+        engine_b = Engine()
+        kwargs = dict(num_datasets=20, null_model="swap", seed=5)
+        p1_a = engine_a.procedure1(planted_dataset, 2, beta=0.05, **kwargs)
+        p2_a = engine_a.procedure2(planted_dataset, 2, **kwargs)
+        p2_b = engine_b.procedure2(planted_dataset, 2, **kwargs)
+        p1_b = engine_b.procedure1(planted_dataset, 2, beta=0.05, **kwargs)
+        assert p1_a == p1_b
+        assert p2_a == p2_b
+
+    def test_seed_none_is_cached_within_the_session(self, planted_dataset):
+        engine = Engine(store=MemoryArtifactStore())
+        engine.run(RunSpec(ks=2, num_datasets=15, seed=None), dataset=planted_dataset)
+        engine.run(RunSpec(ks=2, num_datasets=15, seed=None), dataset=planted_dataset)
+        assert engine.stats.simulations_run == 1
+
+
+class TestSwapNull:
+    def test_swap_run_smoke(self, planted_dataset):
+        engine = Engine()
+        result = engine.run(
+            RunSpec(
+                ks=2, num_datasets=20, null_model="swap", procedures="both", seed=2
+            ),
+            dataset=planted_dataset,
+        )
+        report = result.queries[0].report
+        assert report.procedure1.null_model == "swap"
+        assert report.procedure2.null_model == "swap"
+        # Swap Procedure 1 p-values are Monte-Carlo empirical: resolution 1/(Δ+1).
+        for pvalue in report.procedure1.pvalues.values():
+            assert pvalue >= 1.0 / 21.0
+
+    def test_swap_procedure1_reuses_the_threshold_artifact(
+        self, planted_dataset, monkeypatch
+    ):
+        collections: list[int] = []
+        real_collect = MonteCarloNullEstimator._collect
+
+        def counting_collect(self):
+            collections.append(1)
+            return real_collect(self)
+
+        monkeypatch.setattr(MonteCarloNullEstimator, "_collect", counting_collect)
+        engine = Engine()
+        handle = engine.register(planted_dataset)
+        engine.threshold(handle, 2, num_datasets=15, null_model="swap", seed=3)
+        after_threshold = len(collections)
+        engine.procedure1(handle, 2, num_datasets=15, null_model="swap", seed=3)
+        # Procedure 1 must not rebuild the estimator (kind/Δ/support match).
+        assert len(collections) == after_threshold
+
+
+class TestMinerAdapter:
+    def test_miner_matches_engine(self, planted_dataset):
+        """The facade is a thin adapter: same artifacts, same results."""
+        from repro.core.miner import SignificantItemsetMiner
+
+        miner = SignificantItemsetMiner(k=2, num_datasets=20, rng=9).fit(
+            planted_dataset
+        )
+        report = miner.report()
+        engine = miner.engine
+        assert engine.stats.simulations_run == 1
+        direct = engine.procedure2(
+            miner._handle, 2, num_datasets=20, seed=miner._seed
+        )
+        assert direct == report.procedure2
+
+    def test_rng_generator_accepted(self, planted_dataset):
+        from repro.core.miner import SignificantItemsetMiner
+
+        generator = np.random.default_rng(4)
+        miner = SignificantItemsetMiner(k=2, num_datasets=15, rng=generator)
+        miner.fit(planted_dataset)
+        assert miner.s_min >= 1

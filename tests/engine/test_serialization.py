@@ -1,0 +1,210 @@
+"""JSON round-trip tests for the whole result-type family."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.poisson_threshold import PoissonThresholdResult
+from repro.core.results import (
+    Procedure1Result,
+    Procedure2Result,
+    Procedure2Step,
+    SignificanceReport,
+)
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.engine import Engine, RunResult, RunSpec
+
+
+@pytest.fixture(scope="module")
+def planted_dataset():
+    frequencies = {item: 0.08 for item in range(18)}
+    planted = [PlantedItemset(items=(0, 1, 2), extra_support=55)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=350, planted=planted, rng=29, name="serdes"
+    )
+
+
+@pytest.fixture(scope="module")
+def run_result(planted_dataset) -> RunResult:
+    return Engine().run(
+        RunSpec(ks=(2,), num_datasets=20, procedures="both", seed=3),
+        dataset=planted_dataset,
+    )
+
+
+def roundtrip(result):
+    """from_json(to_json) must reproduce the object and its canonical JSON."""
+    text = result.to_json()
+    rebuilt = type(result).from_json(text)
+    assert rebuilt == result
+    assert rebuilt.to_json() == text
+    return rebuilt
+
+
+class TestProcedure1Result:
+    def test_real_result_roundtrip(self, run_result):
+        procedure1 = run_result.queries[0].report.procedure1
+        rebuilt = roundtrip(procedure1)
+        # Tuple itemset keys survive exactly.
+        assert set(rebuilt.candidate_supports) == set(procedure1.candidate_supports)
+        for itemset in rebuilt.candidate_supports:
+            assert isinstance(itemset, tuple)
+        assert rebuilt.pvalues == procedure1.pvalues  # floats bit-exact
+
+    def test_empty_significant(self):
+        result = Procedure1Result(
+            k=2,
+            s_min=3,
+            beta=0.05,
+            num_hypotheses=100,
+            candidate_supports={(1, 2): 5},
+            pvalues={(1, 2): 0.9},
+            significant={},
+            rejection_threshold=0.0,
+        )
+        roundtrip(result)
+
+    def test_type_tag_checked(self):
+        with pytest.raises(ValueError):
+            Procedure1Result.from_dict({"type": "Procedure2Result"})
+
+
+class TestProcedure2Result:
+    def test_real_result_roundtrip(self, run_result):
+        roundtrip(run_result.queries[0].report.procedure2)
+
+    def test_infinite_s_star_and_empty_significant(self):
+        step = Procedure2Step(
+            index=0,
+            support=5,
+            observed_count=0,
+            poisson_mean=0.123456789012345,
+            pvalue=1.0,
+            alpha_i=0.025,
+            beta_i=40.0,
+            pvalue_ok=False,
+            deviation_ok=False,
+            rejected=False,
+        )
+        result = Procedure2Result(
+            k=2,
+            alpha=0.05,
+            beta=0.05,
+            s_min=5,
+            s_max=10,
+            s_star=math.inf,
+            steps=(step,),
+            significant={},
+        )
+        rebuilt = roundtrip(result)
+        assert math.isinf(float(rebuilt.s_star))
+        assert not rebuilt.found_threshold
+        # The JSON itself is standard (no bare Infinity literal).
+        parsed = json.loads(result.to_json())
+        assert parsed["s_star"] == "inf"
+
+
+class TestSwapResults:
+    def test_swap_null_roundtrip(self, planted_dataset):
+        result = Engine().run(
+            RunSpec(
+                ks=2, num_datasets=15, null_model="swap", procedures="both", seed=8
+            ),
+            dataset=planted_dataset,
+        )
+        rebuilt = roundtrip(result)
+        assert rebuilt.queries[0].report.procedure1.null_model == "swap"
+        assert rebuilt.queries[0].report.procedure2.null_model == "swap"
+
+
+class TestSignificanceReport:
+    def test_full_report_roundtrip(self, run_result):
+        roundtrip(run_result.queries[0].report)
+
+    def test_report_without_procedure1(self, run_result):
+        report = run_result.queries[0].report
+        partial = SignificanceReport(
+            dataset_name=report.dataset_name,
+            k=report.k,
+            s_min=report.s_min,
+            procedure1=None,
+            procedure2=report.procedure2,
+        )
+        rebuilt = roundtrip(partial)
+        assert rebuilt.procedure1 is None
+
+
+class TestPoissonThresholdResult:
+    def test_roundtrip_drops_estimator_only(self, planted_dataset):
+        threshold = Engine().threshold(
+            planted_dataset, 2, num_datasets=15, seed=4
+        )
+        rebuilt = PoissonThresholdResult.from_json(threshold.to_json())
+        assert rebuilt.estimator is None
+        assert rebuilt == threshold.without_estimator()
+        assert rebuilt.bound_curve == threshold.bound_curve
+        assert rebuilt.to_json() == threshold.to_json()
+
+
+class TestRunResult:
+    def test_full_roundtrip(self, run_result):
+        rebuilt = roundtrip(run_result)
+        assert rebuilt.spec == run_result.spec
+        assert rebuilt.thresholds == run_result.thresholds
+        assert rebuilt.reports == run_result.reports
+
+    def test_query_lookup(self, run_result):
+        cell = run_result.query(2, 0.05, 0.05)
+        assert cell.report.procedure2 is not None
+        with pytest.raises(KeyError):
+            run_result.query(9, 0.5, 0.5)
+
+
+class TestCliJsonOutput:
+    def test_mine_output_json_parses_and_renders(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data.io import write_fimi
+
+        path = tmp_path / "serdes.dat"
+        dataset = generate_planted_dataset(
+            {item: 0.1 for item in range(12)},
+            num_transactions=250,
+            planted=[PlantedItemset(items=(0, 1), extra_support=40)],
+            rng=5,
+            name="cli-data",
+        )
+        write_fimi(dataset, path)
+
+        code = main(
+            [
+                "mine",
+                "--input",
+                str(path),
+                "--k",
+                "2",
+                "--delta",
+                "10",
+                "--procedure",
+                "both",
+                "--output",
+                "json",
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        parsed = json.loads(text)
+        assert parsed["type"] == "RunResult"
+        result = RunResult.from_json(text)
+        assert result.queries[0].k == 2
+
+        # The stored JSON renders through the report subcommand.
+        stored = tmp_path / "result.json"
+        stored.write_text(text, encoding="utf-8")
+        assert main(["report", "--input", str(stored), "--max-print", "3"]) == 0
+        rendered = capsys.readouterr().out
+        assert "s_min (Algorithm 1):" in rendered
+        assert "Procedure 2: s* =" in rendered
+        assert "Procedure 1 (Benjamini-Yekutieli)" in rendered

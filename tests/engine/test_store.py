@@ -1,0 +1,134 @@
+"""Tests for the artifact stores (memory and on-disk JSON/NPZ)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.engine import (
+    DirectoryArtifactStore,
+    Engine,
+    MemoryArtifactStore,
+    RunSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def planted_dataset():
+    frequencies = {item: 0.09 for item in range(15)}
+    planted = [PlantedItemset(items=(0, 1), extra_support=50)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=300, planted=planted, rng=13, name="store-data"
+    )
+
+
+SPEC = RunSpec(ks=(2,), num_datasets=15, procedures="both", seed=17)
+
+
+class TestMemoryStore:
+    def test_save_load_keys(self, planted_dataset):
+        store = MemoryArtifactStore()
+        engine = Engine(store=store)
+        engine.run(SPEC, dataset=planted_dataset)
+        keys = list(store.keys())
+        assert len(keys) == len(store) == 1
+        artifact = store.load(keys[0])
+        assert artifact is not None
+        assert artifact.key == keys[0]
+        assert store.load("missing") is None
+
+
+class TestDirectoryStore:
+    def test_disk_resume_skips_the_simulation(self, planted_dataset, tmp_path):
+        first_engine = Engine(store=DirectoryArtifactStore(tmp_path))
+        first = first_engine.run(SPEC, dataset=planted_dataset)
+        assert first_engine.stats.simulations_run == 1
+        assert len(list(first_engine.store.keys())) == 1
+
+        # A brand-new process would start exactly like this fresh Engine:
+        # same directory, nothing in memory.
+        second_engine = Engine(store=DirectoryArtifactStore(tmp_path))
+        second = second_engine.run(SPEC, dataset=planted_dataset)
+        assert second_engine.stats.simulations_run == 0
+        assert second_engine.stats.artifact_cache_hits >= 1
+
+        # The resumed run is bit-identical, including through JSON.
+        assert second == first
+        assert second.to_json() == first.to_json()
+
+    def test_estimator_round_trip_preserves_queries(
+        self, planted_dataset, tmp_path
+    ):
+        store = DirectoryArtifactStore(tmp_path)
+        engine = Engine(store=store)
+        handle = engine.register(planted_dataset)
+        threshold = engine.threshold(handle, 2, num_datasets=15, seed=17)
+        key = next(iter(store.keys()))
+        loaded = store.load(key)
+        assert loaded is not None
+        original = threshold.estimator
+        restored = loaded.threshold.estimator
+        assert restored.union_size == original.union_size
+        assert restored.union_itemsets == original.union_itemsets
+        assert restored.max_observed_support == original.max_observed_support
+        low = original.mining_support
+        high = original.max_observed_support + 1
+        for support in range(low, high + 1):
+            assert restored.lambda_at(support) == original.lambda_at(support)
+            assert restored.chen_stein_estimates(
+                support
+            ) == original.chen_stein_estimates(support)
+        for itemset in original.union_itemsets[:5]:
+            assert restored.empirical_pvalue(
+                itemset, low
+            ) == original.empirical_pvalue(itemset, low)
+        # Threshold value fields round-trip exactly too.
+        assert loaded.threshold.without_estimator() == threshold.without_estimator()
+
+    def test_state_dict_from_state_without_store(self, small_model, rng):
+        estimator = MonteCarloNullEstimator(
+            small_model, 2, num_datasets=10, mining_support=1, rng=rng
+        )
+        state = estimator.state_dict()
+        rebuilt = MonteCarloNullEstimator.from_state(state)
+        assert rebuilt.union_itemsets == estimator.union_itemsets
+        np.testing.assert_array_equal(rebuilt._profiles, estimator._profiles)
+        assert rebuilt.lambda_at(2) == estimator.lambda_at(2)
+        # Without a model, the original null kind is still advertised.
+        assert getattr(rebuilt, "kind") == "bernoulli"
+
+    def test_wrong_key_and_missing_files_return_none(self, tmp_path):
+        store = DirectoryArtifactStore(tmp_path)
+        assert store.load("never-saved") is None
+
+    def test_corrupt_files_read_as_cache_miss(self, planted_dataset, tmp_path):
+        """A torn write must trigger re-simulation, not a poisoned store."""
+        store = DirectoryArtifactStore(tmp_path)
+        engine = Engine(store=store)
+        engine.run(SPEC, dataset=planted_dataset)
+        key = next(iter(store.keys()))
+        meta_path, array_path = store._paths(key)
+
+        # Truncated JSON metadata (killed mid-write).
+        original_meta = meta_path.read_text(encoding="utf-8")
+        meta_path.write_text(original_meta[: len(original_meta) // 2])
+        assert store.load(key) is None
+        recovering = Engine(store=store)
+        recovering.run(SPEC, dataset=planted_dataset)
+        assert recovering.stats.simulations_run == 1  # re-simulated + re-saved
+        assert store.load(key) is not None
+
+        # Corrupt NPZ payload.
+        array_path.write_bytes(b"not a zip archive")
+        assert store.load(key) is None
+
+    def test_saving_stripped_threshold_rejected(self, planted_dataset, tmp_path):
+        from repro.engine.store import NullArtifact
+
+        engine = Engine()
+        threshold = engine.threshold(planted_dataset, 2, num_datasets=10, seed=1)
+        store = DirectoryArtifactStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save("key", NullArtifact("key", threshold.without_estimator()))

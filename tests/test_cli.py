@@ -34,6 +34,29 @@ class TestParser:
                 ["generate", "--dataset", "nope", "--output", "x.dat"]
             )
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_mine_output_choices(self):
+        args = build_parser().parse_args(
+            ["mine", "--input", "x.dat", "--output", "json"]
+        )
+        assert args.output == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["mine", "--input", "x.dat", "--output", "yaml"]
+            )
+
+    def test_report_arguments(self):
+        args = build_parser().parse_args(["report", "--input", "r.json"])
+        assert args.command == "report"
+        assert args.max_print == 20
+
 
 class TestCommands:
     def test_generate_then_summary_then_mine(self, tmp_path, capsys):

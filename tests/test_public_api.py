@@ -2,12 +2,35 @@
 
 from __future__ import annotations
 
+import re
+
 import repro
 
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
+
+    def test_version_single_sourced(self):
+        """``repro.__version__``, ``repro._version`` and setup.py agree."""
+        import pathlib
+
+        from repro._version import __version__ as canonical
+
+        assert repro.__version__ == canonical
+        setup_py = (
+            pathlib.Path(repro.__file__).resolve().parents[2] / "setup.py"
+        )
+        assert "_version.py" in setup_py.read_text(encoding="utf-8")
+        version_file = (
+            pathlib.Path(repro.__file__).resolve().parent / "_version.py"
+        )
+        match = re.search(
+            r'^__version__ = "([^"]+)"',
+            version_file.read_text(encoding="utf-8"),
+            re.MULTILINE,
+        )
+        assert match is not None and match.group(1) == canonical
 
     def test_all_names_resolve(self):
         for name in repro.__all__:
