@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench
+.PHONY: test docs-check bench bench-smoke
 
 # Tier-1 verification: the full test suite (includes the README block checks).
 test:
@@ -15,3 +15,8 @@ docs-check:
 # Regenerate the committed performance trajectory (docs/benchmarks.md).
 bench:
 	$(PYTHON) benchmarks/run_bench.py
+
+# Fast probe of the execution layer + adaptive budgets (small Δ, temp output);
+# CI runs this plus the speedup guards on one Python version.
+bench-smoke:
+	$(PYTHON) benchmarks/run_bench.py --smoke

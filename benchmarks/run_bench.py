@@ -15,11 +15,23 @@ this script, so later PRs have a perf trajectory to regress against:
 * the null models end-to-end: ``fit`` + Procedure 2 under
   ``null_model="bernoulli"`` vs ``null_model="swap"`` on the numpy backend
   (reported as a cost *ratio* — it documents that Δ margin-preserving swap
-  datasets are affordable, not that one null is faster).
+  datasets are affordable, not that one null is faster);
+* the execution layer: end-to-end ``Engine`` threshold runs at Δ = 512
+  under every executor backend versus the PR-3 process path (a raw
+  ``concurrent.futures`` pool that re-pickles the null model per draw),
+  including the per-draw serialization payload (model pickle vs
+  shared-memory token);
+* the Δ-adaptive budget: the same Δ = 512 threshold run with a fixed budget
+  versus ``Δ₀ = 64 → Δ_max = 512`` adaptive growth (recording the budget the
+  run actually stopped at).
 
 Run as a script::
 
     PYTHONPATH=src python benchmarks/run_bench.py [output.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke [output.json]
+
+``--smoke`` runs only the executor + adaptive workloads at a small Δ — the
+fast regression probe ``make bench-smoke`` (and CI) uses.
 
 The functions are also imported by ``benchmarks/test_backend_speedup.py``,
 which asserts (with slacker thresholds, to stay robust on noisy CI hosts)
@@ -209,15 +221,161 @@ def bench_null_models(repeats: int = 1) -> dict:
     }
 
 
+#: Monte-Carlo budget of the execution-layer / adaptive workloads.
+EXECUTOR_DELTA = 512
+#: Seed budget of the adaptive workload.
+ADAPTIVE_DELTA0 = 64
+
+
+def _engine_threshold_seconds(
+    dataset, executor, n_jobs: int, delta: int, delta_max: Optional[int] = None
+) -> tuple[float, int]:
+    """One end-to-end ``Engine`` threshold run; returns (seconds, Δ spent)."""
+    import time
+
+    from repro.engine import Engine
+
+    with Engine(executor=executor, n_jobs=n_jobs) as engine:
+        handle = engine.register(dataset)
+        start = time.perf_counter()
+        result = engine.threshold(
+            handle, 2, num_datasets=delta, seed=0, delta_max=delta_max
+        )
+        seconds = time.perf_counter() - start
+    return seconds, result.spent_num_datasets
+
+
+def _legacy_process_seconds(dataset, delta: int, n_jobs: int = 2) -> float:
+    """The PR-3 baseline: a raw pool, the null model pickled per draw."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        seconds, _ = _engine_threshold_seconds(dataset, pool, n_jobs, delta)
+    return seconds
+
+
+def _payload_bytes(dataset) -> dict:
+    """Per-draw serialization payload: PR-3 model pickle vs zero-copy token."""
+    import pickle
+
+    from repro.core.null_models import BernoulliNull
+    from repro.parallel import ProcessExecutor
+
+    model = BernoulliNull.from_dataset(dataset)
+    with ProcessExecutor(n_jobs=1) as executor:
+        token = executor.register(model)
+        return {
+            "legacy_model_pickle": len(pickle.dumps(model)),
+            "zero_copy_token": len(pickle.dumps(token)),
+        }
+
+
+def bench_executor(delta: int = EXECUTOR_DELTA, legacy_seconds: Optional[float] = None) -> dict:
+    """Engine threshold runs at Δ under every executor vs the PR-3 pool.
+
+    On a multi-core host the thread / process backends add parallel speedup;
+    on a single core they expose exactly the overhead the zero-copy protocol
+    removes (per-draw pickling, pool churn).  The payload fields record the
+    structural win independently of the host: a registered model ships as a
+    token of a few dozen bytes per draw instead of a model pickle.
+    """
+    from repro.data.benchmarks import generate_benchmark
+
+    dataset = generate_benchmark("bms1", rng=0)
+    dataset.packed()  # warm the index so timings isolate the simulations
+    if legacy_seconds is None:
+        legacy_seconds = _legacy_process_seconds(dataset, delta)
+    serial_seconds, _ = _engine_threshold_seconds(dataset, "serial", 1, delta)
+    thread_seconds, _ = _engine_threshold_seconds(dataset, "thread", 2, delta)
+    process_seconds, _ = _engine_threshold_seconds(dataset, "process", 2, delta)
+    best = min(serial_seconds, thread_seconds, process_seconds)
+    return {
+        "workload": f"executor[bms1,k=2,delta={delta},engine_threshold]",
+        "process_legacy_seconds": round(legacy_seconds, 6),
+        "serial_seconds": round(serial_seconds, 6),
+        "thread_seconds": round(thread_seconds, 6),
+        "process_shm_seconds": round(process_seconds, 6),
+        "per_draw_payload_bytes": _payload_bytes(dataset),
+        "speedup": round(legacy_seconds / best, 3),
+    }
+
+
+def bench_adaptive_delta(
+    delta: int = EXECUTOR_DELTA,
+    delta0: int = ADAPTIVE_DELTA0,
+    legacy_seconds: Optional[float] = None,
+) -> dict:
+    """Fixed Δ vs adaptive Δ₀ → Δ_max on the same Engine threshold run.
+
+    ``speedup`` compares the adaptive run against the PR-3 process path at
+    the fixed Δ (the end-to-end claim); ``speedup_vs_fixed_serial`` isolates
+    the pure budget saving (same serial executor on both sides), which is
+    host-independent.
+    """
+    from repro.data.benchmarks import generate_benchmark
+
+    dataset = generate_benchmark("bms1", rng=0)
+    dataset.packed()
+    if legacy_seconds is None:
+        legacy_seconds = _legacy_process_seconds(dataset, delta)
+    fixed_seconds, _ = _engine_threshold_seconds(dataset, "serial", 1, delta)
+    adaptive_seconds, delta_spent = _engine_threshold_seconds(
+        dataset, "serial", 1, delta0, delta_max=delta
+    )
+    return {
+        "workload": (
+            f"adaptive_delta[bms1,k=2,delta0={delta0},delta_max={delta},"
+            "engine_threshold]"
+        ),
+        "process_legacy_seconds": round(legacy_seconds, 6),
+        "fixed_serial_seconds": round(fixed_seconds, 6),
+        "adaptive_seconds": round(adaptive_seconds, 6),
+        "delta_spent": delta_spent,
+        "speedup": round(legacy_seconds / adaptive_seconds, 3),
+        "speedup_vs_fixed_serial": round(fixed_seconds / adaptive_seconds, 3),
+    }
+
+
+def run_smoke(delta: int = 96, delta0: int = 24) -> dict:
+    """The fast probe behind ``make bench-smoke``: executor + adaptive only."""
+    import platform
+
+    import numpy
+
+    from repro.data.benchmarks import generate_benchmark
+
+    dataset = generate_benchmark("bms1", rng=0)
+    dataset.packed()
+    legacy = _legacy_process_seconds(dataset, delta)
+    return {
+        "benchmark": "counting-backend-smoke",
+        "dataset": "bms1",
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "workloads": [
+            bench_executor(delta=delta, legacy_seconds=legacy),
+            bench_adaptive_delta(delta=delta, delta0=delta0, legacy_seconds=legacy),
+        ],
+    }
+
+
 def run_all(repeats: int = 3, fit_repeats: int = 1) -> dict:
     """Run every workload and return the report dictionary."""
     import numpy
     import platform
 
+    from repro.data.benchmarks import generate_benchmark
+
     workloads = bench_fixed_k(repeats=repeats)
     workloads.append(bench_fit(repeats=fit_repeats))
     workloads.append(bench_overlap_kernel(repeats=repeats))
     workloads.append(bench_null_models(repeats=fit_repeats))
+    # The execution-layer workloads share one PR-3 baseline measurement.
+    baseline_dataset = generate_benchmark("bms1", rng=0)
+    baseline_dataset.packed()
+    legacy_seconds = _legacy_process_seconds(baseline_dataset, EXECUTOR_DELTA)
+    workloads.append(bench_executor(legacy_seconds=legacy_seconds))
+    workloads.append(bench_adaptive_delta(legacy_seconds=legacy_seconds))
     return {
         "benchmark": "counting-backend",
         "dataset": "bms1",
@@ -235,21 +393,52 @@ def write_report(report: dict, output_path: Optional[str] = None) -> str:
     return path
 
 
+def _print_entry(entry: dict) -> None:
+    workload = entry["workload"]
+    if "python_seconds" in entry:
+        print(
+            f"{workload}: python={entry['python_seconds']:.4f}s "
+            f"numpy={entry['numpy_seconds']:.4f}s speedup={entry['speedup']:.2f}x"
+        )
+    elif "bernoulli_seconds" in entry:
+        print(
+            f"{workload}: bernoulli={entry['bernoulli_seconds']:.4f}s "
+            f"swap={entry['swap_seconds']:.4f}s ratio={entry['ratio']:.2f}x"
+        )
+    elif "adaptive_seconds" in entry:
+        print(
+            f"{workload}: legacy={entry['process_legacy_seconds']:.4f}s "
+            f"fixed={entry['fixed_serial_seconds']:.4f}s "
+            f"adaptive={entry['adaptive_seconds']:.4f}s "
+            f"(spent delta={entry['delta_spent']}) "
+            f"speedup={entry['speedup']:.2f}x"
+        )
+    else:
+        print(
+            f"{workload}: legacy={entry['process_legacy_seconds']:.4f}s "
+            f"serial={entry['serial_seconds']:.4f}s "
+            f"thread={entry['thread_seconds']:.4f}s "
+            f"process-shm={entry['process_shm_seconds']:.4f}s "
+            f"speedup={entry['speedup']:.2f}x"
+        )
+
+
 def main(argv: list[str]) -> int:
-    output_path = argv[1] if len(argv) > 1 else DEFAULT_OUTPUT
-    report = run_all()
+    arguments = [argument for argument in argv[1:] if argument != "--smoke"]
+    smoke = "--smoke" in argv[1:]
+    if smoke:
+        report = run_smoke()
+        output_path = arguments[0] if arguments else None
+        if output_path is None:
+            import tempfile
+
+            output_path = os.path.join(tempfile.gettempdir(), "bench_smoke.json")
+    else:
+        report = run_all()
+        output_path = arguments[0] if arguments else DEFAULT_OUTPUT
     path = write_report(report, output_path)
     for entry in report["workloads"]:
-        if "speedup" in entry:
-            print(
-                f"{entry['workload']}: python={entry['python_seconds']:.4f}s "
-                f"numpy={entry['numpy_seconds']:.4f}s speedup={entry['speedup']:.2f}x"
-            )
-        else:
-            print(
-                f"{entry['workload']}: bernoulli={entry['bernoulli_seconds']:.4f}s "
-                f"swap={entry['swap_seconds']:.4f}s ratio={entry['ratio']:.2f}x"
-            )
+        _print_entry(entry)
     print(f"wrote {path}")
     return 0
 

@@ -105,6 +105,13 @@ from repro.fim import (
     resolve_backend,
     significant_rules,
 )
+from repro.parallel import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
 from repro.stats import (
     benjamini_hochberg,
     benjamini_yekutieli,
@@ -126,8 +133,10 @@ __all__ = [
     "ChenSteinBounds",
     "DatasetSummary",
     "DirectoryArtifactStore",
+    "EXECUTOR_NAMES",
     "Engine",
     "EngineStats",
+    "Executor",
     "MemoryArtifactStore",
     "MinerConfig",
     "MonteCarloNullEstimator",
@@ -137,6 +146,7 @@ __all__ = [
     "PackedIndex",
     "PlantedItemset",
     "PoissonThresholdResult",
+    "ProcessExecutor",
     "Procedure1Result",
     "Procedure2Result",
     "Procedure2Step",
@@ -144,10 +154,12 @@ __all__ = [
     "RandomDatasetModel",
     "RunResult",
     "RunSpec",
+    "SerialExecutor",
     "SignificanceReport",
     "SignificantItemsetMiner",
     "SwapNullEstimator",
     "SwapRandomizationNull",
+    "ThreadExecutor",
     "TransactionDataset",
     "VerticalIndex",
     "analytic_lambda",

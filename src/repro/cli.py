@@ -107,7 +107,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-jobs",
         type=int,
         default=1,
-        help="worker processes for the Monte-Carlo passes (results identical)",
+        help="workers for the Monte-Carlo passes (results identical)",
+    )
+    mine.add_argument(
+        "--executor",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help=(
+            "execution backend for the Monte-Carlo passes: serial, thread "
+            "(GIL-releasing packed kernels, no serialization), or process "
+            "(zero-copy shared-memory workers); default: serial for "
+            "--n-jobs 1, process otherwise — results are identical for "
+            "every choice"
+        ),
+    )
+    mine.add_argument(
+        "--delta-max",
+        type=int,
+        default=None,
+        help=(
+            "cap for the adaptive Monte-Carlo budget: --delta becomes the "
+            "seed budget and grows geometrically up to this value, stopping "
+            "early once the decision is clear of its boundary (default: "
+            "fixed budget --delta, exactly the paper's behaviour)"
+        ),
     )
     mine.add_argument(
         "--output",
@@ -164,18 +187,21 @@ def _command_summary(args: argparse.Namespace) -> int:
 
 def _command_mine(args: argparse.Namespace) -> int:
     dataset = read_fimi(args.input)
-    engine = Engine(backend=args.backend, n_jobs=args.n_jobs)
     spec = RunSpec(
         ks=args.k,
         alphas=args.alpha,
         betas=args.beta,
         epsilon=args.epsilon,
         num_datasets=args.delta,
+        delta_max=args.delta_max,
         null_model=args.null_model,
         seed=args.seed,
         procedures=args.procedure,
     )
-    result = engine.run(spec, dataset=dataset)
+    with Engine(
+        backend=args.backend, n_jobs=args.n_jobs, executor=args.executor
+    ) as engine:
+        result = engine.run(spec, dataset=dataset)
     if args.output == "json":
         print(result.to_json(indent=2))
         return 0

@@ -32,12 +32,18 @@ Python transaction lists: each one is drawn directly in packed-bitmap form
 (:func:`~repro.fim.bitmap.kitemset_supports_packed`) lets the Δ datasets be
 aggregated with ``np.union1d``/``np.searchsorted`` for *any* ``k``.  Set
 ``REPRO_BACKEND=python`` (or ``backend="python"``) to fall back to the
-pure-Python pipeline, and ``n_jobs > 1`` to fan the Δ sample/mine tasks out
-across worker processes.  Collection draws one spawned child generator per
-dataset in both the sequential and the parallel path, so results are
-deterministic per seed *and identical for every value of* ``n_jobs``; pass
-``executor=`` to reuse one process pool across several estimators (as the
-halving loop of Algorithm 1 does).
+pure-Python pipeline.  The Δ sample/mine tasks run on an executor from
+:mod:`repro.parallel.executors` — ``"serial"`` (default), ``"thread"``
+(shared address space; the packed kernels release the GIL), or ``"process"``
+(zero-copy workers: the null model's buffers live in shared memory, each
+draw ships only a token and its child generator).  Collection draws one
+spawned child generator per dataset on every backend, so results are
+deterministic per seed *and identical for every executor and* ``n_jobs``;
+pass a live :class:`repro.parallel.Executor` to reuse one pool across many
+estimators (as the halving loop of Algorithm 1 and the Engine do).
+:meth:`MonteCarloNullEstimator.extend` grows the budget in place while
+keeping the already-collected draws as a strict prefix — the primitive the
+Δ-adaptive budgets are built on.
 
 :func:`analytic_lambda` provides an independent, truncated analytic estimate
 of ``λ(s)`` (a sum of Binomial tails over the highest-frequency itemsets) used
@@ -48,9 +54,10 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterator
+from contextlib import contextmanager
 from heapq import nlargest
 from itertools import combinations
-from typing import TYPE_CHECKING, Optional, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -61,10 +68,13 @@ from repro.fim.itemsets import Itemset
 from repro.fim.kitemsets import mine_k_itemsets
 from repro.stats.binomial import binomial_sf
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from concurrent.futures import Executor
-
 __all__ = ["MonteCarloNullEstimator", "analytic_lambda"]
+
+#: Version of the :meth:`MonteCarloNullEstimator.state_dict` schema.  Bumped
+#: whenever the recorded fields change meaning; :meth:`from_state` refuses
+#: other versions, so stale on-disk artifacts surface as cache misses rather
+#: than being silently mis-read.
+ESTIMATOR_STATE_VERSION = 2
 
 
 def _mine_one_null_sample(
@@ -176,17 +186,21 @@ class MonteCarloNullEstimator:
         bitmaps, the default) or ``"python"``; ``None`` defers to the
         ``REPRO_BACKEND`` environment variable.
     n_jobs:
-        Number of worker processes for the Δ sample/mine passes (1 =
-        sequential, in-process).  Each dataset draws from its own spawned
-        child generator regardless of ``n_jobs``, so the collected profiles
-        are identical for every ``n_jobs`` value given the same seed.
+        Number of workers for the Δ sample/mine passes (1 = sequential,
+        in-process).  Each dataset draws from its own spawned child
+        generator regardless of ``n_jobs``, so the collected profiles are
+        identical for every ``n_jobs`` value given the same seed.
     executor:
-        Optional pre-built :class:`concurrent.futures.Executor` to run the
-        parallel passes on.  When provided it is *not* shut down by the
-        estimator, so one pool can serve many estimators (Algorithm 1's
-        halving loop builds several in a row); when omitted and
-        ``n_jobs > 1`` a private process pool is created and torn down
-        around the collection.
+        How to run the Δ passes: an executor name (``"serial"``,
+        ``"thread"``, ``"process"`` — see :mod:`repro.parallel.executors`),
+        a ready-made :class:`repro.parallel.Executor` (borrowed: one session
+        executor can serve many estimators, as Algorithm 1's halving loop
+        and the Engine do; never shut down here), a raw
+        :class:`concurrent.futures.Executor` (legacy per-draw-pickling
+        compatibility path), or ``None`` — serial when ``n_jobs == 1``, the
+        zero-copy process backend otherwise.  Executors built here are
+        context-managed around each collection pass, so no pool or
+        shared-memory segment survives an exception.
     """
 
     def __init__(
@@ -199,7 +213,7 @@ class MonteCarloNullEstimator:
         max_union_size: int = 50_000,
         backend: Optional[str] = None,
         n_jobs: int = 1,
-        executor: Optional["Executor"] = None,
+        executor=None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -216,7 +230,11 @@ class MonteCarloNullEstimator:
         self.max_union_size = int(max_union_size)
         self.backend = resolve_backend(backend)
         self.n_jobs = int(n_jobs)
-        self._executor = executor
+        self._executor_spec = executor
+        from repro.parallel.executors import executor_spec_kind
+
+        executor_spec_kind(executor)  # fail fast on typos and bad spec types
+        self._delta_requested = int(num_datasets)
         self._rng = (
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         )
@@ -230,47 +248,51 @@ class MonteCarloNullEstimator:
     # ------------------------------------------------------------------
     # Sampling and mining
     # ------------------------------------------------------------------
-    def _iter_samples(self, worker, args: tuple) -> Iterator:
-        """Yield ``worker(*args, generator)`` for each of the Δ datasets.
+    @contextmanager
+    def _executor_scope(self):
+        """The executor for one collection pass.
+
+        Borrowed executors (instances passed in by the Engine or Algorithm
+        1's halving loop) are yielded as-is; executors resolved from a name
+        / ``n_jobs`` are created here and closed on exit — including the
+        exception path, so a raising collection can never leak a process
+        pool or a shared-memory segment.
+        """
+        from repro.parallel.executors import as_executor
+
+        executor, owned = as_executor(self._executor_spec, self.n_jobs)
+        if not owned:
+            yield executor
+            return
+        try:
+            yield executor
+        finally:
+            executor.close()
+
+    def _iter_samples(self, worker, args: tuple, count: Optional[int] = None) -> Iterator:
+        """Yield ``worker(model, *args, generator)`` for ``count`` datasets.
 
         Every dataset gets its own spawned child generator, drawn from the
-        estimator's RNG in one batch up front; sequential collection runs
-        the workers in-process while parallel collection ships them to a
-        process pool and consumes results in submission order.  Both paths
-        therefore produce *identical* results for the same seed — ``n_jobs``
-        only changes the wall-clock, never the statistics.
+        estimator's RNG in one batch up front; the configured executor then
+        runs the workers (in-process, threads, or zero-copy worker
+        processes) and results are consumed in submission order.  All
+        backends therefore produce *identical* results for the same seed —
+        the executor and ``n_jobs`` only change the wall-clock, never the
+        statistics.  Because the children are spawned incrementally from one
+        generator, draws ``0..Δ₀`` of any collection are a strict prefix of
+        draws ``0..Δ`` of a larger one (the property :meth:`extend` and the
+        Δ-adaptive budgets rely on).
         """
-        child_rngs = self._rng.spawn(self.num_datasets)
-        pool = self._executor
-        if pool is None and self.n_jobs == 1:
-            for child in child_rngs:
-                yield worker(*args, child)
-            return
-        owns_pool = pool is None
-        if owns_pool:
-            from concurrent.futures import ProcessPoolExecutor
+        child_rngs = self._rng.spawn(self.num_datasets if count is None else count)
+        with self._executor_scope() as executor:
+            yield from executor.map_draws(worker, self.model, args, child_rngs)
 
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.n_jobs, self.num_datasets)
-            )
-        try:
-            futures = [pool.submit(worker, *args, child) for child in child_rngs]
-            try:
-                for future in futures:
-                    yield future.result()
-            finally:
-                # Early truncation stops consuming; drop the queued remainder.
-                for future in futures:
-                    future.cancel()
-        finally:
-            if owns_pool:
-                pool.shutdown()
-
-    def _iter_mined(self) -> Iterator[dict[Itemset, int]]:
+    def _iter_mined(self, count: Optional[int] = None) -> Iterator[dict[Itemset, int]]:
         """Yield the mined k-itemset dict of each of the Δ null datasets."""
         return self._iter_samples(
             _mine_one_null_sample,
-            (self.model, self.k, self.mining_support, self.backend),
+            (self.k, self.mining_support, self.backend),
+            count=count,
         )
 
     def _keys_fit_in_int64(self) -> bool:
@@ -294,7 +316,7 @@ class MonteCarloNullEstimator:
         count_arrays: list[np.ndarray] = []
         union_keys = np.empty(0, dtype=np.int64)
         for keys, counts in self._iter_samples(
-            _kitemset_arrays_one_sample, (self.model, self.k, self.mining_support)
+            _kitemset_arrays_one_sample, (self.k, self.mining_support)
         ):
             key_arrays.append(keys)
             count_arrays.append(counts)
@@ -374,6 +396,143 @@ class MonteCarloNullEstimator:
         self._profiles = profiles
 
     # ------------------------------------------------------------------
+    # Δ extension (adaptive budgets)
+    # ------------------------------------------------------------------
+    def extend(self, additional: int) -> bool:
+        """Grow the Monte-Carlo budget by ``additional`` datasets, in place.
+
+        The new datasets continue the estimator's child-generator spawn
+        stream, so the profile matrix after ``extend`` is *bit-identical* to
+        the one a fresh estimator with ``num_datasets = Δ + additional`` and
+        the same seed would have collected — the first Δ columns are a strict
+        prefix.  This is what lets the Δ-adaptive budgets of Algorithm 1 and
+        Procedure 1 stop early without changing any fixed-budget result.
+
+        Returns
+        -------
+        bool
+            ``True`` on success.  ``False`` when the grown union would exceed
+            ``max_union_size`` — the estimator is then left **unchanged**
+            (though the ``additional`` child generators have been consumed),
+            and callers should stop growing.
+
+        Raises
+        ------
+        RuntimeError
+            If the estimator is truncated, or was rebuilt via
+            :meth:`from_state` without a live model to sample from.
+        """
+        if additional < 1:
+            raise ValueError("additional must be at least 1")
+        if getattr(self, "truncated", False):
+            raise RuntimeError("cannot extend a truncated estimator")
+        if self.model is None:
+            raise RuntimeError(
+                "cannot extend an estimator restored without a model; "
+                "reattach the null model first"
+            )
+        if self.backend == "numpy" and self._keys_fit_in_int64():
+            return self._extend_arrays_numpy(additional)
+        return self._extend_dicts(additional)
+
+    def _extend_arrays_numpy(self, additional: int) -> bool:
+        """Array-native extension (numpy backend, any ``k``)."""
+        items = self.model.items
+        num_items = len(items)
+        position_of = {item: position for position, item in enumerate(items)}
+        if self._itemsets:
+            old_positions = np.array(
+                [[position_of[item] for item in itemset] for itemset in self._itemsets],
+                dtype=np.int64,
+            )
+        else:
+            old_positions = np.empty((0, self.k), dtype=np.int64)
+        old_keys = _encode_positions(old_positions, num_items)
+
+        key_arrays: list[np.ndarray] = []
+        count_arrays: list[np.ndarray] = []
+        union_keys = old_keys
+        max_support = self._max_observed_support
+        for keys, counts in self._iter_samples(
+            _kitemset_arrays_one_sample,
+            (self.k, self.mining_support),
+            count=additional,
+        ):
+            key_arrays.append(keys)
+            count_arrays.append(counts)
+            if counts.size:
+                max_support = max(max_support, int(counts.max()))
+            union_keys = _sorted_unique(np.concatenate((union_keys, keys)))
+            if union_keys.size > self.max_union_size:
+                return False
+
+        positions = _decode_keys(union_keys, self.k, num_items)
+        itemsets = [
+            tuple(items[position] for position in row) for row in positions.tolist()
+        ]
+        profiles = np.zeros(
+            (union_keys.size, self.num_datasets + additional), dtype=np.int64
+        )
+        if old_keys.size:
+            profiles[
+                np.searchsorted(union_keys, old_keys), : self.num_datasets
+            ] = self._profiles
+        for offset, (keys, counts) in enumerate(zip(key_arrays, count_arrays)):
+            if keys.size:
+                profiles[
+                    np.searchsorted(union_keys, keys), self.num_datasets + offset
+                ] = counts
+        self._commit_extension(itemsets, profiles, additional, max_support)
+        return True
+
+    def _extend_dicts(self, additional: int) -> bool:
+        """Dict-based extension (python backend / huge item universes)."""
+        index_of = dict(self._index_of)
+        per_dataset: list[dict[Itemset, int]] = []
+        max_support = self._max_observed_support
+        for mined in self._iter_mined(count=additional):
+            per_dataset.append(mined)
+            for itemset, support in mined.items():
+                if itemset not in index_of:
+                    index_of[itemset] = len(index_of)
+                if support > max_support:
+                    max_support = support
+            if len(index_of) > self.max_union_size:
+                return False
+
+        itemsets: list[Itemset] = [None] * len(index_of)  # type: ignore[list-item]
+        for itemset, position in index_of.items():
+            itemsets[position] = itemset
+        profiles = np.zeros(
+            (len(index_of), self.num_datasets + additional), dtype=np.int64
+        )
+        # New itemsets were appended after the existing ones, so the old rows
+        # keep their positions and the old matrix pastes in as a block.
+        profiles[: self._profiles.shape[0], : self.num_datasets] = self._profiles
+        for offset, mined in enumerate(per_dataset):
+            column = self.num_datasets + offset
+            for itemset, support in mined.items():
+                profiles[index_of[itemset], column] = support
+        self._commit_extension(itemsets, profiles, additional, max_support)
+        return True
+
+    def _commit_extension(
+        self,
+        itemsets: list[Itemset],
+        profiles: np.ndarray,
+        additional: int,
+        max_support: int,
+    ) -> None:
+        self._itemsets = itemsets
+        self._index_of = {
+            itemset: position for position, itemset in enumerate(itemsets)
+        }
+        self._profiles = profiles
+        self.num_datasets += int(additional)
+        self._max_observed_support = int(max_support)
+        self._pair_indices = None
+
+    # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
@@ -438,6 +597,19 @@ class MonteCarloNullEstimator:
             return 0.0
         return float(np.count_nonzero(self._profiles[position] >= s)) / self.num_datasets
 
+    def exceedance_count(self, itemset: Itemset, s: int) -> int:
+        """``#{d : support_d(X) >= s}`` — the raw Monte-Carlo evidence.
+
+        The Binomial count behind :meth:`empirical_pvalue`; the Δ-adaptive
+        budget of Procedure 1 puts its Wilson / Clopper–Pearson interval
+        around this count.
+        """
+        self._require_valid_support(s)
+        position = self._index_of.get(tuple(sorted(itemset)))
+        if position is None:
+            return 0
+        return int(np.count_nonzero(self._profiles[position] >= s))
+
     def empirical_pvalue(self, itemset: Itemset, s: int) -> float:
         """Monte-Carlo p-value of ``support(X) >= s`` with add-one correction.
 
@@ -446,12 +618,7 @@ class MonteCarloNullEstimator:
         is ``1/(Δ+1)``).  Used by Procedure 1 when the null model has no
         closed-form marginal (e.g. the swap-randomisation null).
         """
-        self._require_valid_support(s)
-        position = self._index_of.get(tuple(sorted(itemset)))
-        exceedances = 0
-        if position is not None:
-            exceedances = int(np.count_nonzero(self._profiles[position] >= s))
-        return (1 + exceedances) / (1 + self.num_datasets)
+        return (1 + self.exceedance_count(itemset, s)) / (1 + self.num_datasets)
 
     def empirical_probabilities(self, s: int) -> dict[Itemset, float]:
         """Empirical ``p_X(s)`` for every itemset of ``W`` (zeros omitted)."""
@@ -568,6 +735,83 @@ class MonteCarloNullEstimator:
         b2 = 2.0 * float(joint_total) / self.num_datasets
         return b1, b2
 
+    def chen_stein_interval(
+        self, s: int, confidence: float = 0.99
+    ) -> tuple[float, float, float]:
+        """``b1(s) + b2(s)`` with a delta-method confidence interval.
+
+        The Chen–Stein criterion statistic is a smooth function of the mean
+        vector of per-dataset indicators, not a single Bernoulli proportion,
+        so a Wilson/Clopper–Pearson interval on ``(b1+b2)·Δ`` would be badly
+        mis-calibrated (grossly too wide when the statistic aggregates many
+        near-independent terms).  Instead this linearises the statistic: per
+        dataset ``d`` the influence value is
+
+        ``u_d = Σ_X q_X Z_{X,d} + Y_d``   with
+        ``q_X = 2 p_X + 2 Σ_{Y ∈ I(X)} p_Y`` (the gradient of ``b1``) and
+        ``Y_d = 2 · #{overlapping pairs both alive in d}`` (whose mean is
+        ``b2``), and the standard error is ``std(u) / √Δ``.  Used by the
+        Δ-adaptive budget of Algorithm 1 as a *stopping heuristic* (the
+        normal approximation is asymptotic); the reproducibility guarantee —
+        a run stopping at ``Δ_s`` is bit-identical to a fixed-``Δ_s`` run —
+        never depends on its calibration.
+
+        Returns
+        -------
+        (estimate, low, high):
+            The point estimate ``b1(s) + b2(s)`` and the two-sided interval
+            (clamped below at 0).
+        """
+        self._require_valid_support(s)
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie in (0, 1)")
+        if self._profiles.size == 0:
+            return 0.0, 0.0, 0.0
+        from statistics import NormalDist
+
+        delta = self.num_datasets
+        indicator = self._profiles >= s
+        probabilities = indicator.sum(axis=1) / delta
+
+        left, right = self._overlapping_pair_indices()
+        gradient = 2.0 * probabilities.copy()
+        joint_per_dataset = np.zeros(delta, dtype=np.float64)
+        if left.size:
+            alive = probabilities > 0.0
+            keep = alive[left] & alive[right]
+            left_kept = left[keep]
+            right_kept = right[keep]
+            np.add.at(gradient, left_kept, 2.0 * probabilities[right_kept])
+            np.add.at(gradient, right_kept, 2.0 * probabilities[left_kept])
+            chunk = 200_000
+            for start in range(0, left_kept.size, chunk):
+                stop = start + chunk
+                joint_per_dataset += 2.0 * (
+                    indicator[left_kept[start:stop]] & indicator[right_kept[start:stop]]
+                ).sum(axis=0)
+        b2 = float(joint_per_dataset.mean())
+        b1 = float(np.dot(probabilities, probabilities))
+        if left.size:
+            b1 += 2.0 * float(np.dot(probabilities[left_kept], probabilities[right_kept]))
+
+        # Σ_X q_X Z_{X,d}, chunked over W to bound the bool -> float upcast.
+        linear = np.zeros(delta, dtype=np.float64)
+        row_chunk = max(1, 8_000_000 // max(delta, 1))
+        for start in range(0, indicator.shape[0], row_chunk):
+            stop = start + row_chunk
+            linear += gradient[start:stop] @ indicator[start:stop].astype(np.float64)
+        influence = linear + joint_per_dataset
+        estimate = b1 + b2
+        if delta < 2:
+            return estimate, 0.0, float("inf")
+        standard_error = float(influence.std(ddof=1)) / math.sqrt(delta)
+        z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+        return (
+            estimate,
+            max(0.0, estimate - z * standard_error),
+            estimate + z * standard_error,
+        )
+
     def candidate_supports(self, low: int, high: Optional[int] = None) -> list[int]:
         """Distinct support values where the empirical bounds can change.
 
@@ -615,8 +859,11 @@ class MonteCarloNullEstimator:
             # "bernoulli" here would mislabel re-saved swap artifacts.
             kind = getattr(self, "kind", "bernoulli")
         return {
+            "version": ESTIMATOR_STATE_VERSION,
             "k": self.k,
             "num_datasets": self.num_datasets,
+            "delta_requested": self._delta_requested,
+            "delta_spent": self.num_datasets,
             "mining_support": self.mining_support,
             "max_union_size": self.max_union_size,
             "backend": self.backend,
@@ -645,15 +892,23 @@ class MonteCarloNullEstimator:
             (e.g. ``max_expected_support`` and the ``model.kind`` introspection
             used by the procedures).
         """
+        version = int(state.get("version", 1))
+        if version != ESTIMATOR_STATE_VERSION:
+            raise ValueError(
+                f"unsupported estimator state version {version} (this build "
+                f"reads version {ESTIMATOR_STATE_VERSION}); re-run the "
+                "simulation instead of loading the stale artifact"
+            )
         self = cls.__new__(cls)
         self.model = model
         self.k = int(state["k"])
         self.num_datasets = int(state["num_datasets"])
+        self._delta_requested = int(state.get("delta_requested", state["num_datasets"]))
         self.mining_support = int(state["mining_support"])
         self.max_union_size = int(state["max_union_size"])
         self.backend = str(state["backend"])
         self.n_jobs = 1
-        self._executor = None
+        self._executor_spec = None
         self._rng = np.random.default_rng()
         self.truncated = bool(state["truncated"])
         self._max_observed_support = int(state["max_observed_support"])

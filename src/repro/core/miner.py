@@ -77,9 +77,20 @@ class MinerConfig:
         bitsets); ``None`` defers to the ``REPRO_BACKEND`` environment
         variable.
     n_jobs:
-        Worker processes for the Δ Monte-Carlo sample/mine passes of
-        Algorithm 1 (1 = sequential; results are identical for every value,
-        and one shared process pool serves the whole halving loop).
+        Workers for the Δ Monte-Carlo sample/mine passes of Algorithm 1
+        (1 = sequential; results are identical for every value, and one
+        shared executor serves the whole halving loop).
+    executor:
+        Execution backend for the Monte-Carlo passes: ``"serial"``,
+        ``"thread"``, ``"process"`` (zero-copy shared-memory workers; see
+        :mod:`repro.parallel.executors`), a live
+        :class:`repro.parallel.Executor`, or ``None`` — serial when
+        ``n_jobs == 1``, the process backend otherwise.
+    delta_max:
+        Optional Δ-adaptive budget cap: ``num_datasets`` becomes the seed
+        budget ``Δ₀`` and Algorithm 1 grows it geometrically up to
+        ``delta_max``, stopping early when its decision clears the ``ε/4``
+        boundary with confidence.  ``None`` keeps the paper's fixed budget.
     null_model:
         Null model the significance machinery simulates: ``"bernoulli"``
         (the paper's independent-items null, the default), ``"swap"`` (the
@@ -98,6 +109,8 @@ class MinerConfig:
     lambda_floor: Optional[float] = None
     backend: Optional[str] = None
     n_jobs: int = 1
+    executor: Union[str, object, None] = None
+    delta_max: Optional[int] = None
     null_model: Union[str, NullModel, None] = "bernoulli"
 
     def __post_init__(self) -> None:
@@ -114,6 +127,11 @@ class MinerConfig:
             resolve_backend(self.backend)
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
+        from repro.parallel.executors import executor_spec_kind
+
+        executor_spec_kind(self.executor)  # fail fast on typos and bad types
+        if self.delta_max is not None and self.delta_max < self.num_datasets:
+            raise ValueError("delta_max must be at least num_datasets")
         if isinstance(self.null_model, str):
             from repro.core.null_models import NULL_MODEL_NAMES
 
@@ -167,6 +185,8 @@ class SignificantItemsetMiner:
     lambda_floor: Optional[float] = None
     backend: Optional[str] = None
     n_jobs: int = 1
+    executor: Union[str, object, None] = None
+    delta_max: Optional[int] = None
     null_model: Union[str, NullModel, None] = "bernoulli"
     rng: Optional[Union[int, np.random.Generator]] = None
     config: Optional[MinerConfig] = None
@@ -197,6 +217,8 @@ class SignificantItemsetMiner:
             self.lambda_floor = self.config.lambda_floor
             self.backend = self.config.backend
             self.n_jobs = self.config.n_jobs
+            self.executor = self.config.executor
+            self.delta_max = self.config.delta_max
             self.null_model = self.config.null_model
         # Validate by round-tripping through the config dataclass.
         self.config = MinerConfig(
@@ -208,6 +230,8 @@ class SignificantItemsetMiner:
             lambda_floor=self.lambda_floor,
             backend=self.backend,
             n_jobs=self.n_jobs,
+            executor=self.executor,
+            delta_max=self.delta_max,
             null_model=self.null_model,
         )
         if not isinstance(self.rng, np.random.Generator):
@@ -226,21 +250,34 @@ class SignificantItemsetMiner:
         """
         from repro.engine.session import Engine
 
-        self._engine = Engine(backend=self.backend, n_jobs=self.n_jobs)
-        self._handle = self._engine.register(dataset)
-        self._seed = int(self.rng.integers(0, np.iinfo(np.int64).max))
-        self._dataset = dataset
-        self._threshold_result = self._engine.threshold(
-            self._handle,
-            self.k,
-            epsilon=self.epsilon,
-            num_datasets=self.num_datasets,
-            null_model=self.null_model,
-            seed=self._seed,
+        self.close()  # a refit must not strand the previous session's executor
+        self._engine = Engine(
+            backend=self.backend, n_jobs=self.n_jobs, executor=self.executor
         )
+        try:
+            self._handle = self._engine.register(dataset)
+            self._seed = int(self.rng.integers(0, np.iinfo(np.int64).max))
+            self._dataset = dataset
+            self._threshold_result = self._engine.threshold(
+                self._handle,
+                self.k,
+                epsilon=self.epsilon,
+                num_datasets=self.num_datasets,
+                null_model=self.null_model,
+                seed=self._seed,
+                delta_max=self.delta_max,
+            )
+        except BaseException:
+            self.close()
+            raise
         self._procedure1_result = None
         self._procedure2_result = None
         return self
+
+    def close(self) -> None:
+        """Release the private Engine's executor (pool + shared memory)."""
+        if self._engine is not None:
+            self._engine.close()
 
     def _require_fit(self) -> TransactionDataset:
         if self._dataset is None or self._threshold_result is None:
@@ -284,6 +321,7 @@ class SignificantItemsetMiner:
                 num_datasets=self.num_datasets,
                 null_model=self.null_model,
                 seed=self._seed,
+                delta_max=self.delta_max,
             )
         return self._procedure1_result
 
@@ -302,6 +340,7 @@ class SignificantItemsetMiner:
                 null_model=self.null_model,
                 seed=self._seed,
                 lambda_floor=self.lambda_floor,
+                delta_max=self.delta_max,
             )
         return self._procedure2_result
 

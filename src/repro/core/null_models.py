@@ -50,7 +50,11 @@ import numpy as np
 
 from repro.data.dataset import TransactionDataset
 from repro.data.random_model import RandomDatasetModel
-from repro.data.swap import swap_randomize, swap_randomize_packed, transaction_bitsets
+from repro.data.swap import (
+    transaction_bitsets,
+    walk_to_packed,
+    walk_to_transactions,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
     from repro.fim.bitmap import PackedIndex
@@ -214,31 +218,70 @@ class SwapRandomizationNull:
         self.dataset = dataset
         self.num_swaps = num_swaps
         self._rows = transaction_bitsets(dataset)
+        self._items = dataset.items
+        self._num_transactions = dataset.num_transactions
+        # Resolved walk length (the `5 x occurrences` mixing heuristic when
+        # num_swaps is None), fixed here so draws are identical whether the
+        # model samples in-process or from a shared-memory reconstruction.
+        occurrences = sum(row.bit_count() for row in self._rows)
+        self._effective_num_swaps = (
+            num_swaps if num_swaps is not None else 5 * occurrences
+        )
+        self._name = f"swap({dataset.name})" if dataset.name else None
         # The independence approximation used only to seed Algorithm 1's
         # starting support s̃; margins match the observed dataset exactly.
         self._frequency_model = RandomDatasetModel.from_dataset(dataset)
 
+    @classmethod
+    def _from_parts(
+        cls,
+        rows: list[int],
+        items: tuple[int, ...],
+        num_transactions: int,
+        effective_num_swaps: int,
+        num_swaps: Optional[int],
+        name: Optional[str],
+    ) -> "SwapRandomizationNull":
+        """Rebuild a sampling-capable model from its exported parts.
+
+        Used by the zero-copy process executor: workers receive the observed
+        transaction/item matrix through shared memory (see
+        :mod:`repro.parallel.shm`) and reconstruct a model that draws
+        *identically* to the original — same walk, same RNG stream.  The
+        rebuilt model has no :class:`TransactionDataset` attached, so only the
+        sampling surface works (``max_expected_support`` needs the parent's
+        full model and raises).
+        """
+        self = cls.__new__(cls)
+        self.dataset = None
+        self.num_swaps = num_swaps
+        self._rows = rows
+        self._items = tuple(items)
+        self._num_transactions = int(num_transactions)
+        self._effective_num_swaps = int(effective_num_swaps)
+        self._name = name
+        self._frequency_model = None
+        return self
+
     @property
     def items(self) -> tuple[int, ...]:
         """Sorted item universe (identical to the observed dataset's)."""
-        return self.dataset.items
+        return self._items
 
     @property
     def num_items(self) -> int:
         """Number of items ``n``."""
-        return len(self.dataset.items)
+        return len(self._items)
 
     @property
     def num_transactions(self) -> int:
         """Number of transactions ``t`` (identical in every draw)."""
-        return self.dataset.num_transactions
+        return self._num_transactions
 
     @property
     def name(self) -> Optional[str]:
         """``"swap(<dataset name>)"`` when the dataset is named."""
-        if self.dataset.name:
-            return f"swap({self.dataset.name})"
-        return None
+        return self._name
 
     def max_expected_support(self, k: int) -> float:
         """Independence-based starting support for Algorithm 1.
@@ -248,20 +291,43 @@ class SwapRandomizationNull:
         a good starting point for the halving search (Algorithm 1 only uses
         it as the initial ``s̃``, never in the significance statement).
         """
+        if self._frequency_model is None:
+            raise RuntimeError(
+                "this SwapRandomizationNull was rebuilt from shared-memory "
+                "parts and only supports sampling; max_expected_support "
+                "requires the original model"
+            )
         return self._frequency_model.max_expected_support(k)
 
     def sample(
         self, rng: Optional[Union[int, np.random.Generator]] = None
     ) -> TransactionDataset:
         """One swap-randomised copy as a :class:`TransactionDataset`."""
-        return swap_randomize(self.dataset, num_swaps=self.num_swaps, rng=rng)
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        return walk_to_transactions(
+            self._rows,
+            self._items,
+            self._effective_num_swaps,
+            generator,
+            name=self._name,
+        )
 
     def sample_packed(
         self, rng: Optional[Union[int, np.random.Generator]] = None
     ) -> "PackedIndex":
         """One swap-randomised copy directly in packed-bitmap form."""
-        return swap_randomize_packed(
-            self.dataset, num_swaps=self.num_swaps, rng=rng, _rows=self._rows
+        generator = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        return walk_to_packed(
+            self._rows,
+            self._items,
+            self._num_transactions,
+            self._effective_num_swaps,
+            generator,
+            name=self._name,
         )
 
     def __repr__(self) -> str:

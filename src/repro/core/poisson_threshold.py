@@ -67,11 +67,22 @@ class PoissonThresholdResult(SerializableResult):
     bound_at_s_min: tuple[float, float]
     bound_curve: dict[int, tuple[float, float]]
     estimator: MonteCarloNullEstimator
+    delta_spent: Optional[int] = None
 
     @property
     def total_bound_at_s_min(self) -> float:
         """``b1(ŝ_min) + b2(ŝ_min)``."""
         return self.bound_at_s_min[0] + self.bound_at_s_min[1]
+
+    @property
+    def spent_num_datasets(self) -> int:
+        """The Monte-Carlo budget actually simulated.
+
+        Equals :attr:`num_datasets` for a fixed-budget run; a Δ-adaptive run
+        (``delta_max`` set) records the grown budget its final search stage
+        stopped at, which is what the artifact stores persist.
+        """
+        return self.num_datasets if self.delta_spent is None else self.delta_spent
 
     def without_estimator(self) -> "PoissonThresholdResult":
         """A copy with ``estimator = None`` (the pure value part of the result).
@@ -96,6 +107,7 @@ class PoissonThresholdResult(SerializableResult):
             "k": self.k,
             "epsilon": self.epsilon,
             "num_datasets": self.num_datasets,
+            "delta_spent": self.delta_spent,
             "initial_support": self.initial_support,
             "bound_at_s_min": list(self.bound_at_s_min),
             "bound_curve": [
@@ -111,11 +123,13 @@ class PoissonThresholdResult(SerializableResult):
         """Inverse of :meth:`to_dict`; ``estimator`` reattaches a live estimator."""
         _require_type(data, "PoissonThresholdResult")
         b1, b2 = data["bound_at_s_min"]
+        delta_spent = data.get("delta_spent")
         return cls(
             s_min=int(data["s_min"]),
             k=int(data["k"]),
             epsilon=float(data["epsilon"]),
             num_datasets=int(data["num_datasets"]),
+            delta_spent=None if delta_spent is None else int(delta_spent),
             initial_support=int(data["initial_support"]),
             bound_at_s_min=(float(b1), float(b2)),
             bound_curve={
@@ -137,6 +151,8 @@ def find_poisson_threshold(
     backend: Optional[str] = None,
     n_jobs: int = 1,
     null_model: Union[str, NullModel, None] = None,
+    executor=None,
+    delta_max: Optional[int] = None,
 ) -> PoissonThresholdResult:
     """Estimate the Poisson threshold ``ŝ_min`` via Monte-Carlo simulation.
 
@@ -168,16 +184,36 @@ def find_poisson_threshold(
         bitmaps by default, ``"python"`` int bitsets; ``None`` defers to the
         ``REPRO_BACKEND`` environment variable).
     n_jobs:
-        Worker processes for the Δ sample/mine passes.  The Monte-Carlo
-        results are identical for every value (each dataset has its own
-        spawned child generator); when ``n_jobs > 1`` one shared process
-        pool serves *all* iterations of the halving loop.
+        Workers for the Δ sample/mine passes.  The Monte-Carlo results are
+        identical for every value (each dataset has its own spawned child
+        generator); one executor serves *all* iterations of the halving
+        loop.
     null_model:
         Which null to simulate: ``None``/``"bernoulli"`` for the paper's
         independent-items null, ``"swap"`` for the margin-preserving
         swap-randomisation null (``source`` must then be the observed
         :class:`~repro.data.dataset.TransactionDataset`), or a ready-made
         :class:`~repro.core.null_models.NullModel`.
+    executor:
+        Execution backend for the Monte-Carlo draws: an executor name
+        (``"serial"`` / ``"thread"`` / ``"process"``), a live
+        :class:`repro.parallel.Executor` (borrowed; e.g. the Engine's
+        session executor), a raw :class:`concurrent.futures.Executor`
+        (legacy per-draw pickling), or ``None`` — serial when
+        ``n_jobs == 1``, the zero-copy process backend otherwise.
+    delta_max:
+        Switch the Monte-Carlo budget from fixed to Δ-adaptive:
+        ``num_datasets`` becomes the seed budget ``Δ₀`` and the final search
+        stage grows it geometrically up to ``delta_max``, stopping as soon
+        as the confidence interval around the Chen–Stein estimate certifies
+        the criterion within one support step of the returned threshold.
+        Draws are taken from per-draw spawned child generators, so a run
+        that stops at budget ``Δ_s`` is bit-identical to the same run
+        capped there (same ``num_datasets``, ``delta_max=Δ_s``; see
+        ``_threshold_search`` for the precise replay contract).  The
+        returned :attr:`PoissonThresholdResult.delta_spent` records the
+        budget actually simulated.  ``None`` (default) reproduces the fixed
+        paper budget exactly, draw for draw.
 
     Returns
     -------
@@ -188,25 +224,58 @@ def find_poisson_threshold(
         raise ValueError("k must be at least 1")
     if not 0.0 < epsilon < 1.0:
         raise ValueError("epsilon must lie in (0, 1)")
+    if delta_max is not None and delta_max < num_datasets:
+        raise ValueError("delta_max must be at least num_datasets")
     model = as_null_model(null_model, source)
     generator = (
         rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     )
 
-    if n_jobs > 1:
-        # One process pool serves every estimator of the halving loop; the
-        # per-iteration respawn cost used to dominate short iterations.
-        from concurrent.futures import ProcessPoolExecutor
+    from repro.parallel.executors import as_executor
 
-        with ProcessPoolExecutor(max_workers=min(n_jobs, num_datasets)) as pool:
-            return _threshold_search(
-                model, k, epsilon, num_datasets, generator, max_halvings,
-                max_union_size, backend, n_jobs, pool,
-            )
-    return _threshold_search(
-        model, k, epsilon, num_datasets, generator, max_halvings,
-        max_union_size, backend, n_jobs, None,
-    )
+    # One executor serves every estimator of the halving loop; the
+    # per-iteration pool respawn cost used to dominate short iterations.
+    executor_obj, owned = as_executor(executor, n_jobs)
+    try:
+        return _threshold_search(
+            model, k, epsilon, num_datasets, generator, max_halvings,
+            max_union_size, backend, n_jobs, executor_obj, delta_max,
+        )
+    finally:
+        if owned:
+            executor_obj.close()
+
+
+#: Two-sided confidence of the adaptive stopping heuristic of Algorithm 1.
+_ADAPTIVE_CONFIDENCE = 0.99
+
+
+def _boundary_certain(
+    estimator: MonteCarloNullEstimator,
+    s_min: int,
+    criterion: float,
+) -> bool:
+    """Whether the Δ-adaptive search may stop at the current budget.
+
+    Certain means: the confidence interval around ``b1 + b2`` (delta-method,
+    see :meth:`MonteCarloNullEstimator.chen_stein_interval`) lies entirely
+    below ``ε/4`` at the chosen threshold or at the very next support — i.e.
+    a threshold within one support step of ``ŝ_min`` is *certified* to
+    satisfy the criterion, not just by Monte-Carlo luck.  The one-step slack
+    is what makes stopping possible at all: ``ŝ_min`` sits at the empirical
+    crossing point, where the statistic just dipped under ``ε/4`` and its
+    own interval typically still straddles the boundary by construction —
+    one step up, the statistic has dropped well clear.  A ±1-step
+    uncertainty on the returned threshold is exactly the resolution the
+    paper's fixed-budget point estimate has (it never certifies anything);
+    here the budget stops growing only once that resolution is *backed* by
+    a confidence statement.
+    """
+    _, _, high = estimator.chen_stein_interval(s_min, _ADAPTIVE_CONFIDENCE)
+    if high < criterion:
+        return True
+    _, _, next_high = estimator.chen_stein_interval(s_min + 1, _ADAPTIVE_CONFIDENCE)
+    return next_high < criterion
 
 
 def _threshold_search(
@@ -220,9 +289,27 @@ def _threshold_search(
     backend: Optional[str],
     n_jobs: int,
     executor,
+    delta_max: Optional[int] = None,
 ) -> PoissonThresholdResult:
-    """The halving search of Algorithm 1 (one shared ``executor`` throughout)."""
+    """The halving search of Algorithm 1 (one shared ``executor`` throughout).
+
+    In Δ-adaptive mode (``delta_max`` set) each halving iteration draws from
+    its own spawned child generator, so iteration ``i``'s datasets depend
+    only on the seed and ``i`` — never on how many draws *earlier*
+    iterations ended up spending.  The exact replay guarantee follows: an
+    adaptive run that stops at budget ``Δ_s`` is bit-identical to the same
+    run capped there (same ``num_datasets = Δ₀``, ``delta_max = Δ_s``) —
+    both take every navigation decision (union too large / empty /
+    criterion already met at ``s̃``) at ``Δ₀`` on the same draws, grow
+    through the same stages, and the deciding search sees exactly the same
+    ``Δ_s`` datasets.  Equality with a *fixed-budget* ``Δ_s`` run
+    additionally requires the navigation path to be budget-insensitive
+    (that run navigates on ``Δ_s``-dataset estimators); that is the typical
+    case but not guaranteed near degenerate regimes (a union that truncates
+    only at the larger budget, a support level empty only at the smaller).
+    """
     criterion = epsilon / 4.0
+    adaptive = delta_max is not None
 
     s_tilde = max(1, int(math.ceil(model.max_expected_support(k))))
     # Lowest starting support we are allowed to mine at.  It starts at 1 and
@@ -236,13 +323,54 @@ def _threshold_search(
     last_satisfying = None
     bound_curve: dict[int, tuple[float, float]] = {}
 
+    def spent(active: MonteCarloNullEstimator) -> Optional[int]:
+        """``delta_spent`` of a result built around ``active`` (adaptive only)."""
+        return active.num_datasets if adaptive else None
+
+    def candidate_search(
+        active: MonteCarloNullEstimator, start: int
+    ) -> tuple[int, tuple[float, float]]:
+        """The smallest ``s > start`` meeting the criterion, with its bounds."""
+        candidates = [
+            s
+            for s in active.candidate_supports(
+                start + 1, active.max_observed_support + 1
+            )
+            if s > start
+        ]
+        if not candidates:
+            candidates = [active.max_observed_support + 1]
+
+        # The bounds are non-increasing in s, so binary-search the first
+        # candidate satisfying the criterion.
+        lo, hi = 0, len(candidates) - 1
+        best_index = len(candidates) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            b1_mid, b2_mid = active.chen_stein_estimates(candidates[mid])
+            bound_curve[candidates[mid]] = (b1_mid, b2_mid)
+            if b1_mid + b2_mid <= criterion:
+                best_index = mid
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        s_min = candidates[best_index]
+        bounds = bound_curve.get(s_min)
+        if bounds is None:
+            bounds = active.chen_stein_estimates(s_min)
+            bound_curve[s_min] = bounds
+        return s_min, bounds
+
     for _ in range(2 * max_halvings + 2):
+        # In adaptive mode every iteration gets its own child stream so its
+        # draws do not depend on how much budget earlier iterations spent.
+        iteration_rng = generator.spawn(1)[0] if adaptive else generator
         estimator = MonteCarloNullEstimator(
             model,
             k,
             num_datasets=num_datasets,
             mining_support=s_tilde,
-            rng=generator,
+            rng=iteration_rng,
             max_union_size=max_union_size,
             backend=backend,
             n_jobs=n_jobs,
@@ -265,6 +393,7 @@ def _threshold_search(
                     bound_at_s_min=bounds,
                     bound_curve=dict(bound_curve),
                     estimator=kept_estimator,
+                    delta_spent=spent(kept_estimator),
                 )
             s_tilde = max(s_tilde * 2, s_tilde + 1)
             lower_limit = s_tilde
@@ -286,6 +415,7 @@ def _threshold_search(
                     bound_at_s_min=(0.0, 0.0),
                     bound_curve=dict(bound_curve),
                     estimator=estimator,
+                    delta_spent=spent(estimator),
                 )
             s_tilde = max(lower_limit, s_tilde // 2)
             continue
@@ -307,39 +437,28 @@ def _threshold_search(
                     bound_at_s_min=(b1_start, b2_start),
                     bound_curve=dict(bound_curve),
                     estimator=estimator,
+                    delta_spent=spent(estimator),
                 )
             s_tilde = max(lower_limit, s_tilde // 2)
             continue
 
         # Normal exit (line 23): the smallest s > s̃ with b1(s)+b2(s) <= ε/4.
-        candidates = [
-            s
-            for s in estimator.candidate_supports(
-                s_tilde + 1, estimator.max_observed_support + 1
-            )
-            if s > s_tilde
-        ]
-        if not candidates:
-            candidates = [estimator.max_observed_support + 1]
+        # In adaptive mode this — the stage that actually decides ŝ_min — is
+        # where the budget grows: re-run the search at geometrically larger Δ
+        # until the threshold is stable across stages and the confidence
+        # interval brackets the boundary, or Δ_max is reached.
+        s_min, bounds = candidate_search(estimator, s_tilde)
+        if adaptive:
+            from repro.parallel.adaptive import next_budget
 
-        # The bounds are non-increasing in s, so binary-search the first
-        # candidate satisfying the criterion.
-        lo, hi = 0, len(candidates) - 1
-        best_index = len(candidates) - 1
-        while lo <= hi:
-            mid = (lo + hi) // 2
-            b1_mid, b2_mid = estimator.chen_stein_estimates(candidates[mid])
-            bound_curve[candidates[mid]] = (b1_mid, b2_mid)
-            if b1_mid + b2_mid <= criterion:
-                best_index = mid
-                hi = mid - 1
-            else:
-                lo = mid + 1
-        s_min = candidates[best_index]
-        bounds = bound_curve.get(s_min)
-        if bounds is None:
-            bounds = estimator.chen_stein_estimates(s_min)
-            bound_curve[s_min] = bounds
+            while estimator.num_datasets < delta_max:
+                if _boundary_certain(estimator, s_min, criterion):
+                    break
+                target = next_budget(estimator.num_datasets, delta_max)
+                if not estimator.extend(target - estimator.num_datasets):
+                    break  # the union would outgrow max_union_size
+                bound_curve[s_tilde] = estimator.chen_stein_estimates(s_tilde)
+                s_min, bounds = candidate_search(estimator, s_tilde)
         return PoissonThresholdResult(
             s_min=s_min,
             k=k,
@@ -349,6 +468,7 @@ def _threshold_search(
             bound_at_s_min=bounds,
             bound_curve=dict(bound_curve),
             estimator=estimator,
+            delta_spent=spent(estimator),
         )
 
     # Halving budget exhausted: return the last threshold known to satisfy the
@@ -364,6 +484,7 @@ def _threshold_search(
             bound_at_s_min=bounds,
             bound_curve=dict(bound_curve),
             estimator=estimator,
+            delta_spent=spent(estimator),
         )
     raise RuntimeError(
         "find_poisson_threshold did not converge: no k-itemset reached the "

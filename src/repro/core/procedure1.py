@@ -48,6 +48,8 @@ def run_procedure1(
     n_jobs: int = 1,
     null_model: Union[str, NullModel, None] = None,
     mined: Optional[dict] = None,
+    executor=None,
+    delta_max: Optional[int] = None,
 ) -> Procedure1Result:
     """Run Procedure 1 on a dataset.
 
@@ -84,6 +86,22 @@ def run_procedure1(
         output of mining the observed dataset at ``s_min``).  Lets callers
         answering many ``beta`` budgets — e.g. the Engine's grid runs —
         mine the real dataset once per ``(k, s_min)`` instead of per call.
+    executor:
+        Execution backend for any Monte-Carlo machinery built here (an
+        executor name, a live :class:`repro.parallel.Executor`, or ``None``
+        — see :mod:`repro.parallel.executors`).
+    delta_max:
+        Δ-adaptive budget for the *empirical* p-value path (non-Bernoulli
+        nulls): ``num_datasets`` becomes the seed budget ``Δ₀``, grown
+        geometrically up to ``delta_max`` until the Benjamini–Yekutieli
+        rejection set is stable under Wilson confidence bounds on every
+        exceedance count — i.e. no itemset's interval still straddles its
+        decision boundary.  A fresh estimator is always built (the one
+        inherited from ``threshold_result`` is shared with other queries and
+        is never mutated).  Draws come from per-draw spawned child
+        generators, so a run stopping at ``Δ_s`` is bit-identical to a fixed
+        run with ``num_datasets=Δ_s``.  Ignored under the Bernoulli null
+        (closed-form p-values need no simulation).
 
     Returns
     -------
@@ -95,6 +113,8 @@ def run_procedure1(
         raise ValueError("beta must lie in (0, 1)")
     if k < 1:
         raise ValueError("k must be at least 1")
+    if delta_max is not None and delta_max < num_datasets:
+        raise ValueError("delta_max must be at least num_datasets")
 
     null_kind = null_model_kind(null_model)
     estimator: Optional[MonteCarloNullEstimator] = None
@@ -113,6 +133,7 @@ def run_procedure1(
                 backend=backend,
                 n_jobs=n_jobs,
                 null_model=null_model,
+                executor=executor,
             )
             s_min = threshold_result.s_min
             estimator = threshold_result.estimator
@@ -125,6 +146,9 @@ def run_procedure1(
         else mine_k_itemsets(dataset, k, s_min, backend=backend)
     )
 
+    num_hypotheses = comb(dataset.num_items, k)
+    delta_spent: Optional[int] = None
+
     if null_kind == "bernoulli":
         # Closed-form Binomial tails under the independence null.
         pvalues = itemset_pvalues(dataset, candidates)
@@ -134,8 +158,11 @@ def run_procedure1(
         # s_min and honour the requested Monte-Carlo budget (the p-value
         # resolution is 1/(Δ+1)); rebuild it when the inherited one was
         # mined higher, carries fewer datasets, or simulated another null.
+        # A Δ-adaptive budget always builds its own estimator: it grows the
+        # budget in place, and the inherited one backs a shared artifact.
         if (
-            estimator is None
+            delta_max is not None
+            or estimator is None
             or estimator.mining_support > s_min
             or estimator.num_datasets < num_datasets
             or getattr(getattr(estimator, "model", None), "kind", None) != null_kind
@@ -148,13 +175,17 @@ def run_procedure1(
                 rng=rng,
                 backend=backend,
                 n_jobs=n_jobs,
+                executor=executor,
             )
+        if delta_max is not None:
+            _grow_until_stable(
+                estimator, candidates, beta, num_hypotheses, delta_max
+            )
+            delta_spent = estimator.num_datasets
         pvalues = {
             itemset: estimator.empirical_pvalue(itemset, support)
             for itemset, support in candidates.items()
         }
-
-    num_hypotheses = comb(dataset.num_items, k)
 
     ordered_itemsets = sorted(candidates)
     ordered_pvalues = [pvalues[itemset] for itemset in ordered_itemsets]
@@ -182,4 +213,52 @@ def run_procedure1(
         significant=significant,
         rejection_threshold=threshold,
         null_model=null_kind,
+        delta_spent=delta_spent,
     )
+
+
+def _grow_until_stable(
+    estimator: MonteCarloNullEstimator,
+    candidates: dict,
+    beta: float,
+    num_hypotheses: int,
+    delta_max: int,
+) -> None:
+    """Extend the Monte-Carlo budget until the BY rejection set is decided.
+
+    Every empirical p-value rests on a genuine Binomial count (the number of
+    null datasets in which the itemset's support reached its observed value),
+    so Wilson confidence bounds on each exceedance proportion translate into
+    optimistic / pessimistic p-value vectors.  When the Benjamini–Yekutieli
+    step-up rejects exactly the same itemsets under both vectors, no interval
+    still straddles a decision boundary and growing Δ further cannot change
+    the outcome (at this confidence) — stop.  Otherwise the budget grows
+    geometrically until ``delta_max``.
+    """
+    from repro.parallel.adaptive import next_budget, wilson_interval
+
+    ordered = sorted(candidates)
+    if not ordered:
+        return
+    effective_m = max(num_hypotheses, len(ordered))
+    while estimator.num_datasets < delta_max:
+        delta = estimator.num_datasets
+        optimistic: list[float] = []
+        pessimistic: list[float] = []
+        for itemset in ordered:
+            count = estimator.exceedance_count(itemset, candidates[itemset])
+            low, high = wilson_interval(count, delta)
+            # Mapped through the same add-one correction as the point value.
+            optimistic.append((1 + delta * low) / (1 + delta))
+            pessimistic.append((1 + delta * high) / (1 + delta))
+        rejected_best = benjamini_yekutieli(
+            optimistic, beta, num_hypotheses=effective_m
+        ).rejected
+        rejected_worst = benjamini_yekutieli(
+            pessimistic, beta, num_hypotheses=effective_m
+        ).rejected
+        if tuple(rejected_best) == tuple(rejected_worst):
+            return
+        target = next_budget(delta, delta_max)
+        if not estimator.extend(target - delta):
+            return  # the union would outgrow max_union_size

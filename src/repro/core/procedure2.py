@@ -74,6 +74,7 @@ def run_procedure2(
     n_jobs: int = 1,
     null_model: Union[str, NullModel, None] = None,
     mined: Optional[dict] = None,
+    executor=None,
 ) -> Procedure2Result:
     """Run Procedure 2 on a dataset.
 
@@ -125,6 +126,10 @@ def run_procedure2(
         answering many ``alpha``/``beta`` budgets — e.g. the Engine's grid
         runs — mine the real dataset once per ``(k, s_min)`` instead of per
         call.
+    executor:
+        Execution backend for any Monte-Carlo machinery built here (an
+        executor name, a live :class:`repro.parallel.Executor`, or ``None``
+        — see :mod:`repro.parallel.executors`).
 
     Returns
     -------
@@ -154,6 +159,7 @@ def run_procedure2(
             backend=backend,
             n_jobs=n_jobs,
             null_model=null_model,
+            executor=executor,
         )
         s_min = threshold_result.s_min
         estimator = threshold_result.estimator
@@ -168,6 +174,7 @@ def run_procedure2(
             rng=rng,
             backend=backend,
             n_jobs=n_jobs,
+            executor=executor,
         )
     if lambda_floor is None:
         lambda_floor = 0.0

@@ -85,6 +85,10 @@ class Procedure1Result(SerializableResult):
         Which null the p-values were computed under (``"bernoulli"`` =
         closed-form Binomial tails, ``"swap"`` = Monte-Carlo empirical
         p-values against swap-randomised datasets).
+    delta_spent:
+        The Monte-Carlo budget the empirical p-values were computed from,
+        when a Δ-adaptive budget was in play (``None`` for closed-form
+        p-values and for fixed budgets).
     """
 
     k: int
@@ -96,6 +100,7 @@ class Procedure1Result(SerializableResult):
     significant: dict[Itemset, int]
     rejection_threshold: float
     null_model: str = "bernoulli"
+    delta_spent: Optional[int] = None
 
     @property
     def num_candidates(self) -> int:
@@ -120,12 +125,14 @@ class Procedure1Result(SerializableResult):
             "significant": _encode_itemset_map(self.significant),
             "rejection_threshold": self.rejection_threshold,
             "null_model": self.null_model,
+            "delta_spent": self.delta_spent,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Procedure1Result":
         """Inverse of :meth:`to_dict`."""
         _require_type(data, "Procedure1Result")
+        delta_spent = data.get("delta_spent")
         return cls(
             k=int(data["k"]),
             s_min=int(data["s_min"]),
@@ -136,6 +143,7 @@ class Procedure1Result(SerializableResult):
             significant=_decode_itemset_map(data["significant"]),
             rejection_threshold=float(data["rejection_threshold"]),
             null_model=str(data["null_model"]),
+            delta_spent=None if delta_spent is None else int(delta_spent),
         )
 
 

@@ -49,7 +49,7 @@ from repro.data.dataset import TransactionDataset
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
     from repro.fim.bitmap import PackedIndex
 
-__all__ = ["swap_randomize", "swap_randomize_packed"]
+__all__ = ["swap_randomize", "swap_randomize_packed", "walk_to_packed", "walk_to_transactions"]
 
 
 def transaction_bitsets(dataset: TransactionDataset) -> list[int]:
@@ -144,12 +144,31 @@ def swap_randomize(
     items = dataset.items
     if num_swaps is None:
         num_swaps = _default_num_swaps(dataset)
-    rows = _run_swap_walk(transaction_bitsets(dataset), num_swaps, generator)
     result_name = name or (f"swap({dataset.name})" if dataset.name else None)
+    return walk_to_transactions(
+        transaction_bitsets(dataset), items, num_swaps, generator, name=result_name
+    )
+
+
+def walk_to_transactions(
+    base_rows: list[int],
+    items: tuple[int, ...],
+    num_swaps: int,
+    generator: np.random.Generator,
+    name: Optional[str] = None,
+) -> TransactionDataset:
+    """Run the swap walk on pre-packed rows and decode a :class:`TransactionDataset`.
+
+    The parts-based core of :func:`swap_randomize`: callers that already hold
+    the transaction-major bitsets (and a resolved ``num_swaps``) — e.g. a
+    worker process that received the observed matrix through shared memory —
+    can draw without ever materialising the original dataset object.
+    """
+    rows = _run_swap_walk(base_rows, num_swaps, generator)
     transactions = [
         tuple(items[position] for position in _iter_set_bits(row)) for row in rows
     ]
-    return TransactionDataset(transactions, items=items, name=result_name)
+    return TransactionDataset(transactions, items=items, name=name)
 
 
 def swap_randomize_packed(
@@ -182,8 +201,6 @@ def swap_randomize_packed(
         used by :class:`~repro.core.null_models.SwapRandomizationNull` to
         avoid re-packing the observed dataset for every Monte-Carlo draw.
     """
-    from repro.fim.bitmap import PackedIndex
-
     generator = (
         rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     )
@@ -191,7 +208,30 @@ def swap_randomize_packed(
     if num_swaps is None:
         num_swaps = _default_num_swaps(dataset)
     base = transaction_bitsets(dataset) if _rows is None else _rows
-    rows = _run_swap_walk(base, num_swaps, generator)
+    result_name = name or (f"swap({dataset.name})" if dataset.name else None)
+    return walk_to_packed(
+        base, items, dataset.num_transactions, num_swaps, generator, name=result_name
+    )
+
+
+def walk_to_packed(
+    base_rows: list[int],
+    items: tuple[int, ...],
+    num_transactions: int,
+    num_swaps: int,
+    generator: np.random.Generator,
+    name: Optional[str] = None,
+) -> "PackedIndex":
+    """Run the swap walk on pre-packed rows and transpose into a :class:`PackedIndex`.
+
+    The parts-based core of :func:`swap_randomize_packed` — identical walk and
+    RNG stream, but taking the transaction-major bitsets, item universe and a
+    resolved ``num_swaps`` directly so shared-memory workers can draw without
+    the original :class:`~repro.data.dataset.TransactionDataset`.
+    """
+    from repro.fim.bitmap import PackedIndex
+
+    rows = _run_swap_walk(base_rows, num_swaps, generator)
 
     # Transpose the transaction-major walk representation into the item-major
     # vertical bitsets the packed index is built from (O(occurrences)).
@@ -202,12 +242,11 @@ def swap_randomize_packed(
             low = row & -row
             item_bits[low.bit_length() - 1] |= tid_bit
             row ^= low
-    result_name = name or (f"swap({dataset.name})" if dataset.name else None)
     return PackedIndex.from_vertical_bitsets(
         {item: item_bits[position] for position, item in enumerate(items)},
-        dataset.num_transactions,
+        num_transactions,
         items=items,
-        name=result_name,
+        name=name,
     )
 
 

@@ -104,16 +104,22 @@ def artifact_key(
     seed: Optional[int],
     k: int,
     epsilon: float,
+    delta_max: Optional[int] = None,
 ) -> str:
     """The cache key of one Monte-Carlo null artifact.
 
     One Algorithm 1 simulation is run (and cached) per distinct key; every
     query — any ``alpha``/``beta``, either procedure — that shares the key
-    reuses the same artifact.
+    reuses the same artifact.  A Δ-adaptive simulation (``delta_max`` set)
+    keys differently from a fixed-budget one even at the same seed budget,
+    because its draw streams and spent Δ differ; fixed-budget keys are
+    unchanged from earlier formats.
     """
+    suffix = "" if delta_max is None else f"/dmax={int(delta_max)}"
     return (
         f"{_FORMAT}/{fingerprint}/null={null_model_key(null_model)}"
         f"/delta={int(num_datasets)}/seed={seed}/k={int(k)}/eps={float(epsilon)!r}"
+        f"{suffix}"
     )
 
 

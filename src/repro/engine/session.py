@@ -92,8 +92,18 @@ class Engine:
         Counting backend for every mining/simulation pass of the session
         (``"numpy"``/``"python"``; ``None`` defers to ``REPRO_BACKEND``).
     n_jobs:
-        Worker processes for the Δ Monte-Carlo passes (results are identical
-        for every value).
+        Workers for the Δ Monte-Carlo passes (results are identical for
+        every value).
+    executor:
+        Execution backend for the Monte-Carlo passes: ``"serial"``,
+        ``"thread"``, ``"process"`` (see :mod:`repro.parallel.executors`), a
+        live :class:`repro.parallel.Executor` (borrowed — the caller keeps
+        its lifecycle), or ``None`` — serial when ``n_jobs == 1``, the
+        zero-copy process backend otherwise.  The Engine builds its executor
+        lazily on the first simulation, *reuses it across every query of the
+        session* (so the process backend registers each null model's buffers
+        in shared memory exactly once), and tears it down in :meth:`close`
+        (the Engine is a context manager).
 
     Notes
     -----
@@ -109,14 +119,20 @@ class Engine:
         *,
         backend: Optional[str] = None,
         n_jobs: int = 1,
+        executor=None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
         if backend is not None:
             resolve_backend(backend)  # fail fast on typos
+        from repro.parallel.executors import executor_spec_kind
+
+        executor_spec_kind(executor)  # fail fast on typos and bad spec types
         self.store: ArtifactStore = store if store is not None else MemoryArtifactStore()
         self.backend = backend
         self.n_jobs = int(n_jobs)
+        self._executor_spec = executor
+        self._executor = None  # built lazily, owned iff built here
         self.stats = EngineStats()
         self._datasets: dict[str, TransactionDataset] = {}
         self._names: dict[str, str] = {}
@@ -221,6 +237,44 @@ class Engine:
         return self._salt
 
     # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+    def _session_executor(self):
+        """The session-wide executor, built on first use.
+
+        One executor serves every simulation of the session: the zero-copy
+        process backend therefore exports each registered null model to
+        shared memory once, and every later draw — across the whole halving
+        loop *and* across Engine queries — ships only the model token plus a
+        per-draw seed.
+        """
+        from repro.parallel.executors import Executor, as_executor
+
+        if isinstance(self._executor_spec, Executor):
+            return self._executor_spec
+        if self._executor is None or self._executor.closed:
+            self._executor, _ = as_executor(self._executor_spec, self.n_jobs)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the session executor (pool + shared-memory segments).
+
+        Only executors the Engine built itself are closed; an executor
+        instance passed in by the caller keeps its own lifecycle.  Idempotent
+        — a closed Engine can keep answering cached queries, and a new
+        executor is created transparently if another simulation is needed.
+        """
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Imperative query surface (what the facades build on)
     # ------------------------------------------------------------------
     def threshold(
@@ -232,12 +286,16 @@ class Engine:
         num_datasets: int = 100,
         null_model: Union[str, NullModel, None] = "bernoulli",
         seed: Optional[int] = 0,
+        delta_max: Optional[int] = None,
     ) -> PoissonThresholdResult:
         """Algorithm 1, cached: one simulation per distinct artifact key.
 
         Returns the full :class:`PoissonThresholdResult` *with* its live
         Monte-Carlo estimator; repeated calls with the same parameters are
         answered from the store (memory or disk) without re-simulating.
+        ``delta_max`` switches the Monte-Carlo budget from fixed to
+        Δ-adaptive (``num_datasets`` becomes the seed budget ``Δ₀``); the
+        stored artifact records the budget actually spent.
         """
         fingerprint, _ = self._resolve(ref)
         key = artifact_key(
@@ -247,6 +305,7 @@ class Engine:
             self._effective_seed(seed),
             k,
             epsilon,
+            delta_max=delta_max,
         )
         memoized = self._threshold_memo.get(key)
         if memoized is not None:
@@ -268,6 +327,8 @@ class Engine:
             rng=derive_rng(key, "threshold"),
             backend=self.backend,
             n_jobs=self.n_jobs,
+            executor=self._session_executor(),
+            delta_max=delta_max,
         )
         self.store.save(key, NullArtifact(key=key, threshold=threshold))
         self._threshold_memo[key] = threshold
@@ -283,8 +344,13 @@ class Engine:
         num_datasets: int = 100,
         null_model: Union[str, NullModel, None] = "bernoulli",
         seed: Optional[int] = 0,
+        delta_max: Optional[int] = None,
     ) -> Procedure1Result:
-        """Procedure 1 against the cached null artifact."""
+        """Procedure 1 against the cached null artifact.
+
+        Under a non-Bernoulli null, ``delta_max`` grows the empirical
+        p-value budget adaptively (see :func:`~repro.core.procedure1.run_procedure1`).
+        """
         fingerprint, dataset = self._resolve(ref)
         threshold = self.threshold(
             fingerprint,
@@ -293,6 +359,7 @@ class Engine:
             num_datasets=num_datasets,
             null_model=null_model,
             seed=seed,
+            delta_max=delta_max,
         )
         key = artifact_key(
             fingerprint,
@@ -301,6 +368,7 @@ class Engine:
             self._effective_seed(seed),
             k,
             epsilon,
+            delta_max=delta_max,
         )
         return run_procedure1(
             dataset,
@@ -313,6 +381,8 @@ class Engine:
             n_jobs=self.n_jobs,
             null_model=self._null_for(fingerprint, null_model),
             mined=self._mined_for(fingerprint, dataset, k, threshold.s_min),
+            executor=self._session_executor(),
+            delta_max=delta_max,
         )
 
     def procedure2(
@@ -327,6 +397,7 @@ class Engine:
         null_model: Union[str, NullModel, None] = "bernoulli",
         seed: Optional[int] = 0,
         lambda_floor: Optional[float] = None,
+        delta_max: Optional[int] = None,
     ) -> Procedure2Result:
         """Procedure 2 against the cached null artifact."""
         fingerprint, dataset = self._resolve(ref)
@@ -337,6 +408,7 @@ class Engine:
             num_datasets=num_datasets,
             null_model=null_model,
             seed=seed,
+            delta_max=delta_max,
         )
         return run_procedure2(
             dataset,
@@ -349,6 +421,7 @@ class Engine:
             n_jobs=self.n_jobs,
             null_model=self._null_for(fingerprint, null_model),
             mined=self._mined_for(fingerprint, dataset, k, threshold.s_min),
+            executor=self._session_executor(),
         )
 
     # ------------------------------------------------------------------
@@ -381,6 +454,7 @@ class Engine:
                 num_datasets=spec.num_datasets,
                 null_model=spec.null_model,
                 seed=spec.seed,
+                delta_max=spec.delta_max,
             )
             thresholds[k] = threshold.without_estimator()
             for alpha in spec.alphas:
@@ -397,6 +471,7 @@ class Engine:
                             null_model=spec.null_model,
                             seed=spec.seed,
                             lambda_floor=spec.lambda_floor,
+                            delta_max=spec.delta_max,
                         )
                     procedure1_result = None
                     if spec.procedures in ("1", "both"):
@@ -411,6 +486,7 @@ class Engine:
                                 num_datasets=spec.num_datasets,
                                 null_model=spec.null_model,
                                 seed=spec.seed,
+                                delta_max=spec.delta_max,
                             )
                             procedure1_memo[memo_key] = procedure1_result
                     report = SignificanceReport(

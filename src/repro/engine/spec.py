@@ -46,7 +46,14 @@ class RunSpec(SerializableResult):
     epsilon:
         Variation-distance tolerance ``ε`` of Algorithm 1.
     num_datasets:
-        Monte-Carlo budget ``Δ``.
+        Monte-Carlo budget ``Δ`` (the seed budget ``Δ₀`` when ``delta_max``
+        is set).
+    delta_max:
+        Optional Δ-adaptive budget cap: Algorithm 1 (and the empirical
+        p-values of Procedure 1 under a non-Bernoulli null) grow the budget
+        geometrically from ``num_datasets`` up to ``delta_max``, stopping
+        early once the decision is clear of its boundary with confidence.
+        ``None`` (default) keeps the paper's fixed budget, draw for draw.
     null_model:
         Null model *name* (``"bernoulli"`` or ``"swap"``).  Specs are
         serializable by construction, so only names are accepted here; pass
@@ -75,6 +82,7 @@ class RunSpec(SerializableResult):
     betas: Union[float, tuple[float, ...]] = 0.05
     epsilon: float = 0.01
     num_datasets: int = 100
+    delta_max: Optional[int] = None
     null_model: str = "bernoulli"
     seed: Optional[int] = 0
     procedures: str = "2"
@@ -102,6 +110,8 @@ class RunSpec(SerializableResult):
             raise ValueError("epsilon must lie in (0, 1)")
         if self.num_datasets < 1:
             raise ValueError("num_datasets must be at least 1")
+        if self.delta_max is not None and self.delta_max < self.num_datasets:
+            raise ValueError("delta_max must be at least num_datasets")
         if not isinstance(self.null_model, str):
             raise TypeError(
                 "RunSpec.null_model must be a null-model name "
@@ -134,6 +144,7 @@ class RunSpec(SerializableResult):
             "betas": list(self.betas),
             "epsilon": self.epsilon,
             "num_datasets": self.num_datasets,
+            "delta_max": self.delta_max,
             "null_model": self.null_model,
             "seed": self.seed,
             "procedures": self.procedures,
@@ -151,6 +162,9 @@ class RunSpec(SerializableResult):
             betas=tuple(float(b) for b in data["betas"]),
             epsilon=float(data["epsilon"]),
             num_datasets=int(data["num_datasets"]),
+            delta_max=(
+                None if data.get("delta_max") is None else int(data["delta_max"])
+            ),
             null_model=str(data["null_model"]),
             seed=None if data["seed"] is None else int(data["seed"]),
             procedures=str(data["procedures"]),

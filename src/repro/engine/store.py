@@ -42,7 +42,11 @@ __all__ = [
 ]
 
 #: On-disk format version; readers skip entries with a different version.
-_FORMAT_VERSION = 1
+#: v2 added the estimator state ``version`` / ``delta_requested`` /
+#: ``delta_spent`` fields and the threshold's ``delta_spent`` — v1 artifacts
+#: (which cannot record an adaptively grown budget) read as cache misses and
+#: are re-simulated, never mis-read.
+_FORMAT_VERSION = 2
 
 
 @dataclass

@@ -47,9 +47,11 @@ __all__ = [
     "eclat_packed",
     "kitemset_supports_packed",
     "mine_k_itemsets_packed",
+    "pack_int_bitsets",
     "pair_supports_packed",
     "popcount_rows",
     "resolve_backend",
+    "unpack_int_bitsets",
     "words_for",
 ]
 
@@ -331,6 +333,41 @@ def set_bits(row: np.ndarray, tids: np.ndarray) -> None:
     words = tids // 64
     bits = np.left_shift(np.uint64(1), (tids % 64).astype(np.uint64))
     np.bitwise_or.at(row, words, bits)
+
+
+def pack_int_bitsets(bitsets: list[int], num_bits: int) -> np.ndarray:
+    """Pack Python ``int`` bitsets into a ``(len(bitsets), W)`` ``uint64`` matrix.
+
+    ``num_bits`` is the width of the bit domain (``W = ceil(num_bits / 64)``
+    words per row).  The matrix is the shareable flat-buffer twin of a list of
+    arbitrary-precision bitsets — e.g. the transaction-major observed matrix
+    the swap-randomisation walk operates on — and round-trips exactly through
+    :func:`unpack_int_bitsets`.  This is what the zero-copy process executor
+    places in :mod:`multiprocessing.shared_memory` so workers can rebuild the
+    bitsets once instead of unpickling them per draw.
+    """
+    num_words = words_for(num_bits)
+    num_bytes = num_words * 8
+    byte_rows = np.zeros((len(bitsets), max(num_bytes, 1)), dtype=np.uint8)
+    for position, bits in enumerate(bitsets):
+        if bits:
+            byte_rows[position, :num_bytes] = np.frombuffer(
+                bits.to_bytes(num_bytes, "little"), dtype=np.uint8
+            )
+    if num_words == 0:
+        return np.zeros((len(bitsets), 0), dtype=np.uint64)
+    return _bytes_to_words(byte_rows[:, :num_bytes]).copy()
+
+
+def unpack_int_bitsets(matrix: np.ndarray) -> list[int]:
+    """Inverse of :func:`pack_int_bitsets`: rows back to Python ``int`` bitsets."""
+    matrix = np.ascontiguousarray(matrix, dtype=np.uint64)
+    if matrix.shape[1] == 0:
+        return [0] * matrix.shape[0]
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        matrix = matrix.byteswap()
+    row_bytes = matrix.view(np.uint8).reshape(matrix.shape[0], -1)
+    return [int.from_bytes(row.tobytes(), "little") for row in row_bytes]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,187 @@
+"""Δ-adaptive Monte-Carlo budgets: confidence intervals and stage schedules.
+
+The paper spends a *fixed* budget of Δ random datasets at every ε-halving
+step of Algorithm 1 and for every empirical p-value of Procedure 1 — even
+when the decision those simulations feed is nowhere near its boundary.  This
+module provides the machinery to spend Δ adaptively instead:
+
+* start at a seed budget ``Δ₀`` and grow geometrically toward ``Δ_max``
+  (:func:`next_budget`), so a hard decision costs at most a constant factor
+  more than the fixed budget while an easy one stops orders of magnitude
+  earlier;
+* at each stage, put a confidence interval around the Monte-Carlo estimate —
+  :func:`wilson_interval` (closed form) or :func:`clopper_pearson_interval`
+  (exact) — and stop as soon as the whole interval falls on one side of the
+  decision boundary (:func:`decide_proportion`).
+
+The upstream consumers guarantee the *prefix property*: draws are taken
+from per-draw spawned child generators, so the ``Δ₀`` datasets of an
+adaptive run are exactly the first ``Δ₀`` datasets of a larger collection,
+and a run that stops at budget ``Δ_s`` is bit-identical to the same run
+capped at ``delta_max = Δ_s`` (the precise replay contract is documented on
+``repro.core.poisson_threshold._threshold_search`` and in
+``docs/parallel.md``).
+
+Where each rule applies: the Procedure 1 empirical p-values rest on genuine
+Binomial exceedance counts, so their stopping rule uses the intervals in
+this module directly (Wilson bounds on every count; Clopper–Pearson
+available).  Algorithm 1's Chen–Stein statistic ``b1 + b2`` is a sum of
+products of proportions — *not* a Bernoulli proportion, and a binomial
+interval on it would be badly mis-calibrated — so its stopping rule uses
+the delta-method interval of
+:meth:`~repro.core.lambda_estimation.MonteCarloNullEstimator.chen_stein_interval`
+instead, with only the geometric schedule coming from here.
+"""
+
+from __future__ import annotations
+
+from statistics import NormalDist
+
+__all__ = [
+    "clopper_pearson_interval",
+    "decide_proportion",
+    "next_budget",
+    "wilson_interval",
+]
+
+#: Two-sided confidence level used by the adaptive stopping rules.
+DEFAULT_CONFIDENCE = 0.99
+
+
+def _validate(count: int, trials: int, confidence: float) -> None:
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    if not 0 <= count <= trials:
+        raise ValueError(f"count must lie in [0, {trials}], got {count}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+
+
+def wilson_interval(
+    count: int, trials: int, confidence: float = DEFAULT_CONFIDENCE
+) -> tuple[float, float]:
+    """Wilson score interval for a Binomial proportion.
+
+    Closed form, well-behaved at the extremes (never collapses to a point at
+    ``count = 0`` or ``count = trials``), and accurate enough for stopping
+    decisions at the Δ values used here.
+
+    Parameters
+    ----------
+    count:
+        Observed successes.
+    trials:
+        Number of Bernoulli trials.
+    confidence:
+        Two-sided coverage (e.g. ``0.99``).
+
+    Returns
+    -------
+    (low, high):
+        The interval bounds, each in ``[0, 1]``.
+    """
+    _validate(count, trials, confidence)
+    z = NormalDist().inv_cdf(0.5 + confidence / 2.0)
+    z2 = z * z
+    phat = count / trials
+    denominator = 1.0 + z2 / trials
+    center = (phat + z2 / (2.0 * trials)) / denominator
+    spread = (
+        z
+        * ((phat * (1.0 - phat) / trials + z2 / (4.0 * trials * trials)) ** 0.5)
+        / denominator
+    )
+    return (max(0.0, center - spread), min(1.0, center + spread))
+
+
+def clopper_pearson_interval(
+    count: int, trials: int, confidence: float = DEFAULT_CONFIDENCE
+) -> tuple[float, float]:
+    """Exact (Clopper–Pearson) confidence interval for a Binomial proportion.
+
+    Guaranteed coverage at every ``(count, trials)``; conservative (wider
+    than Wilson).  Uses the Beta-quantile characterisation.
+    """
+    _validate(count, trials, confidence)
+    from scipy import stats as _scipy_stats
+
+    alpha = 1.0 - confidence
+    if count == 0:
+        low = 0.0
+    else:
+        low = float(_scipy_stats.beta.ppf(alpha / 2.0, count, trials - count + 1))
+    if count == trials:
+        high = 1.0
+    else:
+        high = float(
+            _scipy_stats.beta.ppf(1.0 - alpha / 2.0, count + 1, trials - count)
+        )
+    return (low, high)
+
+
+def decide_proportion(
+    count: int,
+    trials: int,
+    boundary: float,
+    confidence: float = DEFAULT_CONFIDENCE,
+    method: str = "wilson",
+) -> str:
+    """Compare a Binomial proportion against a decision boundary, with confidence.
+
+    Parameters
+    ----------
+    count, trials:
+        The Monte-Carlo evidence (``count`` successes out of ``trials``).
+    boundary:
+        The decision boundary the true proportion is compared against.
+    confidence:
+        Two-sided coverage of the underlying interval.
+    method:
+        ``"wilson"`` (default) or ``"clopper-pearson"``.
+
+    Returns
+    -------
+    str
+        ``"below"`` when the whole interval sits below ``boundary``,
+        ``"above"`` when it sits above, ``"uncertain"`` otherwise.
+    """
+    if method == "wilson":
+        low, high = wilson_interval(count, trials, confidence)
+    elif method == "clopper-pearson":
+        low, high = clopper_pearson_interval(count, trials, confidence)
+    else:
+        raise ValueError(
+            f"unknown interval method {method!r}; "
+            "expected 'wilson' or 'clopper-pearson'"
+        )
+    if high < boundary:
+        return "below"
+    if low > boundary:
+        return "above"
+    return "uncertain"
+
+
+def next_budget(current: int, maximum: int, growth: float = 2.0) -> int:
+    """The next stage of a geometric Δ schedule (clamped to ``maximum``).
+
+    Parameters
+    ----------
+    current:
+        The budget already spent.
+    maximum:
+        The cap ``Δ_max``.
+    growth:
+        Geometric growth factor (must exceed 1).
+
+    Returns
+    -------
+    int
+        ``min(maximum, ceil(current * growth))``, and always at least
+        ``current + 1`` when room remains.
+    """
+    if growth <= 1.0:
+        raise ValueError("growth must exceed 1")
+    if current >= maximum:
+        return current
+    grown = max(current + 1, int(current * growth))
+    return min(maximum, grown)

@@ -1,0 +1,312 @@
+"""Execution backends for the Monte-Carlo draw loop.
+
+Every Monte-Carlo consumer (the Δ sample/mine passes of
+:class:`~repro.core.lambda_estimation.MonteCarloNullEstimator`, and through
+it Algorithm 1 and both procedures) funnels its draws through one
+:class:`Executor`.  Three backends ship:
+
+* :class:`SerialExecutor` — in-process loop; zero overhead, the default.
+* :class:`ThreadExecutor` — a thread pool.  The packed NumPy kernels release
+  the GIL inside their ``bitwise_and``/``bitwise_count`` sweeps, so threads
+  overlap real work on multi-core hosts with *no serialization at all* (the
+  model and the result arrays are shared by reference).
+* :class:`ProcessExecutor` — a process pool with the zero-copy protocol of
+  :mod:`repro.parallel.shm`: the null model's heavy buffers are placed in
+  ``multiprocessing.shared_memory`` once per session (``register``), and each
+  draw ships only a :class:`~repro.parallel.shm.ModelToken` plus its child
+  generator.  Models the shm codec does not understand fall back to per-draw
+  pickling (the pre-zero-copy behaviour), so custom nulls keep working.
+
+All backends submit one task per draw and yield results in submission order,
+so — together with the per-draw spawned child generators upstream — results
+are bit-identical across every backend and every ``n_jobs``.
+
+Lifecycle: executors are context managers; :meth:`Executor.close` is
+idempotent and tears down the pool *and* every shared-memory segment.  A
+:class:`concurrent.futures.Executor` can still be passed wherever an
+executor specification is accepted (wrapped in :class:`CompatExecutor`,
+which pickles the model per draw and never closes the borrowed pool) — that
+is exactly the PR-3 process path, kept as the benchmark baseline.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.parallel.shm import ModelToken, ShmSession, export_model, import_model
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "CompatExecutor",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "as_executor",
+    "executor_spec_kind",
+]
+
+#: Executor backends selectable by name.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: Anything `as_executor` accepts.
+ExecutorSpec = Union[str, "Executor", concurrent.futures.Executor, None]
+
+
+class Executor:
+    """Base class: ordered fan-out of per-draw tasks over a backend.
+
+    Subclasses implement :meth:`map_draws`; everything else (context
+    management, idempotent close) is shared.  ``task`` must be a picklable
+    module-level callable invoked as ``task(model, *args, rng)``.
+    """
+
+    kind: str = "base"
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def register(self, model: object) -> None:
+        """Pre-place a model's buffers wherever the backend needs them.
+
+        A no-op for the in-address-space backends; the process backend
+        exports the model to shared memory exactly once per session.
+        """
+
+    def map_draws(
+        self,
+        task,
+        model: object,
+        args: Sequence,
+        rngs: Iterable[np.random.Generator],
+    ) -> Iterator:
+        """Yield ``task(model, *args, rng)`` for each rng, in order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+        self._closed = True
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<{type(self).__name__}: {state}>"
+
+
+class SerialExecutor(Executor):
+    """In-process sequential execution (the default; zero overhead)."""
+
+    kind = "serial"
+
+    def map_draws(self, task, model, args, rngs):
+        """Run every draw inline, yielding as computed."""
+        for rng in rngs:
+            yield task(model, *args, rng)
+
+
+class _PoolExecutor(Executor):
+    """Shared submit/consume/cancel machinery for the pool backends."""
+
+    def __init__(self, n_jobs: int) -> None:
+        super().__init__()
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be at least 1")
+        self.n_jobs = int(n_jobs)
+        self._pool: Optional[concurrent.futures.Executor] = None
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        raise NotImplementedError
+
+    def _submit(self, pool, task, model, args, rng):
+        return pool.submit(task, model, *args, rng)
+
+    def map_draws(self, task, model, args, rngs):
+        """Submit every draw to the (lazily created) pool; yield in order."""
+        if self._closed:
+            raise RuntimeError(f"{type(self).__name__} is closed")
+        if self._pool is None:
+            self._pool = self._make_pool()
+        futures = [self._submit(self._pool, task, model, args, rng) for rng in rngs]
+        try:
+            for future in futures:
+                yield future.result()
+        finally:
+            # Early truncation stops consuming; drop the queued remainder.
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        """Shut the pool down, cancelling anything still queued."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend: shared address space, zero serialization.
+
+    The packed kernels spend their time in NumPy ufunc sweeps that release
+    the GIL, so threads overlap real work on multi-core hosts; on a single
+    core this backend degrades to serial speed (still no pickling).
+    """
+
+    kind = "thread"
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.n_jobs, thread_name_prefix="repro-draw"
+        )
+
+
+def _run_tokenized(task, token: ModelToken, args: tuple, rng):
+    """Worker-side trampoline: resolve the token, run the draw."""
+    model = import_model(token)
+    return task(model, *args, rng)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend with zero-copy model placement.
+
+    :meth:`register` exports a model's heavy buffers into shared memory once
+    (memoized per model object); every draw of a registered model then ships
+    only the :class:`~repro.parallel.shm.ModelToken` and the per-draw child
+    generator to the persistent workers.  Unregistered / unsupported models
+    are pickled per draw, the pre-zero-copy behaviour.
+    """
+
+    kind = "process"
+
+    def __init__(self, n_jobs: int) -> None:
+        super().__init__(n_jobs)
+        self._shm = ShmSession()
+        # id() memo is safe because the value tuple keeps the model alive.
+        self._tokens: dict[int, tuple[object, Optional[ModelToken]]] = {}
+
+    def _make_pool(self) -> concurrent.futures.Executor:
+        return concurrent.futures.ProcessPoolExecutor(max_workers=self.n_jobs)
+
+    def register(self, model: object) -> Optional[ModelToken]:
+        """Export (once) a model to shared memory; returns its token, if any."""
+        if self._closed:
+            raise RuntimeError("ProcessExecutor is closed")
+        entry = self._tokens.get(id(model))
+        if entry is not None and entry[0] is model:
+            return entry[1]
+        token = export_model(model, self._shm)
+        self._tokens[id(model)] = (model, token)
+        return token
+
+    def _submit(self, pool, task, model, args, rng):
+        token = self.register(model)
+        if token is None:
+            return pool.submit(task, model, *args, rng)
+        return pool.submit(_run_tokenized, task, token, tuple(args), rng)
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared-memory segment."""
+        if self._closed:
+            return
+        super().close()
+        self._tokens.clear()
+        self._shm.close()
+
+
+class CompatExecutor(Executor):
+    """Adapter around a borrowed :class:`concurrent.futures.Executor`.
+
+    Submits ``task(model, *args, rng)`` directly — the model is pickled per
+    draw exactly as the PR-3 process path did.  The wrapped pool's lifecycle
+    belongs to the caller: :meth:`close` does *not* shut it down.
+    """
+
+    kind = "compat"
+
+    def __init__(self, pool: concurrent.futures.Executor) -> None:
+        super().__init__()
+        self._pool = pool
+
+    def map_draws(self, task, model, args, rngs):
+        """Submit every draw to the borrowed pool; yield in order."""
+        futures = [self._pool.submit(task, model, *args, rng) for rng in rngs]
+        try:
+            for future in futures:
+                yield future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+
+def executor_spec_kind(spec: ExecutorSpec, n_jobs: int = 1) -> str:
+    """The backend name a specification resolves to (without building it).
+
+    Also the fail-fast validator the constructors (`Engine`, `MinerConfig`,
+    `MonteCarloNullEstimator`) call, so a bad spec raises at configuration
+    time rather than deep inside the first Monte-Carlo pass.
+    """
+    if isinstance(spec, Executor):
+        return spec.kind
+    if isinstance(spec, concurrent.futures.Executor):
+        return "compat"
+    if spec is None:
+        return "process" if n_jobs > 1 else "serial"
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"executor must be a backend name ({', '.join(EXECUTOR_NAMES)}), "
+            "a repro.parallel.Executor, a concurrent.futures.Executor, or "
+            f"None; got {type(spec).__name__}"
+        )
+    name = spec.strip().lower()
+    if name not in EXECUTOR_NAMES:
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of "
+            f"{', '.join(EXECUTOR_NAMES)} (or an Executor instance)"
+        )
+    return name
+
+
+def as_executor(spec: ExecutorSpec, n_jobs: int = 1) -> tuple[Executor, bool]:
+    """Resolve an executor specification.
+
+    Parameters
+    ----------
+    spec:
+        ``None`` (serial when ``n_jobs == 1``, else the zero-copy process
+        backend — the historical ``n_jobs`` semantics), a backend name from
+        :data:`EXECUTOR_NAMES`, a ready-made :class:`Executor` (returned
+        as-is), or a raw :class:`concurrent.futures.Executor` (wrapped in
+        :class:`CompatExecutor`; per-draw pickling, caller-owned lifecycle).
+    n_jobs:
+        Worker count for pool backends built here.
+
+    Returns
+    -------
+    (executor, owned):
+        ``owned`` tells the caller whether it is responsible for closing the
+        executor (true only for executors built by this call).
+    """
+    if isinstance(spec, Executor):
+        return spec, False
+    if isinstance(spec, concurrent.futures.Executor):
+        return CompatExecutor(spec), False
+    kind = executor_spec_kind(spec, n_jobs)
+    if kind == "serial":
+        return SerialExecutor(), True
+    if kind == "thread":
+        return ThreadExecutor(n_jobs), True
+    return ProcessExecutor(n_jobs), True

@@ -1,0 +1,285 @@
+"""Shared-memory placement of null-model state for zero-copy workers.
+
+The process backend of :mod:`repro.parallel.executors` must not re-pickle the
+null model for every Monte-Carlo draw (the PR-1/PR-3 bottleneck named in the
+ROADMAP: on the swap null each draw used to ship the whole observed matrix).
+Instead, the *parent* exports a model once per session:
+
+* every heavy buffer (the packed ``uint64`` observed matrix of the swap null,
+  the frequency vector of the Bernoulli null, any :class:`PackedIndex` rows)
+  goes into one :class:`multiprocessing.shared_memory.SharedMemory` segment;
+* the lightweight reconstruction recipe (item universe, scalars, the segment
+  names) is pickled once and *itself* published as a shared-memory blob;
+* each draw then ships only a :class:`ModelToken` — the blob's segment name,
+  a few dozen bytes — plus the per-draw child generator.
+
+Workers resolve a token at most once per process: they attach the blob,
+rebuild the model (attaching the array segments zero-copy), and cache it in a
+module-global table, so the steady-state per-draw traffic is token + seed.
+
+Lifecycle: the creating :class:`ShmSession` owns every segment and unlinks
+them on :meth:`close` (a :func:`weakref.finalize` hook guarantees cleanup
+even if the owner forgets).  Workers only ever *attach*.  On Python < 3.13
+attaching re-registers the segment with the ``resource_tracker``; that is
+safe here because pool workers share the parent's tracker process (its fd
+is inherited at pool creation on every start method), so the duplicate
+registration lands in the same idempotent set and exactly one unlink — the
+session's — ever happens.
+"""
+
+from __future__ import annotations
+
+import pickle
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.null_models import BernoulliNull, NullModel, SwapRandomizationNull
+from repro.data.random_model import RandomDatasetModel
+from repro.fim.bitmap import PackedIndex, pack_int_bitsets, unpack_int_bitsets
+
+__all__ = [
+    "ModelToken",
+    "SharedArrayHandle",
+    "ShmSession",
+    "attach_shared_memory",
+    "export_model",
+    "import_model",
+]
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Recipe to re-open one NumPy array living in a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class ModelToken:
+    """What a draw ships instead of the model: the name of its spec blob.
+
+    ``size`` is the blob length in bytes (shared-memory segments may be
+    rounded up to a page, so the exact pickle length travels with the name).
+    """
+
+    name: str
+    size: int
+
+
+def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership of it.
+
+    Ownership stays with the creating :class:`ShmSession`: pool workers are
+    forked from the session's process and share its resource tracker, so the
+    (idempotent) registration ``SharedMemory(name=...)`` performs on attach
+    is harmless, and exactly one unlink happens — the session's.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+class ShmSession:
+    """Owner of a set of shared-memory segments (created once, unlinked once).
+
+    One session lives as long as its executor; every segment it creates is
+    closed *and unlinked* by :meth:`close`.  A :func:`weakref.finalize`
+    safety net runs the same cleanup at garbage collection / interpreter
+    exit, so a crashed caller cannot strand segments in ``/dev/shm``.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+        self._finalizer = weakref.finalize(self, ShmSession._cleanup, self._segments)
+
+    @staticmethod
+    def _cleanup(segments: list[shared_memory.SharedMemory]) -> None:
+        for segment in segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        segments.clear()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run."""
+        return self._closed
+
+    def share_array(self, array: np.ndarray) -> SharedArrayHandle:
+        """Copy an array into a new shared segment and return its handle."""
+        array = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        self._segments.append(segment)
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+            view[...] = array
+        return SharedArrayHandle(
+            name=segment.name, shape=tuple(array.shape), dtype=str(array.dtype)
+        )
+
+    def share_blob(self, payload: bytes) -> ModelToken:
+        """Place an opaque byte string in a new shared segment."""
+        segment = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+        self._segments.append(segment)
+        segment.buf[: len(payload)] = payload
+        return ModelToken(name=segment.name, size=len(payload))
+
+    def close(self) -> None:
+        """Close and unlink every segment this session created (idempotent)."""
+        self._closed = True
+        self._finalizer.detach()
+        ShmSession._cleanup(self._segments)
+
+    def __enter__(self) -> "ShmSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._segments)} segments"
+        return f"<ShmSession: {state}>"
+
+
+def read_array(handle: SharedArrayHandle) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Open a shared array zero-copy; the caller must keep the segment alive."""
+    segment = attach_shared_memory(handle.name)
+    array = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)
+    return array, segment
+
+
+# ----------------------------------------------------------------------
+# Model export / import
+# ----------------------------------------------------------------------
+def export_model(model: Union[NullModel, RandomDatasetModel], session: ShmSession) -> Optional[ModelToken]:
+    """Export a null model into shared memory; returns ``None`` if unsupported.
+
+    Supported families: the Bernoulli null (frequencies + item universe) and
+    the swap-randomisation null (the packed transaction-major observed
+    matrix).  Custom :class:`NullModel` implementations return ``None`` — the
+    process executor then falls back to pickling the model per draw, exactly
+    the pre-zero-copy behaviour.
+    """
+    if isinstance(model, RandomDatasetModel):
+        model = BernoulliNull(model)
+    if isinstance(model, BernoulliNull):
+        inner = model.model
+        item_list = inner.items
+        items = np.asarray(item_list, dtype=np.int64)
+        # One dict copy up front: the `frequencies` property copies on
+        # every access, which would make the comprehension O(n²).
+        frequency_of = inner.frequencies
+        frequencies = np.asarray(
+            [frequency_of[item] for item in item_list], dtype=np.float64
+        )
+        spec = {
+            "kind": "bernoulli",
+            "items": session.share_array(items),
+            "frequencies": session.share_array(frequencies),
+            "num_transactions": inner.num_transactions,
+            "name": inner.name,
+        }
+    elif isinstance(model, SwapRandomizationNull):
+        matrix = pack_int_bitsets(model._rows, len(model.items))
+        spec = {
+            "kind": "swap",
+            "matrix": session.share_array(matrix),
+            "items": session.share_array(np.asarray(model.items, dtype=np.int64)),
+            "num_transactions": model.num_transactions,
+            "effective_num_swaps": model._effective_num_swaps,
+            "num_swaps": model.num_swaps,
+            "name": model.name,
+        }
+    elif isinstance(model, PackedIndex):
+        spec = {
+            "kind": "packed-index",
+            "rows": session.share_array(model.rows),
+            "items": session.share_array(np.asarray(model.items, dtype=np.int64)),
+            "num_transactions": model.num_transactions,
+            "name": model.name,
+        }
+    else:
+        return None
+    return session.share_blob(pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _import_spec(spec: dict) -> tuple[object, list[shared_memory.SharedMemory]]:
+    """Rebuild the exported object; returns it plus the segments keeping it alive."""
+    segments: list[shared_memory.SharedMemory] = []
+
+    def load(handle: SharedArrayHandle, copy: bool = False) -> np.ndarray:
+        array, segment = read_array(handle)
+        if copy:
+            array = array.copy()
+            segment.close()
+        else:
+            segments.append(segment)
+        return array
+
+    kind = spec["kind"]
+    if kind == "bernoulli":
+        # The frequency dict is tiny; copying it out of the segment keeps the
+        # rebuilt model self-contained (no live buffer to keep pinned).
+        items = load(spec["items"], copy=True).tolist()
+        frequencies = load(spec["frequencies"], copy=True).tolist()
+        model = RandomDatasetModel(
+            dict(zip(items, frequencies)),
+            int(spec["num_transactions"]),
+            name=spec["name"],
+        )
+        return BernoulliNull(model), segments
+    if kind == "swap":
+        items = tuple(load(spec["items"], copy=True).tolist())
+        matrix, segment = read_array(spec["matrix"])
+        # The walk needs Python int bitsets: materialise them once per worker
+        # (per session), then release the segment — per-draw cost is zero.
+        rows = unpack_int_bitsets(matrix)
+        segment.close()
+        model = SwapRandomizationNull._from_parts(
+            rows=rows,
+            items=items,
+            num_transactions=int(spec["num_transactions"]),
+            effective_num_swaps=int(spec["effective_num_swaps"]),
+            num_swaps=spec["num_swaps"],
+            name=spec["name"],
+        )
+        return model, segments
+    if kind == "packed-index":
+        items = tuple(load(spec["items"], copy=True).tolist())
+        rows = load(spec["rows"])  # zero-copy: backed by the shared segment
+        index = PackedIndex(
+            rows, items, int(spec["num_transactions"]), name=spec["name"]
+        )
+        return index, segments
+    raise ValueError(f"unknown shared-model kind {kind!r}")
+
+
+#: Worker-side cache: token name -> (model, segments pinned for its lifetime).
+_WORKER_MODELS: dict[str, tuple[object, list[shared_memory.SharedMemory]]] = {}
+
+
+def import_model(token: ModelToken) -> object:
+    """Resolve a token to a live model, caching per process.
+
+    The first resolution in a worker attaches the spec blob, rebuilds the
+    model from its shared segments, and caches it; every later draw is a
+    dictionary lookup.
+    """
+    cached = _WORKER_MODELS.get(token.name)
+    if cached is not None:
+        return cached[0]
+    blob = attach_shared_memory(token.name)
+    try:
+        spec = pickle.loads(bytes(blob.buf[: token.size]))
+    finally:
+        blob.close()
+    model, segments = _import_spec(spec)
+    _WORKER_MODELS[token.name] = (model, segments)
+    return model

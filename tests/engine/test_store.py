@@ -132,3 +132,98 @@ class TestDirectoryStore:
         store = DirectoryArtifactStore(tmp_path)
         with pytest.raises(ValueError):
             store.save("key", NullArtifact("key", threshold.without_estimator()))
+
+
+class TestArtifactVersioning:
+    """Old artifacts must read as cache misses, never be mis-read."""
+
+    def test_state_dict_records_version_and_spent_delta(self, small_model, rng):
+        estimator = MonteCarloNullEstimator(
+            small_model, 2, num_datasets=10, mining_support=1, rng=rng
+        )
+        state = estimator.state_dict()
+        assert state["version"] == 2
+        assert state["delta_requested"] == 10
+        assert state["delta_spent"] == 10
+        estimator.extend(6)
+        grown = estimator.state_dict()
+        assert grown["delta_requested"] == 10
+        assert grown["delta_spent"] == 16
+        assert grown["num_datasets"] == 16
+
+    def test_from_state_rejects_other_versions(self, small_model, rng):
+        estimator = MonteCarloNullEstimator(
+            small_model, 2, num_datasets=10, mining_support=1, rng=rng
+        )
+        state = estimator.state_dict()
+        versionless = {
+            key: value for key, value in state.items() if key != "version"
+        }
+        with pytest.raises(ValueError, match="state version"):
+            MonteCarloNullEstimator.from_state(versionless)
+        with pytest.raises(ValueError, match="state version"):
+            MonteCarloNullEstimator.from_state({**state, "version": 99})
+
+    def test_old_format_artifact_reads_as_cache_miss(
+        self, planted_dataset, tmp_path
+    ):
+        """A v1 on-disk artifact (pre delta-tracking) triggers re-simulation."""
+        import json
+
+        store = DirectoryArtifactStore(tmp_path)
+        engine = Engine(store=store)
+        engine.run(SPEC, dataset=planted_dataset)
+        key = next(iter(store.keys()))
+        meta_path, _ = store._paths(key)
+
+        # Rewrite the metadata as the v1 format wrote it: format tag 1, no
+        # version / delta fields in the estimator state.
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        meta["format"] = 1
+        for field in ("version", "delta_requested", "delta_spent"):
+            meta["estimator"].pop(field, None)
+        meta_path.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
+        assert store.load(key) is None
+        assert list(store.keys()) == []  # not enumerated either
+
+        recovering = Engine(store=store)
+        recovering.run(SPEC, dataset=planted_dataset)
+        assert recovering.stats.simulations_run == 1
+        assert store.load(key) is not None
+
+    def test_stale_estimator_state_inside_current_format_is_a_miss(
+        self, planted_dataset, tmp_path
+    ):
+        """Format tag current but estimator state from another build: miss."""
+        import json
+
+        store = DirectoryArtifactStore(tmp_path)
+        engine = Engine(store=store)
+        engine.run(SPEC, dataset=planted_dataset)
+        key = next(iter(store.keys()))
+        meta_path, _ = store._paths(key)
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        meta["estimator"]["version"] = 1
+        meta_path.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
+        assert store.load(key) is None
+
+    def test_adaptive_artifact_round_trips_spent_delta(
+        self, planted_dataset, tmp_path
+    ):
+        store = DirectoryArtifactStore(tmp_path)
+        engine = Engine(store=store)
+        threshold = engine.threshold(
+            planted_dataset, 2, num_datasets=8, seed=17, delta_max=32
+        )
+        assert threshold.delta_spent is not None
+        resumed = Engine(store=DirectoryArtifactStore(tmp_path))
+        loaded = resumed.threshold(
+            planted_dataset, 2, num_datasets=8, seed=17, delta_max=32
+        )
+        assert resumed.stats.simulations_run == 0
+        assert loaded.delta_spent == threshold.delta_spent
+        assert loaded.estimator.num_datasets == threshold.spent_num_datasets
+        assert (
+            loaded.without_estimator().to_json()
+            == threshold.without_estimator().to_json()
+        )

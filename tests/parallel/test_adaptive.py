@@ -1,0 +1,323 @@
+"""Tests for the Δ-adaptive Monte-Carlo budgets (repro.parallel.adaptive).
+
+The reproducibility contract under test: draws come from per-draw spawned
+child generators, so
+
+* :meth:`MonteCarloNullEstimator.extend` produces exactly the matrix a
+  fresh, larger estimator would have collected (strict prefix);
+* a ``find_poisson_threshold`` run that stops at budget ``Δ_s`` equals a
+  fixed run of the same size (``num_datasets = delta_max = Δ_s``);
+* a Δ-adaptive Procedure 1 that stops at ``Δ_s`` is bit-identical to the
+  fixed-``Δ_s`` run;
+* ``delta_max=None`` keeps the pre-adaptive behaviour, draw for draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lambda_estimation import MonteCarloNullEstimator
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.core.procedure1 import run_procedure1
+from repro.data.generators import PlantedItemset, generate_planted_dataset
+from repro.data.random_model import RandomDatasetModel
+from repro.engine import RunSpec
+from repro.parallel import (
+    clopper_pearson_interval,
+    decide_proportion,
+    next_budget,
+    wilson_interval,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RandomDatasetModel(
+        {item: 0.2 for item in range(8)}, num_transactions=100, name="adaptive"
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    frequencies = {item: 0.12 for item in range(10)}
+    planted = [PlantedItemset(items=(0, 1), extra_support=35)]
+    return generate_planted_dataset(
+        frequencies, num_transactions=150, planted=planted, rng=7, name="adpt-data"
+    )
+
+
+# ----------------------------------------------------------------------
+# Interval arithmetic
+# ----------------------------------------------------------------------
+class TestIntervals:
+    def test_wilson_contains_point_estimate(self):
+        for count, trials in [(0, 10), (3, 10), (10, 10), (250, 500)]:
+            low, high = wilson_interval(count, trials)
+            assert 0.0 <= low <= count / trials <= high <= 1.0
+
+    def test_wilson_never_degenerate_at_extremes(self):
+        low, high = wilson_interval(0, 50)
+        assert high > 0.0
+        low, high = wilson_interval(50, 50)
+        assert low < 1.0
+
+    def test_wilson_shrinks_with_trials(self):
+        narrow = wilson_interval(50, 1000)
+        wide = wilson_interval(5, 100)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_clopper_pearson_contains_point_estimate(self):
+        for count, trials in [(0, 20), (7, 20), (20, 20), (100, 400)]:
+            cp_low, cp_high = clopper_pearson_interval(count, trials)
+            assert 0.0 <= cp_low <= count / trials <= cp_high <= 1.0
+
+    def test_clopper_pearson_conservative_in_the_interior(self):
+        # The exact interval is at least as wide as Wilson away from the
+        # extremes (at 0 and n Wilson's z² correction overshoots instead).
+        cp_low, cp_high = clopper_pearson_interval(7, 20)
+        w_low, w_high = wilson_interval(7, 20)
+        assert cp_high - cp_low >= w_high - w_low
+
+    def test_decide_proportion(self):
+        assert decide_proportion(0, 1000, 0.5) == "below"
+        assert decide_proportion(1000, 1000, 0.5) == "above"
+        assert decide_proportion(5, 10, 0.5) == "uncertain"
+        assert (
+            decide_proportion(0, 1000, 0.5, method="clopper-pearson") == "below"
+        )
+        with pytest.raises(ValueError, match="unknown interval method"):
+            decide_proportion(1, 10, 0.5, method="jeffreys")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.5)
+
+    def test_next_budget_geometric_and_clamped(self):
+        assert next_budget(100, 1000) == 200
+        assert next_budget(600, 1000) == 1000
+        assert next_budget(1000, 1000) == 1000
+        assert next_budget(1, 10, growth=1.5) == 2  # always progresses
+        with pytest.raises(ValueError):
+            next_budget(10, 100, growth=1.0)
+
+
+# ----------------------------------------------------------------------
+# Estimator extension: the strict-prefix property
+# ----------------------------------------------------------------------
+class TestExtendPrefix:
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_extend_matches_fresh_larger_estimator(self, model, backend):
+        full = MonteCarloNullEstimator(
+            model,
+            2,
+            num_datasets=30,
+            mining_support=2,
+            rng=np.random.default_rng(7),
+            backend=backend,
+        )
+        grown = MonteCarloNullEstimator(
+            model,
+            2,
+            num_datasets=10,
+            mining_support=2,
+            rng=np.random.default_rng(7),
+            backend=backend,
+        )
+        assert grown.extend(20)
+        assert grown.num_datasets == 30
+        assert grown.union_itemsets == full.union_itemsets
+        for itemset in full.union_itemsets:
+            np.testing.assert_array_equal(
+                grown.support_profile(itemset), full.support_profile(itemset)
+            )
+        for support in range(2, full.max_observed_support + 2):
+            assert grown.lambda_at(support) == full.lambda_at(support)
+            assert grown.chen_stein_estimates(
+                support
+            ) == full.chen_stein_estimates(support)
+
+    def test_extend_in_steps_equals_one_shot(self, model):
+        stepped = MonteCarloNullEstimator(
+            model, 2, num_datasets=5, mining_support=2, rng=np.random.default_rng(3)
+        )
+        assert stepped.extend(10)
+        assert stepped.extend(15)
+        oneshot = MonteCarloNullEstimator(
+            model, 2, num_datasets=30, mining_support=2, rng=np.random.default_rng(3)
+        )
+        np.testing.assert_array_equal(stepped._profiles, oneshot._profiles)
+        assert stepped.union_itemsets == oneshot.union_itemsets
+
+    def test_extend_refuses_union_overflow_and_stays_unchanged(self):
+        # Rare pairs over a wide universe: the union keeps growing with Δ,
+        # so a cap that fits the seed collection is overrun by the extension.
+        sparse = RandomDatasetModel(
+            {item: 0.1 for item in range(40)}, num_transactions=100, name="sparse"
+        )
+        seed = MonteCarloNullEstimator(
+            sparse, 2, num_datasets=5, mining_support=2, rng=0
+        )
+        estimator = MonteCarloNullEstimator(
+            sparse,
+            2,
+            num_datasets=5,
+            mining_support=2,
+            rng=0,
+            max_union_size=seed.union_size,
+        )
+        before_profiles = estimator._profiles.copy()
+        before_delta = estimator.num_datasets
+        assert not estimator.extend(200)
+        np.testing.assert_array_equal(estimator._profiles, before_profiles)
+        assert estimator.num_datasets == before_delta
+
+    def test_extend_validation(self, model):
+        estimator = MonteCarloNullEstimator(
+            model, 2, num_datasets=5, mining_support=2, rng=0
+        )
+        with pytest.raises(ValueError):
+            estimator.extend(0)
+        restored = MonteCarloNullEstimator.from_state(estimator.state_dict())
+        with pytest.raises(RuntimeError, match="without a model"):
+            restored.extend(5)
+
+    def test_interval_point_estimate_matches_chen_stein(self, model):
+        estimator = MonteCarloNullEstimator(
+            model, 2, num_datasets=40, mining_support=2, rng=1
+        )
+        for support in range(2, estimator.max_observed_support + 2):
+            b1, b2 = estimator.chen_stein_estimates(support)
+            estimate, low, high = estimator.chen_stein_interval(support)
+            assert estimate == pytest.approx(b1 + b2)
+            assert low <= estimate <= high
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 with adaptive budgets
+# ----------------------------------------------------------------------
+class TestAdaptiveThreshold:
+    def test_fixed_budget_unchanged_by_the_new_parameters(self, model):
+        """delta_max=None must stay draw-for-draw the pre-adaptive path."""
+        old = find_poisson_threshold(model, 2, num_datasets=25, rng=0)
+        new = find_poisson_threshold(
+            model, 2, num_datasets=25, rng=0, executor="thread", n_jobs=2
+        )
+        assert old.s_min == new.s_min
+        assert old.bound_curve == new.bound_curve
+        np.testing.assert_array_equal(
+            old.estimator._profiles, new.estimator._profiles
+        )
+        assert old.delta_spent is None and new.delta_spent is None
+        assert old.spent_num_datasets == 25
+
+    def test_adaptive_spends_between_seed_and_cap(self, model):
+        result = find_poisson_threshold(
+            model, 2, num_datasets=10, delta_max=80, rng=0
+        )
+        assert result.delta_spent is not None
+        assert 10 <= result.delta_spent <= 80
+        assert result.spent_num_datasets == result.delta_spent
+        assert result.estimator.num_datasets == result.delta_spent
+
+    def test_stopped_run_equals_capped_run_of_same_size(self, model):
+        """The exact replay contract at the Algorithm 1 level.
+
+        A run that stopped at Δ_s must be bit-identical to the same run
+        capped there (same Δ₀, ``delta_max=Δ_s``): both navigate the
+        halving loop at Δ₀ on the same draws, and the deciding stage sees
+        exactly the same Δ_s datasets.
+        """
+        adaptive = find_poisson_threshold(
+            model, 2, num_datasets=10, delta_max=160, rng=5
+        )
+        spent = adaptive.delta_spent
+        capped = find_poisson_threshold(
+            model, 2, num_datasets=10, delta_max=spent, rng=5
+        )
+        assert capped.delta_spent == spent
+        assert adaptive.s_min == capped.s_min
+        assert adaptive.bound_at_s_min == capped.bound_at_s_min
+        assert adaptive.initial_support == capped.initial_support
+        assert adaptive.bound_curve == capped.bound_curve
+        np.testing.assert_array_equal(
+            adaptive.estimator._profiles, capped.estimator._profiles
+        )
+
+    def test_delta_max_validation(self, model):
+        with pytest.raises(ValueError, match="delta_max"):
+            find_poisson_threshold(model, 2, num_datasets=50, delta_max=10)
+
+
+# ----------------------------------------------------------------------
+# Procedure 1 with adaptive empirical p-values
+# ----------------------------------------------------------------------
+class TestAdaptiveProcedure1:
+    def test_stopped_run_bit_identical_to_fixed_run(self, dataset):
+        adaptive = run_procedure1(
+            dataset,
+            2,
+            beta=0.2,
+            s_min=12,
+            num_datasets=10,
+            delta_max=160,
+            rng=2,
+            null_model="swap",
+        )
+        assert adaptive.delta_spent is not None
+        assert 10 <= adaptive.delta_spent <= 160
+        fixed = run_procedure1(
+            dataset,
+            2,
+            beta=0.2,
+            s_min=12,
+            num_datasets=adaptive.delta_spent,
+            delta_max=adaptive.delta_spent,
+            rng=2,
+            null_model="swap",
+        )
+        assert adaptive == fixed
+
+    def test_bernoulli_path_ignores_delta_max(self, dataset):
+        fixed = run_procedure1(dataset, 2, s_min=12, num_datasets=10, rng=2)
+        adaptive = run_procedure1(
+            dataset, 2, s_min=12, num_datasets=10, delta_max=160, rng=2
+        )
+        assert adaptive == fixed
+        assert adaptive.delta_spent is None
+
+    def test_inherited_estimator_is_not_mutated(self, dataset):
+        threshold = find_poisson_threshold(
+            dataset, 2, num_datasets=12, rng=3, null_model="swap"
+        )
+        before = threshold.estimator.num_datasets
+        run_procedure1(
+            dataset,
+            2,
+            threshold_result=threshold,
+            num_datasets=12,
+            delta_max=48,
+            rng=4,
+            null_model="swap",
+        )
+        assert threshold.estimator.num_datasets == before
+
+
+# ----------------------------------------------------------------------
+# Spec plumbing
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_delta_max_round_trips(self):
+        spec = RunSpec(ks=(2,), num_datasets=16, delta_max=128)
+        assert RunSpec.from_json(spec.to_json()) == spec
+        legacy = RunSpec(ks=(2,), num_datasets=16)
+        assert legacy.delta_max is None
+        assert RunSpec.from_json(legacy.to_json()) == legacy
+
+    def test_delta_max_validation(self):
+        with pytest.raises(ValueError, match="delta_max"):
+            RunSpec(num_datasets=100, delta_max=50)
