@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-smoke
+.PHONY: test docs-check bench bench-smoke coverage
 
 # Tier-1 verification: the full test suite (includes the README block checks).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Line-coverage floor for the null-model core (src/repro/data/ +
+# src/repro/core/null_models.py).  Uses pytest-cov when installed; otherwise a
+# dependency-free sys.settrace fallback measures the same floor.
+coverage:
+	$(PYTHON) tools/coverage_floor.py
 
 # Executable documentation: run every README python block and every script
 # in examples/ end to end under the numpy backend.

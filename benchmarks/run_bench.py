@@ -12,6 +12,10 @@ this script, so later PRs have a perf trajectory to regress against:
 * the overlapping-pair kernel behind the Chen–Stein ``b2`` estimate
   (vectorized ragged-arange expansion vs the legacy Python double loop over
   a recorded Monte-Carlo union ``W``);
+* the swap-randomisation walk: one full margin-preserving draw under the
+  pure-Python int-bitset walk vs the vectorized packed ``uint64`` walk
+  (``repro.data.swap``), plus the thread-executor scaling of Δ packed swap
+  draws (the walk's chunk kernels release the GIL);
 * the null models end-to-end: ``fit`` + Procedure 2 under
   ``null_model="bernoulli"`` vs ``null_model="swap"`` on the numpy backend
   (reported as a cost *ratio* — it documents that Δ margin-preserving swap
@@ -221,6 +225,68 @@ def bench_null_models(repeats: int = 1) -> dict:
     }
 
 
+#: Δ swap draws of the swap-walk thread-scaling probe.
+SWAP_WALK_DELTA = 12
+
+
+def bench_swap_walk(repeats: int = 3) -> dict:
+    """The swap-randomisation walk: python int bitsets vs the packed walk.
+
+    Times one full swap-null draw (walk plus transpose into the packed
+    index) on the bms1 workload under each walk implementation, and measures
+    the thread-executor scaling of Δ packed-walk draws through the
+    Monte-Carlo estimator — the parallelism the GIL-bound python walk denied
+    the ``thread`` backend (PR 4's open item).  ``thread_scaling`` > 1
+    requires a multi-core host; ``cpu_count`` is recorded so single-core
+    measurements read as what they are.
+    """
+    import os
+
+    from repro.core.lambda_estimation import MonteCarloNullEstimator
+    from repro.core.null_models import SwapRandomizationNull
+    from repro.data.benchmarks import generate_benchmark
+    from repro.data.swap import swap_randomize_packed
+
+    dataset = generate_benchmark("bms1", rng=0)
+    num_swaps = 5 * sum(len(txn) for txn in dataset.transactions)
+    seconds = {}
+    for walk in ("python", "packed"):
+        seconds[walk] = _time_call(
+            lambda w=walk: swap_randomize_packed(dataset, rng=0, walk=w), repeats
+        )
+
+    mining_support = max(2, dataset.num_transactions // 200)
+
+    def estimate(executor: str, n_jobs: int) -> None:
+        MonteCarloNullEstimator(
+            SwapRandomizationNull(dataset, walk="packed"),
+            k=2,
+            num_datasets=SWAP_WALK_DELTA,
+            mining_support=mining_support,
+            rng=0,
+            executor=executor,
+            n_jobs=n_jobs,
+        )
+
+    serial_seconds = _time_call(lambda: estimate("serial", 1), repeats)
+    thread_seconds = _time_call(lambda: estimate("thread", 2), repeats)
+    entry = _workload_entry(
+        f"swap_walk[bms1,num_swaps={num_swaps},draw]",
+        seconds["python"],
+        seconds["packed"],
+    )
+    entry.update(
+        {
+            "delta": SWAP_WALK_DELTA,
+            "serial_seconds": round(serial_seconds, 6),
+            "thread_seconds": round(thread_seconds, 6),
+            "thread_scaling": round(serial_seconds / thread_seconds, 3),
+            "cpu_count": os.cpu_count(),
+        }
+    )
+    return entry
+
+
 #: Monte-Carlo budget of the execution-layer / adaptive workloads.
 EXECUTOR_DELTA = 512
 #: Seed budget of the adaptive workload.
@@ -369,6 +435,7 @@ def run_all(repeats: int = 3, fit_repeats: int = 1) -> dict:
     workloads = bench_fixed_k(repeats=repeats)
     workloads.append(bench_fit(repeats=fit_repeats))
     workloads.append(bench_overlap_kernel(repeats=repeats))
+    workloads.append(bench_swap_walk(repeats=repeats))
     workloads.append(bench_null_models(repeats=fit_repeats))
     # The execution-layer workloads share one PR-3 baseline measurement.
     baseline_dataset = generate_benchmark("bms1", rng=0)
@@ -396,9 +463,16 @@ def write_report(report: dict, output_path: Optional[str] = None) -> str:
 def _print_entry(entry: dict) -> None:
     workload = entry["workload"]
     if "python_seconds" in entry:
+        extra = ""
+        if "thread_scaling" in entry:
+            extra = (
+                f" thread_scaling={entry['thread_scaling']:.2f}x"
+                f" (cpus={entry['cpu_count']})"
+            )
         print(
             f"{workload}: python={entry['python_seconds']:.4f}s "
             f"numpy={entry['numpy_seconds']:.4f}s speedup={entry['speedup']:.2f}x"
+            f"{extra}"
         )
     elif "bernoulli_seconds" in entry:
         print(

@@ -27,6 +27,7 @@ Reproduce one of the paper's tables on the synthetic analogues::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -102,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["numpy", "python"],
         default=None,
         help="counting backend (default: REPRO_BACKEND env var, then numpy)",
+    )
+    mine.add_argument(
+        "--swap-walk",
+        choices=["packed", "python"],
+        default=None,
+        help=(
+            "swap-walk implementation used when --null-model swap: packed "
+            "(vectorized uint64 walk, the default) or python (int bitsets); "
+            "default: REPRO_SWAP_WALK env var, then packed.  The walks draw "
+            "different random streams, so artifacts are cached per walk"
+        ),
     )
     mine.add_argument(
         "--n-jobs",
@@ -186,6 +198,27 @@ def _command_summary(args: argparse.Namespace) -> int:
 
 
 def _command_mine(args: argparse.Namespace) -> int:
+    if args.swap_walk is not None:
+        # The walk selection travels through the same env-var channel the
+        # library resolves (explicit argument > REPRO_SWAP_WALK > default),
+        # so RunSpec stays a serializable name-based spec.  Scoped to this
+        # command: in-process callers (tests, library embedding) must not
+        # inherit the flag as ambient state.
+        from repro.data.swap import WALK_ENV_VAR, resolve_walk
+
+        previous = os.environ.get(WALK_ENV_VAR)
+        os.environ[WALK_ENV_VAR] = resolve_walk(args.swap_walk)
+        try:
+            return _run_mine(args)
+        finally:
+            if previous is None:
+                os.environ.pop(WALK_ENV_VAR, None)
+            else:
+                os.environ[WALK_ENV_VAR] = previous
+    return _run_mine(args)
+
+
+def _run_mine(args: argparse.Namespace) -> int:
     dataset = read_fimi(args.input)
     spec = RunSpec(
         ks=args.k,

@@ -858,6 +858,12 @@ class MonteCarloNullEstimator:
             # carries the original null family in self.kind; falling back to
             # "bernoulli" here would mislabel re-saved swap artifacts.
             kind = getattr(self, "kind", "bernoulli")
+        # The swap null's random stream depends on which walk produced it
+        # (packed vs python); record the stream tag so stores can refuse to
+        # replay an artifact under the wrong walk.  None for walk-less nulls.
+        walk_version = getattr(self.model, "walk_version", None)
+        if walk_version is None:
+            walk_version = getattr(self, "walk_version", None)
         return {
             "version": ESTIMATOR_STATE_VERSION,
             "k": self.k,
@@ -870,6 +876,7 @@ class MonteCarloNullEstimator:
             "truncated": bool(getattr(self, "truncated", False)),
             "max_observed_support": self._max_observed_support,
             "kind": str(kind),
+            "walk_version": walk_version,
             "itemsets": itemsets,
             "profiles": self._profiles,
         }
@@ -923,6 +930,9 @@ class MonteCarloNullEstimator:
             # Let callers that introspect the null family (Procedures 1/2)
             # still see the original kind even before a model is reattached.
             self.kind = str(state.get("kind", "bernoulli"))
+            walk_version = state.get("walk_version")
+            if walk_version is not None:
+                self.walk_version = str(walk_version)
         return self
 
 

@@ -51,6 +51,8 @@ import numpy as np
 from repro.data.dataset import TransactionDataset
 from repro.data.random_model import RandomDatasetModel
 from repro.data.swap import (
+    WALK_VERSIONS,
+    resolve_walk,
     transaction_bitsets,
     walk_to_packed,
     walk_to_transactions,
@@ -206,18 +208,30 @@ class SwapRandomizationNull:
     num_swaps:
         Attempted swaps per draw; defaults to five times the number of item
         occurrences (the usual mixing heuristic).
+    walk:
+        Walk implementation: ``"packed"`` (vectorized over the ``uint64``
+        matrix, the default) or ``"python"`` (int bitsets); ``None`` defers
+        to the ``REPRO_SWAP_WALK`` environment variable.  Both walks sample
+        the same margin class, but their random streams differ, so the
+        resolved walk is part of the model's cache identity
+        (:attr:`walk_version`).
     """
 
     kind = "swap"
 
     def __init__(
-        self, dataset: TransactionDataset, num_swaps: Optional[int] = None
+        self,
+        dataset: TransactionDataset,
+        num_swaps: Optional[int] = None,
+        walk: Optional[str] = None,
     ) -> None:
         if num_swaps is not None and num_swaps < 0:
             raise ValueError("num_swaps must be non-negative")
         self.dataset = dataset
         self.num_swaps = num_swaps
-        self._rows = transaction_bitsets(dataset)
+        self.walk = resolve_walk(walk)
+        self._rows: Optional[list[int]] = transaction_bitsets(dataset)
+        self._matrix = None  # packed (t, ceil(n/64)) observed matrix, lazy
         self._items = dataset.items
         self._num_transactions = dataset.num_transactions
         # Resolved walk length (the `5 x occurrences` mixing heuristic when
@@ -235,33 +249,65 @@ class SwapRandomizationNull:
     @classmethod
     def _from_parts(
         cls,
-        rows: list[int],
+        rows: Optional[list[int]],
         items: tuple[int, ...],
         num_transactions: int,
         effective_num_swaps: int,
         num_swaps: Optional[int],
         name: Optional[str],
+        walk: str = "packed",
+        matrix=None,
     ) -> "SwapRandomizationNull":
         """Rebuild a sampling-capable model from its exported parts.
 
         Used by the zero-copy process executor: workers receive the observed
         transaction/item matrix through shared memory (see
         :mod:`repro.parallel.shm`) and reconstruct a model that draws
-        *identically* to the original — same walk, same RNG stream.  The
-        rebuilt model has no :class:`TransactionDataset` attached, so only the
-        sampling surface works (``max_expected_support`` needs the parent's
-        full model and raises).
+        *identically* to the original — same walk, same RNG stream.  Either
+        representation of the observed matrix (int bitsets or the packed
+        ``uint64`` matrix) is accepted; the missing one is derived lazily.
+        The rebuilt model has no :class:`TransactionDataset` attached, so only
+        the sampling surface works (``max_expected_support`` needs the
+        parent's full model and raises).
         """
+        if rows is None and matrix is None:
+            raise ValueError("need rows or matrix to rebuild a swap null")
         self = cls.__new__(cls)
         self.dataset = None
         self.num_swaps = num_swaps
+        self.walk = resolve_walk(walk)
         self._rows = rows
+        self._matrix = matrix
         self._items = tuple(items)
         self._num_transactions = int(num_transactions)
         self._effective_num_swaps = int(effective_num_swaps)
         self._name = name
         self._frequency_model = None
         return self
+
+    @property
+    def walk_version(self) -> str:
+        """Stream-identity tag of the resolved walk (cache-key fragment)."""
+        return WALK_VERSIONS[self.walk]
+
+    def _walk_base(self):
+        """The observed matrix in the representation the resolved walk wants.
+
+        The packed walk consumes the ``uint64`` matrix (packed once, cached);
+        the python walk consumes the int bitsets.  Whichever representation
+        arrived first (constructor or shared-memory import) seeds the other.
+        """
+        if self.walk == "packed":
+            if self._matrix is None:
+                from repro.fim.bitmap import pack_int_bitsets
+
+                self._matrix = pack_int_bitsets(self._rows, len(self._items))
+            return self._matrix
+        if self._rows is None:
+            from repro.fim.bitmap import unpack_int_bitsets
+
+            self._rows = unpack_int_bitsets(self._matrix)
+        return self._rows
 
     @property
     def items(self) -> tuple[int, ...]:
@@ -307,11 +353,12 @@ class SwapRandomizationNull:
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         )
         return walk_to_transactions(
-            self._rows,
+            self._walk_base(),
             self._items,
             self._effective_num_swaps,
             generator,
             name=self._name,
+            walk=self.walk,
         )
 
     def sample_packed(
@@ -322,19 +369,20 @@ class SwapRandomizationNull:
             rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
         )
         return walk_to_packed(
-            self._rows,
+            self._walk_base(),
             self._items,
             self._num_transactions,
             self._effective_num_swaps,
             generator,
             name=self._name,
+            walk=self.walk,
         )
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return (
             f"<SwapRandomizationNull{label}: t={self.num_transactions}, "
-            f"n={self.num_items}>"
+            f"n={self.num_items}, walk={self.walk}>"
         )
 
 

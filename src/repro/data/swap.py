@@ -13,15 +13,41 @@ such that ``a ∈ u``, ``a ∉ v``, ``b ∈ v``, ``b ∉ u``, and exchanges them
 invariant under swaps, and a long enough random walk over swaps approximately
 samples uniformly from the set of matrices with those margins.
 
-Implementation: the walk runs over a *packed* transaction/item matrix — one
-bitset of item positions per transaction — so each attempted swap is a couple
-of bitwise operations (``only_u = row_u & ~row_v``) plus a popcount, instead
-of Python set algebra.  All random choices are precomputed as bulk arrays
-(the ``u``/``v`` transaction picks and the within-row item picks), so the
-walk issues three RNG calls total rather than up to four per attempted swap,
-and no per-swap ``sorted()`` is ever needed: the r-th set bit of the
-candidate bitset is selected directly, which is uniform over the candidates
-and deterministic per seed.
+Walk implementations
+--------------------
+Two interchangeable walks run the chain; both preserve the margins exactly
+and both are deterministic per seed, but they consume the random stream
+differently, so the same seed yields *different* (equally valid) members of
+the margin class.  Select one with the ``walk=`` argument on every entry
+point, the ``REPRO_SWAP_WALK`` environment variable (``packed`` or
+``python``), or accept the default (``packed``):
+
+* ``packed`` (default) — :func:`_run_swap_walk_packed`: the walk state is the
+  2-D ``uint64`` transaction/item matrix (rows of ``W = ceil(num_items/64)``
+  words, the :func:`~repro.fim.bitmap.pack_int_bitsets` /
+  :class:`~repro.fim.bitmap.PackedIndex` layout).  Swap proposals are drawn
+  in bulk up front and processed in NumPy chunks: one vectorized
+  AND/popcount sweep screens a whole chunk (``only_u = row_u & ~row_v``),
+  item bits are selected by rank with a byte-level lookup table from
+  *integer* draws (``draw mod count`` of a 64-bit variate — no
+  ``float * count`` rounding, see :func:`_select_set_bits`), and accepted
+  swaps are applied with conflict-aware replay: the longest prefix of the
+  chunk whose transactions are untouched by an earlier accepted swap of the
+  same chunk is applied in one shot, and the remainder is re-screened
+  against the updated matrix.  The executed chain is therefore *exactly*
+  the sequential chain over the same proposal stream — chunking changes the
+  wall-clock, never the statistics — and the heavy kernels release the GIL,
+  which is what lets the ``thread`` executor of :mod:`repro.parallel`
+  genuinely parallelize Δ swap draws.
+* ``python`` — :func:`_run_swap_walk`: the original walk over
+  arbitrary-precision ``int`` bitsets, kept as the reference implementation
+  and for hosts where NumPy is a liability.
+
+Because the two walks define different random streams, every cached product
+of a walk is tagged with a *walk version* (:func:`walk_version`,
+``packed-v1`` / ``python-v1``): the Engine bakes it into swap-null artifact
+keys and the Monte-Carlo estimator records it in ``state_dict``, so stored
+artifacts from one walk can never be replayed as the other's.
 
 Two entry points share the walk:
 
@@ -40,7 +66,9 @@ Algorithm 1 and Procedures 1/2 (see also ``examples/null_model_robustness.py``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+import os
+import sys
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
@@ -49,7 +77,56 @@ from repro.data.dataset import TransactionDataset
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
     from repro.fim.bitmap import PackedIndex
 
-__all__ = ["swap_randomize", "swap_randomize_packed", "walk_to_packed", "walk_to_transactions"]
+__all__ = [
+    "WALK_ENV_VAR",
+    "WALK_NAMES",
+    "resolve_walk",
+    "swap_randomize",
+    "swap_randomize_packed",
+    "walk_to_packed",
+    "walk_to_transactions",
+    "walk_version",
+]
+
+#: Environment variable overriding the default swap-walk implementation.
+WALK_ENV_VAR = "REPRO_SWAP_WALK"
+
+#: Walk implementations selectable by name.
+WALK_NAMES = ("packed", "python")
+
+#: Stream-identity tag of each walk.  Bumped whenever a walk's RNG
+#: consumption or proposal semantics change: the tag participates in Engine
+#: artifact keys and estimator state, so caches from an older stream read as
+#: misses instead of being silently replayed.
+WALK_VERSIONS = {"packed": "packed-v1", "python": "python-v1"}
+
+#: Transaction-major walk state: a list of Python ``int`` bitsets or the
+#: packed ``(num_transactions, ceil(num_items/64))`` ``uint64`` matrix.
+WalkRows = Union[Sequence[int], np.ndarray]
+
+
+def resolve_walk(walk: Optional[str] = None) -> str:
+    """Resolve which swap-walk implementation to use.
+
+    Precedence: the explicit ``walk`` argument, then the ``REPRO_SWAP_WALK``
+    environment variable, then the default (``packed``).  ``auto`` (or an
+    empty string) means "use the default".
+    """
+    value = walk if walk is not None else os.environ.get(WALK_ENV_VAR, "")
+    value = value.strip().lower()
+    if value in ("", "auto"):
+        return "packed"
+    if value not in WALK_NAMES:
+        raise ValueError(
+            f"unknown swap walk {value!r}; expected one of "
+            f"{', '.join(WALK_NAMES)} (or 'auto')"
+        )
+    return value
+
+
+def walk_version(walk: Optional[str] = None) -> str:
+    """The stream-identity tag of a walk specification (cache-key fragment)."""
+    return WALK_VERSIONS[resolve_walk(walk)]
 
 
 def transaction_bitsets(dataset: TransactionDataset) -> list[int]:
@@ -71,6 +148,9 @@ def transaction_bitsets(dataset: TransactionDataset) -> list[int]:
     return rows
 
 
+# ----------------------------------------------------------------------
+# Python walk (reference implementation, int bitsets)
+# ----------------------------------------------------------------------
 def _run_swap_walk(
     rows: list[int], num_swaps: int, generator: np.random.Generator
 ) -> list[int]:
@@ -107,6 +187,259 @@ def _run_swap_walk(
     return rows
 
 
+# ----------------------------------------------------------------------
+# Packed walk (vectorized chunks over the uint64 matrix)
+# ----------------------------------------------------------------------
+#: ``_SELECT_LUT[byte, j]`` is the position (0..7) of the ``j``-th set bit of
+#: ``byte`` (lowest first); unused entries stay 0 and are never read because
+#: ranks are always reduced below the byte's population count first.
+_SELECT_LUT = np.zeros((256, 8), dtype=np.uint8)
+for _byte in range(256):
+    for _j, _p in enumerate(p for p in range(8) if _byte >> p & 1):
+        _SELECT_LUT[_byte, _j] = _p
+del _byte
+
+#: Chunk-size bounds of the packed walk's adaptive proposal batching.  The
+#: chunk tracks the measured per-round throughput (dense tiny matrices defer
+#: often and shrink it; large sparse ones grow it), so the result never
+#: depends on these values — only the wall-clock does.
+_MIN_CHUNK = 32
+_MAX_CHUNK = 65536
+
+
+def _word_bytes(words: np.ndarray) -> np.ndarray:
+    """View a 1-D ``uint64`` array as its ``(M, 8)`` little-endian bytes."""
+    contiguous = np.ascontiguousarray(words)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        contiguous = contiguous.byteswap()
+    return contiguous.view(np.uint8).reshape(-1, 8)
+
+
+#: Per-byte population counts for the byte stage of :func:`_select_set_bits`
+#: (``int64`` so one gather yields accumulation-ready counts).
+_BYTE_POPCOUNT_LOCAL = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.int64
+)
+
+#: ``_BIT_MASKS[p]`` is ``1 << p`` as ``uint64`` (table lookup beats a
+#: vectorized shift-plus-cast pair on the small apply batches).
+_BIT_MASKS = np.left_shift(np.uint64(1), np.arange(64, dtype=np.uint64))
+
+
+def _select_set_bits(bitrows: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """Bit position of the ``ranks[i]``-th set bit of each packed row.
+
+    ``bitrows`` is ``(M, W)`` ``uint64``; ``ranks`` is ``(M,)`` with
+    ``0 <= ranks[i] < popcount(bitrows[i])``.  Ranks count set bits lowest
+    first, exactly like the python walk's :func:`_nth_set_bit`.  The scan
+    runs column-wise — a short Python loop over the ``W`` words (then the 8
+    bytes of the chosen word), each step a full-width vectorized op — because
+    the batches are wide and shallow: ``(M, W)`` reductions along the tiny
+    axis 1 cost several times more in NumPy than ``W`` passes over
+    contiguous ``(M,)`` columns.
+    """
+    from repro.fim.bitmap import popcount_words
+
+    count, num_words = bitrows.shape
+    row_offsets = np.arange(count, dtype=np.int64)
+    if num_words == 1:
+        word_index = np.zeros(count, dtype=np.int64)
+        rank_in_word = ranks
+        words = bitrows[:, 0]
+    else:
+        # (W, M) layout with contiguous rows so each scan step is one
+        # full-width vectorized op over a contiguous column of the batch.
+        word_counts = popcount_words(bitrows.T)
+        # Column scan: word_index counts the words whose inclusive prefix
+        # popcount is still <= rank; `before` tracks that prefix so the rank
+        # can be rebased into the chosen word without storing the cumsums.
+        word_index = np.zeros(count, dtype=np.int64)
+        before = np.zeros(count, dtype=np.int64)
+        running = np.zeros(count, dtype=np.int64)
+        for word in range(num_words - 1):
+            running += word_counts[word]
+            beyond = running <= ranks
+            word_index += beyond
+            before = np.where(beyond, running, before)
+        rank_in_word = ranks - before
+        words = bitrows.ravel()[row_offsets * num_words + word_index]
+    max_rank = int(rank_in_word.max()) if count else 0
+    if max_rank <= 8:
+        # Typical sparse-data case: ranks are tiny, so clearing the lowest
+        # set bit `rank` times and isolating the survivor is cheaper than a
+        # byte scan.  ``log2`` is exact on powers of two up to 2**63.
+        remaining = words.copy()
+        if max_rank:
+            pending_rank = rank_in_word.copy()
+            for _ in range(max_rank):
+                active = pending_rank > 0
+                remaining = np.where(
+                    active, remaining & (remaining - np.uint64(1)), remaining
+                )
+                pending_rank -= active
+        isolated = remaining & (np.uint64(0) - remaining)
+        bit_in_word = np.log2(isolated.astype(np.float64)).astype(np.int64)
+        return word_index * 64 + bit_in_word
+    word_bytes = _word_bytes(words)
+    byte_counts = _BYTE_POPCOUNT_LOCAL[word_bytes.T]  # (8, M), rows contiguous
+    byte_index = np.zeros(count, dtype=np.int64)
+    byte_before = np.zeros(count, dtype=np.int64)
+    running = np.zeros(count, dtype=np.int64)
+    for byte in range(7):
+        running += byte_counts[byte]
+        beyond = running <= rank_in_word
+        byte_index += beyond
+        byte_before = np.where(beyond, running, byte_before)
+    rank_in_byte = rank_in_word - byte_before
+    byte_values = word_bytes.ravel()[row_offsets * 8 + byte_index]
+    bit = _SELECT_LUT[byte_values, rank_in_byte].astype(np.int64)
+    return word_index * 64 + byte_index * 8 + bit
+
+
+def _first_toucher_mask(
+    uu: np.ndarray, vv: np.ndarray, num_transactions: int
+) -> np.ndarray:
+    """Which proposals of a round are safe to decide from one screening.
+
+    A proposal's precomputed screening (and item selection) is valid iff
+    neither of its transactions can have been modified by an earlier
+    proposal of the same round — pessimistically, iff the proposal is the
+    *first* to touch both of its rows (self-pairs ``u == v`` never modify
+    anything and are always decidable).  Everything else is deferred, in
+    order, and re-screened against the updated matrix next round.
+
+    This keeps the executed chain exactly sequential: decided proposals see
+    their rows in the sequential state (nothing earlier touched them), the
+    accepted ones touch pairwise-disjoint rows (alias-free application), and
+    every applied swap commutes with the deferred proposals it overtakes
+    (disjoint rows again), so re-screening the deferred suffix later yields
+    the same matrices the one-at-a-time chain would have produced.
+    """
+    size = uu.size
+    positions = np.arange(size, dtype=np.int64)
+    self_pair = uu == vv
+    real = np.flatnonzero(~self_pair)
+    first_touch = np.full(num_transactions, size, dtype=np.int64)
+    np.minimum.at(
+        first_touch,
+        np.concatenate((uu[real], vv[real])),
+        np.concatenate((positions[real], positions[real])),
+    )
+    return self_pair | (
+        (first_touch[uu] >= positions) & (first_touch[vv] >= positions)
+    )
+
+
+def _run_swap_walk_packed(
+    matrix: np.ndarray, num_swaps: int, generator: np.random.Generator
+) -> np.ndarray:
+    """Run the swap walk on a copy of the packed matrix and return the copy.
+
+    ``matrix`` is the ``(num_transactions, ceil(num_items/64))`` ``uint64``
+    transaction-major bit matrix (:func:`~repro.fim.bitmap.pack_int_bitsets`
+    layout).  The random stream is three bulk draws — the ``u`` picks, the
+    ``v`` picks, and one ``(num_swaps, 2)`` block of 64-bit integers for the
+    item-rank selection — so the RNG consumption is a fixed function of
+    ``num_swaps`` and the result is independent of chunking and replay.
+
+    Item ranks are ``draw mod count`` of a uniform 64-bit integer: exact
+    integer arithmetic (no ``float * count`` rounding cliff at word
+    boundaries), with a modulo bias below ``count / 2**64`` — unmeasurable
+    for any real item universe.
+    """
+    from repro.fim.bitmap import popcount_rows, popcount_words
+
+    matrix = np.array(matrix, dtype=np.uint64, copy=True, order="C")
+    num_transactions = matrix.shape[0]
+    eligible = np.flatnonzero(popcount_rows(matrix) > 0)
+    if eligible.size < 2 or num_swaps <= 0:
+        return matrix
+    u_all = eligible[generator.integers(0, eligible.size, size=num_swaps)]
+    v_all = eligible[generator.integers(0, eligible.size, size=num_swaps)]
+    rank_draws = generator.integers(
+        0, 2**64, size=(num_swaps, 2), dtype=np.uint64
+    )
+
+    # Global proposal order is preserved across rounds: the deferred indices
+    # of earlier rounds (all smaller than any fresh index) lead each round's
+    # batch, so `indices` is always strictly increasing.
+    pending = np.empty(0, dtype=np.int64)
+    next_fresh = 0
+    chunk = _MIN_CHUNK
+    while pending.size or next_fresh < num_swaps:
+        take = min(num_swaps - next_fresh, max(chunk - pending.size, 0))
+        indices = np.concatenate(
+            (pending, np.arange(next_fresh, next_fresh + take, dtype=np.int64))
+        )
+        next_fresh += take
+        # Decidability is a pure function of the proposal rows, so the matrix
+        # is only ever gathered and screened for decidable proposals —
+        # deferred ones wait unscreened for the next round.
+        decidable = _first_toucher_mask(
+            u_all[indices], v_all[indices], num_transactions
+        )
+        decided_indices = indices[decidable]
+        uu = u_all[decided_indices]
+        vv = v_all[decided_indices]
+        half = uu.size
+        rows_uv = matrix[np.concatenate((uu, vv))]
+        rows_vu = np.concatenate((rows_uv[half:], rows_uv[:half]))
+        np.invert(rows_vu, out=rows_vu)
+        only = rows_uv & rows_vu
+        # Popcount via the transposed layout: the axis-0 reduction over
+        # (W, 2·half) runs along contiguous memory, unlike an axis-1 sum.
+        counts = popcount_words(only.T).sum(axis=0)
+        count_u = counts[:half]
+        count_v = counts[half:]
+        selected = np.flatnonzero((uu != vv) & (count_u > 0) & (count_v > 0))
+        if selected.size:
+            both = np.concatenate((selected, selected + half))
+            draws = rank_draws[decided_indices[selected]]
+            ranks = (draws.T.ravel() % counts[both].astype(np.uint64)).astype(
+                np.int64
+            )
+            positions = _select_set_bits(only[both], ranks)
+            a_pos = positions[: selected.size]
+            b_pos = positions[selected.size :]
+            rows_u = uu[selected]
+            rows_v = vv[selected]
+            a_word = a_pos >> 6
+            b_word = b_pos >> 6
+            a_mask = _BIT_MASKS[a_pos & 63]
+            b_mask = _BIT_MASKS[b_pos & 63]
+            # Accepted first-toucher rows are pairwise distinct, so each
+            # (row, word) index pair below is unique within its statement:
+            # the in-place fancy-indexed updates are alias-free.
+            matrix[rows_u, a_word] ^= a_mask  # a leaves u ...
+            matrix[rows_u, b_word] |= b_mask  # ... and b arrives
+            matrix[rows_v, b_word] ^= b_mask  # b leaves v ...
+            matrix[rows_v, a_word] |= a_mask  # ... and a arrives
+        pending = indices[~decidable]
+        # Track the measured per-round throughput: grow while rounds decide
+        # most of what they admit, shrink when deferrals dominate (tiny or
+        # near-complete matrices), bounded so memory stays predictable.
+        chunk = min(_MAX_CHUNK, max(_MIN_CHUNK, 2 * half))
+    return matrix
+
+
+def _as_walk_matrix(base_rows: WalkRows, num_items: int) -> np.ndarray:
+    """Coerce walk state to the packed matrix representation."""
+    from repro.fim.bitmap import pack_int_bitsets
+
+    if isinstance(base_rows, np.ndarray):
+        return base_rows
+    return pack_int_bitsets(list(base_rows), num_items)
+
+
+def _as_walk_bitsets(base_rows: WalkRows) -> list[int]:
+    """Coerce walk state to the int-bitset representation."""
+    from repro.fim.bitmap import unpack_int_bitsets
+
+    if isinstance(base_rows, np.ndarray):
+        return unpack_int_bitsets(base_rows)
+    return list(base_rows)
+
+
 def _default_num_swaps(dataset: TransactionDataset) -> int:
     """Five times the number of item occurrences (the usual mixing heuristic)."""
     return 5 * sum(len(txn) for txn in dataset.transactions)
@@ -117,6 +450,7 @@ def swap_randomize(
     num_swaps: Optional[int] = None,
     rng: Optional[Union[int, np.random.Generator]] = None,
     name: Optional[str] = None,
+    walk: Optional[str] = None,
 ) -> TransactionDataset:
     """Produce a swap-randomised copy of ``dataset``.
 
@@ -131,6 +465,11 @@ def swap_randomize(
         Seed or :class:`numpy.random.Generator`.
     name:
         Name for the randomised dataset (defaults to ``"swap(<name>)"``).
+    walk:
+        Walk implementation: ``"packed"`` (vectorized, the default) or
+        ``"python"`` (int bitsets); ``None`` defers to ``REPRO_SWAP_WALK``.
+        The walks consume the random stream differently, so the same seed
+        produces different (equally margin-preserving) outputs per walk.
 
     Returns
     -------
@@ -146,25 +485,44 @@ def swap_randomize(
         num_swaps = _default_num_swaps(dataset)
     result_name = name or (f"swap({dataset.name})" if dataset.name else None)
     return walk_to_transactions(
-        transaction_bitsets(dataset), items, num_swaps, generator, name=result_name
+        transaction_bitsets(dataset),
+        items,
+        num_swaps,
+        generator,
+        name=result_name,
+        walk=walk,
     )
 
 
 def walk_to_transactions(
-    base_rows: list[int],
+    base_rows: WalkRows,
     items: tuple[int, ...],
     num_swaps: int,
     generator: np.random.Generator,
     name: Optional[str] = None,
+    walk: Optional[str] = None,
 ) -> TransactionDataset:
     """Run the swap walk on pre-packed rows and decode a :class:`TransactionDataset`.
 
     The parts-based core of :func:`swap_randomize`: callers that already hold
-    the transaction-major bitsets (and a resolved ``num_swaps``) — e.g. a
-    worker process that received the observed matrix through shared memory —
-    can draw without ever materialising the original dataset object.
+    the transaction-major walk state — int bitsets or the packed ``uint64``
+    matrix, e.g. a worker process that received the observed matrix through
+    shared memory — can draw without ever materialising the original dataset
+    object.
     """
-    rows = _run_swap_walk(base_rows, num_swaps, generator)
+    if resolve_walk(walk) == "packed":
+        from repro.fim.bitmap import unpack_rows_bool
+
+        matrix = _run_swap_walk_packed(
+            _as_walk_matrix(base_rows, len(items)), num_swaps, generator
+        )
+        bools = unpack_rows_bool(matrix, len(items))
+        transactions = [
+            tuple(items[position] for position in np.flatnonzero(row))
+            for row in bools
+        ]
+        return TransactionDataset(transactions, items=items, name=name)
+    rows = _run_swap_walk(_as_walk_bitsets(base_rows), num_swaps, generator)
     transactions = [
         tuple(items[position] for position in _iter_set_bits(row)) for row in rows
     ]
@@ -176,15 +534,16 @@ def swap_randomize_packed(
     num_swaps: Optional[int] = None,
     rng: Optional[Union[int, np.random.Generator]] = None,
     name: Optional[str] = None,
-    _rows: Optional[list[int]] = None,
+    _rows: Optional[WalkRows] = None,
+    walk: Optional[str] = None,
 ) -> "PackedIndex":
     """Swap-randomise ``dataset`` straight into packed-bitmap form.
 
-    Identical walk and RNG stream as :func:`swap_randomize` (the same seed
-    yields the same random matrix), but the result is returned as a
-    :class:`~repro.fim.bitmap.PackedIndex` without ever materialising Python
-    transaction tuples — the representation the NumPy counting kernels mine
-    directly.
+    Identical walk and RNG stream as :func:`swap_randomize` under the same
+    ``walk`` selection (the same seed yields the same random matrix), but the
+    result is returned as a :class:`~repro.fim.bitmap.PackedIndex` without
+    ever materialising Python transaction tuples — the representation the
+    NumPy counting kernels mine directly.
 
     Parameters
     ----------
@@ -197,9 +556,13 @@ def swap_randomize_packed(
     name:
         Name for the packed index (defaults to ``"swap(<name>)"``).
     _rows:
-        Internal: precomputed :func:`transaction_bitsets` of ``dataset``,
-        used by :class:`~repro.core.null_models.SwapRandomizationNull` to
-        avoid re-packing the observed dataset for every Monte-Carlo draw.
+        Internal: precomputed walk state of ``dataset`` (int bitsets or the
+        packed matrix), used by
+        :class:`~repro.core.null_models.SwapRandomizationNull` to avoid
+        re-packing the observed dataset for every Monte-Carlo draw.
+    walk:
+        Walk implementation (``"packed"``/``"python"``/``None`` for the
+        ``REPRO_SWAP_WALK`` default), as in :func:`swap_randomize`.
     """
     generator = (
         rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
@@ -207,36 +570,54 @@ def swap_randomize_packed(
     items = dataset.items
     if num_swaps is None:
         num_swaps = _default_num_swaps(dataset)
-    base = transaction_bitsets(dataset) if _rows is None else _rows
+    base: WalkRows = transaction_bitsets(dataset) if _rows is None else _rows
     result_name = name or (f"swap({dataset.name})" if dataset.name else None)
     return walk_to_packed(
-        base, items, dataset.num_transactions, num_swaps, generator, name=result_name
+        base,
+        items,
+        dataset.num_transactions,
+        num_swaps,
+        generator,
+        name=result_name,
+        walk=walk,
     )
 
 
 def walk_to_packed(
-    base_rows: list[int],
+    base_rows: WalkRows,
     items: tuple[int, ...],
     num_transactions: int,
     num_swaps: int,
     generator: np.random.Generator,
     name: Optional[str] = None,
+    walk: Optional[str] = None,
 ) -> "PackedIndex":
     """Run the swap walk on pre-packed rows and transpose into a :class:`PackedIndex`.
 
     The parts-based core of :func:`swap_randomize_packed` — identical walk and
-    RNG stream, but taking the transaction-major bitsets, item universe and a
-    resolved ``num_swaps`` directly so shared-memory workers can draw without
-    the original :class:`~repro.data.dataset.TransactionDataset`.
+    RNG stream, but taking the transaction-major walk state (int bitsets or
+    the packed ``uint64`` matrix), item universe and a resolved ``num_swaps``
+    directly so shared-memory workers can draw without the original
+    :class:`~repro.data.dataset.TransactionDataset`.
     """
-    from repro.fim.bitmap import PackedIndex
+    from repro.fim.bitmap import PackedIndex, pack_bool_columns, unpack_rows_bool
 
-    rows = _run_swap_walk(base_rows, num_swaps, generator)
+    if resolve_walk(walk) == "packed":
+        matrix = _run_swap_walk_packed(
+            _as_walk_matrix(base_rows, len(items)), num_swaps, generator
+        )
+        # Vectorized bit-matrix transpose: transaction-major words -> bool
+        # incidence -> item-major vertical bitsets.
+        bools = unpack_rows_bool(matrix, len(items))
+        rows = pack_bool_columns(bools)
+        return PackedIndex(rows, items, num_transactions, name=name)
+
+    int_rows = _run_swap_walk(_as_walk_bitsets(base_rows), num_swaps, generator)
 
     # Transpose the transaction-major walk representation into the item-major
     # vertical bitsets the packed index is built from (O(occurrences)).
     item_bits = [0] * len(items)
-    for tid, row in enumerate(rows):
+    for tid, row in enumerate(int_rows):
         tid_bit = 1 << tid
         while row:
             low = row & -row
@@ -251,7 +632,14 @@ def walk_to_packed(
 
 
 def _uniform_index(variate: float, bits: int) -> int:
-    """Map a uniform [0, 1) variate to an index over the set bits of ``bits``."""
+    """Map a uniform [0, 1) variate to an index over the set bits of ``bits``.
+
+    Kept (clamp included) as the python walk's historical stream contract:
+    ``int(variate * count)`` can round up to ``count`` at the float edge, so
+    the last index absorbs that sliver of probability.  The packed walk
+    replaces this with exact integer arithmetic (``draw mod count``) — see
+    :func:`_run_swap_walk_packed`.
+    """
     count = bits.bit_count()
     return min(int(variate * count), count - 1)
 

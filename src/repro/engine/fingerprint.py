@@ -79,6 +79,12 @@ def null_model_key(null_model: Union[str, NullModel, None]) -> str:
     default walk length); custom :class:`NullModel` instances are keyed by
     their ``kind`` — two *different* custom models of the same kind would
     collide, so give bespoke nulls distinct ``kind`` strings.
+
+    Swap keys always carry the resolved *walk version* (see
+    :func:`repro.data.swap.walk_version`): the packed and python walks draw
+    different random streams over the same margin class, so artifacts
+    simulated under one walk must never be replayed as the other's — a walk
+    change reads as a cache miss, not as silently different statistics.
     """
     if null_model is None:
         return "bernoulli"
@@ -89,11 +95,17 @@ def null_model_key(null_model: Union[str, NullModel, None]) -> str:
                 f"unknown null model {null_model!r}; expected one of "
                 f"{', '.join(NULL_MODEL_NAMES)}"
             )
+        if spec == "swap":
+            from repro.data.swap import walk_version
+
+            return f"swap:walk={walk_version()}"
         return spec
     if isinstance(null_model, SwapRandomizationNull):
-        if null_model.num_swaps is None:
-            return "swap"
-        return f"swap:num_swaps={null_model.num_swaps}"
+        parts = ["swap"]
+        if null_model.num_swaps is not None:
+            parts.append(f"num_swaps={null_model.num_swaps}")
+        parts.append(f"walk={null_model.walk_version}")
+        return ":".join(parts)
     return str(getattr(null_model, "kind", "bernoulli"))
 
 

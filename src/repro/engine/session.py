@@ -296,6 +296,13 @@ class Engine:
         ``delta_max`` switches the Monte-Carlo budget from fixed to
         Δ-adaptive (``num_datasets`` becomes the seed budget ``Δ₀``); the
         stored artifact records the budget actually spent.
+
+        For the swap null the artifact key also carries the resolved walk
+        version (``null=swap:walk=packed-v1`` — see
+        :func:`repro.data.swap.resolve_walk`): the packed and python walks
+        draw different random streams, so changing ``REPRO_SWAP_WALK`` (or
+        the model's ``walk=``) reads as a cache miss and re-simulates
+        rather than replaying the other walk's draws.
         """
         fingerprint, _ = self._resolve(ref)
         key = artifact_key(

@@ -49,6 +49,21 @@ __all__ = [
 _FORMAT_VERSION = 2
 
 
+def _key_walk_version(key: str) -> Optional[str]:
+    """The ``walk=`` tag of an artifact key's ``null=`` segment, if any.
+
+    Parsed exactly (segment split, not substring containment) so a future
+    version tag that extends an older one — ``packed-v10`` vs ``packed-v1``
+    — can never alias it.
+    """
+    for segment in key.split("/"):
+        if segment.startswith("null="):
+            for part in segment[len("null=") :].split(":"):
+                if part.startswith("walk="):
+                    return part[len("walk=") :]
+    return None
+
+
 @dataclass
 class NullArtifact:
     """One cached Monte-Carlo simulation: key + threshold (with estimator)."""
@@ -138,6 +153,14 @@ class DirectoryArtifactStore:
         try:
             meta = json.loads(meta_path.read_text(encoding="utf-8"))
             if meta.get("format") != _FORMAT_VERSION or meta.get("key") != key:
+                return None
+            # A swap-null artifact records which walk's random stream
+            # produced it; if that tag contradicts the walk the key asks for
+            # (hand-edited or mixed stores), the artifact must read as a
+            # miss — replaying one walk's draws as the other's would change
+            # the statistics silently.
+            walk_version = meta.get("estimator", {}).get("walk_version")
+            if walk_version is not None and walk_version != _key_walk_version(key):
                 return None
             with np.load(array_path) as arrays:
                 state = dict(meta["estimator"])

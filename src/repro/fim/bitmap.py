@@ -50,8 +50,10 @@ __all__ = [
     "pack_int_bitsets",
     "pair_supports_packed",
     "popcount_rows",
+    "popcount_words",
     "resolve_backend",
     "unpack_int_bitsets",
+    "unpack_rows_bool",
     "words_for",
 ]
 
@@ -106,6 +108,46 @@ def popcount_rows(words: np.ndarray) -> np.ndarray:
     as_bytes = np.ascontiguousarray(words).view(np.uint8)
     as_bytes = as_bytes.reshape(words.shape[:-1] + (-1,))
     return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Element-wise population count of a ``uint64`` array, as ``int64``.
+
+    Unlike :func:`popcount_rows` this keeps the array shape — one count per
+    *word*, not per row — which is what the packed swap walk's rank-selection
+    kernel needs (``np.bitwise_count`` where available, the byte lookup table
+    otherwise).
+    """
+    if words.size == 0:
+        return np.zeros(words.shape, dtype=np.int64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return _BYTE_POPCOUNT[as_bytes].reshape(words.shape + (8,)).sum(
+        axis=-1, dtype=np.int64
+    )
+
+
+def unpack_rows_bool(matrix: np.ndarray, num_bits: int) -> np.ndarray:
+    """Expand ``(R, W)`` packed ``uint64`` rows into an ``(R, num_bits)`` bool matrix.
+
+    Bit ``j`` of row ``r`` (the :class:`PackedIndex` / :func:`pack_int_bitsets`
+    layout: bit ``j % 64`` of word ``j // 64``) becomes ``out[r, j]``.  The
+    inverse direction is :func:`pack_bool_columns` (modulo the transpose) —
+    together they give the vectorized bit-matrix transpose the packed swap
+    walk uses to hand its transaction-major result to item-major consumers.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    num_rows = matrix.shape[0]
+    if num_rows == 0 or num_bits == 0:
+        return np.zeros((num_rows, num_bits), dtype=bool)
+    contiguous = np.ascontiguousarray(matrix)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts only
+        contiguous = contiguous.byteswap()
+    bits = np.unpackbits(
+        contiguous.view(np.uint8).reshape(num_rows, -1), axis=1, bitorder="little"
+    )
+    return bits[:, :num_bits].astype(bool)
 
 
 def _bytes_to_words(byte_rows: np.ndarray) -> np.ndarray:
@@ -322,7 +364,11 @@ def pack_bool_columns(matrix: np.ndarray) -> np.ndarray:
     num_words = words_for(num_transactions)
     if num_items == 0 or num_words == 0:
         return np.zeros((num_items, num_words), dtype=np.uint64)
-    packed8 = np.packbits(matrix.T, axis=1, bitorder="little")
+    # Materialise the transpose first: packbits on the strided view walks
+    # column-major memory and costs several times the copy + contiguous pack.
+    packed8 = np.packbits(
+        np.ascontiguousarray(matrix.T), axis=1, bitorder="little"
+    )
     byte_rows = np.zeros((num_items, num_words * 8), dtype=np.uint8)
     byte_rows[:, : packed8.shape[1]] = packed8
     return _bytes_to_words(byte_rows)

@@ -163,7 +163,10 @@ class ThreadExecutor(_PoolExecutor):
 
     The packed kernels spend their time in NumPy ufunc sweeps that release
     the GIL, so threads overlap real work on multi-core hosts; on a single
-    core this backend degrades to serial speed (still no pickling).
+    core this backend degrades to serial speed (still no pickling).  Since
+    the swap null's packed walk (``repro.data.swap``, ``walk="packed"``)
+    replaced the GIL-bound int-bitset loop, this applies to *every* shipped
+    null model — swap draws parallelize here too.
     """
 
     kind = "thread"

@@ -187,7 +187,12 @@ def export_model(model: Union[NullModel, RandomDatasetModel], session: ShmSessio
             "name": inner.name,
         }
     elif isinstance(model, SwapRandomizationNull):
-        matrix = pack_int_bitsets(model._rows, len(model.items))
+        if model.walk == "packed":
+            # The packed walk consumes the uint64 matrix directly; reuse the
+            # model's cached copy so export does not re-pack.
+            matrix = model._walk_base()
+        else:
+            matrix = pack_int_bitsets(model._walk_base(), len(model.items))
         spec = {
             "kind": "swap",
             "matrix": session.share_array(matrix),
@@ -195,6 +200,7 @@ def export_model(model: Union[NullModel, RandomDatasetModel], session: ShmSessio
             "num_transactions": model.num_transactions,
             "effective_num_swaps": model._effective_num_swaps,
             "num_swaps": model.num_swaps,
+            "walk": model.walk,
             "name": model.name,
         }
     elif isinstance(model, PackedIndex):
@@ -237,11 +243,20 @@ def _import_spec(spec: dict) -> tuple[object, list[shared_memory.SharedMemory]]:
         return BernoulliNull(model), segments
     if kind == "swap":
         items = tuple(load(spec["items"], copy=True).tolist())
-        matrix, segment = read_array(spec["matrix"])
-        # The walk needs Python int bitsets: materialise them once per worker
-        # (per session), then release the segment — per-draw cost is zero.
-        rows = unpack_int_bitsets(matrix)
-        segment.close()
+        walk = spec.get("walk", "python")
+        if walk == "packed":
+            # The packed walk reads the uint64 matrix as-is: keep the
+            # segment pinned and hand the zero-copy view straight to the
+            # model (each draw copies it before mutating).
+            matrix = load(spec["matrix"])
+            rows = None
+        else:
+            # The python walk needs int bitsets: materialise them once per
+            # worker (per session), then release the segment.
+            shared, segment = read_array(spec["matrix"])
+            rows = unpack_int_bitsets(shared)
+            segment.close()
+            matrix = None
         model = SwapRandomizationNull._from_parts(
             rows=rows,
             items=items,
@@ -249,6 +264,8 @@ def _import_spec(spec: dict) -> tuple[object, list[shared_memory.SharedMemory]]:
             effective_num_swaps=int(spec["effective_num_swaps"]),
             num_swaps=spec["num_swaps"],
             name=spec["name"],
+            walk=walk,
+            matrix=matrix,
         )
         return model, segments
     if kind == "packed-index":

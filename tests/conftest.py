@@ -5,6 +5,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: statistical acceptance tests (seeded chi-square harnesses); "
+        "deselect with -m 'not slow' for a quick pass",
+    )
+
 from repro.data.dataset import TransactionDataset
 from repro.data.random_model import RandomDatasetModel
 

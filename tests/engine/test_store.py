@@ -207,6 +207,70 @@ class TestArtifactVersioning:
         meta_path.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
         assert store.load(key) is None
 
+    def test_swap_artifacts_record_and_isolate_the_walk_version(
+        self, planted_dataset, tmp_path, monkeypatch
+    ):
+        """Each swap walk owns its artifacts; switching walks is a cache miss.
+
+        The packed and python walks draw different random streams over the
+        same margin class, so an artifact simulated under one walk must never
+        be replayed as the other's: the walk version is baked into the
+        artifact key and recorded in the stored estimator state.
+        """
+        import json
+
+        from repro.data.swap import WALK_ENV_VAR
+
+        swap_spec = RunSpec(
+            ks=(2,), num_datasets=12, procedures="2", null_model="swap", seed=17
+        )
+        monkeypatch.setenv(WALK_ENV_VAR, "packed")
+        store = DirectoryArtifactStore(tmp_path)
+        first = Engine(store=store)
+        first.run(swap_spec, dataset=planted_dataset)
+        assert first.stats.simulations_run == 1
+        key = next(iter(store.keys()))
+        assert "walk=packed-v1" in key
+        meta_path, _ = store._paths(key)
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        assert meta["estimator"]["walk_version"] == "packed-v1"
+
+        # Same walk, fresh process: resumes from disk without simulating.
+        resumed = Engine(store=DirectoryArtifactStore(tmp_path))
+        resumed.run(swap_spec, dataset=planted_dataset)
+        assert resumed.stats.simulations_run == 0
+
+        # Walk switched: different stream, must be a miss and re-simulate.
+        monkeypatch.setenv(WALK_ENV_VAR, "python")
+        switched = Engine(store=DirectoryArtifactStore(tmp_path))
+        switched.run(swap_spec, dataset=planted_dataset)
+        assert switched.stats.simulations_run == 1
+        keys = sorted(switched.store.keys())
+        assert len(keys) == 2
+        assert any("walk=python-v1" in stored_key for stored_key in keys)
+
+    def test_tampered_walk_version_reads_as_cache_miss(
+        self, planted_dataset, tmp_path, monkeypatch
+    ):
+        """State claiming another walk's stream than its key must not load."""
+        import json
+
+        from repro.data.swap import WALK_ENV_VAR
+
+        monkeypatch.setenv(WALK_ENV_VAR, "packed")
+        swap_spec = RunSpec(
+            ks=(2,), num_datasets=12, procedures="2", null_model="swap", seed=17
+        )
+        store = DirectoryArtifactStore(tmp_path)
+        Engine(store=store).run(swap_spec, dataset=planted_dataset)
+        key = next(iter(store.keys()))
+        assert store.load(key) is not None
+        meta_path, _ = store._paths(key)
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        meta["estimator"]["walk_version"] = "python-v1"
+        meta_path.write_text(json.dumps(meta, sort_keys=True), encoding="utf-8")
+        assert store.load(key) is None
+
     def test_adaptive_artifact_round_trips_spent_delta(
         self, planted_dataset, tmp_path
     ):
