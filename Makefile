@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-smoke coverage
+.PHONY: test docs-check bench bench-smoke coverage chaos
 
 # Tier-1 verification: the full test suite (includes the README block checks).
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fault-injection suite (worker SIGKILL, torn writes, cross-process races),
+# with ResourceWarning promoted to an error so recovery paths cannot leak
+# pools or shared-memory segments.
+chaos:
+	$(PYTHON) -m pytest tests/parallel/test_faults.py -q -W error::ResourceWarning
 
 # Line-coverage floor for the null-model core (src/repro/data/ +
 # src/repro/core/null_models.py).  Uses pytest-cov when installed; otherwise a

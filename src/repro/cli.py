@@ -145,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     mine.add_argument(
+        "--store",
+        default=None,
+        help=(
+            "directory for the on-disk artifact store: Monte-Carlo null "
+            "simulations are cached there (crash-safe, shareable between "
+            "concurrent runs) and later runs with the same parameters "
+            "resume instead of re-simulating"
+        ),
+    )
+    mine.add_argument(
         "--output",
         choices=["text", "json"],
         default="text",
@@ -220,6 +230,11 @@ def _command_mine(args: argparse.Namespace) -> int:
 
 def _run_mine(args: argparse.Namespace) -> int:
     dataset = read_fimi(args.input)
+    store = None
+    if args.store is not None:
+        from repro.engine import DirectoryArtifactStore
+
+        store = DirectoryArtifactStore(args.store)
     spec = RunSpec(
         ks=args.k,
         alphas=args.alpha,
@@ -232,7 +247,7 @@ def _run_mine(args: argparse.Namespace) -> int:
         procedures=args.procedure,
     )
     with Engine(
-        backend=args.backend, n_jobs=args.n_jobs, executor=args.executor
+        store, backend=args.backend, n_jobs=args.n_jobs, executor=args.executor
     ) as engine:
         result = engine.run(spec, dataset=dataset)
     if args.output == "json":
@@ -254,6 +269,12 @@ def _command_report(args: argparse.Namespace) -> int:
 def _render_run_result(result: RunResult, max_print: int) -> None:
     """Render a :class:`RunResult` in the classic mine output format."""
     print(f"null model: {result.spec.null_model}")
+    if result.degraded:
+        print(
+            "WARNING: degraded run — execution faults cut the Monte-Carlo "
+            "budget short; statistics rest on fewer null datasets than "
+            "requested"
+        )
     multi = len(result.queries) > 1
     for query in result.queries:
         if multi:
@@ -312,7 +333,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _command_report,
         "experiment": _command_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # The Engine context manager already tore down its executor on the
+        # way out; exit with the conventional SIGINT code, no traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (OSError, ValueError) as error:
+        # Expected operational failures — missing/unreadable inputs, corrupt
+        # result JSON, a store path that is not a directory — get one line
+        # on stderr and a nonzero exit, never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests

@@ -243,6 +243,10 @@ class MonteCarloNullEstimator:
         self._profiles: np.ndarray = np.zeros((0, self.num_datasets), dtype=np.int64)
         self._pair_indices: Optional[tuple[np.ndarray, np.ndarray]] = None
         self._max_observed_support = 0
+        #: True when a collection pass lost draws to exhausted retries and
+        #: the estimator holds the strict prefix actually collected (its
+        #: intervals are honest, just wider than requested).
+        self.degraded = False
         self._collect()
 
     # ------------------------------------------------------------------
@@ -287,6 +291,24 @@ class MonteCarloNullEstimator:
         with self._executor_scope() as executor:
             yield from executor.map_draws(worker, self.model, args, child_rngs)
 
+    def _degrade_collection(self, collected: int, error) -> None:
+        """Graceful degradation: keep the strict prefix a failing pass built.
+
+        ``error`` is the :class:`~repro.parallel.faults.DrawRetriesExhausted`
+        the executor raised.  With nothing collected there is no prefix to
+        keep, so the failure propagates (task errors as themselves, pool
+        breakage still wrapped — a raw ``BrokenProcessPool`` never escapes);
+        otherwise the estimator shrinks to the ``collected`` draws and flags
+        itself ``degraded`` so every downstream result carries the flag.
+        """
+        if collected == 0:
+            propagated = error.propagation_error()
+            if propagated is error:
+                raise error
+            raise propagated from error
+        self.degraded = True
+        self.num_datasets = collected
+
     def _iter_mined(self, count: Optional[int] = None) -> Iterator[dict[Itemset, int]]:
         """Yield the mined k-itemset dict of each of the Δ null datasets."""
         return self._iter_samples(
@@ -309,25 +331,30 @@ class MonteCarloNullEstimator:
         only per-itemset Python loop left is the one that decodes the final
         union back into itemset tuples, once.
         """
+        from repro.parallel.faults import DrawRetriesExhausted
+
         self.truncated = False
         items = self.model.items
         num_items = len(items)
         key_arrays: list[np.ndarray] = []
         count_arrays: list[np.ndarray] = []
         union_keys = np.empty(0, dtype=np.int64)
-        for keys, counts in self._iter_samples(
-            _kitemset_arrays_one_sample, (self.k, self.mining_support)
-        ):
-            key_arrays.append(keys)
-            count_arrays.append(counts)
-            if counts.size:
-                top = int(counts.max())
-                if top > self._max_observed_support:
-                    self._max_observed_support = top
-            union_keys = _sorted_unique(np.concatenate((union_keys, keys)))
-            if union_keys.size > self.max_union_size:
-                self.truncated = True
-                break
+        try:
+            for keys, counts in self._iter_samples(
+                _kitemset_arrays_one_sample, (self.k, self.mining_support)
+            ):
+                key_arrays.append(keys)
+                count_arrays.append(counts)
+                if counts.size:
+                    top = int(counts.max())
+                    if top > self._max_observed_support:
+                        self._max_observed_support = top
+                union_keys = _sorted_unique(np.concatenate((union_keys, keys)))
+                if union_keys.size > self.max_union_size:
+                    self.truncated = True
+                    break
+        except DrawRetriesExhausted as error:
+            self._degrade_collection(len(key_arrays), error)
 
         positions = _decode_keys(union_keys, self.k, num_items)
         self._itemsets = [
@@ -365,19 +392,24 @@ class MonteCarloNullEstimator:
         if self.backend == "numpy" and self._keys_fit_in_int64():
             self._collect_arrays_numpy()
             return
+        from repro.parallel.faults import DrawRetriesExhausted
+
         per_dataset: list[dict[Itemset, int]] = []
         index_of: dict[Itemset, int] = {}
         self.truncated = False
-        for mined in self._iter_mined():
-            per_dataset.append(mined)
-            for itemset, support in mined.items():
-                if itemset not in index_of:
-                    index_of[itemset] = len(index_of)
-                if support > self._max_observed_support:
-                    self._max_observed_support = support
-            if len(index_of) > self.max_union_size:
-                self.truncated = True
-                break
+        try:
+            for mined in self._iter_mined():
+                per_dataset.append(mined)
+                for itemset, support in mined.items():
+                    if itemset not in index_of:
+                        index_of[itemset] = len(index_of)
+                    if support > self._max_observed_support:
+                        self._max_observed_support = support
+                if len(index_of) > self.max_union_size:
+                    self.truncated = True
+                    break
+        except DrawRetriesExhausted as error:
+            self._degrade_collection(len(per_dataset), error)
 
         self._index_of = index_of
         self._itemsets = [None] * len(index_of)  # type: ignore[list-item]
@@ -411,10 +443,13 @@ class MonteCarloNullEstimator:
         Returns
         -------
         bool
-            ``True`` on success.  ``False`` when the grown union would exceed
-            ``max_union_size`` — the estimator is then left **unchanged**
-            (though the ``additional`` child generators have been consumed),
-            and callers should stop growing.
+            ``True`` on success.  ``False`` when the budget cannot grow
+            further and callers should stop: either the grown union would
+            exceed ``max_union_size`` (the estimator is then left
+            **unchanged**, though the ``additional`` child generators have
+            been consumed), or draw retries were exhausted mid-extension —
+            the strict prefix of new draws actually collected is committed
+            and the estimator flags itself ``degraded``.
 
         Raises
         ------
@@ -449,22 +484,34 @@ class MonteCarloNullEstimator:
             old_positions = np.empty((0, self.k), dtype=np.int64)
         old_keys = _encode_positions(old_positions, num_items)
 
+        from repro.parallel.faults import DrawRetriesExhausted
+
         key_arrays: list[np.ndarray] = []
         count_arrays: list[np.ndarray] = []
         union_keys = old_keys
         max_support = self._max_observed_support
-        for keys, counts in self._iter_samples(
-            _kitemset_arrays_one_sample,
-            (self.k, self.mining_support),
-            count=additional,
-        ):
-            key_arrays.append(keys)
-            count_arrays.append(counts)
-            if counts.size:
-                max_support = max(max_support, int(counts.max()))
-            union_keys = _sorted_unique(np.concatenate((union_keys, keys)))
-            if union_keys.size > self.max_union_size:
+        degraded = False
+        try:
+            for keys, counts in self._iter_samples(
+                _kitemset_arrays_one_sample,
+                (self.k, self.mining_support),
+                count=additional,
+            ):
+                key_arrays.append(keys)
+                count_arrays.append(counts)
+                if counts.size:
+                    max_support = max(max_support, int(counts.max()))
+                union_keys = _sorted_unique(np.concatenate((union_keys, keys)))
+                if union_keys.size > self.max_union_size:
+                    return False
+        except DrawRetriesExhausted:
+            # Commit whatever prefix of the extension was collected; the
+            # budget cannot grow further, so the caller must stop.
+            self.degraded = True
+            degraded = True
+            if not key_arrays:
                 return False
+            additional = len(key_arrays)
 
         positions = _decode_keys(union_keys, self.k, num_items)
         itemsets = [
@@ -483,22 +530,32 @@ class MonteCarloNullEstimator:
                     np.searchsorted(union_keys, keys), self.num_datasets + offset
                 ] = counts
         self._commit_extension(itemsets, profiles, additional, max_support)
-        return True
+        return not degraded
 
     def _extend_dicts(self, additional: int) -> bool:
         """Dict-based extension (python backend / huge item universes)."""
+        from repro.parallel.faults import DrawRetriesExhausted
+
         index_of = dict(self._index_of)
         per_dataset: list[dict[Itemset, int]] = []
         max_support = self._max_observed_support
-        for mined in self._iter_mined(count=additional):
-            per_dataset.append(mined)
-            for itemset, support in mined.items():
-                if itemset not in index_of:
-                    index_of[itemset] = len(index_of)
-                if support > max_support:
-                    max_support = support
-            if len(index_of) > self.max_union_size:
+        degraded = False
+        try:
+            for mined in self._iter_mined(count=additional):
+                per_dataset.append(mined)
+                for itemset, support in mined.items():
+                    if itemset not in index_of:
+                        index_of[itemset] = len(index_of)
+                    if support > max_support:
+                        max_support = support
+                if len(index_of) > self.max_union_size:
+                    return False
+        except DrawRetriesExhausted:
+            self.degraded = True
+            degraded = True
+            if not per_dataset:
                 return False
+            additional = len(per_dataset)
 
         itemsets: list[Itemset] = [None] * len(index_of)  # type: ignore[list-item]
         for itemset, position in index_of.items():
@@ -514,7 +571,7 @@ class MonteCarloNullEstimator:
             for itemset, support in mined.items():
                 profiles[index_of[itemset], column] = support
         self._commit_extension(itemsets, profiles, additional, max_support)
-        return True
+        return not degraded
 
     def _commit_extension(
         self,
@@ -874,6 +931,7 @@ class MonteCarloNullEstimator:
             "max_union_size": self.max_union_size,
             "backend": self.backend,
             "truncated": bool(getattr(self, "truncated", False)),
+            "degraded": bool(getattr(self, "degraded", False)),
             "max_observed_support": self._max_observed_support,
             "kind": str(kind),
             "walk_version": walk_version,
@@ -918,6 +976,7 @@ class MonteCarloNullEstimator:
         self._executor_spec = None
         self._rng = np.random.default_rng()
         self.truncated = bool(state["truncated"])
+        self.degraded = bool(state.get("degraded", False))
         self._max_observed_support = int(state["max_observed_support"])
         itemsets = np.asarray(state["itemsets"], dtype=np.int64)
         self._itemsets = [tuple(row) for row in itemsets.tolist()]

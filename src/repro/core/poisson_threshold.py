@@ -57,6 +57,11 @@ class PoissonThresholdResult(SerializableResult):
         The ``(b1, b2)`` estimates at every support where they were evaluated.
     estimator:
         The Monte-Carlo estimator (reused by Procedure 2 for ``λ_i``).
+    degraded:
+        True when execution faults exhausted their retries mid-collection
+        and the result rests on the strict-prefix Δ actually collected
+        (recorded in ``delta_spent``) — statistically honest, just wider
+        intervals than the requested budget would have given.
     """
 
     s_min: int
@@ -68,6 +73,7 @@ class PoissonThresholdResult(SerializableResult):
     bound_curve: dict[int, tuple[float, float]]
     estimator: MonteCarloNullEstimator
     delta_spent: Optional[int] = None
+    degraded: bool = False
 
     @property
     def total_bound_at_s_min(self) -> float:
@@ -108,6 +114,7 @@ class PoissonThresholdResult(SerializableResult):
             "epsilon": self.epsilon,
             "num_datasets": self.num_datasets,
             "delta_spent": self.delta_spent,
+            "degraded": self.degraded,
             "initial_support": self.initial_support,
             "bound_at_s_min": list(self.bound_at_s_min),
             "bound_curve": [
@@ -130,6 +137,7 @@ class PoissonThresholdResult(SerializableResult):
             epsilon=float(data["epsilon"]),
             num_datasets=int(data["num_datasets"]),
             delta_spent=None if delta_spent is None else int(delta_spent),
+            degraded=bool(data.get("degraded", False)),
             initial_support=int(data["initial_support"]),
             bound_at_s_min=(float(b1), float(b2)),
             bound_curve={
@@ -323,9 +331,18 @@ def _threshold_search(
     last_satisfying = None
     bound_curve: dict[int, tuple[float, float]] = {}
 
+    search_degraded = False
+
     def spent(active: MonteCarloNullEstimator) -> Optional[int]:
-        """``delta_spent`` of a result built around ``active`` (adaptive only)."""
-        return active.num_datasets if adaptive else None
+        """``delta_spent`` of a result built around ``active``.
+
+        Recorded for adaptive runs (the grown budget) and for degraded runs
+        (the strict-prefix budget actually collected); ``None`` for a clean
+        fixed-budget run, where it equals ``num_datasets``.
+        """
+        if adaptive or getattr(active, "degraded", False):
+            return active.num_datasets
+        return None
 
     def candidate_search(
         active: MonteCarloNullEstimator, start: int
@@ -376,6 +393,9 @@ def _threshold_search(
             n_jobs=n_jobs,
             executor=executor,
         )
+        # A degraded collection pass taints every decision the search makes
+        # from here on, so the flag is sticky across halving iterations.
+        search_degraded = search_degraded or estimator.degraded
 
         if estimator.union_size > max_union_size:
             # Too many itemsets reach s̃ for the pairwise (b2) estimate to be
@@ -394,6 +414,7 @@ def _threshold_search(
                     bound_curve=dict(bound_curve),
                     estimator=kept_estimator,
                     delta_spent=spent(kept_estimator),
+                    degraded=search_degraded,
                 )
             s_tilde = max(s_tilde * 2, s_tilde + 1)
             lower_limit = s_tilde
@@ -416,6 +437,7 @@ def _threshold_search(
                     bound_curve=dict(bound_curve),
                     estimator=estimator,
                     delta_spent=spent(estimator),
+                    degraded=search_degraded,
                 )
             s_tilde = max(lower_limit, s_tilde // 2)
             continue
@@ -438,6 +460,7 @@ def _threshold_search(
                     bound_curve=dict(bound_curve),
                     estimator=estimator,
                     delta_spent=spent(estimator),
+                    degraded=search_degraded,
                 )
             s_tilde = max(lower_limit, s_tilde // 2)
             continue
@@ -459,6 +482,8 @@ def _threshold_search(
                     break  # the union would outgrow max_union_size
                 bound_curve[s_tilde] = estimator.chen_stein_estimates(s_tilde)
                 s_min, bounds = candidate_search(estimator, s_tilde)
+            # extend() may have committed a fault-shortened partial batch.
+            search_degraded = search_degraded or estimator.degraded
         return PoissonThresholdResult(
             s_min=s_min,
             k=k,
@@ -469,6 +494,7 @@ def _threshold_search(
             bound_curve=dict(bound_curve),
             estimator=estimator,
             delta_spent=spent(estimator),
+            degraded=search_degraded,
         )
 
     # Halving budget exhausted: return the last threshold known to satisfy the
@@ -485,6 +511,7 @@ def _threshold_search(
             bound_curve=dict(bound_curve),
             estimator=estimator,
             delta_spent=spent(estimator),
+            degraded=search_degraded,
         )
     raise RuntimeError(
         "find_poisson_threshold did not converge: no k-itemset reached the "

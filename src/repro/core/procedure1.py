@@ -148,6 +148,9 @@ def run_procedure1(
 
     num_hypotheses = comb(dataset.num_items, k)
     delta_spent: Optional[int] = None
+    # A degraded threshold (faults cut its Monte-Carlo budget short) taints
+    # the s_min this procedure mines at, so the flag is inherited.
+    degraded = bool(getattr(threshold_result, "degraded", False))
 
     if null_kind == "bernoulli":
         # Closed-form Binomial tails under the independence null.
@@ -182,6 +185,9 @@ def run_procedure1(
                 estimator, candidates, beta, num_hypotheses, delta_max
             )
             delta_spent = estimator.num_datasets
+        if getattr(estimator, "degraded", False):
+            degraded = True
+            delta_spent = estimator.num_datasets
         pvalues = {
             itemset: estimator.empirical_pvalue(itemset, support)
             for itemset, support in candidates.items()
@@ -214,6 +220,7 @@ def run_procedure1(
         rejection_threshold=threshold,
         null_model=null_kind,
         delta_spent=delta_spent,
+        degraded=degraded,
     )
 
 

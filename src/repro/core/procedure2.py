@@ -238,6 +238,12 @@ def run_procedure2(
     if null_kind is None:
         null_kind = getattr(estimator, "kind", "bernoulli")
 
+    # Degradation is inherited from whichever source the λ estimates and
+    # s_min came from: the threshold result, or the estimator built here.
+    degraded = bool(getattr(threshold_result, "degraded", False)) or bool(
+        getattr(estimator, "degraded", False)
+    )
+
     return Procedure2Result(
         k=k,
         alpha=alpha,
@@ -248,4 +254,5 @@ def run_procedure2(
         steps=tuple(steps),
         significant=significant,
         null_model=null_kind,
+        degraded=degraded,
     )

@@ -89,6 +89,10 @@ class Procedure1Result(SerializableResult):
         The Monte-Carlo budget the empirical p-values were computed from,
         when a Δ-adaptive budget was in play (``None`` for closed-form
         p-values and for fixed budgets).
+    degraded:
+        True when execution faults cut a Monte-Carlo budget short somewhere
+        upstream (the threshold search or the empirical p-values); the
+        result is honest but rests on fewer draws than requested.
     """
 
     k: int
@@ -101,6 +105,7 @@ class Procedure1Result(SerializableResult):
     rejection_threshold: float
     null_model: str = "bernoulli"
     delta_spent: Optional[int] = None
+    degraded: bool = False
 
     @property
     def num_candidates(self) -> int:
@@ -126,6 +131,7 @@ class Procedure1Result(SerializableResult):
             "rejection_threshold": self.rejection_threshold,
             "null_model": self.null_model,
             "delta_spent": self.delta_spent,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -144,6 +150,7 @@ class Procedure1Result(SerializableResult):
             rejection_threshold=float(data["rejection_threshold"]),
             null_model=str(data["null_model"]),
             delta_spent=None if delta_spent is None else int(delta_spent),
+            degraded=bool(data.get("degraded", False)),
         )
 
 
@@ -236,6 +243,7 @@ class Procedure2Result(SerializableResult):
     steps: tuple[Procedure2Step, ...]
     significant: dict[Itemset, int] = field(default_factory=dict)
     null_model: str = "bernoulli"
+    degraded: bool = False
 
     @property
     def found_threshold(self) -> bool:
@@ -269,6 +277,7 @@ class Procedure2Result(SerializableResult):
             "steps": [step.to_dict() for step in self.steps],
             "significant": _encode_itemset_map(self.significant),
             "null_model": self.null_model,
+            "degraded": self.degraded,
         }
 
     @classmethod
@@ -289,6 +298,7 @@ class Procedure2Result(SerializableResult):
             steps=tuple(Procedure2Step.from_dict(step) for step in data["steps"]),
             significant=_decode_itemset_map(data["significant"]),
             null_model=str(data["null_model"]),
+            degraded=bool(data.get("degraded", False)),
         )
 
 
@@ -301,6 +311,14 @@ class SignificanceReport(SerializableResult):
     s_min: int
     procedure1: Optional[Procedure1Result]
     procedure2: Optional[Procedure2Result]
+
+    @property
+    def degraded(self) -> bool:
+        """True when either procedure ran on a fault-shortened budget."""
+        return bool(
+            (self.procedure1 is not None and self.procedure1.degraded)
+            or (self.procedure2 is not None and self.procedure2.degraded)
+        )
 
     @property
     def power_ratio(self) -> Optional[float]:

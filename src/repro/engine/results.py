@@ -82,6 +82,23 @@ class RunResult(SerializableResult):
     thresholds: dict[int, PoissonThresholdResult]
     queries: tuple[QueryResult, ...]
 
+    @property
+    def degraded(self) -> bool:
+        """True when any part of the run rests on a fault-shortened budget.
+
+        Set when execution faults exhausted their retries mid-collection and
+        the run fell back to the Monte-Carlo prefix actually gathered (see
+        ``docs/robustness.md``); the statistics are honest but use fewer
+        null datasets than requested.
+        """
+        return bool(
+            any(
+                getattr(threshold, "degraded", False)
+                for threshold in self.thresholds.values()
+            )
+            or any(entry.report.degraded for entry in self.queries)
+        )
+
     def query(self, k: int, alpha: float, beta: float) -> QueryResult:
         """The result cell of one ``(k, alpha, beta)`` combination."""
         for entry in self.queries:

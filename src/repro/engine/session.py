@@ -121,6 +121,9 @@ class Engine:
         n_jobs: int = 1,
         executor=None,
     ) -> None:
+        # Set before any validation can raise, so close() on a half-built
+        # Engine (failed __init__) is safe.
+        self._executor = None  # built lazily, owned iff built here
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
         if backend is not None:
@@ -132,7 +135,6 @@ class Engine:
         self.backend = backend
         self.n_jobs = int(n_jobs)
         self._executor_spec = executor
-        self._executor = None  # built lazily, owned iff built here
         self.stats = EngineStats()
         self._datasets: dict[str, TransactionDataset] = {}
         self._names: dict[str, str] = {}
@@ -263,9 +265,11 @@ class Engine:
         instance passed in by the caller keeps its own lifecycle.  Idempotent
         — a closed Engine can keep answering cached queries, and a new
         executor is created transparently if another simulation is needed.
+        Safe to call even on an Engine whose ``__init__`` raised.
         """
-        if self._executor is not None:
-            self._executor.close()
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.close()
             self._executor = None
 
     def __enter__(self) -> "Engine":
@@ -318,28 +322,51 @@ class Engine:
         if memoized is not None:
             self.stats.artifact_cache_hits += 1
             return memoized
-        artifact = self.store.load(key)
-        if artifact is not None:
-            self.stats.artifact_cache_hits += 1
-            artifact.attach_model(self._null_for(fingerprint, null_model))
-            self._threshold_memo[key] = artifact.threshold
-            return artifact.threshold
         model = self._null_for(fingerprint, null_model)
-        self.stats.simulations_run += 1
-        threshold = find_poisson_threshold(
-            model,
-            k,
-            epsilon=epsilon,
-            num_datasets=num_datasets,
-            rng=derive_rng(key, "threshold"),
-            backend=self.backend,
-            n_jobs=self.n_jobs,
-            executor=self._session_executor(),
-            delta_max=delta_max,
-        )
-        self.store.save(key, NullArtifact(key=key, threshold=threshold))
-        self._threshold_memo[key] = threshold
-        return threshold
+
+        def simulate() -> NullArtifact:
+            self.stats.simulations_run += 1
+            return NullArtifact(
+                key=key,
+                threshold=find_poisson_threshold(
+                    model,
+                    k,
+                    epsilon=epsilon,
+                    num_datasets=num_datasets,
+                    rng=derive_rng(key, "threshold"),
+                    backend=self.backend,
+                    n_jobs=self.n_jobs,
+                    executor=self._session_executor(),
+                    delta_max=delta_max,
+                ),
+            )
+
+        # A degraded threshold (faults cut its budget short) is served for
+        # this session but never persisted: the next process re-simulates
+        # instead of inheriting the shortened budget from the cache.
+        def worth_persisting(artifact: NullArtifact) -> bool:
+            return not getattr(artifact.threshold, "degraded", False)
+
+        single_flight = getattr(self.store, "single_flight", None)
+        if callable(single_flight):
+            # Stores with a single-flight contract (DirectoryArtifactStore)
+            # serialize concurrent load-miss callers: across processes racing
+            # this key, exactly one pays the simulation.
+            artifact, fresh = single_flight(key, simulate, persist=worth_persisting)
+            if not fresh:
+                self.stats.artifact_cache_hits += 1
+                artifact.attach_model(model)
+        else:
+            artifact = self.store.load(key)
+            if artifact is not None:
+                self.stats.artifact_cache_hits += 1
+                artifact.attach_model(model)
+            else:
+                artifact = simulate()
+                if worth_persisting(artifact):
+                    self.store.save(key, artifact)
+        self._threshold_memo[key] = artifact.threshold
+        return artifact.threshold
 
     def procedure1(
         self,

@@ -15,6 +15,14 @@ map :func:`~repro.engine.fingerprint.artifact_key` strings to artifacts:
   loaded artifact is indistinguishable from re-running the simulation —
   threshold runs resume across processes for free.
 
+The directory store is crash-safe and concurrency-safe (see
+``docs/robustness.md``): every file is written atomically (temp file in the
+same directory, fsync, ``os.replace``, directory fsync), so readers only
+ever see a complete old or complete new artifact; writers serialize on an
+advisory ``fcntl`` lock per key; and :meth:`DirectoryArtifactStore.single_flight`
+gives concurrent load-miss-then-simulate callers a one-simulation-per-key
+guarantee across processes.
+
 Any object with the same ``load``/``save``/``keys`` surface can be plugged
 in (e.g. an object-store adapter); :class:`ArtifactStore` is the protocol.
 """
@@ -22,17 +30,26 @@ in (e.g. an object-store adapter); :class:`ArtifactStore` is the protocol.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
+import os
 import zipfile
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Protocol, Union, runtime_checkable
+from typing import Callable, Iterator, Optional, Protocol, Union, runtime_checkable
 
 import numpy as np
 
 from repro.core.lambda_estimation import MonteCarloNullEstimator
 from repro.core.null_models import NullModel
 from repro.core.poisson_threshold import PoissonThresholdResult
+from repro.parallel.faults import FaultInjectionError, FaultPlan
+
+try:  # advisory locking is POSIX-only; the store degrades to lockless
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "ArtifactStore",
@@ -125,21 +142,138 @@ class MemoryArtifactStore:
 class DirectoryArtifactStore:
     """On-disk artifact store: JSON metadata + NPZ arrays per artifact.
 
+    Writes are atomic (complete-old-or-complete-new, never torn) and
+    concurrent writers of one key serialize on an advisory ``fcntl`` lock;
+    :meth:`single_flight` extends that to the whole load-miss → simulate →
+    save cycle, so one simulation is paid per key across processes.
+
     Parameters
     ----------
     root:
         Directory to keep artifacts in (created if missing).  Filenames are
         SHA-256 digests of the artifact key; the full key is stored inside
         the JSON and verified on load, so digest collisions cannot alias.
+    fault_plan:
+        Optional :class:`~repro.parallel.faults.FaultPlan` whose
+        ``tear_write`` faults simulate a crash mid-write (for tests).
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._fault_plan = fault_plan
 
     def _paths(self, key: str) -> tuple[Path, Path]:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:40]
         return self.root / f"{digest}.json", self.root / f"{digest}.npz"
+
+    # -- concurrency primitives -------------------------------------------
+
+    @contextmanager
+    def lock(self, key: str):
+        """Advisory exclusive lock for one artifact key (cross-process).
+
+        Backed by ``fcntl.flock`` on a sidecar ``<digest>.lock`` file; on
+        platforms without ``fcntl`` the store degrades to lockless operation
+        (atomic writes alone still guarantee readers never see torn data).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        meta_path, _ = self._paths(key)
+        lock_path = meta_path.with_suffix(".lock")
+        with open(lock_path, "ab") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def single_flight(
+        self,
+        key: str,
+        compute: Callable[[], NullArtifact],
+        persist: Optional[Callable[[NullArtifact], bool]] = None,
+    ) -> tuple[NullArtifact, bool]:
+        """Load ``key``, or compute-and-save it exactly once across processes.
+
+        Concurrent callers racing a cache miss serialize on the key's lock
+        and re-check the store before computing, so only the first pays the
+        simulation; the rest load its result.
+
+        Parameters
+        ----------
+        compute:
+            Builds the artifact on a genuine miss.
+        persist:
+            Optional predicate deciding whether a freshly computed artifact
+            is saved (the Engine declines to persist degraded artifacts).
+
+        Returns
+        -------
+        (artifact, fresh):
+            ``fresh`` is True when this call ran ``compute``.
+        """
+        artifact = self.load(key)
+        if artifact is not None:
+            return artifact, False
+        with self.lock(key):
+            artifact = self.load(key)
+            if artifact is not None:
+                return artifact, False
+            artifact = compute()
+            if persist is None or persist(artifact):
+                self._save_locked(key, artifact)
+            return artifact, True
+
+    # -- atomic persistence -----------------------------------------------
+
+    def _write_atomic(self, path: Path, payload: bytes, target: str) -> None:
+        """All-or-nothing file write: temp file + fsync + ``os.replace``.
+
+        A reader can only ever observe the complete previous content or the
+        complete new content; the temp name cannot match the ``*.json`` glob
+        of :meth:`keys`.  Tear faults from the store's plan write a prefix
+        at the final path instead (simulating a non-atomic crash) and raise.
+        """
+        plan = self._fault_plan
+        if plan is not None:
+            torn = plan.torn_payload(target, payload)
+            if torn is not None:
+                path.write_bytes(torn)
+                raise FaultInjectionError(
+                    f"torn {target} write at byte {len(torn)} for {path.name}"
+                )
+        tmp_path = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            with open(tmp_path, "wb") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        finally:
+            tmp_path.unlink(missing_ok=True)
+        self._sync_root()
+
+    def _sync_root(self) -> None:
+        """fsync the store directory so renames survive a host crash."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync-less filesystems
+            pass
+        finally:
+            os.close(fd)
+
+    # -- the ArtifactStore surface ----------------------------------------
 
     def load(self, key: str) -> Optional[NullArtifact]:
         """Load and reconstruct the artifact stored under ``key``, if any.
@@ -178,7 +312,16 @@ class DirectoryArtifactStore:
         return NullArtifact(key=key, threshold=threshold)
 
     def save(self, key: str, artifact: NullArtifact) -> None:
-        """Serialize the artifact to ``<digest>.json`` + ``<digest>.npz``."""
+        """Serialize the artifact to ``<digest>.json`` + ``<digest>.npz``.
+
+        Atomic per file and serialized against concurrent savers of the
+        same key, so parallel writers never interleave.
+        """
+        with self.lock(key):
+            self._save_locked(key, artifact)
+
+    def _save_locked(self, key: str, artifact: NullArtifact) -> None:
+        """The save body; the caller holds (or forgoes) the key lock."""
         estimator = artifact.threshold.estimator
         if estimator is None:
             raise ValueError(
@@ -197,13 +340,14 @@ class DirectoryArtifactStore:
             "threshold": artifact.threshold.to_dict(),
             "estimator": state,
         }
-        # Write arrays first: a torn write leaves a JSON-less (ignored) NPZ
-        # rather than metadata pointing at missing arrays.
-        with open(array_path, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
-        meta_path.write_text(
-            json.dumps(meta, sort_keys=True), encoding="utf-8"
-        )
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        # Write arrays first: should the process die between the two
+        # replaces, the leftover is a JSON-less (ignored) NPZ rather than
+        # metadata pointing at missing arrays.
+        self._write_atomic(array_path, buffer.getvalue(), target="npz")
+        meta_payload = json.dumps(meta, sort_keys=True).encode("utf-8")
+        self._write_atomic(meta_path, meta_payload, target="json")
 
     def keys(self) -> Iterator[str]:
         """Iterate over the keys of every readable artifact in the directory."""

@@ -21,6 +21,13 @@ Select an executor by name wherever the old ``n_jobs`` knob is accepted
 (``Engine(executor="thread", n_jobs=4)``, ``--executor`` on the CLI);
 ``delta_max`` (CLI ``--delta-max``) switches the budget from fixed to
 adaptive.
+
+Fault tolerance (:mod:`repro.parallel.faults`): the process backend
+recovers from worker crashes bit-identically by default; a
+:class:`RetryPolicy` tunes the retry budget, and a deterministic
+:class:`FaultPlan` injects reproducible chaos for testing.  See
+``docs/robustness.md`` for the failure semantics and the degraded-result
+contract.
 """
 
 from repro.parallel.adaptive import (
@@ -39,14 +46,26 @@ from repro.parallel.executors import (
     as_executor,
     executor_spec_kind,
 )
+from repro.parallel.faults import (
+    DEFAULT_RETRY_POLICY,
+    DrawRetriesExhausted,
+    FaultInjectionError,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.parallel.shm import ModelToken, ShmSession, export_model, import_model
 
 __all__ = [
+    "DEFAULT_RETRY_POLICY",
     "EXECUTOR_NAMES",
     "CompatExecutor",
+    "DrawRetriesExhausted",
     "Executor",
+    "FaultInjectionError",
+    "FaultPlan",
     "ModelToken",
     "ProcessExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "ShmSession",
     "ThreadExecutor",

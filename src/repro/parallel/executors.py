@@ -21,8 +21,22 @@ All backends submit one task per draw and yield results in submission order,
 so — together with the per-draw spawned child generators upstream — results
 are bit-identical across every backend and every ``n_jobs``.
 
+Fault tolerance: every draw is a pure function of ``(model, draw index)``
+through its own child generator, so each attempt at a draw runs on a clone
+of the generator's *initial* state — retries, worker-crash re-execution and
+speculative straggler rescheduling are all bit-identical to a fault-free
+run.  The process backend recovers from ``BrokenProcessPool`` out of the
+box (rebuilding the pool, re-validating the shared-memory exports, and
+re-running only the draws without a harvested result); pass a
+:class:`~repro.parallel.faults.RetryPolicy` to tune the retry budget and
+backoff, or ``retry_policy=None`` for the raw fail-fast behaviour.  The
+serial and thread backends accept the same surface (default: no retries,
+raw propagation).  A :class:`~repro.parallel.faults.FaultPlan` injects
+deterministic chaos for testing; see ``docs/robustness.md``.
+
 Lifecycle: executors are context managers; :meth:`Executor.close` is
-idempotent and tears down the pool *and* every shared-memory segment.  A
+idempotent and safe even after a failed ``__init__``, and tears down the
+pool *and* every shared-memory segment.  A
 :class:`concurrent.futures.Executor` can still be passed wherever an
 executor specification is accepted (wrapped in :class:`CompatExecutor`,
 which pickles the model per draw and never closes the borrowed pool) — that
@@ -32,11 +46,25 @@ is exactly the PR-3 process path, kept as the benchmark baseline.
 from __future__ import annotations
 
 import concurrent.futures
+import time
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.parallel.shm import ModelToken, ShmSession, export_model, import_model
+from repro.parallel.faults import (
+    DEFAULT_RETRY_POLICY,
+    DrawRetriesExhausted,
+    FaultPlan,
+    RetryPolicy,
+    perform_draw,
+)
+from repro.parallel.shm import (
+    ModelToken,
+    ShmSession,
+    attach_shared_memory,
+    export_model,
+    import_model,
+)
 
 __all__ = [
     "EXECUTOR_NAMES",
@@ -56,6 +84,18 @@ EXECUTOR_NAMES = ("serial", "thread", "process")
 ExecutorSpec = Union[str, "Executor", concurrent.futures.Executor, None]
 
 
+def _clone_rng(bit_generator_type, state) -> np.random.Generator:
+    """A fresh generator at a saved bit-generator state.
+
+    Every execution attempt of a draw starts from the state its child
+    generator was spawned with, never from a state a failed attempt may
+    have advanced in-place (thread/serial backends share address space).
+    """
+    bit_generator = bit_generator_type()
+    bit_generator.state = state
+    return np.random.Generator(bit_generator)
+
+
 class Executor:
     """Base class: ordered fan-out of per-draw tasks over a backend.
 
@@ -66,13 +106,20 @@ class Executor:
 
     kind: str = "base"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self._closed = False
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
 
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has run."""
-        return self._closed
+        return getattr(self, "_closed", False)
 
     def register(self, model: object) -> None:
         """Pre-place a model's buffers wherever the backend needs them.
@@ -92,7 +139,7 @@ class Executor:
         raise NotImplementedError
 
     def close(self) -> None:
-        """Release the backend's resources (idempotent)."""
+        """Release the backend's resources (idempotent, crash-safe)."""
         self._closed = True
 
     def __enter__(self) -> "Executor":
@@ -102,8 +149,30 @@ class Executor:
         self.close()
 
     def __repr__(self) -> str:
-        state = "closed" if self._closed else "open"
+        state = "closed" if self.closed else "open"
         return f"<{type(self).__name__}: {state}>"
+
+
+def _run_draw_with_retries(task, model, args, rng, draw, policy, plan):
+    """Execute one draw inline, honouring the retry policy and fault plan."""
+    bit_generator_type = type(rng.bit_generator)
+    state = rng.bit_generator.state
+    failures = 0
+    attempt = 0
+    while True:
+        try:
+            clone = _clone_rng(bit_generator_type, state)
+            return perform_draw(task, model, args, clone, draw, attempt, plan)
+        except Exception as error:
+            if policy is None:
+                raise
+            failures += 1
+            attempt += 1
+            if failures > policy.max_retries:
+                raise DrawRetriesExhausted(draw, failures, error) from error
+            delay = policy.delay_before_retry(failures)
+            if delay > 0.0:
+                time.sleep(delay)
 
 
 class SerialExecutor(Executor):
@@ -113,48 +182,184 @@ class SerialExecutor(Executor):
 
     def map_draws(self, task, model, args, rngs):
         """Run every draw inline, yielding as computed."""
-        for rng in rngs:
-            yield task(model, *args, rng)
+        if self.retry_policy is None and self.fault_plan is None:
+            for rng in rngs:
+                yield task(model, *args, rng)
+            return
+        for draw, rng in enumerate(rngs):
+            yield _run_draw_with_retries(
+                task, model, args, rng, draw, self.retry_policy, self.fault_plan
+            )
+
+
+class _DrawState:
+    """Bookkeeping for one draw inside a pool ``map_draws`` pass."""
+
+    __slots__ = (
+        "index",
+        "bit_generator_type",
+        "state",
+        "attempt",
+        "failures",
+        "future",
+        "result",
+        "harvested",
+    )
+
+    def __init__(self, index: int, rng: np.random.Generator) -> None:
+        self.index = index
+        self.bit_generator_type = type(rng.bit_generator)
+        self.state = rng.bit_generator.state
+        self.attempt = 0  # submission ordinal (grows on every re-submission)
+        self.failures = 0  # task failures/timeouts counted against the policy
+        self.future: Optional[concurrent.futures.Future] = None
+        self.result = None
+        self.harvested = False
 
 
 class _PoolExecutor(Executor):
-    """Shared submit/consume/cancel machinery for the pool backends."""
+    """Shared submit/consume/retry/recovery machinery for the pool backends."""
 
-    def __init__(self, n_jobs: int) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        n_jobs: int,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        super().__init__(retry_policy=retry_policy, fault_plan=fault_plan)
+        self._pool: Optional[concurrent.futures.Executor] = None
         if n_jobs < 1:
             raise ValueError("n_jobs must be at least 1")
         self.n_jobs = int(n_jobs)
-        self._pool: Optional[concurrent.futures.Executor] = None
 
     def _make_pool(self) -> concurrent.futures.Executor:
         raise NotImplementedError
 
-    def _submit(self, pool, task, model, args, rng):
-        return pool.submit(task, model, *args, rng)
+    def _submit(self, pool, task, model, args, rng, draw, attempt):
+        if self.fault_plan is None:
+            return pool.submit(task, model, *args, rng)
+        return pool.submit(
+            perform_draw, task, model, tuple(args), rng, draw, attempt,
+            self.fault_plan,
+        )
+
+    def _recover_pool(self) -> None:
+        """Replace a broken pool with a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
 
     def map_draws(self, task, model, args, rngs):
-        """Submit every draw to the (lazily created) pool; yield in order."""
+        """Submit every draw to the (lazily created) pool; yield in order.
+
+        Task failures and result timeouts are retried per the policy; a
+        broken pool is rebuilt and only the draws without a harvested
+        result are re-submitted.  Every attempt runs on a clone of the
+        draw's initial generator state, so recovery is bit-identical.
+        """
         if self._closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
         if self._pool is None:
             self._pool = self._make_pool()
-        futures = [self._submit(self._pool, task, model, args, rng) for rng in rngs]
+        policy = self.retry_policy
+        draws = [_DrawState(index, rng) for index, rng in enumerate(rngs)]
+        discarded: list[concurrent.futures.Future] = []
+        stale_crashes = 0
+
+        def submit(entry: _DrawState) -> None:
+            rng = _clone_rng(entry.bit_generator_type, entry.state)
+            entry.future = self._submit(
+                self._pool, task, model, args, rng, entry.index, entry.attempt
+            )
+
+        def record_failure(entry: _DrawState, error: BaseException) -> None:
+            """Count one failed execution; re-submit or give up."""
+            if policy is None:
+                raise error
+            entry.failures += 1
+            entry.attempt += 1
+            if entry.failures > policy.max_retries:
+                raise DrawRetriesExhausted(
+                    entry.index, entry.failures, error
+                ) from error
+            delay = policy.delay_before_retry(entry.failures)
+            if delay > 0.0:
+                time.sleep(delay)
+            submit(entry)
+
+        def recover(cause: concurrent.futures.BrokenExecutor) -> None:
+            """Harvest what the broken pool finished, rebuild, re-submit."""
+            nonlocal stale_crashes
+            if policy is None:
+                raise cause
+            progress = 0
+            for entry in draws:
+                if entry.harvested or entry.future is None:
+                    continue
+                future = entry.future
+                if not future.done():
+                    continue
+                try:
+                    entry.result = future.result()
+                except BaseException:
+                    # Result lost with the worker (or a real task failure:
+                    # deterministic, so the re-run raises it again and the
+                    # ordinary retry accounting takes over).
+                    continue
+                entry.harvested = True
+                progress += 1
+            if progress == 0:
+                stale_crashes += 1
+            else:
+                stale_crashes = 0
+            if stale_crashes > policy.max_retries:
+                first = next(e for e in draws if not e.harvested)
+                raise DrawRetriesExhausted(
+                    first.index, first.attempt + 1, cause
+                ) from cause
+            self._recover_pool()
+            for entry in draws:
+                if not entry.harvested:
+                    entry.attempt += 1
+                    submit(entry)
+
         try:
-            for future in futures:
-                yield future.result()
+            for entry in draws:
+                submit(entry)
+            for entry in draws:
+                while not entry.harvested:
+                    timeout = policy.draw_timeout if policy is not None else None
+                    try:
+                        entry.result = entry.future.result(timeout=timeout)
+                        entry.harvested = True
+                    except concurrent.futures.BrokenExecutor as error:
+                        recover(error)
+                    except TimeoutError as error:
+                        # Straggler: discard it, reschedule speculatively.
+                        discarded.append(entry.future)
+                        entry.future = None
+                        record_failure(entry, error)
+                    except Exception as error:
+                        record_failure(entry, error)
+                yield entry.result
         finally:
             # Early truncation stops consuming; drop the queued remainder.
-            for future in futures:
+            for entry in draws:
+                if entry.future is not None:
+                    entry.future.cancel()
+            for future in discarded:
                 future.cancel()
 
     def close(self) -> None:
         """Shut the pool down, cancelling anything still queued."""
-        if self._closed:
+        if self.closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
 
@@ -183,6 +388,13 @@ def _run_tokenized(task, token: ModelToken, args: tuple, rng):
     return task(model, *args, rng)
 
 
+def _run_tokenized_faulty(task, token: ModelToken, args: tuple, rng, draw, attempt, plan):
+    """Tokenized trampoline with fault injection (fires before the import)."""
+    plan.apply_draw_fault(draw, attempt)
+    model = import_model(token)
+    return task(model, *args, rng)
+
+
 class ProcessExecutor(_PoolExecutor):
     """Process-pool backend with zero-copy model placement.
 
@@ -191,12 +403,24 @@ class ProcessExecutor(_PoolExecutor):
     only the :class:`~repro.parallel.shm.ModelToken` and the per-draw child
     generator to the persistent workers.  Unregistered / unsupported models
     are pickled per draw, the pre-zero-copy behaviour.
+
+    Worker crashes (``BrokenProcessPool``) recover out of the box: the
+    default :data:`~repro.parallel.faults.DEFAULT_RETRY_POLICY` rebuilds the
+    pool, re-validates the shared-memory exports, and re-runs only the draws
+    without a harvested result.  Pass ``retry_policy=None`` to restore raw
+    fail-fast propagation.
     """
 
     kind = "process"
 
-    def __init__(self, n_jobs: int) -> None:
-        super().__init__(n_jobs)
+    def __init__(
+        self,
+        n_jobs: int,
+        *,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        super().__init__(n_jobs, retry_policy=retry_policy, fault_plan=fault_plan)
         self._shm = ShmSession()
         # id() memo is safe because the value tuple keeps the model alive.
         self._tokens: dict[int, tuple[object, Optional[ModelToken]]] = {}
@@ -215,19 +439,47 @@ class ProcessExecutor(_PoolExecutor):
         self._tokens[id(model)] = (model, token)
         return token
 
-    def _submit(self, pool, task, model, args, rng):
+    def _recover_pool(self) -> None:
+        """Rebuild the pool and re-export any shared segment that was lost."""
+        super()._recover_pool()
+        for ident, (model, token) in list(self._tokens.items()):
+            if token is None:
+                continue
+            try:
+                segment = attach_shared_memory(token.name)
+            except FileNotFoundError:
+                del self._tokens[ident]
+                self.register(model)
+            else:
+                segment.close()
+
+    def _submit(self, pool, task, model, args, rng, draw, attempt):
         token = self.register(model)
+        plan = self.fault_plan
         if token is None:
-            return pool.submit(task, model, *args, rng)
-        return pool.submit(_run_tokenized, task, token, tuple(args), rng)
+            if plan is None:
+                return pool.submit(task, model, *args, rng)
+            return pool.submit(
+                perform_draw, task, model, tuple(args), rng, draw, attempt, plan
+            )
+        if plan is None:
+            return pool.submit(_run_tokenized, task, token, tuple(args), rng)
+        return pool.submit(
+            _run_tokenized_faulty, task, token, tuple(args), rng, draw, attempt,
+            plan,
+        )
 
     def close(self) -> None:
         """Shut the pool down and unlink every shared-memory segment."""
-        if self._closed:
+        if self.closed:
             return
         super().close()
-        self._tokens.clear()
-        self._shm.close()
+        tokens = getattr(self, "_tokens", None)
+        if tokens is not None:
+            tokens.clear()
+        shm = getattr(self, "_shm", None)
+        if shm is not None:
+            shm.close()
 
 
 class CompatExecutor(Executor):
@@ -283,7 +535,13 @@ def executor_spec_kind(spec: ExecutorSpec, n_jobs: int = 1) -> str:
     return name
 
 
-def as_executor(spec: ExecutorSpec, n_jobs: int = 1) -> tuple[Executor, bool]:
+def as_executor(
+    spec: ExecutorSpec,
+    n_jobs: int = 1,
+    *,
+    retry_policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> tuple[Executor, bool]:
     """Resolve an executor specification.
 
     Parameters
@@ -296,6 +554,11 @@ def as_executor(spec: ExecutorSpec, n_jobs: int = 1) -> tuple[Executor, bool]:
         :class:`CompatExecutor`; per-draw pickling, caller-owned lifecycle).
     n_jobs:
         Worker count for pool backends built here.
+    retry_policy, fault_plan:
+        Applied to executors *built here*; instances keep their own.  When
+        no policy is given the process backend gets
+        :data:`~repro.parallel.faults.DEFAULT_RETRY_POLICY` (crash recovery
+        on), serial/thread get none (raw propagation).
 
     Returns
     -------
@@ -309,7 +572,15 @@ def as_executor(spec: ExecutorSpec, n_jobs: int = 1) -> tuple[Executor, bool]:
         return CompatExecutor(spec), False
     kind = executor_spec_kind(spec, n_jobs)
     if kind == "serial":
-        return SerialExecutor(), True
+        return SerialExecutor(retry_policy=retry_policy, fault_plan=fault_plan), True
     if kind == "thread":
-        return ThreadExecutor(n_jobs), True
-    return ProcessExecutor(n_jobs), True
+        return (
+            ThreadExecutor(n_jobs, retry_policy=retry_policy, fault_plan=fault_plan),
+            True,
+        )
+    if retry_policy is None:
+        retry_policy = DEFAULT_RETRY_POLICY
+    return (
+        ProcessExecutor(n_jobs, retry_policy=retry_policy, fault_plan=fault_plan),
+        True,
+    )

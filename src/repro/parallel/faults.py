@@ -1,0 +1,251 @@
+"""Deterministic fault injection and retry policies for the Δ-draw layer.
+
+The Monte-Carlo pipeline bottoms out in Δ independent draws, each a pure
+function of ``(model, draw index)`` via its own spawned child generator.
+That purity is what makes the execution layer retryable: re-running draw
+*i* from its saved generator state is bit-identical to a fault-free run.
+This module provides the two halves of the robustness story built on it:
+
+* :class:`RetryPolicy` — how executors respond to failing draws (retry
+  budget, exponential backoff, optional per-draw timeout that reschedules
+  stragglers).  :class:`DrawRetriesExhausted` is raised when the budget
+  runs out; the estimator turns it into a *degraded* strict-prefix result
+  instead of losing the session.
+* :class:`FaultPlan` — a picklable, deterministic chaos plan: fail draw
+  *i* on attempt *j*, SIGKILL the worker running a draw, delay a draw, or
+  tear an artifact-store write at byte *n*.  Executors and the directory
+  store accept a plan so crash scenarios are reproducible unit tests
+  rather than flakes (see ``tests/parallel/test_faults.py``).
+
+Kill faults only SIGKILL genuine worker *processes*: when the fault fires
+inside the process that built the plan (serial or thread execution), it
+raises :class:`FaultInjectionError` instead, degrading to a plain failure
+rather than killing the test process.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DrawRetriesExhausted",
+    "FaultInjectionError",
+    "FaultPlan",
+    "RetryPolicy",
+    "perform_draw",
+]
+
+
+class FaultInjectionError(RuntimeError):
+    """An error raised by an injected fault (never by real application code)."""
+
+
+class DrawRetriesExhausted(RuntimeError):
+    """A draw kept failing after every retry its policy allowed.
+
+    Carries enough context for graceful degradation: ``draw`` is the
+    zero-based index of the failing draw within its collection pass (so
+    everything before it is a clean strict prefix), ``attempts`` the number
+    of failed executions, and ``cause`` the last underlying error.
+    """
+
+    def __init__(self, draw: int, attempts: int, cause: Optional[BaseException]):
+        self.draw = int(draw)
+        self.attempts = int(attempts)
+        self.cause = cause
+        super().__init__(
+            f"draw {draw} failed after {attempts} attempt(s): {cause!r}"
+        )
+
+    def propagation_error(self) -> BaseException:
+        """The exception to raise when nothing at all was collected.
+
+        Task-raised errors propagate as themselves (a collection that dies
+        on draw 0 with ``ValueError`` still raises ``ValueError``); pool
+        breakage must never escape as ``BrokenProcessPool``, so it stays
+        wrapped in this exception.
+        """
+        if isinstance(self.cause, Exception) and not isinstance(
+            self.cause, concurrent.futures.BrokenExecutor
+        ):
+            return self.cause
+        return self
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an executor responds to a failing draw.
+
+    Parameters
+    ----------
+    max_retries:
+        Additional executions allowed per draw after its first failure
+        (``0`` disables retries but still converts the final failure into
+        :class:`DrawRetriesExhausted` for graceful degradation).
+    backoff:
+        Delay in seconds before the first retry; ``0`` retries immediately.
+    backoff_factor:
+        Multiplier applied to the delay on each subsequent retry.
+    draw_timeout:
+        Optional per-draw result timeout in seconds.  A draw that exceeds
+        it counts as a failed attempt and is rescheduled speculatively on a
+        cloned generator (bit-identical, so whichever execution finishes
+        is the same result); the straggler is cancelled or discarded.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    draw_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff < 0.0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+        if self.draw_timeout is not None and self.draw_timeout <= 0.0:
+            raise ValueError("draw_timeout must be positive when given")
+
+    def delay_before_retry(self, failures: int) -> float:
+        """Seconds to sleep before the retry following the given failure count."""
+        if self.backoff <= 0.0:
+            return 0.0
+        return self.backoff * self.backoff_factor ** max(0, failures - 1)
+
+
+#: The default policy for process pools: worker crashes and transient draw
+#: failures recover out of the box, with no backoff delay.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+__all__.append("DEFAULT_RETRY_POLICY")
+
+
+@dataclass(frozen=True)
+class _DrawFault:
+    action: str  # "fail" | "kill" | "delay"
+    draw: int
+    attempt: Optional[int]  # None matches every attempt
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class _TearFault:
+    target: str  # "json" | "npz" | "*"
+    at_byte: int
+    ordinal: int  # which write to this target tears (0 = first)
+
+
+class FaultPlan:
+    """A deterministic, picklable set of injected faults.
+
+    Build a plan with the chaining methods, then hand it to an executor
+    (``fault_plan=...``) or a :class:`~repro.engine.store.DirectoryArtifactStore`.
+    Draw faults match on ``(draw index, attempt number)`` — both supplied by
+    the parent at submission time, so matching is stateless and identical in
+    every worker.  Tear faults match on the per-target write ordinal, counted
+    per process.
+    """
+
+    def __init__(self) -> None:
+        self._draw_faults: list[_DrawFault] = []
+        self._tear_faults: list[_TearFault] = []
+        self._parent_pid = os.getpid()
+        self._write_counts: dict[str, int] = {}
+
+    # -- builders ---------------------------------------------------------
+
+    def fail_draw(self, draw: int, attempt: Optional[int] = 0) -> "FaultPlan":
+        """Raise :class:`FaultInjectionError` when the draw runs.
+
+        ``attempt=None`` fails every attempt (a *persistent* fault that
+        exhausts retries); the default fails only the first execution (a
+        *transient* fault a single retry recovers from).
+        """
+        self._draw_faults.append(_DrawFault("fail", int(draw), attempt))
+        return self
+
+    def kill_worker(self, draw: int, attempt: Optional[int] = 0) -> "FaultPlan":
+        """SIGKILL the worker process executing the draw.
+
+        In the plan's parent process (serial/thread execution) the fault
+        raises :class:`FaultInjectionError` instead of killing the process.
+        """
+        self._draw_faults.append(_DrawFault("kill", int(draw), attempt))
+        return self
+
+    def delay_draw(
+        self, draw: int, seconds: float, attempt: Optional[int] = 0
+    ) -> "FaultPlan":
+        """Sleep before executing the draw (then run it normally)."""
+        self._draw_faults.append(
+            _DrawFault("delay", int(draw), attempt, float(seconds))
+        )
+        return self
+
+    def tear_write(
+        self, target: str = "*", at_byte: int = 0, ordinal: int = 0
+    ) -> "FaultPlan":
+        """Tear the ``ordinal``-th store write of ``target`` kind at a byte.
+
+        ``target`` is ``"json"``, ``"npz"``, or ``"*"`` for either.  The
+        torn prefix lands at the *final* path (simulating a crash mid-write
+        without atomic replacement) and the write raises.
+        """
+        self._tear_faults.append(_TearFault(target, int(at_byte), int(ordinal)))
+        return self
+
+    # -- application ------------------------------------------------------
+
+    def apply_draw_fault(self, draw: int, attempt: int) -> None:
+        """Fire any fault registered for this (draw, attempt) execution."""
+        for fault in self._draw_faults:
+            if fault.draw != draw:
+                continue
+            if fault.attempt is not None and fault.attempt != attempt:
+                continue
+            if fault.action == "delay":
+                time.sleep(fault.seconds)
+            elif fault.action == "kill":
+                if os.getpid() == self._parent_pid:
+                    raise FaultInjectionError(
+                        f"kill fault on draw {draw} (attempt {attempt}): "
+                        "refusing to SIGKILL the parent process"
+                    )
+                os.kill(os.getpid(), signal.SIGKILL)
+            else:
+                raise FaultInjectionError(
+                    f"injected failure on draw {draw} (attempt {attempt})"
+                )
+
+    def torn_payload(self, target: str, payload: bytes) -> Optional[bytes]:
+        """The torn prefix for this write, or ``None`` to write normally.
+
+        Every call counts one write of ``target`` kind, so tear ordinals
+        stay deterministic across retried saves.
+        """
+        count = self._write_counts.get(target, 0)
+        self._write_counts[target] = count + 1
+        for fault in self._tear_faults:
+            if fault.target not in (target, "*"):
+                continue
+            if fault.ordinal == count:
+                return payload[: fault.at_byte]
+        return None
+
+
+def perform_draw(task, model, args, rng, draw, attempt, plan):
+    """Run one draw, firing any injected fault first.
+
+    This is the worker-side trampoline executors submit when a fault plan
+    is active; it is module-level so process pools can pickle it.
+    """
+    if plan is not None:
+        plan.apply_draw_fault(draw, attempt)
+    return task(model, *args, rng)

@@ -12,6 +12,11 @@ def pytest_configure(config):
         "slow: statistical acceptance tests (seeded chi-square harnesses); "
         "deselect with -m 'not slow' for a quick pass",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection tests (worker SIGKILL, torn writes, "
+        "cross-process races); run with `make chaos`",
+    )
 
 from repro.data.dataset import TransactionDataset
 from repro.data.random_model import RandomDatasetModel

@@ -114,3 +114,77 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "Table 1" in output
         assert "retail" in output
+
+    def test_mine_with_store_resumes_across_invocations(self, tmp_path, capsys):
+        data = tmp_path / "data.dat"
+        data.write_text("1 2\n1 2\n1 2 3\n2 3\n1 3\n" * 8)
+        store = tmp_path / "store"
+        argv = [
+            "mine",
+            "--input",
+            str(data),
+            "--k",
+            "2",
+            "--delta",
+            "8",
+            "--store",
+            str(store),
+            "--output",
+            "json",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(store.glob("*.json"))  # the artifact landed on disk
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert second == first  # resumed run is byte-identical
+
+
+class TestCrashUX:
+    """Operational failures exit with one stderr line, never a traceback."""
+
+    def test_mine_missing_input_exits_cleanly(self, capsys):
+        code = main(["mine", "--input", "/no/such/file.dat"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_report_corrupt_json_exits_cleanly(self, tmp_path, capsys):
+        corrupt = tmp_path / "result.json"
+        corrupt.write_text('{"type": "RunResult", "spec"')
+        code = main(["report", "--input", str(corrupt)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_report_wrong_payload_exits_cleanly(self, tmp_path, capsys):
+        wrong = tmp_path / "result.json"
+        wrong.write_text('{"type": "SomethingElse"}')
+        assert main(["report", "--input", str(wrong)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_mine_store_path_is_a_file_exits_cleanly(self, tmp_path, capsys):
+        data = tmp_path / "data.dat"
+        data.write_text("1 2\n2 3\n")
+        blocker = tmp_path / "store"
+        blocker.write_text("not a directory")
+        code = main(
+            ["mine", "--input", str(data), "--store", str(blocker)]
+        )
+        assert code == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_keyboard_interrupt_exits_130(self, tmp_path, capsys, monkeypatch):
+        data = tmp_path / "data.dat"
+        data.write_text("1 2\n2 3\n")
+
+        def interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli._run_mine", interrupt)
+        code = main(["mine", "--input", str(data)])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err

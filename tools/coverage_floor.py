@@ -37,13 +37,19 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Coverage targets: every module of the data layer plus the null models.
-TARGETS = ("src/repro/data", "src/repro/core/null_models.py")
+#: Coverage targets: every module of the data layer, the null models, and
+#: the fault-injection machinery (whose recovery semantics the chaos suite
+#: certifies — in-process tests keep it tracer-visible).
+TARGETS = (
+    "src/repro/data",
+    "src/repro/core/null_models.py",
+    "src/repro/parallel/faults.py",
+)
 
 #: The same targets as importable names, for the pytest-cov engine —
 #: coverage.py treats a ``--cov=<file>.py`` path as an (unmatchable)
 #: package name, so file targets must be passed as modules.
-COV_MODULES = ("repro.data", "repro.core.null_models")
+COV_MODULES = ("repro.data", "repro.core.null_models", "repro.parallel.faults")
 
 #: Measured line coverage floor (percent) across the targets.  Measured
 #: 94-96% with the builtin tracer (scoped selection and full suite); the
