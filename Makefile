@@ -1,17 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test docs-check bench bench-smoke coverage chaos
+.PHONY: test test-server docs-check bench bench-smoke coverage chaos
 
 # Tier-1 verification: the full test suite (includes the README block checks).
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Fault-injection suite (worker SIGKILL, torn writes, cross-process races),
-# with ResourceWarning promoted to an error so recovery paths cannot leak
-# pools or shared-memory segments.
+# The serving layer, leak-strict and with a hard wall-clock guard: a hung
+# event loop or a deadlocked single-flight must fail the lane, not wedge CI.
+test-server:
+	timeout 300 $(PYTHON) -m pytest tests/server -q -W error::ResourceWarning
+
+# Fault-injection suite (worker SIGKILL, torn writes, cross-process races,
+# faults under live HTTP traffic), with ResourceWarning promoted to an error
+# so recovery paths cannot leak pools or shared-memory segments.
 chaos:
-	$(PYTHON) -m pytest tests/parallel/test_faults.py -q -W error::ResourceWarning
+	$(PYTHON) -m pytest tests/parallel/test_faults.py tests/server/test_chaos.py -q -W error::ResourceWarning
 
 # Line-coverage floor for the null-model core (src/repro/data/ +
 # src/repro/core/null_models.py).  Uses pytest-cov when installed; otherwise a

@@ -179,6 +179,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-print", type=int, default=20, help="cap on itemsets printed"
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the multi-tenant significance-as-a-service HTTP server "
+            "over the Engine (see docs/server.md)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port"
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="directory for the durable artifact tier (shared across restarts)",
+    )
+    serve.add_argument(
+        "--backend", choices=["numpy", "python"], default=None
+    )
+    serve.add_argument("--n-jobs", type=int, default=1)
+    serve.add_argument(
+        "--executor", choices=["serial", "thread", "process"], default=None
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="query worker threads draining the admission queue",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help=(
+            "admission-queue bound; saturated queries are answered "
+            "immediately from a strict-prefix budget with degraded=True"
+        ),
+    )
+    serve.add_argument(
+        "--shed-delta",
+        type=int,
+        default=16,
+        help="Monte-Carlo budget of the saturated (degraded) fast path",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="byte budget of the in-memory artifact cache (LRU eviction)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="seconds an artifact stays in the in-memory cache",
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="reproduce one of the paper's tables on the analogues"
     )
@@ -309,6 +366,49 @@ def _print_itemsets(itemsets: dict, limit: int) -> None:
         print(f"  {{{rendered}}}  support={support}")
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.server import ReproServer, ServerState
+
+    store = None
+    if args.store is not None:
+        from repro.engine import DirectoryArtifactStore
+
+        store = DirectoryArtifactStore(args.store)
+        # A restarting server is the natural owner of bounded lock cleanup:
+        # reclaim sidecar locks left behind by finished or crashed runs.
+        store.cleanup_stale_locks()
+    state = ServerState(
+        store,
+        backend=args.backend,
+        n_jobs=args.n_jobs,
+        executor=args.executor,
+        cache_bytes=args.cache_bytes,
+        cache_ttl=args.cache_ttl,
+    )
+    server = ReproServer(
+        state,
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        max_pending=args.max_pending,
+        shed_num_datasets=args.shed_delta,
+    )
+    server.start()
+    try:
+        print(f"serving on {server.url} (ctrl-c to stop)")
+        print(
+            f"  workers={args.workers} max_pending={args.max_pending} "
+            f"shed_delta={args.shed_delta} store={args.store or '<memory>'}"
+        )
+        while True:
+            server._thread.join(timeout=0.5)
+            if not server._thread.is_alive():  # pragma: no cover - loop died
+                return 1
+    finally:
+        server.stop()
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     if args.preset == "quick":
         config = ExperimentConfig.quick(seed=args.seed)
@@ -331,6 +431,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "summary": _command_summary,
         "mine": _command_mine,
         "report": _command_report,
+        "serve": _command_serve,
         "experiment": _command_experiment,
     }
     try:

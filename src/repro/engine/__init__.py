@@ -20,6 +20,7 @@ from repro.engine.fingerprint import (
     dataset_fingerprint,
     null_model_key,
 )
+from repro.engine.registry import DatasetRegistry
 from repro.engine.results import QueryResult, RunResult
 from repro.engine.session import Engine, EngineStats
 from repro.engine.spec import PROCEDURE_CHOICES, RunSpec
@@ -32,6 +33,7 @@ from repro.engine.store import (
 
 __all__ = [
     "ArtifactStore",
+    "DatasetRegistry",
     "DirectoryArtifactStore",
     "Engine",
     "EngineStats",

@@ -1,0 +1,117 @@
+"""The shareable half of an Engine session: the dataset registry.
+
+The ROADMAP's serving direction requires splitting *session* state (one
+executor, shared-memory segments, per-session memos) from *shareable* state
+(artifact stores, dataset fingerprints).  :class:`DatasetRegistry` is the
+shareable half of the dataset side: a thread-safe mapping from content
+fingerprints (and name aliases) to registered
+:class:`~repro.data.dataset.TransactionDataset` objects, with the packed
+bitmap index built exactly once per distinct content.
+
+Many :class:`~repro.engine.session.Engine` instances — e.g. one per server
+worker thread — can share a single registry (plus a single artifact store),
+so a dataset registered by any of them is immediately resolvable by all,
+while each Engine keeps its own executor and memo state.
+
+Datasets are immutable and indexes are built under the registry lock, so
+readers never observe a half-registered entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Union
+
+from repro.data.dataset import TransactionDataset
+from repro.engine.fingerprint import dataset_fingerprint
+
+__all__ = ["DatasetRegistry"]
+
+
+class DatasetRegistry:
+    """Thread-safe content-addressed registry of transaction datasets.
+
+    Registration is idempotent per *content*: registering equal datasets —
+    under any names, from any threads — yields one entry, one packed index,
+    and the same fingerprint handle.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._datasets: dict[str, TransactionDataset] = {}
+        self._names: dict[str, str] = {}
+
+    def register(
+        self,
+        dataset: TransactionDataset,
+        name: Optional[str] = None,
+        *,
+        build_packed: bool = False,
+        alias: bool = True,
+    ) -> tuple[str, bool]:
+        """Register ``dataset`` and return ``(fingerprint, fresh)``.
+
+        ``fresh`` is True when this call added a dataset the registry had
+        not seen before (by content).  ``build_packed`` eagerly builds the
+        bitmap index for new entries, inside the registry lock, so
+        concurrent registrants of the same content pay for it once.
+        ``alias=False`` suppresses name registration entirely — a
+        multi-tenant server shares the registry but must keep tenant-chosen
+        names out of the shared namespace.
+        """
+        fingerprint = dataset_fingerprint(dataset)
+        with self._lock:
+            fresh = fingerprint not in self._datasets
+            if fresh:
+                self._datasets[fingerprint] = dataset
+                if build_packed:
+                    dataset.packed()
+            if alias:
+                label = name if name is not None else dataset.name
+                if label:
+                    self._names[label] = fingerprint
+        return fingerprint, fresh
+
+    def get(self, fingerprint: str) -> TransactionDataset:
+        """The dataset registered under ``fingerprint`` (KeyError if absent)."""
+        with self._lock:
+            return self._datasets[fingerprint]
+
+    def resolve(
+        self, ref: Union[str, TransactionDataset]
+    ) -> tuple[str, TransactionDataset]:
+        """Resolve a fingerprint, name alias, or dataset object to both.
+
+        Passing a :class:`TransactionDataset` auto-registers it (without an
+        eager packed build; the caller decides that policy at
+        :meth:`register` time).
+        """
+        if isinstance(ref, TransactionDataset):
+            fingerprint, _ = self.register(ref)
+            return fingerprint, ref
+        with self._lock:
+            if ref in self._datasets:
+                return ref, self._datasets[ref]
+            if ref in self._names:
+                fingerprint = self._names[ref]
+                return fingerprint, self._datasets[fingerprint]
+        raise KeyError(
+            f"unknown dataset {ref!r}: register it first (or pass the "
+            "TransactionDataset itself)"
+        )
+
+    def __contains__(self, ref: str) -> bool:
+        with self._lock:
+            return ref in self._datasets or ref in self._names
+
+    def fingerprints(self) -> tuple[str, ...]:
+        """Handles of every registered dataset, in registration order."""
+        with self._lock:
+            return tuple(self._datasets)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._datasets)
+
+    def __repr__(self) -> str:
+        return f"<DatasetRegistry: {len(self)} datasets>"

@@ -50,10 +50,10 @@ from repro.core.results import (
 from repro.data.dataset import TransactionDataset
 from repro.engine.fingerprint import (
     artifact_key,
-    dataset_fingerprint,
     derive_rng,
     null_model_key,
 )
+from repro.engine.registry import DatasetRegistry
 from repro.engine.results import QueryResult, RunResult
 from repro.engine.spec import RunSpec
 from repro.engine.store import ArtifactStore, MemoryArtifactStore, NullArtifact
@@ -104,6 +104,13 @@ class Engine:
         session* (so the process backend registers each null model's buffers
         in shared memory exactly once), and tears it down in :meth:`close`
         (the Engine is a context manager).
+    registry:
+        Optional shared :class:`~repro.engine.registry.DatasetRegistry`.
+        By default each Engine owns a private registry (the historical
+        behaviour); passing one in shares the dataset namespace — the
+        *shareable* half of the session split — across many Engines (e.g.
+        one per server worker thread), while executor and memo state stay
+        per-Engine.
 
     Notes
     -----
@@ -120,6 +127,7 @@ class Engine:
         backend: Optional[str] = None,
         n_jobs: int = 1,
         executor=None,
+        registry: Optional[DatasetRegistry] = None,
     ) -> None:
         # Set before any validation can raise, so close() on a half-built
         # Engine (failed __init__) is safe.
@@ -136,8 +144,7 @@ class Engine:
         self.n_jobs = int(n_jobs)
         self._executor_spec = executor
         self.stats = EngineStats()
-        self._datasets: dict[str, TransactionDataset] = {}
-        self._names: dict[str, str] = {}
+        self.registry = registry if registry is not None else DatasetRegistry()
         self._models: dict[tuple[str, str], NullModel] = {}
         # Per-session memo of live thresholds, so repeated queries against an
         # on-disk store do not re-deserialize the NPZ arrays each time.
@@ -160,17 +167,19 @@ class Engine:
         Registering the same *content* twice — under any name — returns the
         same handle and reuses the already-built packed index.  The optional
         ``name`` (falling back to ``dataset.name``) becomes an alias usable
-        wherever a handle is accepted.
+        wherever a handle is accepted.  When the Engine shares a
+        :class:`~repro.engine.registry.DatasetRegistry`, datasets registered
+        by other Engines on the same registry resolve here too;
+        ``stats.datasets_registered`` counts only registrations that were
+        new to the registry.
         """
-        fingerprint = dataset_fingerprint(dataset)
-        if fingerprint not in self._datasets:
-            self._datasets[fingerprint] = dataset
-            if resolve_backend(self.backend) == "numpy":
-                dataset.packed()  # build the bitmap index once, eagerly
+        fingerprint, fresh = self.registry.register(
+            dataset,
+            name,
+            build_packed=resolve_backend(self.backend) == "numpy",
+        )
+        if fresh:
             self.stats.datasets_registered += 1
-        alias = name if name is not None else dataset.name
-        if alias:
-            self._names[alias] = fingerprint
         return fingerprint
 
     def dataset(self, ref: Union[str, TransactionDataset]) -> TransactionDataset:
@@ -179,7 +188,7 @@ class Engine:
 
     def fingerprints(self) -> tuple[str, ...]:
         """Handles of every registered dataset."""
-        return tuple(self._datasets)
+        return self.registry.fingerprints()
 
     def _resolve(
         self, ref: Union[str, TransactionDataset, None]
@@ -191,16 +200,8 @@ class Engine:
             )
         if isinstance(ref, TransactionDataset):
             fingerprint = self.register(ref)
-            return fingerprint, self._datasets[fingerprint]
-        if ref in self._datasets:
-            return ref, self._datasets[ref]
-        if ref in self._names:
-            fingerprint = self._names[ref]
-            return fingerprint, self._datasets[fingerprint]
-        raise KeyError(
-            f"unknown dataset {ref!r}: register it first (or pass the "
-            "TransactionDataset itself)"
-        )
+            return fingerprint, ref
+        return self.registry.resolve(ref)
 
     # ------------------------------------------------------------------
     # Null models and artifact cache
@@ -210,11 +211,11 @@ class Engine:
     ) -> NullModel:
         """The (cached) live null model for one registered dataset."""
         if not isinstance(null_model, (str, type(None))):
-            return as_null_model(null_model, self._datasets[fingerprint])
+            return as_null_model(null_model, self.registry.get(fingerprint))
         cache_key = (fingerprint, null_model_key(null_model))
         model = self._models.get(cache_key)
         if model is None:
-            model = as_null_model(null_model, self._datasets[fingerprint])
+            model = as_null_model(null_model, self.registry.get(fingerprint))
             self._models[cache_key] = model
         return model
 
@@ -541,9 +542,41 @@ class Engine:
             queries=tuple(queries),
         )
 
+    def warm(
+        self,
+        spec: RunSpec,
+        dataset: Union[str, TransactionDataset, None] = None,
+    ) -> dict[int, int]:
+        """Run (or load) every simulation a spec needs, skipping the reports.
+
+        The background-refine hook of the serving layer: a server that
+        answered a saturated query from a cheap strict-prefix budget can call
+        ``warm`` with the *full* spec from a background thread — the
+        expensive Algorithm 1 artifacts land in the (shared) store, and a
+        later :meth:`run` of the same spec is pure cache hits.  Returns the
+        Monte-Carlo budget actually spent per ``k``
+        (:attr:`~repro.core.poisson_threshold.PoissonThresholdResult.spent_num_datasets`).
+        """
+        fingerprint, _ = self._resolve(
+            dataset if dataset is not None else spec.dataset
+        )
+        spent: dict[int, int] = {}
+        for k in spec.ks:
+            threshold = self.threshold(
+                fingerprint,
+                k,
+                epsilon=spec.epsilon,
+                num_datasets=spec.num_datasets,
+                null_model=spec.null_model,
+                seed=spec.seed,
+                delta_max=spec.delta_max,
+            )
+            spent[k] = threshold.spent_num_datasets
+        return spent
+
     def __repr__(self) -> str:
         return (
-            f"<Engine: {len(self._datasets)} datasets, "
+            f"<Engine: {len(self.registry)} datasets, "
             f"{self.stats.simulations_run} simulations run, "
             f"{self.stats.artifact_cache_hits} cache hits>"
         )

@@ -175,12 +175,21 @@ class DirectoryArtifactStore:
     # -- concurrency primitives -------------------------------------------
 
     @contextmanager
-    def lock(self, key: str):
+    def lock(self, key: str, *, cleanup: bool = False):
         """Advisory exclusive lock for one artifact key (cross-process).
 
         Backed by ``fcntl.flock`` on a sidecar ``<digest>.lock`` file; on
         platforms without ``fcntl`` the store degrades to lockless operation
         (atomic writes alone still guarantee readers never see torn data).
+
+        ``cleanup=True`` removes the sidecar file on a clean exit *if the
+        key's artifact is persisted* — once the JSON exists, miss-path
+        callers (:meth:`single_flight`) load it without ever touching the
+        lock, so the file no longer guards anything and per-key lock files
+        cannot accumulate without bound under churning (e.g. per-tenant)
+        namespaces.  The unlink happens while the lock is still held:
+        waiters already blocked on the old inode simply acquire it, re-check
+        the store, and hit.
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             yield
@@ -191,8 +200,58 @@ class DirectoryArtifactStore:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
             try:
                 yield
+                if cleanup and meta_path.exists():
+                    lock_path.unlink(missing_ok=True)
             finally:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def cleanup_stale_locks(self, max_age: float = 3600.0) -> int:
+        """Remove leftover ``.lock`` files; returns how many were removed.
+
+        Two kinds of sidecar files are reclaimable:
+
+        * locks whose artifact JSON exists — the simulation completed, so
+          cache-miss callers never lock this key again (kept only when a
+          crash interrupted the in-lock cleanup of :meth:`lock`);
+        * locks older than ``max_age`` seconds with no artifact — orphans of
+          crashed or degraded (never-persisted) runs.
+
+        A file is only unlinked after a *non-blocking* exclusive flock
+        succeeds, so a lock currently guarding an in-flight simulation is
+        always skipped.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return 0
+        import time
+
+        removed = 0
+        now = time.time()
+        for lock_path in sorted(self.root.glob("*.lock")):
+            meta_path = lock_path.with_suffix(".json")
+            try:
+                reclaimable = meta_path.exists() or (
+                    now - lock_path.stat().st_mtime >= max_age
+                )
+            except OSError:
+                continue  # raced with another cleaner
+            if not reclaimable:
+                continue
+            try:
+                with open(lock_path, "ab") as handle:
+                    try:
+                        fcntl.flock(
+                            handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB
+                        )
+                    except OSError:
+                        continue  # held right now: still guarding a miss
+                    try:
+                        lock_path.unlink(missing_ok=True)
+                        removed += 1
+                    finally:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - raced unlink/permission
+                continue
+        return removed
 
     def single_flight(
         self,
@@ -222,13 +281,13 @@ class DirectoryArtifactStore:
         artifact = self.load(key)
         if artifact is not None:
             return artifact, False
-        with self.lock(key):
+        with self.lock(key, cleanup=True):
             artifact = self.load(key)
             if artifact is not None:
                 return artifact, False
             artifact = compute()
             if persist is None or persist(artifact):
-                self._save_locked(key, artifact)
+                self.save_locked(key, artifact)
             return artifact, True
 
     # -- atomic persistence -----------------------------------------------
@@ -317,11 +376,17 @@ class DirectoryArtifactStore:
         Atomic per file and serialized against concurrent savers of the
         same key, so parallel writers never interleave.
         """
-        with self.lock(key):
-            self._save_locked(key, artifact)
+        with self.lock(key, cleanup=True):
+            self.save_locked(key, artifact)
 
-    def _save_locked(self, key: str, artifact: NullArtifact) -> None:
-        """The save body; the caller holds (or forgoes) the key lock."""
+    def save_locked(self, key: str, artifact: NullArtifact) -> None:
+        """:meth:`save` for callers already holding :meth:`lock` on ``key``.
+
+        ``flock`` is not reentrant across file descriptors, so a caller
+        inside ``lock(key)`` (a caching tier's single flight, for example)
+        must persist through this method — calling :meth:`save` there would
+        deadlock against its own lock.
+        """
         estimator = artifact.threshold.estimator
         if estimator is None:
             raise ValueError(

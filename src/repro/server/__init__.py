@@ -1,0 +1,36 @@
+"""repro.server — significance-as-a-service over the :class:`~repro.engine.Engine`.
+
+A long-running, concurrent, multi-tenant HTTP front end for the paper's
+pipeline (the ROADMAP's north-star serving layer):
+
+* :class:`ReproServer` — an asyncio HTTP/1.1 server exposing dataset
+  upload, declarative :class:`~repro.engine.RunSpec` queries, query status,
+  health and stats endpoints (see ``docs/server.md``);
+* :class:`ServerState` — the session/shareable state split: one shared
+  :class:`~repro.engine.DatasetRegistry` + artifact store across all
+  workers, one :class:`~repro.engine.Engine` (executor, memos) per worker
+  thread, with per-tenant dataset namespaces on top;
+* :class:`EvictingArtifactStore` — an LRU/TTL caching wrapper with a byte
+  budget and an in-process (plus cross-process, when the inner store
+  supports it) single-flight contract;
+* :class:`QueryBroker` — the bounded admission queue whose backpressure
+  path answers saturated queries *now* from an honest strict-prefix budget
+  (``degraded=True``) and refines them in the background.
+"""
+
+from repro.server.cache import CacheStats, EvictingArtifactStore, artifact_nbytes
+from repro.server.http import ReproServer
+from repro.server.jobs import QueryBroker, QueryJob
+from repro.server.state import ServerState, TenantDataset, TenantNamespace
+
+__all__ = [
+    "CacheStats",
+    "EvictingArtifactStore",
+    "QueryBroker",
+    "QueryJob",
+    "ReproServer",
+    "ServerState",
+    "TenantDataset",
+    "TenantNamespace",
+    "artifact_nbytes",
+]

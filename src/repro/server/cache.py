@@ -1,0 +1,369 @@
+"""An LRU/TTL-evicting, size-budgeted caching wrapper over artifact stores.
+
+The serving layer cannot keep every Monte-Carlo artifact alive forever: a
+long-running multi-tenant server accumulates one artifact per distinct
+``(dataset, null model, Δ, seed, k, ε)`` tuple, and each artifact carries
+the estimator's ``(|W|, Δ)`` profile matrix — easily megabytes.  The
+:class:`EvictingArtifactStore` wraps any inner
+:class:`~repro.engine.store.ArtifactStore` (or none) with:
+
+* an **LRU** hot tier bounded by ``max_bytes`` / ``max_entries``;
+* an optional **TTL** per entry (an injectable ``clock`` makes expiry
+  deterministic in tests);
+* a **single-flight** contract: concurrent cache-miss computations of one
+  key pay exactly one simulation in-process (per-key ``threading.Lock``)
+  and — when the inner store exposes a ``lock`` context manager, as
+  :class:`~repro.engine.store.DirectoryArtifactStore` does — across
+  processes too;
+* **eviction pinning**: keys currently in flight are never evicted, so a
+  single-flight caller can never observe its own artifact disappear
+  between compute and return;
+* **durability tolerance**: a failed inner-store write (torn disk, chaos
+  fault) degrades to memory-only caching instead of failing the query that
+  produced a perfectly valid result.
+
+Evicted or expired keys simply fall through to the inner store, and on a
+genuine miss the Engine re-simulates — eviction is always safe, never an
+error.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.engine.store import ArtifactStore, NullArtifact
+from repro.parallel.faults import FaultInjectionError
+
+__all__ = ["CacheStats", "EvictingArtifactStore", "artifact_nbytes"]
+
+#: Fixed per-entry overhead charged on top of the estimator arrays
+#: (threshold scalars, key string, dict slots).
+_ENTRY_OVERHEAD_BYTES = 4096
+
+
+def artifact_nbytes(artifact: NullArtifact) -> int:
+    """Approximate resident size of one cached artifact, in bytes.
+
+    Counts the estimator's array state (the dominant term — the support
+    profiles and itemset arrays) plus a fixed overhead for the scalar
+    envelope.  Artifacts stripped of their estimator cost only the
+    overhead.
+    """
+    total = _ENTRY_OVERHEAD_BYTES
+    estimator = artifact.threshold.estimator
+    if estimator is not None:
+        state = estimator.state_dict()
+        for value in state.values():
+            if isinstance(value, np.ndarray):
+                total += int(value.nbytes)
+    return total
+
+
+@dataclass
+class CacheStats:
+    """Counters describing what the caching tier actually did."""
+
+    hits: int = 0  # answered from the in-memory LRU tier
+    inner_hits: int = 0  # promoted from the inner (durable) store
+    misses: int = 0  # not found anywhere: the caller must simulate
+    evictions: int = 0  # LRU/byte-budget evictions
+    expirations: int = 0  # TTL expiries observed
+    persist_failures: int = 0  # inner-store writes that failed (degraded)
+    current_bytes: int = 0
+    entries: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible snapshot (plus the derived hit rate)."""
+        lookups = self.hits + self.inner_hits + self.misses
+        return {
+            "hits": self.hits,
+            "inner_hits": self.inner_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "persist_failures": self.persist_failures,
+            "current_bytes": self.current_bytes,
+            "entries": self.entries,
+            "hit_rate": (
+                (self.hits + self.inner_hits) / lookups if lookups else None
+            ),
+        }
+
+
+@dataclass
+class _Entry:
+    artifact: NullArtifact
+    nbytes: int
+    deadline: Optional[float]  # clock() time after which the entry expires
+    pinned_by: int = 0  # in-flight computations that must keep seeing it
+
+
+class EvictingArtifactStore:
+    """Bounded caching tier over an optional inner artifact store.
+
+    Parameters
+    ----------
+    inner:
+        Durable tier (e.g. a :class:`~repro.engine.store.DirectoryArtifactStore`);
+        ``None`` makes this cache the only store — evicted keys then
+        re-simulate on next use.
+    max_bytes / max_entries:
+        Budgets for the hot tier; ``None`` disables that budget.  Eviction
+        is strict LRU among unpinned entries.
+    ttl:
+        Seconds an entry stays servable after (re-)admission; ``None``
+        disables expiry.
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        inner: Optional[ArtifactStore] = None,
+        *,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 when given")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive when given")
+        self.inner = inner
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._flights: dict[str, threading.Lock] = {}
+        self._flight_refs: dict[str, int] = {}
+        self.stats = CacheStats()
+
+    # -- the ArtifactStore surface ----------------------------------------
+
+    def load(self, key: str) -> Optional[NullArtifact]:
+        """Hot-tier lookup, falling through to the inner store on a miss."""
+        with self._lock:
+            entry = self._get_live(key)
+            if entry is not None:
+                self.stats.hits += 1
+                return entry.artifact
+        artifact = self.inner.load(key) if self.inner is not None else None
+        with self._lock:
+            if artifact is not None:
+                self.stats.inner_hits += 1
+                self._admit(key, artifact)
+            else:
+                self.stats.misses += 1
+        return artifact
+
+    def save(self, key: str, artifact: NullArtifact) -> None:
+        """Admit to the hot tier and write through to the inner store.
+
+        An inner-store write failure (disk fault) is swallowed and counted:
+        the artifact stays servable from memory, and durability is retried
+        naturally the next time the key is simulated after eviction.
+        """
+        with self._lock:
+            self._admit(key, artifact)
+        self._persist(key, artifact)
+
+    def keys(self) -> Iterator[str]:
+        """Keys of the hot tier plus the inner store (deduplicated)."""
+        with self._lock:
+            seen = list(self._entries)
+        yield from seen
+        if self.inner is not None:
+            for key in self.inner.keys():
+                if key not in seen:
+                    yield key
+
+    # -- single flight ------------------------------------------------------
+
+    def single_flight(
+        self,
+        key: str,
+        compute: Callable[[], NullArtifact],
+        persist: Optional[Callable[[NullArtifact], bool]] = None,
+    ) -> tuple[NullArtifact, bool]:
+        """Load ``key``, or compute-and-admit it exactly once.
+
+        Concurrent in-process callers serialize on a per-key lock; when the
+        inner store exposes its own per-key ``lock`` (the directory store's
+        ``fcntl`` lock), the compute additionally serializes across
+        processes, with a re-check after acquisition so only the first
+        process simulates.  While the flight is open the key is *pinned*:
+        the evictor will not remove it, so a fresh artifact cannot vanish
+        between compute and return.
+        """
+        artifact = self.load(key)
+        if artifact is not None:
+            return artifact, False
+        flight = self._acquire_flight(key)
+        try:
+            with flight:
+                artifact = self.load(key)
+                if artifact is not None:
+                    return artifact, False
+                inner_lock = getattr(self.inner, "lock", None)
+                if callable(inner_lock):
+                    with inner_lock(key, cleanup=True):
+                        artifact = self.load(key)
+                        if artifact is not None:
+                            return artifact, False
+                        return (
+                            self._compute_admit(
+                                key, compute, persist, locked=True
+                            ),
+                            True,
+                        )
+                return self._compute_admit(key, compute, persist), True
+        finally:
+            self._release_flight(key)
+
+    def _compute_admit(
+        self,
+        key: str,
+        compute: Callable[[], NullArtifact],
+        persist: Optional[Callable[[NullArtifact], bool]],
+        *,
+        locked: bool = False,
+    ) -> NullArtifact:
+        artifact = compute()
+        if persist is None or persist(artifact):
+            with self._lock:
+                self._admit(key, artifact)
+            self._persist(key, artifact, locked=locked)
+        return artifact
+
+    def _acquire_flight(self, key: str) -> threading.Lock:
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = self._flights[key] = threading.Lock()
+            self._flight_refs[key] = self._flight_refs.get(key, 0) + 1
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.pinned_by += 1
+            return flight
+
+    def _release_flight(self, key: str) -> None:
+        with self._lock:
+            refs = self._flight_refs.get(key, 1) - 1
+            if refs <= 0:
+                self._flight_refs.pop(key, None)
+                self._flights.pop(key, None)
+            else:
+                self._flight_refs[key] = refs
+            entry = self._entries.get(key)
+            if entry is not None and entry.pinned_by > 0:
+                entry.pinned_by -= 1
+            self._evict_over_budget()  # unpinned entries may now be evictable
+
+    # -- internals ----------------------------------------------------------
+
+    def _get_live(self, key: str) -> Optional[_Entry]:
+        """The unexpired entry for ``key``, refreshed in LRU order."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.deadline is not None and self._clock() >= entry.deadline:
+            self.stats.expirations += 1
+            self._drop(key, entry)
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def _admit(self, key: str, artifact: NullArtifact) -> None:
+        """Insert/refresh an entry, then evict LRU entries over budget."""
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.stats.current_bytes -= old.nbytes
+        deadline = None if self.ttl is None else self._clock() + self.ttl
+        pinned = old.pinned_by if old is not None else (
+            1 if key in self._flight_refs else 0
+        )
+        entry = _Entry(artifact, artifact_nbytes(artifact), deadline, pinned)
+        self._entries[key] = entry
+        self.stats.current_bytes += entry.nbytes
+        self.stats.entries = len(self._entries)
+        self._evict_over_budget(newest=key)
+
+    def _evict_over_budget(self, newest: Optional[str] = None) -> None:
+        def over_budget() -> bool:
+            if self.max_entries is not None and len(self._entries) > self.max_entries:
+                return True
+            return (
+                self.max_bytes is not None
+                and self.stats.current_bytes > self.max_bytes
+            )
+
+        while over_budget():
+            victim = next(
+                (
+                    key
+                    for key, entry in self._entries.items()
+                    if entry.pinned_by == 0 and key != newest
+                ),
+                None,
+            )
+            if victim is None:
+                break  # everything left is pinned or freshly admitted
+            self.stats.evictions += 1
+            self._drop(victim, self._entries[victim])
+
+    def _drop(self, key: str, entry: _Entry) -> None:
+        self._entries.pop(key, None)
+        self.stats.current_bytes -= entry.nbytes
+        self.stats.entries = len(self._entries)
+
+    def _persist(
+        self, key: str, artifact: NullArtifact, *, locked: bool = False
+    ) -> None:
+        if self.inner is None:
+            return
+        save = self.inner.save
+        if locked:
+            # The caller already holds the inner store's per-key lock;
+            # flock is not fd-reentrant, so save() here would self-deadlock.
+            save = getattr(self.inner, "save_locked", save)
+        try:
+            save(key, artifact)
+        except (OSError, FaultInjectionError):
+            # The simulation is valid; only durability failed.  Keep serving
+            # from memory and let the stats surface the fault.
+            with self._lock:
+                self.stats.persist_failures += 1
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry now; returns how many were dropped."""
+        dropped = 0
+        with self._lock:
+            now = self._clock()
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if entry.deadline is not None and now >= entry.deadline:
+                    self.stats.expirations += 1
+                    self._drop(key, entry)
+                    dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"<EvictingArtifactStore: {len(self)} hot entries, "
+            f"{self.stats.current_bytes} bytes, inner={self.inner!r}>"
+        )

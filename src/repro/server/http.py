@@ -1,0 +1,515 @@
+"""A dependency-free asyncio HTTP/1.1 front end for the Engine.
+
+Significance-as-a-service: the endpoints (full tour in ``docs/server.md``)
+
+========  =================================  =====================================
+Method    Path                               Meaning
+========  =================================  =====================================
+POST      /v1/tenants/{tenant}/datasets      upload/register a dataset (dedup by
+                                             content fingerprint)
+GET       /v1/tenants/{tenant}/datasets      list the tenant's datasets
+POST      /v1/tenants/{tenant}/queries       submit a JSON ``RunSpec``; returns a
+                                             query id (HTTP 202) — or the already
+                                             computed degraded answer under
+                                             saturation (HTTP 200)
+GET       /v1/queries/{id}                   status/result, including
+                                             ``degraded`` and per-``k`` Δ spent
+GET       /v1/healthz                        liveness
+GET       /v1/statz                          EngineStats, cache hit rates, queue
+                                             depths
+========  =================================  =====================================
+
+The protocol layer is deliberately minimal — request line, headers, a
+``Content-Length``-framed body, one request per connection
+(``Connection: close``) — and everything blocking (fingerprinting, packed
+index builds, the shed-path simulation) runs on a thread pool via
+``run_in_executor``, so the event loop always stays responsive for
+``/v1/healthz``.
+
+Failure contract: every application error is a well-formed JSON body with
+an ``error`` field and a 4xx status; execution faults inside a query
+surface as ``degraded=True`` results or a ``failed`` job status — a fault
+mid-simulation can never produce a torn 500 with partial state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+from urllib.parse import unquote, urlsplit
+
+from repro._version import __version__
+from repro.data.dataset import TransactionDataset
+from repro.data.io import read_fimi
+from repro.engine import RunSpec
+from repro.server.jobs import DEFAULT_SHED_NUM_DATASETS, QueryBroker
+from repro.server.state import ServerState
+
+__all__ = ["ReproServer"]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+#: RunSpec fields accepted in a query submission body.
+_SPEC_FIELDS = (
+    "ks",
+    "alphas",
+    "betas",
+    "epsilon",
+    "num_datasets",
+    "delta_max",
+    "null_model",
+    "seed",
+    "procedures",
+    "lambda_floor",
+)
+
+_ROUTE_DATASETS = re.compile(r"^/v1/tenants/([^/]+)/datasets$")
+_ROUTE_QUERIES = re.compile(r"^/v1/tenants/([^/]+)/queries$")
+_ROUTE_QUERY = re.compile(r"^/v1/queries/([^/]+)$")
+
+
+class _HttpError(Exception):
+    """An application error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+class _Request:
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(self, method: str, path: str, headers: dict, body: bytes):
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        if not self.body:
+            raise _HttpError(400, "request body must be a JSON object")
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HttpError(400, f"invalid JSON body: {error}") from error
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+class ReproServer:
+    """The significance-as-a-service HTTP server (see module docstring).
+
+    Parameters
+    ----------
+    state:
+        A prepared :class:`~repro.server.state.ServerState`; built from the
+        keyword arguments below when omitted.
+    host / port:
+        Bind address.  ``port=0`` (the default) picks a free port —
+        :attr:`port` reports the bound one after :meth:`start`.
+    max_workers / max_pending / shed_num_datasets:
+        Query worker pool size, admission-queue bound, and the
+        strict-prefix Monte-Carlo budget served under saturation.
+    http_threads:
+        Threads for blocking request work (uploads, shed-path runs).
+        Defaults to ``max_workers + 2``.
+    max_body_bytes:
+        Upload size cap (HTTP 413 above it).
+    store / backend / n_jobs / executor / cache_* / clock:
+        Forwarded to :class:`~repro.server.state.ServerState` when ``state``
+        is omitted.
+
+    Use as a context manager for tests and embedding::
+
+        with ReproServer(max_pending=4) as server:
+            url = server.url  # e.g. http://127.0.0.1:49201
+    """
+
+    def __init__(
+        self,
+        state: Optional[ServerState] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 2,
+        max_pending: int = 8,
+        shed_num_datasets: int = DEFAULT_SHED_NUM_DATASETS,
+        http_threads: Optional[int] = None,
+        max_body_bytes: int = 32 * 1024 * 1024,
+        clock: Callable[[], float] = time.monotonic,
+        **state_kwargs,
+    ) -> None:
+        if state is not None and state_kwargs:
+            raise ValueError(
+                "pass either a prepared ServerState or state keyword "
+                f"arguments, not both ({', '.join(sorted(state_kwargs))})"
+            )
+        self.state = state if state is not None else ServerState(**state_kwargs)
+        self.broker = QueryBroker(
+            self.state,
+            max_workers=max_workers,
+            max_pending=max_pending,
+            shed_num_datasets=shed_num_datasets,
+            clock=clock,
+        )
+        self._host = host
+        self._requested_port = port
+        self._max_body_bytes = int(max_body_bytes)
+        self._clock = clock
+        self._started_at = clock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=http_threads if http_threads is not None else max_workers + 2,
+            thread_name_prefix="repro-http",
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._port: Optional[int] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._port is None:
+            raise RuntimeError("server is not started")
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "ReproServer":
+        """Start serving on a background thread; returns when bound."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        ready = threading.Event()
+        failure: list[BaseException] = []
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                server = loop.run_until_complete(
+                    asyncio.start_server(
+                        self._handle_connection, self._host, self._requested_port
+                    )
+                )
+            except BaseException as error:  # pragma: no cover - bind failure
+                failure.append(error)
+                ready.set()
+                loop.close()
+                return
+            self._server = server
+            self._port = server.sockets[0].getsockname()[1]
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                server.close()
+                loop.run_until_complete(server.wait_closed())
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        if failure:  # pragma: no cover - bind failure
+            self._thread.join()
+            self._thread = None
+            raise failure[0]
+        return self
+
+    def stop(self) -> None:
+        """Stop the listener, drain workers, release engines.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+        self.broker.close()
+        self._pool.shutdown(wait=True)
+        self.state.close()
+
+    def serve_forever(self) -> None:
+        """Blocking entry point for the CLI: start, run until interrupted."""
+        self.start()
+        try:
+            while self._thread is not None and self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+        finally:
+            self.stop()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Protocol layer
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await self._read_request(reader)
+            except _HttpError as error:
+                await self._respond(
+                    writer, error.status, {"error": error.message}
+                )
+                return
+            try:
+                status, payload = await self._dispatch(request)
+            except _HttpError as error:
+                status, payload = error.status, {"error": error.message}
+            except Exception as error:  # noqa: BLE001 - last-resort guard
+                status, payload = 500, {
+                    "error": f"{type(error).__name__}: {error}"
+                }
+            await self._respond(writer, status, payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _Request:
+        try:
+            request_line = await reader.readline()
+        except ValueError as error:  # line over the stream limit
+            raise _HttpError(400, "request line too long") from error
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError as error:
+            raise _HttpError(400, "invalid Content-Length") from error
+        if length > self._max_body_bytes:
+            raise _HttpError(
+                413, f"request body exceeds {self._max_body_bytes} bytes"
+            )
+        body = await reader.readexactly(length) if length else b""
+        path = unquote(urlsplit(target).path)
+        return _Request(method.upper(), path, headers, body)
+
+    async def _respond(
+        self, writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Server: repro-itemsets/{__version__}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    async def _blocking(self, fn: Callable, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, fn, *args
+        )
+
+    # ------------------------------------------------------------------
+    # Routing and handlers
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, request: _Request) -> tuple[int, dict]:
+        path, method = request.path, request.method
+        if path == "/v1/healthz":
+            if method != "GET":
+                raise _HttpError(405, "healthz is GET-only")
+            return 200, {"status": "ok", "version": __version__}
+        if path == "/v1/statz":
+            if method != "GET":
+                raise _HttpError(405, "statz is GET-only")
+            return 200, self._statz()
+        match = _ROUTE_DATASETS.match(path)
+        if match:
+            tenant = match.group(1)
+            if method == "POST":
+                return await self._blocking(
+                    self._post_dataset, tenant, request.json()
+                )
+            if method == "GET":
+                return self._list_datasets(tenant)
+            raise _HttpError(405, "datasets supports GET and POST")
+        match = _ROUTE_QUERIES.match(path)
+        if match:
+            if method != "POST":
+                raise _HttpError(405, "queries is POST-only")
+            return await self._blocking(
+                self._post_query, match.group(1), request.json()
+            )
+        match = _ROUTE_QUERY.match(path)
+        if match:
+            if method != "GET":
+                raise _HttpError(405, "query status is GET-only")
+            return self._get_query(
+                match.group(1), request.headers.get("x-tenant")
+            )
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    # -- datasets -----------------------------------------------------------
+
+    def _post_dataset(self, tenant: str, payload: dict) -> tuple[int, dict]:
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise _HttpError(400, "dataset name must be a string")
+        dataset = self._parse_dataset(payload, name)
+        try:
+            entry, deduplicated = self.state.register_dataset(
+                tenant, dataset, name
+            )
+        except ValueError as error:  # invalid tenant name
+            raise _HttpError(400, str(error)) from error
+        body = entry.to_dict()
+        body["deduplicated"] = deduplicated
+        return (200 if deduplicated else 201), body
+
+    def _parse_dataset(
+        self, payload: dict, name: Optional[str]
+    ) -> TransactionDataset:
+        has_data = "data" in payload
+        has_txns = "transactions" in payload
+        if has_data == has_txns:
+            raise _HttpError(
+                400,
+                "provide exactly one of 'data' (FIMI text) or "
+                "'transactions' (list of item lists)",
+            )
+        try:
+            if has_data:
+                data = payload["data"]
+                if not isinstance(data, str):
+                    raise ValueError("'data' must be a FIMI-format string")
+                fmt = payload.get("format", "fimi")
+                if fmt != "fimi":
+                    raise ValueError(
+                        f"unknown dataset format {fmt!r} (supported: fimi)"
+                    )
+                return read_fimi(io.StringIO(data), name=name)
+            transactions = payload["transactions"]
+            if not isinstance(transactions, list) or not all(
+                isinstance(txn, list) for txn in transactions
+            ):
+                raise ValueError("'transactions' must be a list of item lists")
+            return TransactionDataset(
+                [[int(item) for item in txn] for txn in transactions],
+                name=name,
+            )
+        except (ValueError, TypeError) as error:
+            raise _HttpError(400, f"invalid dataset: {error}") from error
+
+    def _list_datasets(self, tenant: str) -> tuple[int, dict]:
+        try:
+            namespace = self.state.tenant(tenant)
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from error
+        return 200, {
+            "tenant": tenant,
+            "datasets": [entry.to_dict() for entry in namespace.list()],
+        }
+
+    # -- queries ------------------------------------------------------------
+
+    def _post_query(self, tenant: str, payload: dict) -> tuple[int, dict]:
+        dataset_id = payload.get("dataset")
+        if not isinstance(dataset_id, str):
+            raise _HttpError(400, "'dataset' must be a dataset id string")
+        try:
+            entry = self.state.resolve_dataset(tenant, dataset_id)
+        except ValueError as error:
+            raise _HttpError(400, str(error)) from error
+        except KeyError as error:
+            # One message for "not yours" and "does not exist": dataset ids
+            # must not be probeable across tenants.
+            raise _HttpError(
+                404, f"unknown dataset {dataset_id!r} for tenant {tenant!r}"
+            ) from error
+        spec_fields = {
+            key: payload[key] for key in _SPEC_FIELDS if key in payload
+        }
+        unknown = set(payload) - set(_SPEC_FIELDS) - {"dataset"}
+        if unknown:
+            raise _HttpError(
+                400, f"unknown query fields: {', '.join(sorted(unknown))}"
+            )
+        try:
+            spec = RunSpec(**spec_fields)
+        except (TypeError, ValueError) as error:
+            raise _HttpError(400, f"invalid RunSpec: {error}") from error
+        job = self.broker.submit(tenant, spec, entry.fingerprint, dataset_id)
+        status = 200 if job.status in ("done", "failed") else 202
+        return status, job.to_dict(include_result=True)
+
+    def _get_query(
+        self, query_id: str, tenant_header: Optional[str]
+    ) -> tuple[int, dict]:
+        try:
+            job = self.broker.get(query_id)
+        except KeyError as error:
+            raise _HttpError(404, f"unknown query {query_id!r}") from error
+        if tenant_header is not None and tenant_header != job.tenant:
+            # Same response as "does not exist": query ids are unguessable,
+            # and a wrong tenant must not learn that the id is real.
+            raise _HttpError(404, f"unknown query {query_id!r}")
+        return 200, job.to_dict(include_result=True)
+
+    # -- stats --------------------------------------------------------------
+
+    def _statz(self) -> dict:
+        engine_stats = self.state.engine_stats()
+        return {
+            "version": __version__,
+            "uptime_seconds": self._clock() - self._started_at,
+            "engine": {
+                "datasets_registered": engine_stats.datasets_registered,
+                "simulations_run": engine_stats.simulations_run,
+                "artifact_cache_hits": engine_stats.artifact_cache_hits,
+            },
+            "cache": self.state.store.stats.to_dict(),
+            "queue": self.broker.stats(),
+            "tenants": len(self.state.tenants()),
+        }

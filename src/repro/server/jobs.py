@@ -1,0 +1,344 @@
+"""Query jobs, the bounded admission queue, and graceful degradation.
+
+The serving contract under load (see ``docs/server.md``):
+
+* queries are admitted into a **bounded** queue drained by a fixed worker
+  pool — memory and latency stay bounded no matter the offered load;
+* when the queue is **saturated**, a query is *not* rejected and *not*
+  queued: it is answered **now**, in the submitting thread, from an honest
+  strict-prefix Monte-Carlo budget (the spec's budget capped at
+  ``shed_num_datasets`` with no adaptive growth) and flagged
+  ``degraded=True`` — wider Wilson/Chen-Stein intervals, never a wrong or
+  missing answer;
+* every shed query is also enqueued for **background refinement**: when
+  capacity frees up, a worker replays the *full* spec
+  (:meth:`~repro.engine.session.Engine.warm` then
+  :meth:`~repro.engine.session.Engine.run`) and atomically upgrades the
+  stored result (``refined=True``), so a later ``GET`` sees full
+  confidence.  Refinement jobs only run while the admission queue is
+  empty — interactive traffic always wins.
+
+A job that hits execution faults degrades through the Engine's own
+machinery (retries exhausted → strict-prefix ``degraded=True`` result);
+only genuinely unexpected errors mark a job ``failed``, and those surface
+as a well-formed JSON status, never a torn half-result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.engine import RunResult, RunSpec
+
+__all__ = ["QueryBroker", "QueryJob"]
+
+#: Default strict-prefix Monte-Carlo budget served under saturation.
+DEFAULT_SHED_NUM_DATASETS = 16
+
+_TERMINAL = ("done", "failed")
+
+
+class QueryJob:
+    """One submitted query: spec + lifecycle + (eventually) a result."""
+
+    def __init__(
+        self,
+        tenant: str,
+        spec: RunSpec,
+        fingerprint: str,
+        dataset_id: str,
+        clock: Callable[[], float],
+    ) -> None:
+        self.query_id = f"q-{uuid.uuid4().hex}"
+        self.tenant = tenant
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.dataset_id = dataset_id
+        self.status = "queued"  # queued | running | done | failed
+        self.shed = False  # answered via the saturation fast path
+        self.refined = False  # background refinement replaced the result
+        self.refining = False
+        self.result: Optional[RunResult] = None
+        self.error: Optional[str] = None
+        self.submitted_at = clock()
+        self.finished_at: Optional[float] = None
+        self.done_event = threading.Event()
+        self._lock = threading.Lock()
+
+    # -- transitions (called by the broker) --------------------------------
+
+    def _finish(
+        self,
+        result: Optional[RunResult],
+        error: Optional[str],
+        clock: Callable[[], float],
+        *,
+        refined: bool = False,
+    ) -> None:
+        with self._lock:
+            self.result = result if result is not None else self.result
+            self.error = error
+            self.status = "done" if error is None else "failed"
+            self.refined = refined or self.refined
+            self.refining = False
+            self.finished_at = clock()
+        self.done_event.set()
+
+    # -- the HTTP view ------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when the served answer rests on less than the asked budget.
+
+        Either the backpressure path shed the query to a strict-prefix
+        budget (and refinement has not yet caught up), or execution faults
+        degraded the run inside the Engine.
+        """
+        with self._lock:
+            if self.result is None:
+                return False
+            if self.shed and not self.refined:
+                return True
+            return self.result.degraded
+
+    def delta_spent(self) -> Optional[dict[int, int]]:
+        """Per-``k`` Monte-Carlo budget behind the currently served answer."""
+        with self._lock:
+            if self.result is None:
+                return None
+            return {
+                k: threshold.spent_num_datasets
+                for k, threshold in self.result.thresholds.items()
+            }
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        """The JSON status document for ``GET /v1/queries/{id}``."""
+        with self._lock:
+            status = self.status
+            result = self.result
+            payload = {
+                "query_id": self.query_id,
+                "status": status,
+                "dataset_id": self.dataset_id,
+                "shed": self.shed,
+                "refined": self.refined,
+                "refining": self.refining,
+                "error": self.error,
+            }
+        payload["degraded"] = self.degraded
+        payload["delta_spent"] = self.delta_spent()
+        if include_result and result is not None:
+            payload["result"] = result.to_dict()
+        return payload
+
+
+class QueryBroker:
+    """Bounded admission queue + worker pool + background refinement."""
+
+    def __init__(
+        self,
+        state,
+        *,
+        max_workers: int = 2,
+        max_pending: int = 8,
+        shed_num_datasets: int = DEFAULT_SHED_NUM_DATASETS,
+        max_jobs: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if max_pending < 0:
+            raise ValueError("max_pending must be non-negative")
+        if shed_num_datasets < 1:
+            raise ValueError("shed_num_datasets must be at least 1")
+        self.state = state
+        self.max_pending = max_pending
+        self.shed_num_datasets = shed_num_datasets
+        self.max_jobs = max_jobs
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: deque[QueryJob] = deque()
+        self._refine: deque[QueryJob] = deque()
+        self._running = 0
+        self._jobs: "dict[str, QueryJob]" = {}
+        self._job_order: deque[str] = deque()
+        self._shed_count = 0
+        self._refined_count = 0
+        self._stopping = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-query-{i}", daemon=True
+            )
+            for i in range(max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, tenant: str, spec: RunSpec, fingerprint: str, dataset_id: str
+    ) -> QueryJob:
+        """Admit (or shed) one query; returns its job immediately.
+
+        On saturation the job is executed *in the calling thread* at the
+        shed budget, so the HTTP response already carries the degraded
+        answer; the full-budget replay is queued for background refinement.
+        """
+        job = QueryJob(tenant, spec, fingerprint, dataset_id, self._clock)
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("broker is shutting down")
+            self._remember(job)
+            saturated = (
+                len(self._pending) + self._running >= self.max_pending
+            )
+            if not saturated:
+                self._pending.append(job)
+                self._wake.notify()
+                return job
+        self._run_shed(job)
+        return job
+
+    def get(self, query_id: str) -> QueryJob:
+        """Look up a job by id (KeyError if unknown or aged out)."""
+        with self._lock:
+            return self._jobs[query_id]
+
+    def _remember(self, job: QueryJob) -> None:
+        """Index the job, aging out the oldest finished jobs over the cap."""
+        self._jobs[job.query_id] = job
+        self._job_order.append(job.query_id)
+        while len(self._job_order) > self.max_jobs:
+            oldest_id = self._job_order[0]
+            oldest = self._jobs.get(oldest_id)
+            if oldest is not None and oldest.status not in _TERMINAL:
+                break  # never forget live work
+            self._job_order.popleft()
+            self._jobs.pop(oldest_id, None)
+
+    # -- the backpressure fast path ----------------------------------------
+
+    def shed_spec(self, spec: RunSpec) -> RunSpec:
+        """The strict-prefix spec served under saturation.
+
+        The Monte-Carlo budget is capped at ``shed_num_datasets`` and
+        adaptive growth is disabled — the cheapest honest answer the
+        machinery can produce now; every statistic still carries exact
+        confidence intervals at the reduced Δ.
+        """
+        return replace(
+            spec,
+            num_datasets=min(spec.num_datasets, self.shed_num_datasets),
+            delta_max=None,
+        )
+
+    def _run_shed(self, job: QueryJob) -> None:
+        degraded_spec = self.shed_spec(job.spec)
+        job.shed = degraded_spec != job.spec
+        with self._lock:
+            self._shed_count += 1 if job.shed else 0
+        job.status = "running"
+        try:
+            result = self.state.engine().run(degraded_spec, dataset=job.fingerprint)
+        except Exception as error:  # noqa: BLE001 - surfaced as job status
+            job._finish(None, f"{type(error).__name__}: {error}", self._clock)
+            return
+        job._finish(result, None, self._clock)
+        if job.shed:
+            with self._lock:
+                if not self._stopping:
+                    self._refine.append(job)
+                    self._wake.notify()
+
+    # -- workers ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            refine = False
+            with self._lock:
+                while (
+                    not self._pending
+                    and not self._refine
+                    and not self._stopping
+                ):
+                    self._wake.wait()
+                if self._pending:
+                    job = self._pending.popleft()
+                elif self._refine:
+                    job, refine = self._refine.popleft(), True
+                else:  # stopping and drained
+                    return
+                self._running += 1
+            try:
+                if refine:
+                    self._run_refinement(job)
+                else:
+                    self._run_job(job)
+            finally:
+                with self._lock:
+                    self._running -= 1
+                    self._wake.notify_all()
+
+    def _run_job(self, job: QueryJob) -> None:
+        job.status = "running"
+        try:
+            result = self.state.engine().run(job.spec, dataset=job.fingerprint)
+        except Exception as error:  # noqa: BLE001 - surfaced as job status
+            job._finish(None, f"{type(error).__name__}: {error}", self._clock)
+            return
+        job._finish(result, None, self._clock)
+
+    def _run_refinement(self, job: QueryJob) -> None:
+        """Replay a shed job at full budget and upgrade its stored answer."""
+        with self._lock:
+            if self._pending:
+                # Interactive work arrived while we were dequeued; put the
+                # refinement back and let the pending query win this slot.
+                self._refine.appendleft(job)
+                return
+        job.refining = True
+        try:
+            engine = self.state.engine()
+            engine.warm(job.spec, dataset=job.fingerprint)
+            result = engine.run(job.spec, dataset=job.fingerprint)
+        except Exception:  # noqa: BLE001 - refinement is best-effort
+            job.refining = False
+            return  # the shed answer stands; it is already honest
+        job._finish(result, None, self._clock, refined=True)
+        with self._lock:
+            self._refined_count += 1
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Queue depths and lifecycle counters for ``GET /v1/statz``."""
+        with self._lock:
+            statuses: dict[str, int] = {}
+            for job in self._jobs.values():
+                statuses[job.status] = statuses.get(job.status, 0) + 1
+            return {
+                "queue_depth": len(self._pending),
+                "refine_depth": len(self._refine),
+                "running": self._running,
+                "capacity": self.max_pending,
+                "shed": self._shed_count,
+                "refined": self._refined_count,
+                "jobs": statuses,
+            }
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain the queues, and join the workers."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            self._wake.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=timeout)

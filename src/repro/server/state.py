@@ -1,0 +1,303 @@
+"""Server state: the session/shareable split the serving layer demands.
+
+The ROADMAP's serving item calls for splitting *session* state (one
+executor, shared-memory segments, per-session memos) from *shareable* state
+(stores, fingerprints).  :class:`ServerState` realizes that split for a
+multi-threaded server:
+
+* **shareable, one per server** — a
+  :class:`~repro.engine.registry.DatasetRegistry` (content-fingerprinted
+  datasets, packed indexes built once), an
+  :class:`~repro.server.cache.EvictingArtifactStore` (single-flight,
+  LRU/TTL/bytes) over the optional durable store, and the per-tenant
+  dataset namespaces;
+* **session, one per worker thread** — an :class:`~repro.engine.Engine`
+  holding its own executor and memo state, created lazily via
+  :meth:`ServerState.engine` and torn down together in :meth:`close`.
+
+Because every Engine shares the registry and the store, the single-flight
+contract holds server-wide: N concurrent identical queries — from any mix
+of tenants and worker threads — pay for exactly one Monte-Carlo
+simulation.
+
+Tenancy is a namespacing layer, not a sandbox per dataset *content*:
+tenants address datasets through their own opaque ``dataset_id``s (never
+another tenant's), while identical content uploaded by two tenants
+deduplicates onto one fingerprint, one packed index and one set of
+artifacts — cross-tenant *computation* sharing with zero cross-tenant
+*identifier* visibility.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import uuid
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.data.dataset import TransactionDataset
+from repro.engine import DatasetRegistry, Engine, EngineStats
+from repro.engine.store import ArtifactStore
+from repro.server.cache import EvictingArtifactStore
+
+__all__ = ["ServerState", "TenantDataset", "TenantNamespace"]
+
+#: Tenant and dataset-id grammar: URL-safe, no path separators, bounded.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def _validate_name(kind: str, value: str) -> str:
+    if not isinstance(value, str) or not _NAME_PATTERN.match(value):
+        raise ValueError(
+            f"invalid {kind} {value!r}: expected 1-64 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class TenantDataset:
+    """One dataset as a tenant sees it: an opaque id plus display facts."""
+
+    dataset_id: str
+    fingerprint: str
+    name: Optional[str]
+    num_transactions: int
+    num_items: int
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (the dataset-listing row)."""
+        return {
+            "dataset_id": self.dataset_id,
+            "fingerprint": self.fingerprint,
+            "name": self.name,
+            "num_transactions": self.num_transactions,
+            "num_items": self.num_items,
+        }
+
+
+class TenantNamespace:
+    """The dataset ids one tenant can see, mapped onto shared fingerprints."""
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._by_id: dict[str, TenantDataset] = {}
+        self._by_fingerprint: dict[str, str] = {}
+
+    def add(
+        self, fingerprint: str, dataset: TransactionDataset, name: Optional[str]
+    ) -> tuple[TenantDataset, bool]:
+        """Map a registered fingerprint into this namespace.
+
+        Re-uploading content this tenant already registered returns the
+        existing id (``deduplicated=True``) instead of minting a new one.
+        """
+        with self._lock:
+            existing_id = self._by_fingerprint.get(fingerprint)
+            if existing_id is not None:
+                return self._by_id[existing_id], True
+            dataset_id = f"ds-{uuid.uuid4().hex[:12]}"
+            entry = TenantDataset(
+                dataset_id=dataset_id,
+                fingerprint=fingerprint,
+                name=name,
+                num_transactions=dataset.num_transactions,
+                num_items=dataset.num_items,
+            )
+            self._by_id[dataset_id] = entry
+            self._by_fingerprint[fingerprint] = dataset_id
+            return entry, False
+
+    def get(self, dataset_id: str) -> TenantDataset:
+        """Resolve one of *this tenant's* dataset ids (KeyError otherwise)."""
+        with self._lock:
+            entry = self._by_id.get(dataset_id)
+        if entry is None:
+            raise KeyError(
+                f"tenant {self.tenant!r} has no dataset {dataset_id!r}"
+            )
+        return entry
+
+    def list(self) -> list[TenantDataset]:
+        """Every dataset of this tenant, in registration order."""
+        with self._lock:
+            return list(self._by_id.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_id)
+
+
+class ServerState:
+    """Shared + per-worker state behind the HTTP front end.
+
+    Parameters
+    ----------
+    store:
+        Durable artifact tier (e.g. a
+        :class:`~repro.engine.DirectoryArtifactStore`), or an
+        :class:`EvictingArtifactStore` to take full control of the caching
+        policy; plain stores are wrapped in an :class:`EvictingArtifactStore`
+        with the ``cache_*`` budgets below.
+    cache_bytes / cache_entries / cache_ttl:
+        Budgets of the wrapping cache when ``store`` is not already an
+        :class:`EvictingArtifactStore`.
+    backend / n_jobs:
+        Forwarded to every worker Engine.
+    executor:
+        Executor spec forwarded to worker Engines — a name
+        (``"serial"``/``"thread"``/``"process"``), ``None``, or a zero-arg
+        *factory* returning a fresh :class:`repro.parallel.Executor` per
+        worker Engine (the factory-built executors are owned and closed by
+        this state).
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore] = None,
+        *,
+        backend: Optional[str] = None,
+        n_jobs: int = 1,
+        executor: Union[str, Callable, None] = None,
+        cache_bytes: Optional[int] = None,
+        cache_entries: Optional[int] = None,
+        cache_ttl: Optional[float] = None,
+        clock: Callable[[], float] = None,  # type: ignore[assignment]
+    ) -> None:
+        import time
+
+        clock = time.monotonic if clock is None else clock
+        if isinstance(store, EvictingArtifactStore):
+            self.store = store
+        else:
+            self.store = EvictingArtifactStore(
+                store,
+                max_bytes=cache_bytes,
+                max_entries=cache_entries,
+                ttl=cache_ttl,
+                clock=clock,
+            )
+        self.registry = DatasetRegistry()
+        self.backend = backend
+        self.n_jobs = int(n_jobs)
+        self._executor_spec = executor
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantNamespace] = {}
+        self._engines: list[Engine] = []
+        self._owned_executors: list = []
+        self._local = threading.local()
+        self._closed = False
+
+    # -- tenancy ------------------------------------------------------------
+
+    def tenant(self, name: str) -> TenantNamespace:
+        """The namespace for ``name``, created on first use."""
+        _validate_name("tenant", name)
+        with self._lock:
+            namespace = self._tenants.get(name)
+            if namespace is None:
+                namespace = self._tenants[name] = TenantNamespace(name)
+            return namespace
+
+    def tenants(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._tenants)
+
+    def register_dataset(
+        self,
+        tenant: str,
+        dataset: TransactionDataset,
+        name: Optional[str] = None,
+    ) -> tuple[TenantDataset, bool]:
+        """Register content for a tenant; returns ``(entry, deduplicated)``.
+
+        The dataset lands in the shared registry (one packed index per
+        distinct content, server-wide) but is addressable only through the
+        tenant's own namespace.  Aliases are *not* installed in the shared
+        registry — a tenant-chosen name must never resolve for another
+        tenant.
+        """
+        from repro.fim.bitmap import resolve_backend
+
+        namespace = self.tenant(tenant)
+        fingerprint, _ = self.registry.register(
+            dataset,
+            build_packed=resolve_backend(self.backend) == "numpy",
+            alias=False,
+        )
+        return namespace.add(fingerprint, dataset, name)
+
+    def resolve_dataset(self, tenant: str, dataset_id: str) -> TenantDataset:
+        """Resolve a dataset id *within* a tenant's namespace."""
+        return self.tenant(tenant).get(dataset_id)
+
+    # -- per-worker engines --------------------------------------------------
+
+    def engine(self) -> Engine:
+        """The calling thread's Engine, created on first use.
+
+        Every Engine shares the registry and the (single-flight) store;
+        executor and memo state stay thread-private, so worker threads never
+        contend on session state.
+        """
+        engine = getattr(self._local, "engine", None)
+        if engine is None:
+            if self._closed:
+                raise RuntimeError("ServerState is closed")
+            spec = self._executor_spec
+            owned = None
+            if callable(spec) and not isinstance(spec, str):
+                owned = spec()
+                spec = owned
+            engine = Engine(
+                self.store,
+                backend=self.backend,
+                n_jobs=self.n_jobs,
+                executor=spec,
+                registry=self.registry,
+            )
+            self._local.engine = engine
+            with self._lock:
+                self._engines.append(engine)
+                if owned is not None:
+                    self._owned_executors.append(owned)
+        return engine
+
+    def engine_stats(self) -> EngineStats:
+        """Aggregate counters across every worker Engine."""
+        totals = EngineStats()
+        with self._lock:
+            engines = list(self._engines)
+        for engine in engines:
+            totals.simulations_run += engine.stats.simulations_run
+            totals.artifact_cache_hits += engine.stats.artifact_cache_hits
+            totals.datasets_registered += engine.stats.datasets_registered
+        # Registrations mostly happen through register_dataset (no Engine),
+        # so report the registry's ground truth instead of the per-Engine sum.
+        totals.datasets_registered = len(self.registry)
+        return totals
+
+    def close(self) -> None:
+        """Tear down every worker Engine and owned executor.  Idempotent."""
+        with self._lock:
+            engines, self._engines = self._engines, []
+            owned, self._owned_executors = self._owned_executors, []
+            self._closed = True
+        for engine in engines:
+            engine.close()
+        for executor in owned:
+            executor.close()
+
+    def __enter__(self) -> "ServerState":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServerState: {len(self.registry)} datasets, "
+            f"{len(self.tenants())} tenants>"
+        )

@@ -291,3 +291,108 @@ class TestArtifactVersioning:
             loaded.without_estimator().to_json()
             == threshold.without_estimator().to_json()
         )
+
+
+class TestLockFileHygiene:
+    """Sidecar ``.lock`` files must not accumulate without bound."""
+
+    def _artifact(self, dataset, key="k"):
+        from repro.core.null_models import BernoulliNull
+        from repro.core.poisson_threshold import find_poisson_threshold
+        from repro.engine.store import NullArtifact
+
+        threshold = find_poisson_threshold(
+            BernoulliNull.from_dataset(dataset), 2, num_datasets=4, rng=0
+        )
+        return NullArtifact(key=key, threshold=threshold)
+
+    def test_single_flight_leaves_no_lock_files(self, planted_dataset, tmp_path):
+        store = DirectoryArtifactStore(tmp_path)
+        for index in range(5):
+            key = f"key-{index}"
+            store.single_flight(key, lambda k=key: self._artifact(planted_dataset, k))
+        assert len(list(tmp_path.glob("*.json"))) == 5
+        assert list(tmp_path.glob("*.lock")) == []
+
+    def test_save_cleans_its_own_lock(self, planted_dataset, tmp_path):
+        store = DirectoryArtifactStore(tmp_path)
+        store.save("k", self._artifact(planted_dataset))
+        assert list(tmp_path.glob("*.lock")) == []
+
+    def test_degraded_miss_keeps_the_lock_until_persisted(
+        self, planted_dataset, tmp_path
+    ):
+        # A flight that declines to persist (degraded result) leaves the
+        # lock file in place: the key is still a miss, so the file still
+        # guards future flights.
+        store = DirectoryArtifactStore(tmp_path)
+        store.single_flight(
+            "k",
+            lambda: self._artifact(planted_dataset),
+            persist=lambda artifact: False,
+        )
+        assert len(list(tmp_path.glob("*.lock"))) == 1
+        # Once the artifact lands, the next flight cleans the sidecar up.
+        store.single_flight("k", lambda: self._artifact(planted_dataset))
+        assert list(tmp_path.glob("*.lock")) == []
+
+    def test_cleanup_stale_locks_policy(self, planted_dataset, tmp_path):
+        import os
+        import time
+
+        store = DirectoryArtifactStore(tmp_path)
+        # (1) a lock whose artifact exists (crash between save and cleanup).
+        store.save("persisted", self._artifact(planted_dataset, "persisted"))
+        backed_path = store._paths("persisted")[0].with_suffix(".lock")
+        backed_path.touch()
+        # (2) an old orphan (crashed mid-simulation long ago).
+        old_orphan = store._paths("old-orphan")[0].with_suffix(".lock")
+        old_orphan.touch()
+        stale = time.time() - 7200
+        os.utime(old_orphan, (stale, stale))
+        # (3) a young orphan (a miss may be in flight right now): kept.
+        young_orphan = store._paths("young-orphan")[0].with_suffix(".lock")
+        young_orphan.touch()
+
+        removed = store.cleanup_stale_locks(max_age=3600.0)
+        assert removed == 2
+        assert not backed_path.exists()
+        assert not old_orphan.exists()
+        assert young_orphan.exists()
+        # Idempotent: nothing left to reclaim.
+        assert store.cleanup_stale_locks(max_age=3600.0) == 0
+
+    def test_cleanup_skips_locks_held_by_a_live_flight(
+        self, planted_dataset, tmp_path
+    ):
+        import os
+        import threading
+        import time
+
+        store = DirectoryArtifactStore(tmp_path)
+        entered = threading.Event()
+        release = threading.Event()
+
+        def compute():
+            entered.set()
+            release.wait(timeout=30.0)
+            return self._artifact(planted_dataset, "held")
+
+        flyer = threading.Thread(
+            target=lambda: store.single_flight("held", compute), daemon=True
+        )
+        flyer.start()
+        assert entered.wait(timeout=30.0)
+        lock_path = store._paths("held")[0].with_suffix(".lock")
+        assert lock_path.exists()
+        # Make it look ancient: age alone must not defeat the held flock.
+        stale = time.time() - 7200
+        os.utime(lock_path, (stale, stale))
+        # Another *thread* holds the flock via a different fd, so the
+        # non-blocking probe fails and the file survives.
+        assert store.cleanup_stale_locks(max_age=3600.0) == 0
+        assert lock_path.exists()
+        release.set()
+        flyer.join(timeout=30.0)
+        # The flight persisted and cleaned up after itself.
+        assert not lock_path.exists()

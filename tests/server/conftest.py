@@ -1,0 +1,56 @@
+"""Shared helpers for the server test tier.
+
+Every test talks to a real :class:`~repro.server.http.ReproServer` bound to
+an ephemeral localhost port, through plain stdlib HTTP clients — the tests
+exercise the full wire path, not handler internals.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+
+import pytest
+
+
+def http_json(port, method, path, body=None, headers=None, timeout=30.0):
+    """One HTTP exchange against a test server; returns (status, json)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload = None if body is None else json.dumps(body)
+        connection.request(method, path, body=payload, headers=headers or {})
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, (json.loads(raw) if raw else None)
+    finally:
+        connection.close()
+
+
+def wait_until(predicate, timeout=60.0, interval=0.02):
+    """Poll ``predicate`` until truthy; returns its value or fails the test."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    pytest.fail(f"condition not met within {timeout}s")
+
+
+def make_fimi(num_transactions=40, num_items=10, density=0.35, seed=7):
+    """A small BMS1-style market-basket dataset as FIMI text."""
+    rng = random.Random(seed)
+    lines = []
+    for _ in range(num_transactions):
+        txn = [item for item in range(num_items) if rng.random() < density]
+        if not txn:
+            txn = [rng.randrange(num_items)]
+        lines.append(" ".join(str(item) for item in txn))
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture
+def fimi_text():
+    return make_fimi()

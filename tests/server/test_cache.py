@@ -1,0 +1,287 @@
+"""Deterministic tests for :class:`repro.server.cache.EvictingArtifactStore`.
+
+Everything time-dependent runs on an injected fake clock, so TTL expiry and
+LRU order are exact assertions, not sleeps.  The load-bearing contracts:
+
+* TTL expiry drops entries at (not before) their deadline;
+* eviction under a byte/entry budget is strict LRU;
+* keys are never evicted mid-``single_flight`` (pinning), and concurrent
+  single-flight callers of one key pay exactly one compute;
+* evicted/expired keys re-simulate (fresh compute) rather than error.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.engine import MemoryArtifactStore
+from repro.engine.store import NullArtifact
+from repro.server import EvictingArtifactStore, artifact_nbytes
+from repro.server.cache import _ENTRY_OVERHEAD_BYTES
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_artifact(key: str, payload_bytes: int = 0) -> NullArtifact:
+    """A stand-in artifact whose estimator state has a known array size."""
+    estimator = SimpleNamespace(
+        state_dict=lambda: {
+            "profiles": np.zeros(payload_bytes, dtype=np.uint8),
+            "num_datasets": 1,
+        },
+        model=None,
+    )
+    threshold = SimpleNamespace(estimator=estimator)
+    return NullArtifact(key=key, threshold=threshold)
+
+
+class TestSizing:
+    def test_artifact_nbytes_counts_arrays_plus_overhead(self):
+        artifact = make_artifact("k", payload_bytes=1000)
+        assert artifact_nbytes(artifact) == _ENTRY_OVERHEAD_BYTES + 1000
+
+    def test_estimatorless_artifact_costs_overhead_only(self):
+        artifact = NullArtifact(key="k", threshold=SimpleNamespace(estimator=None))
+        assert artifact_nbytes(artifact) == _ENTRY_OVERHEAD_BYTES
+
+
+class TestTtl:
+    def test_entry_served_before_deadline_dropped_at_deadline(self):
+        clock = FakeClock()
+        cache = EvictingArtifactStore(ttl=10.0, clock=clock)
+        cache.save("k", make_artifact("k"))
+        clock.advance(9.999)
+        assert cache.load("k") is not None
+        clock.advance(0.001)  # exactly at the deadline
+        assert cache.load("k") is None
+        assert cache.stats.expirations == 1
+
+    def test_expired_key_falls_through_to_inner_store(self):
+        clock = FakeClock()
+        inner = MemoryArtifactStore()
+        cache = EvictingArtifactStore(inner, ttl=5.0, clock=clock)
+        cache.save("k", make_artifact("k"))
+        clock.advance(5.0)
+        artifact = cache.load("k")  # expired in memory, promoted from inner
+        assert artifact is not None
+        assert cache.stats.expirations == 1
+        assert cache.stats.inner_hits == 1
+        # Re-admission restarts the TTL.
+        clock.advance(4.999)
+        assert cache.load("k") is not None
+        assert cache.stats.hits == 1
+
+    def test_purge_expired_reports_drops(self):
+        clock = FakeClock()
+        cache = EvictingArtifactStore(ttl=1.0, clock=clock)
+        for name in ("a", "b", "c"):
+            cache.save(name, make_artifact(name))
+        clock.advance(1.0)
+        assert cache.purge_expired() == 3
+        assert len(cache) == 0
+
+    def test_expired_key_recomputes_in_single_flight(self):
+        clock = FakeClock()
+        cache = EvictingArtifactStore(ttl=1.0, clock=clock)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return make_artifact("k")
+
+        _, fresh = cache.single_flight("k", compute)
+        assert fresh and len(calls) == 1
+        clock.advance(1.0)
+        _, fresh = cache.single_flight("k", compute)
+        assert fresh and len(calls) == 2  # expired: re-simulated, no error
+
+
+class TestLru:
+    def test_lru_eviction_order_under_entry_budget(self):
+        cache = EvictingArtifactStore(max_entries=2)
+        cache.save("a", make_artifact("a"))
+        cache.save("b", make_artifact("b"))
+        assert cache.load("a") is not None  # refresh a: b becomes LRU
+        cache.save("c", make_artifact("c"))
+        assert cache.load("b") is None  # b was evicted, not a
+        assert cache.load("a") is not None
+        assert cache.load("c") is not None
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_evicts_oldest_first(self):
+        entry_size = _ENTRY_OVERHEAD_BYTES + 1000
+        cache = EvictingArtifactStore(max_bytes=2 * entry_size)
+        for name in ("a", "b", "c"):
+            cache.save(name, make_artifact(name, payload_bytes=1000))
+        assert cache.load("a") is None
+        assert cache.load("b") is not None
+        assert cache.load("c") is not None
+        assert cache.stats.current_bytes == 2 * entry_size
+
+    def test_evicted_key_recomputes_rather_than_errors(self):
+        cache = EvictingArtifactStore(max_entries=1)
+        computes = []
+
+        def compute_for(key):
+            def compute():
+                computes.append(key)
+                return make_artifact(key)
+
+            return compute
+
+        cache.single_flight("a", compute_for("a"))
+        cache.single_flight("b", compute_for("b"))  # evicts a
+        artifact, fresh = cache.single_flight("a", compute_for("a"))
+        assert fresh
+        assert artifact is not None
+        assert computes == ["a", "b", "a"]
+
+    def test_evicted_key_reloads_from_inner_store(self):
+        inner = MemoryArtifactStore()
+        cache = EvictingArtifactStore(inner, max_entries=1)
+        cache.save("a", make_artifact("a"))
+        cache.save("b", make_artifact("b"))  # evicts a from the hot tier
+        assert cache.stats.evictions == 1
+        assert cache.load("a") is not None  # quietly promoted back
+        assert cache.stats.inner_hits == 1
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_pay_one_compute(self):
+        cache = EvictingArtifactStore()
+        release = threading.Event()
+        computes = []
+        results = []
+
+        def compute():
+            computes.append(threading.get_ident())
+            release.wait(timeout=10.0)
+            return make_artifact("k")
+
+        def flyer():
+            results.append(cache.single_flight("k", compute))
+
+        threads = [threading.Thread(target=flyer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        # Give the first caller time to enter compute, then release everyone.
+        for _ in range(100):
+            if computes:
+                break
+            threading.Event().wait(0.01)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert len(computes) == 1
+        assert len(results) == 4
+        assert sum(1 for _, fresh in results if fresh) == 1
+        artifacts = {id(artifact) for artifact, _ in results}
+        assert len(artifacts) == 1  # everyone sees the one computed artifact
+
+    def test_in_flight_key_is_never_evicted(self):
+        """Eviction pressure during a flight cannot drop the flight's key."""
+        cache = EvictingArtifactStore(max_entries=1)
+        entered = threading.Event()
+        release = threading.Event()
+        outcome = {}
+
+        def compute():
+            entered.set()
+            release.wait(timeout=10.0)
+            return make_artifact("hot")
+
+        def flyer():
+            outcome["result"] = cache.single_flight("hot", compute)
+
+        thread = threading.Thread(target=flyer)
+        thread.start()
+        assert entered.wait(timeout=10.0)
+        # While 'hot' is in flight, hammer the cache over its budget.
+        for index in range(5):
+            cache.save(f"filler-{index}", make_artifact(f"filler-{index}"))
+        release.set()
+        thread.join(timeout=10.0)
+        artifact, fresh = outcome["result"]
+        assert fresh
+        # The freshly admitted artifact survived the eviction pressure and
+        # is immediately loadable (the fillers were evicted instead).
+        assert cache.load("hot") is artifact
+
+    def test_directory_inner_store_persists_without_self_deadlock(
+        self, tiny_dataset, tmp_path
+    ):
+        """The flight holds the directory store's flock while persisting.
+
+        flock is not reentrant across file descriptors, so the write-through
+        must go via ``save_locked`` — a plain ``save`` inside the held lock
+        would deadlock against itself.  This completes (quickly) and leaves
+        the artifact durable on disk.
+        """
+        from repro.core.null_models import BernoulliNull
+        from repro.core.poisson_threshold import find_poisson_threshold
+        from repro.engine import DirectoryArtifactStore
+
+        inner = DirectoryArtifactStore(tmp_path)
+        cache = EvictingArtifactStore(inner)
+        threshold = find_poisson_threshold(
+            BernoulliNull.from_dataset(tiny_dataset), 2, num_datasets=4, rng=0
+        )
+
+        def compute():
+            return NullArtifact(key="k", threshold=threshold)
+
+        done = threading.Event()
+        result = {}
+
+        def flyer():
+            result["value"] = cache.single_flight("k", compute)
+            done.set()
+
+        thread = threading.Thread(target=flyer, daemon=True)
+        thread.start()
+        assert done.wait(timeout=30.0), "single_flight deadlocked"
+        thread.join()
+        _, fresh = result["value"]
+        assert fresh
+        assert inner.load("k") is not None  # durably written through
+        assert cache.stats.persist_failures == 0
+
+    def test_degraded_artifacts_respect_persist_predicate(self):
+        inner = MemoryArtifactStore()
+        cache = EvictingArtifactStore(inner)
+        artifact, fresh = cache.single_flight(
+            "k", lambda: make_artifact("k"), persist=lambda a: False
+        )
+        assert fresh
+        assert cache.load("k") is None  # not admitted anywhere
+        assert inner.load("k") is None
+
+
+class TestValidation:
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            EvictingArtifactStore(max_bytes=-1)
+        with pytest.raises(ValueError):
+            EvictingArtifactStore(max_entries=0)
+        with pytest.raises(ValueError):
+            EvictingArtifactStore(ttl=0)
+
+    def test_keys_unions_hot_and_inner(self):
+        inner = MemoryArtifactStore()
+        inner.save("cold", make_artifact("cold"))
+        cache = EvictingArtifactStore(inner)
+        cache.save("hot", make_artifact("hot"))
+        assert set(cache.keys()) == {"hot", "cold"}

@@ -1,0 +1,195 @@
+"""Chaos tier for the serving path: faults under live HTTP traffic.
+
+Extends the :class:`~repro.parallel.FaultPlan` machinery through the whole
+server stack.  The contract under fire:
+
+* exhausted draw retries mid-query surface as a well-formed
+  ``degraded=True`` result document — never an HTTP 500, never a torn
+  half-answer;
+* a torn artifact write (simulated disk crash) costs durability, not
+  correctness: the in-memory answer is served, the failure is counted in
+  ``/v1/statz``, and a fresh server over the same directory re-simulates
+  from the honest cache miss;
+* a SIGKILLed worker process behind the server recovers through the retry
+  machinery and still yields a full-budget, non-degraded answer.
+
+Run via ``make chaos`` (alongside ``tests/parallel/test_faults.py``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.engine import DirectoryArtifactStore
+from repro.parallel import FaultPlan, ProcessExecutor, RetryPolicy, SerialExecutor
+from repro.server import ReproServer, ServerState
+
+from tests.server.conftest import http_json, wait_until
+
+pytestmark = pytest.mark.chaos
+
+SPEC = {
+    "ks": [2],
+    "epsilon": 0.1,
+    "num_datasets": 12,
+    "seed": 3,
+}
+
+
+def upload(port, tenant, data):
+    status, payload = http_json(
+        port, "POST", f"/v1/tenants/{tenant}/datasets", {"data": data}
+    )
+    assert status == 201, payload
+    return payload
+
+
+def run_query(port, tenant, dataset_id, timeout=120.0, **overrides):
+    """Submit and poll one query; asserts no response is ever a 5xx."""
+    status, submitted = http_json(
+        port,
+        "POST",
+        f"/v1/tenants/{tenant}/queries",
+        dict(SPEC, dataset=dataset_id, **overrides),
+    )
+    assert status in (200, 202), submitted
+
+    def poll():
+        code, document = http_json(
+            port, "GET", f"/v1/queries/{submitted['query_id']}"
+        )
+        assert code == 200, document
+        return document if document["status"] in ("done", "failed") else None
+
+    return wait_until(poll, timeout=timeout)
+
+
+class TestDrawFaultsDegradeGracefully:
+    def test_exhausted_retries_yield_degraded_not_500(self, fimi_text):
+        # Every worker Engine gets an executor whose draw 2 always fails
+        # with no retries left: the Engine's recovery path serves the
+        # honest strict prefix (draws 0-1) with degraded=True.
+        def faulty_executor():
+            return SerialExecutor(
+                retry_policy=RetryPolicy(max_retries=0),
+                fault_plan=FaultPlan().fail_draw(2, attempt=None),
+            )
+
+        state = ServerState(executor=faulty_executor)
+        with ReproServer(state, max_workers=2, max_pending=64) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+
+            def client(_index):
+                return run_query(server.port, "acme", dataset["dataset_id"])
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                documents = list(pool.map(client, range(6)))
+
+            for document in documents:
+                assert document["status"] == "done"
+                assert document["error"] is None
+                assert document["degraded"] is True
+                # The strict prefix: exactly the two draws before the fault.
+                assert document["delta_spent"] == {"2": 2}
+                assert document["result"] is not None
+
+            # Degraded artifacts are never admitted to the cache — nothing
+            # dishonest can be served to a later, fault-free session.
+            _, statz = http_json(server.port, "GET", "/v1/statz")
+            assert statz["cache"]["entries"] == 0
+
+    def test_degraded_run_not_persisted_to_disk(self, fimi_text, tmp_path):
+        def faulty_executor():
+            return SerialExecutor(
+                retry_policy=RetryPolicy(max_retries=0),
+                fault_plan=FaultPlan().fail_draw(1, attempt=None),
+            )
+
+        store = DirectoryArtifactStore(tmp_path)
+        state = ServerState(store, executor=faulty_executor)
+        with ReproServer(state, max_workers=1, max_pending=64) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            document = run_query(server.port, "acme", dataset["dataset_id"])
+            assert document["degraded"] is True
+        assert list(DirectoryArtifactStore(tmp_path).keys()) == []
+
+
+class TestTornWritesCostDurabilityNotCorrectness:
+    def test_torn_artifact_write_served_from_memory(self, fimi_text, tmp_path):
+        # The store tears the artifact JSON mid-write (simulated crash).
+        store = DirectoryArtifactStore(
+            tmp_path, fault_plan=FaultPlan().tear_write(target="json", at_byte=16)
+        )
+        state = ServerState(store)
+        with ReproServer(state, max_workers=2, max_pending=64) as server:
+            port = server.port
+            dataset = upload(port, "acme", fimi_text)
+            document = run_query(port, "acme", dataset["dataset_id"])
+            # The simulation itself succeeded: full budget, not degraded.
+            assert document["status"] == "done"
+            assert document["degraded"] is False
+            assert document["delta_spent"] == {"2": SPEC["num_datasets"]}
+            # Durability failed and was counted, nothing more.
+            _, statz = http_json(port, "GET", "/v1/statz")
+            assert statz["cache"]["persist_failures"] == 1
+            # The hot tier still serves the key without re-simulating.
+            repeat = run_query(port, "acme", dataset["dataset_id"])
+            assert repeat["status"] == "done"
+            _, statz = http_json(port, "GET", "/v1/statz")
+            assert statz["engine"]["simulations_run"] == 1
+
+        # "Crash": a fresh server over the same directory sees an honest
+        # miss (torn file never became visible) and re-simulates cleanly.
+        with ReproServer(
+            ServerState(DirectoryArtifactStore(tmp_path)),
+            max_workers=1,
+            max_pending=64,
+        ) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            document = run_query(server.port, "acme", dataset["dataset_id"])
+            assert document["status"] == "done"
+            assert document["degraded"] is False
+            _, statz = http_json(server.port, "GET", "/v1/statz")
+            assert statz["engine"]["simulations_run"] == 1
+            assert statz["cache"]["persist_failures"] == 0
+
+    def test_concurrent_queries_during_torn_write_never_500(
+        self, fimi_text, tmp_path
+    ):
+        store = DirectoryArtifactStore(
+            tmp_path, fault_plan=FaultPlan().tear_write(target="json", at_byte=8)
+        )
+        state = ServerState(store)
+        with ReproServer(state, max_workers=4, max_pending=64) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+
+            def client(seed):
+                return run_query(
+                    server.port, "acme", dataset["dataset_id"], seed=seed
+                )
+
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                documents = list(pool.map(client, [1, 2, 3, 4] * 2))
+            assert all(doc["status"] == "done" for doc in documents)
+            assert all(doc["error"] is None for doc in documents)
+
+
+class TestWorkerKillRecovery:
+    def test_sigkilled_worker_recovers_to_full_budget(self, fimi_text):
+        # Draw 1's worker is SIGKILLed on its first attempt; the default
+        # retry policy respawns and replays, so the served answer is the
+        # full-budget, non-degraded one.
+        def killing_executor():
+            return ProcessExecutor(
+                2, fault_plan=FaultPlan().kill_worker(1)
+            )
+
+        state = ServerState(executor=killing_executor)
+        with ReproServer(state, max_workers=1, max_pending=64) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            document = run_query(server.port, "acme", dataset["dataset_id"])
+            assert document["status"] == "done"
+            assert document["degraded"] is False
+            assert document["delta_spent"] == {"2": SPEC["num_datasets"]}

@@ -1,0 +1,354 @@
+"""Concurrency stress tier: N parallel clients against one live server.
+
+The acceptance contract of the serving layer, asserted over the real wire
+path (threads *and* asyncio clients):
+
+* N concurrent identical queries pay for **exactly one** Monte-Carlo
+  simulation per artifact key, and every client reads a **bit-identical**
+  result document;
+* tenants never see each other's dataset ids or query ids, while identical
+  *content* deduplicates onto shared fingerprints and shared simulations;
+* a saturated admission queue answers immediately from an honest
+  strict-prefix budget (``degraded=True``) and background refinement later
+  upgrades the stored answer to the full budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.server import ReproServer
+
+from tests.server.conftest import http_json, make_fimi, wait_until
+
+SPEC = {
+    "ks": [2],
+    "alphas": [0.05],
+    "betas": [0.05],
+    "epsilon": 0.1,
+    "num_datasets": 12,
+    "seed": 11,
+}
+
+
+def upload(port, tenant, data, name=None):
+    body = {"data": data}
+    if name is not None:
+        body["name"] = name
+    status, payload = http_json(
+        port, "POST", f"/v1/tenants/{tenant}/datasets", body
+    )
+    assert status in (200, 201), payload
+    return payload
+
+
+def submit(port, tenant, dataset_id, **overrides):
+    body = dict(SPEC, dataset=dataset_id, **overrides)
+    status, payload = http_json(
+        port, "POST", f"/v1/tenants/{tenant}/queries", body
+    )
+    assert status in (200, 202), payload
+    return payload
+
+
+def finished(port, query_id, tenant=None, timeout=60.0):
+    """Poll a query until it leaves the queue; returns the final document."""
+    headers = {"X-Tenant": tenant} if tenant else None
+
+    def poll():
+        status, payload = http_json(
+            port, "GET", f"/v1/queries/{query_id}", headers=headers
+        )
+        assert status == 200, payload
+        return payload if payload["status"] in ("done", "failed") else None
+
+    return wait_until(poll, timeout=timeout)
+
+
+def canonical(document):
+    """The result payload, serialized canonically for bitwise comparison."""
+    return json.dumps(document["result"], sort_keys=True)
+
+
+class TestParallelIdenticalQueries:
+    def test_one_simulation_bit_identical_results(self, fimi_text):
+        num_clients = 12
+        with ReproServer(max_workers=4, max_pending=64) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+
+            def client(_index):
+                submitted = submit(server.port, "acme", dataset["dataset_id"])
+                return finished(server.port, submitted["query_id"], "acme")
+
+            with ThreadPoolExecutor(max_workers=num_clients) as pool:
+                documents = list(pool.map(client, range(num_clients)))
+
+            assert all(doc["status"] == "done" for doc in documents)
+            assert all(doc["degraded"] is False for doc in documents)
+            payloads = {canonical(doc) for doc in documents}
+            assert len(payloads) == 1, "identical queries must be bit-identical"
+            assert documents[0]["delta_spent"] == {"2": SPEC["num_datasets"]}
+
+            status, statz = http_json(server.port, "GET", "/v1/statz")
+            assert status == 200
+            # One artifact key (one k, one seed, one Δ) → one simulation,
+            # no matter how many clients or worker threads raced for it.
+            assert statz["engine"]["simulations_run"] == 1
+            assert statz["queue"]["jobs"] == {"done": num_clients}
+
+    def test_distinct_keys_each_simulate_once(self, fimi_text):
+        seeds = [1, 2, 3, 4]
+        with ReproServer(max_workers=4, max_pending=64) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+
+            def client(seed):
+                # Two clients per seed: every artifact key is contended.
+                submitted = submit(
+                    server.port, "acme", dataset["dataset_id"], seed=seed
+                )
+                return seed, finished(server.port, submitted["query_id"])
+
+            with ThreadPoolExecutor(max_workers=2 * len(seeds)) as pool:
+                documents = list(pool.map(client, seeds + seeds))
+
+            by_seed = {}
+            for seed, document in documents:
+                assert document["status"] == "done"
+                by_seed.setdefault(seed, set()).add(canonical(document))
+            # Same seed → identical bits; different seed → different runs.
+            assert all(len(variants) == 1 for variants in by_seed.values())
+            assert len(set().union(*by_seed.values())) == len(seeds)
+
+            _, statz = http_json(server.port, "GET", "/v1/statz")
+            assert statz["engine"]["simulations_run"] == len(seeds)
+
+
+class TestAsyncioClients:
+    def test_async_client_swarm(self, fimi_text):
+        """The asyncio flavor of the swarm: raw HTTP over open_connection."""
+
+        async def exchange(port, method, path, body=None):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            payload = b"" if body is None else json.dumps(body).encode()
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: 127.0.0.1:{port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            writer.write(head + payload)
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, _, body = raw.partition(b"\r\n\r\n")
+            status = int(head.split(b" ", 2)[1])
+            return status, json.loads(body)
+
+        async def client(port, dataset_id):
+            status, submitted = await exchange(
+                port,
+                "POST",
+                "/v1/tenants/acme/queries",
+                dict(SPEC, dataset=dataset_id),
+            )
+            assert status in (200, 202), submitted
+            while True:
+                status, document = await exchange(
+                    port, "GET", f"/v1/queries/{submitted['query_id']}"
+                )
+                assert status == 200
+                if document["status"] in ("done", "failed"):
+                    return document
+                await asyncio.sleep(0.02)
+
+        async def swarm(port, dataset_id, count):
+            return await asyncio.gather(
+                *(client(port, dataset_id) for _ in range(count))
+            )
+
+        with ReproServer(max_workers=4, max_pending=64) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            documents = asyncio.run(
+                swarm(server.port, dataset["dataset_id"], 8)
+            )
+            assert all(doc["status"] == "done" for doc in documents)
+            assert len({canonical(doc) for doc in documents}) == 1
+            _, statz = http_json(server.port, "GET", "/v1/statz")
+            assert statz["engine"]["simulations_run"] == 1
+
+
+class TestTenantIsolation:
+    def test_content_shared_identifiers_private(self, fimi_text):
+        with ReproServer(max_workers=2, max_pending=64) as server:
+            port = server.port
+            acme = upload(port, "acme", fimi_text, name="acme-baskets")
+            globex = upload(port, "globex", fimi_text, name="globex-baskets")
+
+            # Identical content deduplicates onto one fingerprint but the
+            # tenants receive distinct, private dataset ids.
+            assert acme["fingerprint"] == globex["fingerprint"]
+            assert acme["dataset_id"] != globex["dataset_id"]
+
+            # A tenant cannot address the other's dataset id...
+            status, payload = http_json(
+                port,
+                "POST",
+                "/v1/tenants/globex/queries",
+                dict(SPEC, dataset=acme["dataset_id"]),
+            )
+            assert status == 404, payload
+            # ...nor see it in their listing.
+            _, listing = http_json(port, "GET", "/v1/tenants/globex/datasets")
+            assert [d["dataset_id"] for d in listing["datasets"]] == [
+                globex["dataset_id"]
+            ]
+            assert listing["datasets"][0]["name"] == "globex-baskets"
+
+            # Both tenants run the same spec concurrently: results agree
+            # bitwise and the simulation is paid for once, server-wide.
+            def client(tenant, dataset_id):
+                submitted = submit(port, tenant, dataset_id)
+                return finished(port, submitted["query_id"], tenant)
+
+            with ThreadPoolExecutor(max_workers=2) as pool:
+                acme_future = pool.submit(client, "acme", acme["dataset_id"])
+                globex_future = pool.submit(
+                    client, "globex", globex["dataset_id"]
+                )
+                acme_doc = acme_future.result()
+                globex_doc = globex_future.result()
+            assert canonical(acme_doc) == canonical(globex_doc)
+            _, statz = http_json(port, "GET", "/v1/statz")
+            assert statz["engine"]["simulations_run"] == 1
+            assert statz["tenants"] == 2
+
+            # Query ids do not leak across tenants: asking for acme's query
+            # as globex is indistinguishable from a nonexistent id.
+            status, payload = http_json(
+                port,
+                "GET",
+                f"/v1/queries/{acme_doc['query_id']}",
+                headers={"X-Tenant": "globex"},
+            )
+            assert status == 404
+            status, _ = http_json(
+                port,
+                "GET",
+                f"/v1/queries/{acme_doc['query_id']}",
+                headers={"X-Tenant": "acme"},
+            )
+            assert status == 200
+
+    def test_reupload_same_tenant_deduplicates(self, fimi_text):
+        with ReproServer() as server:
+            first = upload(server.port, "acme", fimi_text)
+            second = upload(server.port, "acme", fimi_text)
+            assert first["deduplicated"] is False
+            assert second["deduplicated"] is True
+            assert second["dataset_id"] == first["dataset_id"]
+
+
+class TestSaturationDegradesThenRefines:
+    def test_shed_answer_is_strict_prefix_then_refined(self, fimi_text):
+        # max_pending=0 makes every submission take the saturation path
+        # deterministically: answered inline at the shed budget, refined
+        # in the background.
+        shed_budget = 5
+        full_budget = 40
+        with ReproServer(
+            max_workers=1, max_pending=0, shed_num_datasets=shed_budget
+        ) as server:
+            port = server.port
+            dataset = upload(port, "acme", fimi_text)
+            status, document = http_json(
+                port,
+                "POST",
+                "/v1/tenants/acme/queries",
+                dict(
+                    SPEC,
+                    dataset=dataset["dataset_id"],
+                    num_datasets=full_budget,
+                ),
+            )
+            # Saturation: the POST already carries the degraded answer.
+            assert status == 200, document
+            assert document["status"] == "done"
+            assert document["shed"] is True
+            assert document["degraded"] is True
+            assert document["delta_spent"] == {"2": shed_budget}
+            assert document["result"] is not None
+
+            query_id = document["query_id"]
+
+            def refined():
+                _, current = http_json(port, "GET", f"/v1/queries/{query_id}")
+                return current if current["refined"] else None
+
+            upgraded = wait_until(refined, timeout=120.0)
+            assert upgraded["status"] == "done"
+            assert upgraded["degraded"] is False
+            assert upgraded["delta_spent"] == {"2": full_budget}
+
+            _, statz = http_json(port, "GET", "/v1/statz")
+            assert statz["queue"]["shed"] >= 1
+            assert statz["queue"]["refined"] >= 1
+
+    def test_spec_within_shed_budget_is_not_degraded(self, fimi_text):
+        """Saturation only degrades queries that asked for more than Δ₀."""
+        with ReproServer(
+            max_workers=1, max_pending=0, shed_num_datasets=64
+        ) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            status, document = http_json(
+                server.port,
+                "POST",
+                "/v1/tenants/acme/queries",
+                dict(SPEC, dataset=dataset["dataset_id"]),
+            )
+            assert status == 200
+            assert document["status"] == "done"
+            assert document["shed"] is False
+            assert document["degraded"] is False
+            assert document["delta_spent"] == {"2": SPEC["num_datasets"]}
+
+
+@pytest.mark.slow
+class TestSustainedLoad:
+    def test_mixed_tenants_and_specs_under_load(self):
+        """A broader soak: 3 tenants x 3 specs x 3 clients, one server."""
+        tenants = ("acme", "globex", "initech")
+        seeds = (1, 2, 3)
+        with ReproServer(max_workers=4, max_pending=64) as server:
+            port = server.port
+            datasets = {
+                tenant: upload(port, tenant, make_fimi(seed=index))
+                for index, tenant in enumerate(tenants)
+            }
+
+            def client(job):
+                tenant, seed = job
+                submitted = submit(
+                    port, tenant, datasets[tenant]["dataset_id"], seed=seed
+                )
+                return job, finished(port, submitted["query_id"], tenant)
+
+            jobs = [(t, s) for t in tenants for s in seeds] * 3
+            with ThreadPoolExecutor(max_workers=12) as pool:
+                outcomes = list(pool.map(client, jobs))
+
+            variants = {}
+            for job, document in outcomes:
+                assert document["status"] == "done"
+                variants.setdefault(job, set()).add(canonical(document))
+            assert all(len(v) == 1 for v in variants.values())
+
+            _, statz = http_json(port, "GET", "/v1/statz")
+            # One simulation per (dataset, seed) pair, not per request.
+            assert statz["engine"]["simulations_run"] == len(tenants) * len(
+                seeds
+            )

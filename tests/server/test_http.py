@@ -1,0 +1,268 @@
+"""Protocol and endpoint edge cases for the HTTP front end.
+
+Malformed input of every shape must come back as a well-formed JSON error
+with a definite 4xx status — the server's failure contract says 5xx is
+reserved for genuine bugs, not bad requests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.server import ReproServer
+
+from tests.server.conftest import http_json
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ReproServer(max_workers=1, max_pending=8) as instance:
+        yield instance
+
+
+@pytest.fixture(scope="module")
+def dataset_id(server):
+    status, payload = http_json(
+        server.port,
+        "POST",
+        "/v1/tenants/acme/datasets",
+        {"transactions": [[1, 2, 3], [1, 2], [2, 3], [4]]},
+    )
+    assert status == 201
+    return payload["dataset_id"]
+
+
+class TestRouting:
+    def test_healthz(self, server):
+        status, payload = http_json(server.port, "GET", "/v1/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert "version" in payload
+
+    def test_unknown_route_is_404(self, server):
+        status, payload = http_json(server.port, "GET", "/v1/nothing/here")
+        assert status == 404
+        assert "error" in payload
+
+    def test_wrong_method_is_405(self, server):
+        for method, path in [
+            ("POST", "/v1/healthz"),
+            ("POST", "/v1/statz"),
+            ("DELETE", "/v1/tenants/acme/datasets"),
+            ("GET", "/v1/tenants/acme/queries"),
+            ("POST", "/v1/queries/q-123"),
+        ]:
+            status, payload = http_json(server.port, method, path)
+            assert status == 405, (method, path, payload)
+            assert "error" in payload
+
+    def test_statz_shape(self, server):
+        status, payload = http_json(server.port, "GET", "/v1/statz")
+        assert status == 200
+        assert set(payload) == {
+            "version",
+            "uptime_seconds",
+            "engine",
+            "cache",
+            "queue",
+            "tenants",
+        }
+        assert set(payload["engine"]) == {
+            "datasets_registered",
+            "simulations_run",
+            "artifact_cache_hits",
+        }
+        assert "hit_rate" in payload["cache"]
+        assert {"queue_depth", "capacity", "shed", "refined"} <= set(
+            payload["queue"]
+        )
+
+
+class TestRawProtocol:
+    def exchange_raw(self, port, raw):
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as sock:
+            sock.sendall(raw)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        response = b"".join(chunks)
+        head, _, body = response.partition(b"\r\n\r\n")
+        status = int(head.split(b" ", 2)[1])
+        return status, json.loads(body) if body else None
+
+    def test_malformed_request_line(self, server):
+        status, payload = self.exchange_raw(server.port, b"NONSENSE\r\n\r\n")
+        assert status == 400
+        assert "error" in payload
+
+    def test_invalid_content_length(self, server):
+        raw = (
+            b"POST /v1/tenants/acme/datasets HTTP/1.1\r\n"
+            b"Content-Length: banana\r\n\r\n"
+        )
+        status, payload = self.exchange_raw(server.port, raw)
+        assert status == 400
+        assert "error" in payload
+
+    def test_connection_closes_after_response(self, server):
+        # recv() draining to EOF in exchange_raw is itself the assertion
+        # that the server closes; also check the advertised header.
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10
+        ) as sock:
+            sock.sendall(b"GET /v1/healthz HTTP/1.1\r\n\r\n")
+            response = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                response += chunk
+        assert b"Connection: close" in response
+        assert b"Content-Type: application/json" in response
+
+
+class TestBodyLimits:
+    def test_oversized_body_is_413(self):
+        with ReproServer(max_body_bytes=1024) as small_server:
+            status, payload = http_json(
+                small_server.port,
+                "POST",
+                "/v1/tenants/acme/datasets",
+                {"data": "1 2\n" * 2048},
+            )
+            assert status == 413
+            assert "error" in payload
+
+    def test_non_json_body_is_400(self, server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=10
+        )
+        try:
+            connection.request(
+                "POST", "/v1/tenants/acme/datasets", body=b"not json"
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert "error" in payload
+        finally:
+            connection.close()
+
+    def test_json_array_body_is_400(self, server):
+        status, payload = http_json(
+            server.port, "POST", "/v1/tenants/acme/datasets", [1, 2, 3]
+        )
+        assert status == 400
+        assert "error" in payload
+
+
+class TestDatasetValidation:
+    def test_requires_exactly_one_payload_kind(self, server):
+        for body in [
+            {},
+            {"data": "1 2\n", "transactions": [[1, 2]]},
+        ]:
+            status, payload = http_json(
+                server.port, "POST", "/v1/tenants/acme/datasets", body
+            )
+            assert status == 400, payload
+
+    def test_rejects_bad_transactions(self, server):
+        for transactions in ["1 2", [1, 2], [["x", "y"]]]:
+            status, payload = http_json(
+                server.port,
+                "POST",
+                "/v1/tenants/acme/datasets",
+                {"transactions": transactions},
+            )
+            assert status == 400, payload
+            assert "error" in payload
+
+    def test_rejects_unknown_format(self, server):
+        status, payload = http_json(
+            server.port,
+            "POST",
+            "/v1/tenants/acme/datasets",
+            {"data": "1 2\n", "format": "arff"},
+        )
+        assert status == 400
+        assert "arff" in payload["error"]
+
+    def test_rejects_invalid_tenant_name(self, server):
+        for tenant in ("-leading", "a/b", "a" * 65, ".."):
+            status, payload = http_json(
+                server.port,
+                "POST",
+                f"/v1/tenants/{tenant}/datasets",
+                {"transactions": [[1, 2]]},
+            )
+            assert status in (400, 404), (tenant, payload)
+            assert "error" in payload
+
+    def test_rejects_non_string_name(self, server):
+        status, payload = http_json(
+            server.port,
+            "POST",
+            "/v1/tenants/acme/datasets",
+            {"transactions": [[1, 2]], "name": 7},
+        )
+        assert status == 400
+
+
+class TestQueryValidation:
+    def test_missing_dataset_field(self, server):
+        status, payload = http_json(
+            server.port, "POST", "/v1/tenants/acme/queries", {"ks": [2]}
+        )
+        assert status == 400
+        assert "dataset" in payload["error"]
+
+    def test_unknown_dataset_id(self, server):
+        status, payload = http_json(
+            server.port,
+            "POST",
+            "/v1/tenants/acme/queries",
+            {"dataset": "ds-doesnotexist", "ks": [2]},
+        )
+        assert status == 404
+
+    def test_unknown_spec_fields_rejected(self, server, dataset_id):
+        status, payload = http_json(
+            server.port,
+            "POST",
+            "/v1/tenants/acme/queries",
+            {"dataset": dataset_id, "ks": [2], "frobnicate": True},
+        )
+        assert status == 400
+        assert "frobnicate" in payload["error"]
+
+    def test_invalid_spec_values_rejected(self, server, dataset_id):
+        for overrides in [
+            {"ks": [0]},
+            {"epsilon": 2.0},
+            {"num_datasets": 0},
+            {"null_model": "nonesuch"},
+            {"procedures": "9"},
+        ]:
+            status, payload = http_json(
+                server.port,
+                "POST",
+                "/v1/tenants/acme/queries",
+                dict({"dataset": dataset_id}, **overrides),
+            )
+            assert status == 400, (overrides, payload)
+            assert "error" in payload
+
+    def test_unknown_query_id_is_404(self, server):
+        status, payload = http_json(
+            server.port, "GET", "/v1/queries/q-doesnotexist"
+        )
+        assert status == 404

@@ -7,7 +7,9 @@ Two layers:
   numpy backend — so the quickstart and the null-model snippets keep
   working exactly as printed;
 * under ``REPRO_DOCS_CHECK=1`` (set by ``make docs-check``): every script
-  in ``examples/`` is additionally run end to end via its ``main()``.
+  in ``examples/`` is additionally run end to end via its ``main()``, and
+  every ``python`` block in ``docs/server.md`` is executed against a real
+  in-process server.
 
 Documentation files referenced from the README are also checked to exist,
 so a rename cannot silently orphan a link.
@@ -24,6 +26,7 @@ import pytest
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 README = REPO_ROOT / "README.md"
 EXAMPLES_DIR = REPO_ROOT / "examples"
+SERVER_DOC = REPO_ROOT / "docs" / "server.md"
 
 _CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
@@ -44,7 +47,12 @@ class TestReadme:
         text = README.read_text(encoding="utf-8")
         for relative in re.findall(r"`((?:docs|examples|src|benchmarks)/[\w./]+)`", text):
             assert (REPO_ROOT / relative).exists(), f"README references missing {relative}"
-        for name in ("docs/architecture.md", "docs/benchmarks.md", "ROADMAP.md"):
+        for name in (
+            "docs/architecture.md",
+            "docs/benchmarks.md",
+            "docs/server.md",
+            "ROADMAP.md",
+        ):
             assert (REPO_ROOT / name).exists()
 
     def test_readme_python_blocks_execute(self, monkeypatch):
@@ -77,3 +85,41 @@ class TestExamplesEndToEnd:
         spec.loader.exec_module(module)
         module.main()
         assert capsys.readouterr().out.strip()
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_DOCS_CHECK") != "1",
+    reason="server quickstart execution only under make docs-check",
+)
+class TestServerDocs:
+    def test_server_doc_python_blocks_execute(self, monkeypatch, capsys):
+        """Run docs/server.md python blocks against a real in-process server."""
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        blocks = _CODE_BLOCK.findall(SERVER_DOC.read_text(encoding="utf-8"))
+        assert blocks, "docs/server.md has no python code blocks"
+        namespace: dict = {}
+        for index, block in enumerate(blocks):
+            try:
+                exec(
+                    compile(block, f"docs/server.md[block {index}]", "exec"),
+                    namespace,
+                )
+            except Exception as error:  # pragma: no cover - failure reporting
+                pytest.fail(
+                    f"docs/server.md block {index} failed: {error!r}\n{block}"
+                )
+        assert "s_min(k=2)" in capsys.readouterr().out
+
+    def test_server_doc_documents_the_contract(self):
+        text = SERVER_DOC.read_text(encoding="utf-8")
+        for needle in (
+            "/v1/tenants/{tenant}/datasets",
+            "/v1/tenants/{tenant}/queries",
+            "/v1/queries/{id}",
+            "/v1/healthz",
+            "/v1/statz",
+            "degraded",
+            "strict-prefix",
+            "curl",
+        ):
+            assert needle in text, f"docs/server.md lost {needle!r}"
