@@ -13,10 +13,11 @@ test-server:
 	timeout 300 $(PYTHON) -m pytest tests/server -q -W error::ResourceWarning
 
 # Fault-injection suite (worker SIGKILL, torn writes, cross-process races,
-# faults under live HTTP traffic), with ResourceWarning promoted to an error
-# so recovery paths cannot leak pools or shared-memory segments.
+# faults under live HTTP traffic, kill-and-restart recovery through the
+# query journal), with ResourceWarning promoted to an error so recovery
+# paths cannot leak pools or shared-memory segments.
 chaos:
-	$(PYTHON) -m pytest tests/parallel/test_faults.py tests/server/test_chaos.py -q -W error::ResourceWarning
+	$(PYTHON) -m pytest tests/parallel/test_faults.py tests/server/test_chaos.py tests/server/test_restart_chaos.py -q -W error::ResourceWarning
 
 # Line-coverage floor for the null-model core (src/repro/data/ +
 # src/repro/core/null_models.py).  Uses pytest-cov when installed; otherwise a

@@ -235,6 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds an artifact stays in the in-memory cache",
     )
+    serve.add_argument(
+        "--journal",
+        default=None,
+        help=(
+            "path to the write-ahead query journal; on startup the journal "
+            "is replayed (tenant datasets re-registered, unfinished queries "
+            "re-enqueued), so a restart resumes the conversation a crash "
+            "interrupted (see docs/server.md)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds SIGTERM lets in-flight queries finish before forcing "
+            "them to strict-prefix degraded results"
+        ),
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="reproduce one of the paper's tables on the analogues"
@@ -367,6 +386,9 @@ def _print_itemsets(itemsets: dict, limit: int) -> None:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.server import ReproServer, ServerState
 
     store = None
@@ -392,21 +414,92 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         max_pending=args.max_pending,
         shed_num_datasets=args.shed_delta,
+        journal=args.journal,
     )
+
+    # Signal handlers only record intent and wake the main loop; the actual
+    # drain/interrupt runs on the main thread.  Handlers must never touch
+    # broker locks: Python delivers signals on the main thread between
+    # bytecodes, so a handler that grabbed a lock the main thread already
+    # holds would self-deadlock.
+    shutdown = {"mode": None, "count": 0}
+    wake = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        shutdown["count"] += 1
+        if shutdown["count"] > 1:
+            shutdown["mode"] = "force"
+        elif signum == signal.SIGTERM:
+            shutdown["mode"] = "drain"
+        else:
+            shutdown["mode"] = "interrupt"
+        wake.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _on_signal)
     server.start()
     try:
         print(f"serving on {server.url} (ctrl-c to stop)")
         print(
             f"  workers={args.workers} max_pending={args.max_pending} "
-            f"shed_delta={args.shed_delta} store={args.store or '<memory>'}"
+            f"shed_delta={args.shed_delta} store={args.store or '<memory>'} "
+            f"journal={args.journal or '<none>'}"
         )
-        while True:
-            server._thread.join(timeout=0.5)
+        if server.recovery is not None:
+            report = server.recovery.to_dict()
+            print(
+                "  recovered from journal: "
+                f"datasets={report['datasets_restored']} "
+                f"reenqueued={report['jobs_reenqueued']} "
+                f"interrupted={report['jobs_recovered']} "
+                f"terminal={report['jobs_terminal']} "
+                f"lost={report['jobs_lost']}"
+            )
+        sys.stdout.flush()
+        while not wake.is_set():
+            wake.wait(timeout=0.5)
             if not server._thread.is_alive():  # pragma: no cover - loop died
                 return 1
+
+        if shutdown["mode"] == "interrupt":
+            print("interrupted", file=sys.stderr)
+            server.interrupt()
+            return 130
+
+        # SIGTERM: graceful drain.  Run the (blocking) drain on a helper
+        # thread so a second signal can still reach the main thread and
+        # force a fast shutdown.
+        print(
+            f"draining (up to {args.drain_timeout:g}s; signal again to force)",
+            file=sys.stderr,
+        )
+        drain_report: dict = {}
+
+        def _drain() -> None:
+            drain_report.update(server.drain(args.drain_timeout))
+
+        drainer = threading.Thread(target=_drain, name="serve-drain")
+        drainer.start()
+        while drainer.is_alive():
+            drainer.join(timeout=0.2)
+            if shutdown["mode"] == "force":
+                server.interrupt()
+                drainer.join(timeout=5.0)
+                print("forced shutdown", file=sys.stderr)
+                return 130
+        print(
+            "drained: "
+            f"clean={drain_report.get('drained', False)} "
+            f"forced={drain_report.get('forced', 0)} "
+            f"refinements_journaled={drain_report.get('refinements_dropped', 0)}",
+            file=sys.stderr,
+        )
+        return 0
     finally:
         server.stop()
-    return 0
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 
 def _command_experiment(args: argparse.Namespace) -> int:

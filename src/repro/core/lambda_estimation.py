@@ -214,6 +214,7 @@ class MonteCarloNullEstimator:
         backend: Optional[str] = None,
         n_jobs: int = 1,
         executor=None,
+        cancel=None,
     ) -> None:
         if k < 1:
             raise ValueError("k must be at least 1")
@@ -247,6 +248,10 @@ class MonteCarloNullEstimator:
         #: the estimator holds the strict prefix actually collected (its
         #: intervals are honest, just wider than requested).
         self.degraded = False
+        #: Optional CancelToken polled between draws: a deadline or client
+        #: cancellation stops collection/extension the same way exhausted
+        #: retries do — strict prefix kept, ``degraded`` set.
+        self._cancel = cancel
         self._collect()
 
     # ------------------------------------------------------------------
@@ -289,7 +294,9 @@ class MonteCarloNullEstimator:
         """
         child_rngs = self._rng.spawn(self.num_datasets if count is None else count)
         with self._executor_scope() as executor:
-            yield from executor.map_draws(worker, self.model, args, child_rngs)
+            yield from executor.map_draws(
+                worker, self.model, args, child_rngs, cancel=self._cancel
+            )
 
     def _degrade_collection(self, collected: int, error) -> None:
         """Graceful degradation: keep the strict prefix a failing pass built.
@@ -356,6 +363,17 @@ class MonteCarloNullEstimator:
         except DrawRetriesExhausted as error:
             self._degrade_collection(len(key_arrays), error)
 
+        if (
+            not self.truncated
+            and self._cancel is not None
+            and self._cancel.cancelled
+            and len(key_arrays) < self.num_datasets
+        ):
+            # Cancelled between draws: keep the strict prefix, same contract
+            # as retry exhaustion (the executors guarantee at least one draw).
+            self.degraded = True
+            self.num_datasets = len(key_arrays)
+
         positions = _decode_keys(union_keys, self.k, num_items)
         self._itemsets = [
             tuple(items[position] for position in row) for row in positions.tolist()
@@ -410,6 +428,15 @@ class MonteCarloNullEstimator:
                     break
         except DrawRetriesExhausted as error:
             self._degrade_collection(len(per_dataset), error)
+
+        if (
+            not self.truncated
+            and self._cancel is not None
+            and self._cancel.cancelled
+            and len(per_dataset) < self.num_datasets
+        ):
+            self.degraded = True
+            self.num_datasets = len(per_dataset)
 
         self._index_of = index_of
         self._itemsets = [None] * len(index_of)  # type: ignore[list-item]
@@ -513,6 +540,18 @@ class MonteCarloNullEstimator:
                 return False
             additional = len(key_arrays)
 
+        if (
+            self._cancel is not None
+            and self._cancel.cancelled
+            and len(key_arrays) < additional
+        ):
+            # Cancelled mid-extension: commit the strict prefix and stop.
+            self.degraded = True
+            degraded = True
+            if not key_arrays:
+                return False
+            additional = len(key_arrays)
+
         positions = _decode_keys(union_keys, self.k, num_items)
         itemsets = [
             tuple(items[position] for position in row) for row in positions.tolist()
@@ -551,6 +590,17 @@ class MonteCarloNullEstimator:
                 if len(index_of) > self.max_union_size:
                     return False
         except DrawRetriesExhausted:
+            self.degraded = True
+            degraded = True
+            if not per_dataset:
+                return False
+            additional = len(per_dataset)
+
+        if (
+            self._cancel is not None
+            and self._cancel.cancelled
+            and len(per_dataset) < additional
+        ):
             self.degraded = True
             degraded = True
             if not per_dataset:
@@ -975,6 +1025,7 @@ class MonteCarloNullEstimator:
         self.n_jobs = 1
         self._executor_spec = None
         self._rng = np.random.default_rng()
+        self._cancel = None
         self.truncated = bool(state["truncated"])
         self.degraded = bool(state.get("degraded", False))
         self._max_observed_support = int(state["max_observed_support"])

@@ -161,6 +161,7 @@ def find_poisson_threshold(
     null_model: Union[str, NullModel, None] = None,
     executor=None,
     delta_max: Optional[int] = None,
+    cancel=None,
 ) -> PoissonThresholdResult:
     """Estimate the Poisson threshold ``ŝ_min`` via Monte-Carlo simulation.
 
@@ -222,6 +223,12 @@ def find_poisson_threshold(
         returned :attr:`PoissonThresholdResult.delta_spent` records the
         budget actually simulated.  ``None`` (default) reproduces the fixed
         paper budget exactly, draw for draw.
+    cancel:
+        Optional :class:`repro.parallel.CancelToken` polled between draws:
+        a fired token (client cancel or expired deadline) stops the search
+        at the next chunk boundary and the result comes back
+        ``degraded=True`` over the strict prefix of draws actually
+        completed — honest, never torn (see ``docs/server.md``).
 
     Returns
     -------
@@ -247,7 +254,7 @@ def find_poisson_threshold(
     try:
         return _threshold_search(
             model, k, epsilon, num_datasets, generator, max_halvings,
-            max_union_size, backend, n_jobs, executor_obj, delta_max,
+            max_union_size, backend, n_jobs, executor_obj, delta_max, cancel,
         )
     finally:
         if owned:
@@ -298,6 +305,7 @@ def _threshold_search(
     n_jobs: int,
     executor,
     delta_max: Optional[int] = None,
+    cancel=None,
 ) -> PoissonThresholdResult:
     """The halving search of Algorithm 1 (one shared ``executor`` throughout).
 
@@ -392,6 +400,7 @@ def _threshold_search(
             backend=backend,
             n_jobs=n_jobs,
             executor=executor,
+            cancel=cancel,
         )
         # A degraded collection pass taints every decision the search makes
         # from here on, so the flag is sticky across halving iterations.
@@ -476,6 +485,11 @@ def _threshold_search(
 
             while estimator.num_datasets < delta_max:
                 if _boundary_certain(estimator, s_min, criterion):
+                    break
+                # Certainty is checked first: a decision that is already
+                # certified is not degraded, however the budget got cut.
+                if cancel is not None and cancel.should_stop():
+                    search_degraded = True
                     break
                 target = next_budget(estimator.num_datasets, delta_max)
                 if not estimator.extend(target - estimator.num_datasets):

@@ -50,6 +50,7 @@ def run_procedure1(
     mined: Optional[dict] = None,
     executor=None,
     delta_max: Optional[int] = None,
+    cancel=None,
 ) -> Procedure1Result:
     """Run Procedure 1 on a dataset.
 
@@ -102,6 +103,11 @@ def run_procedure1(
         generators, so a run stopping at ``Δ_s`` is bit-identical to a fixed
         run with ``num_datasets=Δ_s``.  Ignored under the Bernoulli null
         (closed-form p-values need no simulation).
+    cancel:
+        Optional :class:`repro.parallel.CancelToken` polled between
+        Monte-Carlo draws; a fired token degrades the run to the strict
+        prefix of draws completed (``degraded=True``).  Like ``delta_max``,
+        it has no effect on the closed-form Bernoulli path.
 
     Returns
     -------
@@ -134,6 +140,7 @@ def run_procedure1(
                 n_jobs=n_jobs,
                 null_model=null_model,
                 executor=executor,
+                cancel=cancel,
             )
             s_min = threshold_result.s_min
             estimator = threshold_result.estimator
@@ -179,10 +186,12 @@ def run_procedure1(
                 backend=backend,
                 n_jobs=n_jobs,
                 executor=executor,
+                cancel=cancel,
             )
         if delta_max is not None:
             _grow_until_stable(
-                estimator, candidates, beta, num_hypotheses, delta_max
+                estimator, candidates, beta, num_hypotheses, delta_max,
+                cancel=cancel,
             )
             delta_spent = estimator.num_datasets
         if getattr(estimator, "degraded", False):
@@ -230,6 +239,7 @@ def _grow_until_stable(
     beta: float,
     num_hypotheses: int,
     delta_max: int,
+    cancel=None,
 ) -> None:
     """Extend the Monte-Carlo budget until the BY rejection set is decided.
 
@@ -265,6 +275,11 @@ def _grow_until_stable(
             pessimistic, beta, num_hypotheses=effective_m
         ).rejected
         if tuple(rejected_best) == tuple(rejected_worst):
+            return
+        # A decided rejection set is checked first: an answer that is
+        # already stable is not degraded, however the budget got cut.
+        if cancel is not None and cancel.should_stop():
+            estimator.degraded = True
             return
         target = next_budget(delta, delta_max)
         if not estimator.extend(target - delta):

@@ -72,6 +72,37 @@ class DatasetRegistry:
                     self._names[label] = fingerprint
         return fingerprint, fresh
 
+    def restore(
+        self,
+        dataset: TransactionDataset,
+        fingerprint: str,
+        *,
+        build_packed: bool = False,
+    ) -> bool:
+        """Re-register a dataset recovered from a journal, verifying identity.
+
+        The journal records the fingerprint each dataset had when it was
+        first registered; recovery replays the transactions and must land on
+        the *same* content address, otherwise the journal (or the replayed
+        payload) is corrupt and recovery must not silently serve different
+        data under an old id.  Returns ``fresh`` like :meth:`register`;
+        never registers a name alias (recovered entries belong to tenant
+        namespaces, not the shared one).
+
+        Raises
+        ------
+        ValueError
+            If the replayed dataset's content fingerprint does not match
+            the journalled one.
+        """
+        actual, fresh = self.register(dataset, build_packed=build_packed, alias=False)
+        if actual != fingerprint:
+            raise ValueError(
+                f"journal corruption: replayed dataset fingerprints to "
+                f"{actual!r}, journal says {fingerprint!r}"
+            )
+        return fresh
+
     def get(self, fingerprint: str) -> TransactionDataset:
         """The dataset registered under ``fingerprint`` (KeyError if absent)."""
         with self._lock:

@@ -149,6 +149,12 @@ class Engine:
         # Per-session memo of live thresholds, so repeated queries against an
         # on-disk store do not re-deserialize the NPZ arrays each time.
         self._threshold_memo: dict[str, PoissonThresholdResult] = {}
+        # Keys whose memoized threshold was cut short by a *cancel token*
+        # (deadline / client cancel).  Such entries stay memoized so the rest
+        # of the same run sees one consistent threshold, but a later call
+        # without a fired token re-simulates instead of inheriting another
+        # query's truncation (see :meth:`threshold`).
+        self._cancel_truncated: set[str] = set()
         # Per-session memo of the observed-dataset mining pass F_k(s_min),
         # which depends only on (fingerprint, k, s_min) — an alpha/beta grid
         # must not repeat it per cell.
@@ -292,6 +298,7 @@ class Engine:
         null_model: Union[str, NullModel, None] = "bernoulli",
         seed: Optional[int] = 0,
         delta_max: Optional[int] = None,
+        cancel=None,
     ) -> PoissonThresholdResult:
         """Algorithm 1, cached: one simulation per distinct artifact key.
 
@@ -308,6 +315,13 @@ class Engine:
         draw different random streams, so changing ``REPRO_SWAP_WALK`` (or
         the model's ``walk=``) reads as a cache miss and re-simulates
         rather than replaying the other walk's draws.
+
+        ``cancel`` (a :class:`repro.parallel.CancelToken`) cuts the
+        simulation short at the next draw boundary; the degraded result is
+        memoized for the rest of the *same* cancelled run (so Procedures 1
+        and 2 see one consistent threshold) but is never persisted, and a
+        later call without a fired token re-simulates rather than inherit
+        the truncation.
         """
         fingerprint, _ = self._resolve(ref)
         key = artifact_key(
@@ -321,8 +335,16 @@ class Engine:
         )
         memoized = self._threshold_memo.get(key)
         if memoized is not None:
-            self.stats.artifact_cache_hits += 1
-            return memoized
+            if key in self._cancel_truncated and not (
+                cancel is not None and cancel.cancelled
+            ):
+                # Memoized under a fired token, queried without one: drop
+                # the truncated entry and re-simulate at the full budget.
+                del self._threshold_memo[key]
+                self._cancel_truncated.discard(key)
+            else:
+                self.stats.artifact_cache_hits += 1
+                return memoized
         model = self._null_for(fingerprint, null_model)
 
         def simulate() -> NullArtifact:
@@ -339,6 +361,7 @@ class Engine:
                     n_jobs=self.n_jobs,
                     executor=self._session_executor(),
                     delta_max=delta_max,
+                    cancel=cancel,
                 ),
             )
 
@@ -367,6 +390,12 @@ class Engine:
                 if worth_persisting(artifact):
                     self.store.save(key, artifact)
         self._threshold_memo[key] = artifact.threshold
+        if (
+            cancel is not None
+            and cancel.cancelled
+            and getattr(artifact.threshold, "degraded", False)
+        ):
+            self._cancel_truncated.add(key)
         return artifact.threshold
 
     def procedure1(
@@ -380,6 +409,7 @@ class Engine:
         null_model: Union[str, NullModel, None] = "bernoulli",
         seed: Optional[int] = 0,
         delta_max: Optional[int] = None,
+        cancel=None,
     ) -> Procedure1Result:
         """Procedure 1 against the cached null artifact.
 
@@ -395,6 +425,7 @@ class Engine:
             null_model=null_model,
             seed=seed,
             delta_max=delta_max,
+            cancel=cancel,
         )
         key = artifact_key(
             fingerprint,
@@ -418,6 +449,7 @@ class Engine:
             mined=self._mined_for(fingerprint, dataset, k, threshold.s_min),
             executor=self._session_executor(),
             delta_max=delta_max,
+            cancel=cancel,
         )
 
     def procedure2(
@@ -433,8 +465,14 @@ class Engine:
         seed: Optional[int] = 0,
         lambda_floor: Optional[float] = None,
         delta_max: Optional[int] = None,
+        cancel=None,
     ) -> Procedure2Result:
-        """Procedure 2 against the cached null artifact."""
+        """Procedure 2 against the cached null artifact.
+
+        ``cancel`` reaches only the threshold simulation: Procedure 2's own
+        work on top of the cached estimator is deterministic arithmetic, not
+        Monte-Carlo spend.
+        """
         fingerprint, dataset = self._resolve(ref)
         threshold = self.threshold(
             fingerprint,
@@ -444,6 +482,7 @@ class Engine:
             null_model=null_model,
             seed=seed,
             delta_max=delta_max,
+            cancel=cancel,
         )
         return run_procedure2(
             dataset,
@@ -466,6 +505,7 @@ class Engine:
         self,
         spec: RunSpec,
         dataset: Union[str, TransactionDataset, None] = None,
+        cancel=None,
     ) -> RunResult:
         """Answer a :class:`RunSpec`: every ``(k, alpha, beta)`` combination.
 
@@ -474,6 +514,12 @@ class Engine:
         ``spec.dataset`` is resolved instead.  One Monte-Carlo simulation is
         run (or loaded) per ``k``; the whole ``alpha × beta`` grid — and any
         later spec sharing the artifact key — reuses it.
+
+        ``cancel`` (a :class:`repro.parallel.CancelToken`) threads a
+        deadline / client cancellation into every Monte-Carlo stage: a
+        fired token stops simulation at the next draw boundary and the
+        affected reports come back ``degraded=True`` over the strict prefix
+        of draws completed — honest, never torn.
         """
         fingerprint, data = self._resolve(
             dataset if dataset is not None else spec.dataset
@@ -490,6 +536,7 @@ class Engine:
                 null_model=spec.null_model,
                 seed=spec.seed,
                 delta_max=spec.delta_max,
+                cancel=cancel,
             )
             thresholds[k] = threshold.without_estimator()
             for alpha in spec.alphas:
@@ -507,6 +554,7 @@ class Engine:
                             seed=spec.seed,
                             lambda_floor=spec.lambda_floor,
                             delta_max=spec.delta_max,
+                            cancel=cancel,
                         )
                     procedure1_result = None
                     if spec.procedures in ("1", "both"):
@@ -522,6 +570,7 @@ class Engine:
                                 null_model=spec.null_model,
                                 seed=spec.seed,
                                 delta_max=spec.delta_max,
+                                cancel=cancel,
                             )
                             procedure1_memo[memo_key] = procedure1_result
                     report = SignificanceReport(
@@ -546,6 +595,7 @@ class Engine:
         self,
         spec: RunSpec,
         dataset: Union[str, TransactionDataset, None] = None,
+        cancel=None,
     ) -> dict[int, int]:
         """Run (or load) every simulation a spec needs, skipping the reports.
 
@@ -570,6 +620,7 @@ class Engine:
                 null_model=spec.null_model,
                 seed=spec.seed,
                 delta_max=spec.delta_max,
+                cancel=cancel,
             )
             spent[k] = threshold.spent_num_datasets
         return spent

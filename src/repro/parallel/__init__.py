@@ -30,6 +30,7 @@ recovers from worker crashes bit-identically by default; a
 contract.
 """
 
+from repro.parallel.cancellation import CancelToken
 from repro.parallel.adaptive import (
     clopper_pearson_interval,
     decide_proportion,
@@ -58,6 +59,7 @@ from repro.parallel.shm import ModelToken, ShmSession, export_model, import_mode
 __all__ = [
     "DEFAULT_RETRY_POLICY",
     "EXECUTOR_NAMES",
+    "CancelToken",
     "CompatExecutor",
     "DrawRetriesExhausted",
     "Executor",

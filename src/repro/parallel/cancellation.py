@@ -1,0 +1,96 @@
+"""Cooperative cancellation for the Monte-Carlo draw loop.
+
+A :class:`CancelToken` is the one object a caller (the query server's
+broker, a CLI signal handler, a test) shares with the execution layer to
+say "stop spending budget".  It composes two triggers:
+
+* an **explicit cancel** (``token.cancel("client")``) — a DELETE on the
+  query, a drain deadline, a SIGINT;
+* an optional **deadline** on a monotonic clock — the token fires itself
+  (reason ``"deadline"``) the first time :meth:`should_stop` is polled at
+  or past the deadline.
+
+The contract with the executors (:mod:`repro.parallel.executors`) and the
+estimator (:class:`~repro.core.lambda_estimation.MonteCarloNullEstimator`):
+
+* cancellation is **cooperative and chunk-aligned** — it is polled *between*
+  draws, never mid-draw, so a cancelled collection always holds a strict
+  prefix of fully completed, bit-identical draws (never a torn one);
+* every collection pass completes **at least one draw** before the first
+  poll, so a cancelled run still produces an honest (if minimal) answer;
+* a run cut short this way surfaces exactly like a fault-degraded one:
+  ``degraded=True`` with ``delta_spent`` recording the prefix actually
+  collected.  See ``docs/robustness.md`` and ``docs/server.md``.
+
+Tokens are thread-safe: the broker cancels from an HTTP thread while a
+worker thread polls from inside the draw loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["CancelToken"]
+
+
+class CancelToken:
+    """A shared stop signal with an optional monotonic deadline.
+
+    Parameters
+    ----------
+    deadline:
+        Absolute time (on ``clock``'s scale) past which the token fires
+        itself with reason ``"deadline"``; ``None`` for no deadline.
+    clock:
+        The monotonic clock the deadline is measured on (injectable for
+        tests).
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.deadline = deadline
+        self._clock = clock
+        self._fired = threading.Event()
+        self.reason: Optional[str] = None
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "CancelToken":
+        """A token whose deadline is ``seconds`` from now on ``clock``."""
+        return cls(deadline=clock() + seconds, clock=clock)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the token has fired (explicitly or via its deadline)."""
+        return self._fired.is_set()
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Fire the token.  Idempotent; the first reason wins."""
+        if not self._fired.is_set():
+            # Benign race: two concurrent first-cancels may both write the
+            # reason, but both reasons mean "stop" and the event is sticky.
+            self.reason = reason
+            self._fired.set()
+
+    def should_stop(self) -> bool:
+        """Poll the token (the per-draw check of the executors).
+
+        Returns True once fired; an expired deadline fires the token as a
+        side effect, so ``reason`` is always set when this returns True.
+        """
+        if self._fired.is_set():
+            return True
+        if self.deadline is not None and self._clock() >= self.deadline:
+            self.cancel("deadline")
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        state = f"fired:{self.reason}" if self.cancelled else "armed"
+        return f"<CancelToken: {state}>"

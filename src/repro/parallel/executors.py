@@ -134,8 +134,17 @@ class Executor:
         model: object,
         args: Sequence,
         rngs: Iterable[np.random.Generator],
+        cancel=None,
     ) -> Iterator:
-        """Yield ``task(model, *args, rng)`` for each rng, in order."""
+        """Yield ``task(model, *args, rng)`` for each rng, in order.
+
+        ``cancel`` is an optional
+        :class:`~repro.parallel.cancellation.CancelToken` polled *between*
+        draws (never mid-draw): once it fires, the pass stops yielding and
+        the consumer holds a strict prefix of completed draws.  The first
+        draw is always yielded before the first poll, so a cancelled pass
+        still produces at least one honest result.
+        """
         raise NotImplementedError
 
     def close(self) -> None:
@@ -180,16 +189,19 @@ class SerialExecutor(Executor):
 
     kind = "serial"
 
-    def map_draws(self, task, model, args, rngs):
+    def map_draws(self, task, model, args, rngs, cancel=None):
         """Run every draw inline, yielding as computed."""
-        if self.retry_policy is None and self.fault_plan is None:
-            for rng in rngs:
-                yield task(model, *args, rng)
-            return
+        plain = self.retry_policy is None and self.fault_plan is None
         for draw, rng in enumerate(rngs):
-            yield _run_draw_with_retries(
-                task, model, args, rng, draw, self.retry_policy, self.fault_plan
-            )
+            if draw and cancel is not None and cancel.should_stop():
+                return
+            if plain:
+                yield task(model, *args, rng)
+            else:
+                yield _run_draw_with_retries(
+                    task, model, args, rng, draw, self.retry_policy,
+                    self.fault_plan,
+                )
 
 
 class _DrawState:
@@ -251,13 +263,15 @@ class _PoolExecutor(Executor):
             pool.shutdown(wait=False, cancel_futures=True)
         self._pool = self._make_pool()
 
-    def map_draws(self, task, model, args, rngs):
+    def map_draws(self, task, model, args, rngs, cancel=None):
         """Submit every draw to the (lazily created) pool; yield in order.
 
         Task failures and result timeouts are retried per the policy; a
         broken pool is rebuilt and only the draws without a harvested
         result are re-submitted.  Every attempt runs on a clone of the
         draw's initial generator state, so recovery is bit-identical.
+        A fired ``cancel`` token stops the harvest between draws; the
+        ``finally`` clause below cancels whatever is still queued.
         """
         if self._closed:
             raise RuntimeError(f"{type(self).__name__} is closed")
@@ -328,7 +342,9 @@ class _PoolExecutor(Executor):
         try:
             for entry in draws:
                 submit(entry)
-            for entry in draws:
+            for position, entry in enumerate(draws):
+                if position and cancel is not None and cancel.should_stop():
+                    return
                 while not entry.harvested:
                     timeout = policy.draw_timeout if policy is not None else None
                     try:
@@ -496,11 +512,13 @@ class CompatExecutor(Executor):
         super().__init__()
         self._pool = pool
 
-    def map_draws(self, task, model, args, rngs):
+    def map_draws(self, task, model, args, rngs, cancel=None):
         """Submit every draw to the borrowed pool; yield in order."""
         futures = [self._pool.submit(task, model, *args, rng) for rng in rngs]
         try:
-            for future in futures:
+            for position, future in enumerate(futures):
+                if position and cancel is not None and cancel.should_stop():
+                    return
                 yield future.result()
         finally:
             for future in futures:

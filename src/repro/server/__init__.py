@@ -15,22 +15,31 @@ pipeline (the ROADMAP's north-star serving layer):
   supports it) single-flight contract;
 * :class:`QueryBroker` — the bounded admission queue whose backpressure
   path answers saturated queries *now* from an honest strict-prefix budget
-  (``degraded=True``) and refines them in the background.
+  (``degraded=True``) and refines them in the background;
+* :class:`QueryJournal` — the append-only write-ahead journal of dataset
+  registrations and job transitions, replayed by :func:`recover_server`
+  on startup so a SIGKILLed server restarts into the same conversation
+  (see ``docs/server.md`` "Lifecycle").
 """
 
 from repro.server.cache import CacheStats, EvictingArtifactStore, artifact_nbytes
 from repro.server.http import ReproServer
-from repro.server.jobs import QueryBroker, QueryJob
+from repro.server.jobs import BrokerDraining, QueryBroker, QueryJob
+from repro.server.journal import QueryJournal, RecoveryReport, recover_server
 from repro.server.state import ServerState, TenantDataset, TenantNamespace
 
 __all__ = [
+    "BrokerDraining",
     "CacheStats",
     "EvictingArtifactStore",
     "QueryBroker",
     "QueryJob",
+    "QueryJournal",
+    "RecoveryReport",
     "ReproServer",
     "ServerState",
     "TenantDataset",
     "TenantNamespace",
     "artifact_nbytes",
+    "recover_server",
 ]

@@ -14,9 +14,17 @@ POST      /v1/tenants/{tenant}/queries       submit a JSON ``RunSpec``; returns 
                                              saturation (HTTP 200)
 GET       /v1/queries/{id}                   status/result, including
                                              ``degraded`` and per-``k`` Δ spent
-GET       /v1/healthz                        liveness
+DELETE    /v1/queries/{id}                   cancel: a queued query becomes
+                                             terminal ``cancelled``; a running
+                                             one finishes as an honest
+                                             strict-prefix ``degraded`` result
+GET       /v1/healthz                        liveness (always 200 while the
+                                             process serves)
+GET       /v1/readyz                         readiness — 503 + ``Retry-After``
+                                             once the server is draining
 GET       /v1/statz                          EngineStats, cache hit rates, queue
-                                             depths
+                                             depths, lifecycle counters,
+                                             recovery report
 ========  =================================  =====================================
 
 The protocol layer is deliberately minimal — request line, headers, a
@@ -29,7 +37,14 @@ index builds, the shed-path simulation) runs on a thread pool via
 Failure contract: every application error is a well-formed JSON body with
 an ``error`` field and a 4xx status; execution faults inside a query
 surface as ``degraded=True`` results or a ``failed`` job status — a fault
-mid-simulation can never produce a torn 500 with partial state.
+mid-simulation can never produce a torn 500 with partial state.  The
+last-resort 500 carries only a correlation ``request_id``; the traceback
+goes to the ``repro.server`` logger, never over the wire.
+
+Lifecycle: pass ``journal=<path>`` and the server write-ahead journals
+every registration and job transition, replaying them on construction
+(crash recovery — see :mod:`repro.server.journal`); :meth:`ReproServer.drain`
+is the graceful-shutdown entry the CLI's SIGTERM handler calls.
 """
 
 from __future__ import annotations
@@ -37,21 +52,30 @@ from __future__ import annotations
 import asyncio
 import io
 import json
+import logging
 import re
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 from urllib.parse import unquote, urlsplit
 
 from repro._version import __version__
 from repro.data.dataset import TransactionDataset
 from repro.data.io import read_fimi
 from repro.engine import RunSpec
-from repro.server.jobs import DEFAULT_SHED_NUM_DATASETS, QueryBroker
+from repro.server.jobs import (
+    DEFAULT_SHED_NUM_DATASETS,
+    BrokerDraining,
+    QueryBroker,
+)
+from repro.server.journal import QueryJournal, RecoveryReport, recover_server
 from repro.server.state import ServerState
 
 __all__ = ["ReproServer"]
+
+logger = logging.getLogger("repro.server")
 
 _REASONS = {
     200: "OK",
@@ -62,6 +86,7 @@ _REASONS = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 #: RunSpec fields accepted in a query submission body.
@@ -132,6 +157,18 @@ class ReproServer:
         Defaults to ``max_workers + 2``.
     max_body_bytes:
         Upload size cap (HTTP 413 above it).
+    journal:
+        Path to (or prepared :class:`~repro.server.journal.QueryJournal`
+        over) the write-ahead query journal.  When given, every dataset
+        registration and job transition is journaled, and construction
+        **replays** the journal first — tenant datasets are re-registered
+        under their original ids and unfinished queries re-enqueued
+        (:attr:`recovery` holds the report).  Point a restarted server at
+        the same journal + store and it resumes the conversation the dead
+        process was killed out of.
+    retry_after:
+        Value of the ``Retry-After`` header on 503 responses while
+        draining (seconds).
     store / backend / n_jobs / executor / cache_* / clock:
         Forwarded to :class:`~repro.server.state.ServerState` when ``state``
         is omitted.
@@ -153,6 +190,8 @@ class ReproServer:
         shed_num_datasets: int = DEFAULT_SHED_NUM_DATASETS,
         http_threads: Optional[int] = None,
         max_body_bytes: int = 32 * 1024 * 1024,
+        journal: Union[str, QueryJournal, None] = None,
+        retry_after: int = 5,
         clock: Callable[[], float] = time.monotonic,
         **state_kwargs,
     ) -> None:
@@ -162,13 +201,23 @@ class ReproServer:
                 f"arguments, not both ({', '.join(sorted(state_kwargs))})"
             )
         self.state = state if state is not None else ServerState(**state_kwargs)
+        self.journal: Optional[QueryJournal] = (
+            journal
+            if isinstance(journal, (QueryJournal, type(None)))
+            else QueryJournal(journal)
+        )
         self.broker = QueryBroker(
             self.state,
             max_workers=max_workers,
             max_pending=max_pending,
             shed_num_datasets=shed_num_datasets,
             clock=clock,
+            journal=self.journal,
         )
+        self.recovery: Optional[RecoveryReport] = None
+        if self.journal is not None:
+            self.recovery = recover_server(self.journal, self.state, self.broker)
+        self._retry_after = int(retry_after)
         self._host = host
         self._requested_port = port
         self._max_body_bytes = int(max_body_bytes)
@@ -244,6 +293,24 @@ class ReproServer:
             raise failure[0]
         return self
 
+    def drain(self, timeout: float = 30.0, *, grace: float = 5.0) -> dict:
+        """Graceful shutdown, phase 1 (the SIGTERM path).
+
+        Flips the server to draining — ``GET /v1/readyz`` answers 503 and
+        new query submissions get 503 + ``Retry-After`` — then lets
+        in-flight and queued jobs run to completion (or, past ``timeout``,
+        to their next draw boundary as strict-prefix degraded results).
+        Refinement obligations are dropped here; the journal re-enqueues
+        them on the next boot.  Returns the broker's drain report; call
+        :meth:`stop` afterwards for phase 2.
+        """
+        return self.broker.drain(timeout, grace=grace)
+
+    def interrupt(self) -> None:
+        """Fast shutdown (the SIGINT / double-signal path): cancel the
+        queue, fire every in-flight cancel token, keep nothing waiting."""
+        self.broker.interrupt()
+
     def stop(self) -> None:
         """Stop the listener, drain workers, release engines.  Idempotent."""
         if self._closed:
@@ -286,15 +353,29 @@ class ReproServer:
                     writer, error.status, {"error": error.message}
                 )
                 return
+            headers: dict[str, str] = {}
             try:
                 status, payload = await self._dispatch(request)
             except _HttpError as error:
                 status, payload = error.status, {"error": error.message}
-            except Exception as error:  # noqa: BLE001 - last-resort guard
+                if error.status == 503:
+                    headers["Retry-After"] = str(self._retry_after)
+            except Exception:  # noqa: BLE001 - last-resort guard
+                # Never leak internal exception text to the client: the
+                # traceback goes to the server-side log under a correlation
+                # id the client can quote back.
+                request_id = f"r-{uuid.uuid4().hex[:12]}"
+                logger.exception(
+                    "unhandled error serving %s %s (request_id=%s)",
+                    request.method,
+                    request.path,
+                    request_id,
+                )
                 status, payload = 500, {
-                    "error": f"{type(error).__name__}: {error}"
+                    "error": "internal server error",
+                    "request_id": request_id,
                 }
-            await self._respond(writer, status, payload)
+            await self._respond(writer, status, payload, headers)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange
         finally:
@@ -333,14 +414,22 @@ class ReproServer:
         return _Request(method.upper(), path, headers, body)
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: dict
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        headers: Optional[dict] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Server: repro-itemsets/{__version__}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         writer.write(head + body)
@@ -361,6 +450,12 @@ class ReproServer:
             if method != "GET":
                 raise _HttpError(405, "healthz is GET-only")
             return 200, {"status": "ok", "version": __version__}
+        if path == "/v1/readyz":
+            if method != "GET":
+                raise _HttpError(405, "readyz is GET-only")
+            if self.broker.draining:
+                raise _HttpError(503, "draining")
+            return 200, {"status": "ready", "version": __version__}
         if path == "/v1/statz":
             if method != "GET":
                 raise _HttpError(405, "statz is GET-only")
@@ -384,11 +479,15 @@ class ReproServer:
             )
         match = _ROUTE_QUERY.match(path)
         if match:
-            if method != "GET":
-                raise _HttpError(405, "query status is GET-only")
-            return self._get_query(
-                match.group(1), request.headers.get("x-tenant")
-            )
+            if method == "GET":
+                return self._get_query(
+                    match.group(1), request.headers.get("x-tenant")
+                )
+            if method == "DELETE":
+                return self._delete_query(
+                    match.group(1), request.headers.get("x-tenant")
+                )
+            raise _HttpError(405, "query supports GET and DELETE")
         raise _HttpError(404, f"no route for {method} {path}")
 
     # -- datasets -----------------------------------------------------------
@@ -404,6 +503,17 @@ class ReproServer:
             )
         except ValueError as error:  # invalid tenant name
             raise _HttpError(400, str(error)) from error
+        if self.journal is not None and not deduplicated:
+            # Write-ahead: the mapping must survive a crash so queries
+            # submitted against this id keep resolving after recovery.
+            self.journal.dataset_registered(
+                tenant,
+                dataset_id=entry.dataset_id,
+                fingerprint=entry.fingerprint,
+                name=name,
+                items=dataset.items,
+                transactions=dataset.transactions,
+            )
         body = entry.to_dict()
         body["deduplicated"] = deduplicated
         return (200 if deduplicated else 201), body
@@ -471,16 +581,34 @@ class ReproServer:
         spec_fields = {
             key: payload[key] for key in _SPEC_FIELDS if key in payload
         }
-        unknown = set(payload) - set(_SPEC_FIELDS) - {"dataset"}
+        unknown = set(payload) - set(_SPEC_FIELDS) - {"dataset", "deadline_ms"}
         if unknown:
             raise _HttpError(
                 400, f"unknown query fields: {', '.join(sorted(unknown))}"
+            )
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, int)
+            or isinstance(deadline_ms, bool)
+            or deadline_ms < 0
+        ):
+            raise _HttpError(
+                400, "'deadline_ms' must be a non-negative integer"
             )
         try:
             spec = RunSpec(**spec_fields)
         except (TypeError, ValueError) as error:
             raise _HttpError(400, f"invalid RunSpec: {error}") from error
-        job = self.broker.submit(tenant, spec, entry.fingerprint, dataset_id)
+        try:
+            job = self.broker.submit(
+                tenant,
+                spec,
+                entry.fingerprint,
+                dataset_id,
+                deadline_ms=deadline_ms,
+            )
+        except BrokerDraining as error:
+            raise _HttpError(503, str(error)) from error
         status = 200 if job.status in ("done", "failed") else 202
         return status, job.to_dict(include_result=True)
 
@@ -497,6 +625,18 @@ class ReproServer:
             raise _HttpError(404, f"unknown query {query_id!r}")
         return 200, job.to_dict(include_result=True)
 
+    def _delete_query(
+        self, query_id: str, tenant_header: Optional[str]
+    ) -> tuple[int, dict]:
+        try:
+            outcome = self.broker.cancel(query_id, tenant_header)
+        except KeyError as error:
+            raise _HttpError(404, f"unknown query {query_id!r}") from error
+        job = self.broker.get(query_id)
+        payload = job.to_dict(include_result=False)
+        payload["cancel"] = outcome
+        return 200, payload
+
     # -- stats --------------------------------------------------------------
 
     def _statz(self) -> dict:
@@ -512,4 +652,8 @@ class ReproServer:
             "cache": self.state.store.stats.to_dict(),
             "queue": self.broker.stats(),
             "tenants": len(self.state.tenants()),
+            "journal": None if self.journal is None else self.journal.path,
+            "recovery": (
+                None if self.recovery is None else self.recovery.to_dict()
+            ),
         }

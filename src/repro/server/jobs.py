@@ -18,6 +18,24 @@ The serving contract under load (see ``docs/server.md``):
   confidence.  Refinement jobs only run while the admission queue is
   empty — interactive traffic always wins.
 
+Lifecycle (this PR's layer — see ``docs/server.md`` "Lifecycle"):
+
+* every job carries a :class:`~repro.parallel.CancelToken`; a per-query
+  ``deadline_ms`` arms its deadline, ``DELETE /v1/queries/{id}`` fires it,
+  and a drain deadline fires it with reason ``"drain"`` — in every case
+  the Monte-Carlo loop stops at the next draw boundary and the job
+  finishes ``done`` with an honest strict-prefix ``degraded=True`` result
+  (a job cancelled while still *queued* becomes terminal ``cancelled``);
+* transitions are write-ahead journaled (:class:`~repro.server.journal.QueryJournal`)
+  so a SIGKILLed server restarts into the same conversation: recovery
+  re-enqueues every non-terminal job (:meth:`QueryBroker.restore_job`)
+  and re-indexes terminal ones (:meth:`QueryBroker.restore_terminal`);
+* :meth:`QueryBroker.drain` stops admission (:class:`BrokerDraining` maps
+  to HTTP 503 + ``Retry-After``), lets in-flight work run to completion
+  under a drain budget, fires ``"drain"`` tokens when the budget expires,
+  and drops refinement obligations — they are journaled and re-enqueued
+  on the next boot.
+
 A job that hits execution faults degrades through the Engine's own
 machinery (retries exhausted → strict-prefix ``degraded=True`` result);
 only genuinely unexpected errors mark a job ``failed``, and those surface
@@ -26,6 +44,7 @@ as a well-formed JSON status, never a torn half-result.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 import uuid
@@ -34,13 +53,24 @@ from dataclasses import replace
 from typing import Callable, Optional
 
 from repro.engine import RunResult, RunSpec
+from repro.parallel.cancellation import CancelToken
 
-__all__ = ["QueryBroker", "QueryJob"]
+__all__ = ["BrokerDraining", "QueryBroker", "QueryJob"]
+
+logger = logging.getLogger("repro.server")
 
 #: Default strict-prefix Monte-Carlo budget served under saturation.
 DEFAULT_SHED_NUM_DATASETS = 16
 
-_TERMINAL = ("done", "failed")
+_TERMINAL = ("done", "failed", "cancelled")
+
+
+class BrokerDraining(RuntimeError):
+    """Submission refused because the server is draining for shutdown.
+
+    The HTTP layer maps this to ``503`` with a ``Retry-After`` header; the
+    journal guarantees nothing already admitted is lost.
+    """
 
 
 class QueryJob:
@@ -49,20 +79,31 @@ class QueryJob:
     def __init__(
         self,
         tenant: str,
-        spec: RunSpec,
+        spec: Optional[RunSpec],
         fingerprint: str,
         dataset_id: str,
         clock: Callable[[], float],
+        *,
+        query_id: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
+        recovered: bool = False,
     ) -> None:
-        self.query_id = f"q-{uuid.uuid4().hex}"
+        self.query_id = query_id if query_id else f"q-{uuid.uuid4().hex}"
         self.tenant = tenant
         self.spec = spec
         self.fingerprint = fingerprint
         self.dataset_id = dataset_id
-        self.status = "queued"  # queued | running | done | failed
+        self.status = "queued"  # queued | running | done | failed | cancelled
         self.shed = False  # answered via the saturation fast path
         self.refined = False  # background refinement replaced the result
         self.refining = False
+        self.recovered = recovered  # re-enqueued by crash recovery
+        self.deadline_ms = deadline_ms
+        self.cancel_token = (
+            CancelToken.after(deadline_ms / 1000.0)
+            if deadline_ms is not None
+            else CancelToken()
+        )
         self.result: Optional[RunResult] = None
         self.error: Optional[str] = None
         self.submitted_at = clock()
@@ -71,6 +112,30 @@ class QueryJob:
         self._lock = threading.Lock()
 
     # -- transitions (called by the broker) --------------------------------
+
+    def _mark_running(self) -> bool:
+        """queued → running, under the job lock; False if no longer queued
+        (e.g. cancelled while waiting) so the worker skips the job."""
+        with self._lock:
+            if self.status != "queued":
+                return False
+            self.status = "running"
+            return True
+
+    def _mark_cancelled(self, clock: Callable[[], float]) -> bool:
+        """queued → cancelled (terminal), under the job lock.
+
+        Only a still-queued job can be cancelled outright; a running one
+        must instead have its token fired and finish as a degraded
+        ``done``.  Returns whether the transition happened.
+        """
+        with self._lock:
+            if self.status != "queued":
+                return False
+            self.status = "cancelled"
+            self.finished_at = clock()
+        self.done_event.set()
+        return True
 
     def _finish(
         self,
@@ -128,6 +193,9 @@ class QueryJob:
                 "shed": self.shed,
                 "refined": self.refined,
                 "refining": self.refining,
+                "recovered": self.recovered,
+                "deadline_ms": self.deadline_ms,
+                "cancel_reason": self.cancel_token.reason,
                 "error": self.error,
             }
         payload["degraded"] = self.degraded
@@ -138,7 +206,13 @@ class QueryJob:
 
 
 class QueryBroker:
-    """Bounded admission queue + worker pool + background refinement."""
+    """Bounded admission queue + worker pool + background refinement.
+
+    ``journal`` (a :class:`~repro.server.journal.QueryJournal`) makes every
+    lifecycle transition durable; ``max_workers=0`` builds a broker that
+    only stages work — recovery tests use it to inspect the re-enqueued
+    queue before anything runs.
+    """
 
     def __init__(
         self,
@@ -149,9 +223,10 @@ class QueryBroker:
         shed_num_datasets: int = DEFAULT_SHED_NUM_DATASETS,
         max_jobs: int = 4096,
         clock: Callable[[], float] = time.monotonic,
+        journal=None,
     ) -> None:
-        if max_workers < 1:
-            raise ValueError("max_workers must be at least 1")
+        if max_workers < 0:
+            raise ValueError("max_workers must be non-negative")
         if max_pending < 0:
             raise ValueError("max_pending must be non-negative")
         if shed_num_datasets < 1:
@@ -161,6 +236,7 @@ class QueryBroker:
         self.shed_num_datasets = shed_num_datasets
         self.max_jobs = max_jobs
         self._clock = clock
+        self._journal = journal
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._pending: deque[QueryJob] = deque()
@@ -170,7 +246,12 @@ class QueryBroker:
         self._job_order: deque[str] = deque()
         self._shed_count = 0
         self._refined_count = 0
+        self._cancelled_count = 0
+        self._deadline_count = 0
+        self._recovered_count = 0
         self._stopping = False
+        self._draining = False
+        self._close_report: Optional[dict] = None
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-query-{i}", daemon=True
@@ -180,21 +261,80 @@ class QueryBroker:
         for worker in self._workers:
             worker.start()
 
+    # -- journaling ---------------------------------------------------------
+
+    def _journal_event(
+        self,
+        job: QueryJob,
+        status: str,
+        *,
+        with_spec: bool = False,
+        error: Optional[str] = None,
+    ) -> None:
+        """Best-effort durable record of one transition (never fails a query)."""
+        if self._journal is None:
+            return
+        try:
+            self._journal.job_event(
+                job.query_id,
+                status,
+                tenant=job.tenant,
+                dataset_id=job.dataset_id if with_spec else None,
+                fingerprint=job.fingerprint if with_spec else None,
+                spec=(
+                    job.spec.to_dict()
+                    if with_spec and job.spec is not None
+                    else None
+                ),
+                shed=job.shed,
+                refined=job.refined,
+                error=error,
+            )
+        except OSError as exc:  # pragma: no cover - disk failure path
+            logger.warning(
+                "journal append failed for %s (%s): %s",
+                job.query_id,
+                status,
+                exc,
+            )
+
     # -- submission ---------------------------------------------------------
 
     def submit(
-        self, tenant: str, spec: RunSpec, fingerprint: str, dataset_id: str
+        self,
+        tenant: str,
+        spec: RunSpec,
+        fingerprint: str,
+        dataset_id: str,
+        *,
+        deadline_ms: Optional[int] = None,
     ) -> QueryJob:
         """Admit (or shed) one query; returns its job immediately.
 
         On saturation the job is executed *in the calling thread* at the
         shed budget, so the HTTP response already carries the degraded
         answer; the full-budget replay is queued for background refinement.
+        ``deadline_ms`` arms the job's cancel token: the Monte-Carlo loop
+        stops at the first draw boundary past the deadline and the answer
+        comes back ``degraded=True`` over the strict prefix completed.
         """
-        job = QueryJob(tenant, spec, fingerprint, dataset_id, self._clock)
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ValueError("deadline_ms must be non-negative")
+        job = QueryJob(
+            tenant,
+            spec,
+            fingerprint,
+            dataset_id,
+            self._clock,
+            deadline_ms=deadline_ms,
+        )
         with self._lock:
             if self._stopping:
                 raise RuntimeError("broker is shutting down")
+            if self._draining:
+                raise BrokerDraining("server is draining; retry against a peer")
+        self._journal_event(job, "submitted", with_spec=True)
+        with self._lock:
             self._remember(job)
             saturated = (
                 len(self._pending) + self._running >= self.max_pending
@@ -211,6 +351,38 @@ class QueryBroker:
         with self._lock:
             return self._jobs[query_id]
 
+    def cancel(self, query_id: str, tenant: Optional[str] = None) -> str:
+        """Cancel a query (the ``DELETE /v1/queries/{id}`` verb).
+
+        Returns what actually happened: ``"cancelled"`` (it was still
+        queued — now terminal, it will never run), ``"cancelling"`` (it is
+        running — its token fired, it will finish as an honest
+        strict-prefix ``degraded`` result at the next draw boundary), or
+        ``"finished"`` (already terminal; nothing to do).  ``tenant``
+        scopes the lookup: another tenant's query id raises ``KeyError``
+        exactly like an unknown one (no cross-tenant existence oracle).
+        """
+        job = self.get(query_id)
+        if tenant is not None and job.tenant != tenant:
+            raise KeyError(query_id)
+        if job._mark_cancelled(self._clock):
+            with self._lock:
+                try:
+                    self._pending.remove(job)
+                except ValueError:
+                    pass
+                self._cancelled_count += 1
+            self._journal_event(job, "cancelled")
+            return "cancelled"
+        with job._lock:
+            status = job.status
+        if status == "running":
+            job.cancel_token.cancel("client")
+            with self._lock:
+                self._cancelled_count += 1
+            return "cancelling"
+        return "finished"
+
     def _remember(self, job: QueryJob) -> None:
         """Index the job, aging out the oldest finished jobs over the cap."""
         self._jobs[job.query_id] = job
@@ -222,6 +394,77 @@ class QueryBroker:
                 break  # never forget live work
             self._job_order.popleft()
             self._jobs.pop(oldest_id, None)
+
+    # -- crash recovery (called by repro.server.journal.recover_server) -----
+
+    def restore_job(
+        self,
+        tenant: str,
+        spec: RunSpec,
+        fingerprint: str,
+        dataset_id: str,
+        *,
+        query_id: str,
+        shed: bool = False,
+        recovered: bool = False,
+    ) -> QueryJob:
+        """Re-enqueue a journalled job under its original id.
+
+        Recovery bypasses the saturation fast path — a replayed job is
+        never shed *again*; it re-runs at the budget the journal recorded
+        (``shed=True`` replays the strict-prefix run the client already
+        saw, then re-enqueues the orphaned refinement).  The re-run is a
+        cache hit for anything that finished before the crash, so the
+        answer is bit-identical to the one the dead process served.
+        """
+        job = QueryJob(
+            tenant,
+            spec,
+            fingerprint,
+            dataset_id,
+            self._clock,
+            query_id=query_id,
+            recovered=recovered,
+        )
+        job.shed = shed
+        with self._lock:
+            if self._stopping:
+                raise RuntimeError("broker is shutting down")
+            self._remember(job)
+            self._pending.append(job)
+            if recovered:
+                self._recovered_count += 1
+            self._wake.notify()
+        self._journal_event(job, "recovered" if recovered else "submitted",
+                            with_spec=True)
+        return job
+
+    def restore_terminal(self, record) -> QueryJob:
+        """Re-index a journalled terminal job so its id keeps resolving."""
+        spec: Optional[RunSpec] = None
+        if getattr(record, "spec", None) is not None:
+            try:
+                spec = RunSpec.from_dict(record.spec)
+            except (KeyError, TypeError, ValueError):
+                spec = None
+        job = QueryJob(
+            record.tenant,
+            spec,
+            record.fingerprint or "",
+            record.dataset_id or "",
+            self._clock,
+            query_id=record.query_id,
+        )
+        with job._lock:
+            job.status = record.status
+            job.shed = bool(record.shed)
+            job.refined = bool(record.refined)
+            job.error = record.error
+            job.finished_at = self._clock()
+        job.done_event.set()
+        with self._lock:
+            self._remember(job)
+        return job
 
     # -- the backpressure fast path ----------------------------------------
 
@@ -244,18 +487,30 @@ class QueryBroker:
         job.shed = degraded_spec != job.spec
         with self._lock:
             self._shed_count += 1 if job.shed else 0
-        job.status = "running"
+        if not job._mark_running():
+            return  # cancelled before the inline run started
+        self._journal_event(job, "running")
         try:
-            result = self.state.engine().run(degraded_spec, dataset=job.fingerprint)
+            result = self.state.engine().run(
+                degraded_spec, dataset=job.fingerprint, cancel=job.cancel_token
+            )
         except Exception as error:  # noqa: BLE001 - surfaced as job status
             job._finish(None, f"{type(error).__name__}: {error}", self._clock)
+            self._journal_event(job, "failed", error=job.error)
             return
         job._finish(result, None, self._clock)
+        self._note_deadline(job)
+        self._journal_event(job, "done")
         if job.shed:
             with self._lock:
-                if not self._stopping:
+                if not self._stopping and not self._draining:
                     self._refine.append(job)
                     self._wake.notify()
+
+    def _note_deadline(self, job: QueryJob) -> None:
+        if job.cancel_token.reason == "deadline":
+            with self._lock:
+                self._deadline_count += 1
 
     # -- workers ------------------------------------------------------------
 
@@ -287,13 +542,28 @@ class QueryBroker:
                     self._wake.notify_all()
 
     def _run_job(self, job: QueryJob) -> None:
-        job.status = "running"
+        if not job._mark_running():
+            return  # cancelled while queued
+        self._journal_event(job, "running")
+        # A restored shed job replays the strict-prefix run its client
+        # already saw; its refinement is re-enqueued below.
+        spec = self.shed_spec(job.spec) if job.shed else job.spec
         try:
-            result = self.state.engine().run(job.spec, dataset=job.fingerprint)
+            result = self.state.engine().run(
+                spec, dataset=job.fingerprint, cancel=job.cancel_token
+            )
         except Exception as error:  # noqa: BLE001 - surfaced as job status
             job._finish(None, f"{type(error).__name__}: {error}", self._clock)
+            self._journal_event(job, "failed", error=job.error)
             return
         job._finish(result, None, self._clock)
+        self._note_deadline(job)
+        self._journal_event(job, "done")
+        if job.shed and not job.refined:
+            with self._lock:
+                if not self._stopping and not self._draining:
+                    self._refine.append(job)
+                    self._wake.notify()
 
     def _run_refinement(self, job: QueryJob) -> None:
         """Replay a shed job at full budget and upgrade its stored answer."""
@@ -314,8 +584,14 @@ class QueryBroker:
         job._finish(result, None, self._clock, refined=True)
         with self._lock:
             self._refined_count += 1
+        self._journal_event(job, "done")
 
     # -- introspection ------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
 
     def stats(self) -> dict:
         """Queue depths and lifecycle counters for ``GET /v1/statz``."""
@@ -330,15 +606,117 @@ class QueryBroker:
                 "capacity": self.max_pending,
                 "shed": self._shed_count,
                 "refined": self._refined_count,
+                "cancelled": self._cancelled_count,
+                "deadline_exceeded": self._deadline_count,
+                "recovered": self._recovered_count,
+                "draining": self._draining,
                 "jobs": statuses,
             }
 
-    def close(self, timeout: float = 10.0) -> None:
-        """Stop accepting work, drain the queues, and join the workers."""
+    # -- lifecycle -----------------------------------------------------------
+
+    def drain(
+        self, timeout: float = 30.0, *, poll: float = 0.05, grace: float = 5.0
+    ) -> dict:
+        """Graceful shutdown, phase 1: stop admission, finish what's in.
+
+        New submissions raise :class:`BrokerDraining` (HTTP 503 +
+        ``Retry-After``).  Refinement obligations are dropped *here* — each
+        is journaled as a shed, unrefined ``done`` job, so the next boot
+        re-enqueues it.  In-flight and queued jobs run to completion until
+        ``timeout``; past it every live token fires with reason
+        ``"drain"``, turning remaining work into fast strict-prefix
+        degraded results, and up to ``grace`` more seconds are given for
+        those to land.  Returns a report; call :meth:`close` afterwards.
+        """
         with self._lock:
-            if self._stopping:
-                return
+            self._draining = True
+            refinements_dropped = len(self._refine)
+            self._refine.clear()
+            self._wake.notify_all()
+        forced = 0
+        deadline = self._clock() + timeout
+        while True:
+            with self._lock:
+                if not self._pending and self._running == 0:
+                    break
+            if self._clock() >= deadline:
+                with self._lock:
+                    jobs = list(self._jobs.values())
+                for job in jobs:
+                    if job.status in ("queued", "running"):
+                        job.cancel_token.cancel("drain")
+                        forced += 1
+                grace_deadline = self._clock() + grace
+                while self._clock() < grace_deadline:
+                    with self._lock:
+                        if not self._pending and self._running == 0:
+                            break
+                    time.sleep(poll)
+                break
+            time.sleep(poll)
+        with self._lock:
+            completed = not self._pending and self._running == 0
+        return {
+            "drained": completed,
+            "forced": forced,
+            "refinements_dropped": refinements_dropped,
+        }
+
+    def interrupt(self) -> None:
+        """Fast shutdown: cancel the queue, fire every in-flight token.
+
+        The SIGINT / double-signal path.  Queued jobs become terminal
+        ``cancelled``; running ones finish as strict-prefix degraded
+        results at their next draw boundary.  Follow with :meth:`close`.
+        """
+        with self._lock:
+            self._draining = True
+            pending = list(self._pending)
+            self._pending.clear()
+            self._refine.clear()
+            jobs = list(self._jobs.values())
+            self._wake.notify_all()
+        for job in pending:
+            if job._mark_cancelled(self._clock):
+                self._journal_event(job, "cancelled")
+        for job in jobs:
+            if job.status == "running":
+                job.cancel_token.cancel("interrupt")
+
+    def close(self, timeout: float = 10.0) -> dict:
+        """Stop the workers and report anything left behind.
+
+        Returns (and on repeat calls, re-returns) the ``abandoned`` counts:
+        queued jobs never run, refinements never replayed, workers that
+        failed to join within ``timeout``.  Anything non-zero is also
+        logged as a warning — shutdown must never silently drop work (the
+        journal still has it for the next boot).
+        """
+        with self._lock:
+            if self._close_report is not None:
+                return self._close_report
             self._stopping = True
             self._wake.notify_all()
+        stuck = 0
         for worker in self._workers:
             worker.join(timeout=timeout)
+            if worker.is_alive():
+                stuck += 1
+        with self._lock:
+            report = {
+                "pending": len(self._pending),
+                "refine": len(self._refine),
+                "workers_stuck": stuck,
+            }
+            self._close_report = report
+        if any(report.values()):
+            logger.warning(
+                "QueryBroker.close abandoned work: %d pending job(s), "
+                "%d refinement(s), %d stuck worker(s) — the journal retains "
+                "them for the next boot",
+                report["pending"],
+                report["refine"],
+                report["workers_stuck"],
+            )
+        return report

@@ -1,0 +1,387 @@
+"""The write-ahead query journal and crash recovery for the server.
+
+PR 7 made the *artifacts* crash-safe (atomic writes, single-flight, a
+durable :class:`~repro.engine.store.DirectoryArtifactStore`), but the
+server's conversational state — which tenants registered which datasets
+under which ids, which queries were submitted and how far they got —
+lived only in process memory.  :class:`QueryJournal` makes that state
+durable with the cheapest possible mechanism that survives SIGKILL:
+
+* an **append-only JSONL file**, one self-contained record per line;
+* every append opens the file, takes an advisory ``fcntl`` lock, writes
+  one ``\\n``-terminated line, flushes, fsyncs and closes — no fd is held
+  between appends (the test tier runs ``-W error::ResourceWarning``) and
+  a crash can tear at most the final line;
+* replay (:meth:`QueryJournal.replay`) is **last-wins per query id** and
+  skip-and-count on unparsable lines, so a torn trailing record costs one
+  journal entry, never the journal.
+
+Two record shapes:
+
+``{"event": "dataset", tenant, dataset_id, fingerprint, name, items,
+transactions}``
+    A tenant registration, with the full transaction payload — replaying
+    it re-registers the *content* against the shared registry and
+    re-installs the tenant's original opaque id
+    (:meth:`~repro.server.state.ServerState.restore_dataset` verifies the
+    replayed content still fingerprints to the journalled address).
+
+``{"event": "job", query_id, status, tenant, dataset_id, fingerprint,
+spec?, shed?, refined?, error?}``
+    One lifecycle transition (``submitted`` / ``recovered`` / ``running``
+    / ``done`` / ``failed`` / ``cancelled``).  The spec rides on the
+    first transition; later ones only update status and flags.
+
+Recovery (:func:`recover_server`) replays datasets first, then decides
+per job record: terminal ``failed`` / ``cancelled`` jobs are re-indexed
+as-is (a ``GET`` must keep resolving, never 500); everything else —
+including ``done`` jobs, whose *results* are deliberately not journaled —
+is re-enqueued at full spec.  That is idempotent by construction: the
+artifact store turns a re-run of a finished query into cache hits, so a
+recovered ``done`` job reproduces its pre-crash answer bit-identically.
+Jobs that died mid-``running`` are additionally flagged ``recovered``
+(surfaced in ``/v1/statz``), and a shed job whose background refinement
+never happened is re-enqueued *with* its refinement obligation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+try:  # pragma: no cover - fcntl is present on every POSIX platform we run on
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = [
+    "DatasetRecord",
+    "JobRecord",
+    "JournalReplay",
+    "QueryJournal",
+    "RecoveryReport",
+    "recover_server",
+]
+
+#: Job statuses a recovery leaves alone (beyond re-indexing for ``GET``).
+TERMINAL_STATUSES = ("failed", "cancelled")
+
+
+@dataclass
+class DatasetRecord:
+    """One replayed tenant-dataset registration."""
+
+    tenant: str
+    dataset_id: str
+    fingerprint: str
+    name: Optional[str]
+    items: list[int]
+    transactions: list[list[int]]
+
+
+@dataclass
+class JobRecord:
+    """The last-wins merge of one query's journalled transitions."""
+
+    query_id: str
+    tenant: str
+    status: str = "submitted"
+    dataset_id: Optional[str] = None
+    fingerprint: Optional[str] = None
+    spec: Optional[dict] = None
+    shed: bool = False
+    refined: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class JournalReplay:
+    """Everything a journal file says, parsed and merged."""
+
+    datasets: list[DatasetRecord] = field(default_factory=list)
+    jobs: dict[str, JobRecord] = field(default_factory=dict)
+    skipped_lines: int = 0
+
+
+class QueryJournal:
+    """Append-only JSONL write-ahead log of server conversational state.
+
+    Thread-safe: appends additionally serialize on an in-process lock (the
+    ``fcntl`` lock only arbitrates between *processes*).  ``path`` is
+    created lazily on the first append; a journal that never sees an event
+    never touches disk.
+    """
+
+    def __init__(self, path: str, clock: Callable[[], float] = time.time) -> None:
+        self.path = os.fspath(path)
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (open, lock, write, fsync, close)."""
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+                try:
+                    handle.write(line + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                finally:
+                    if fcntl is not None:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def dataset_registered(
+        self,
+        tenant: str,
+        *,
+        dataset_id: str,
+        fingerprint: str,
+        name: Optional[str],
+        items,
+        transactions,
+    ) -> None:
+        """Journal one tenant registration (full content payload)."""
+        self.append(
+            {
+                "event": "dataset",
+                "tenant": tenant,
+                "dataset_id": dataset_id,
+                "fingerprint": fingerprint,
+                "name": name,
+                "items": [int(item) for item in items],
+                "transactions": [
+                    [int(item) for item in txn] for txn in transactions
+                ],
+                "ts": self._clock(),
+            }
+        )
+
+    def job_event(
+        self,
+        query_id: str,
+        status: str,
+        *,
+        tenant: Optional[str] = None,
+        dataset_id: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+        spec: Optional[dict] = None,
+        shed: Optional[bool] = None,
+        refined: Optional[bool] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Journal one job lifecycle transition (sparse fields merge on replay)."""
+        record: dict = {
+            "event": "job",
+            "query_id": query_id,
+            "status": status,
+            "ts": self._clock(),
+        }
+        if tenant is not None:
+            record["tenant"] = tenant
+        if dataset_id is not None:
+            record["dataset_id"] = dataset_id
+        if fingerprint is not None:
+            record["fingerprint"] = fingerprint
+        if spec is not None:
+            record["spec"] = spec
+        if shed is not None:
+            record["shed"] = bool(shed)
+        if refined is not None:
+            record["refined"] = bool(refined)
+        if error is not None:
+            record["error"] = str(error)
+        self.append(record)
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self) -> JournalReplay:
+        """Parse the journal into dataset records and last-wins job records.
+
+        Unparsable lines (e.g. the torn final line of a SIGKILLed append)
+        and unknown event kinds are counted in ``skipped_lines`` and
+        otherwise ignored — the journal format is forward-compatible.
+        """
+        replay = JournalReplay()
+        if not os.path.exists(self.path):
+            return replay
+        seen_datasets: set[tuple[str, str]] = set()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    replay.skipped_lines += 1
+                    continue
+                if not isinstance(record, dict):
+                    replay.skipped_lines += 1
+                    continue
+                event = record.get("event")
+                if event == "dataset":
+                    try:
+                        parsed = DatasetRecord(
+                            tenant=str(record["tenant"]),
+                            dataset_id=str(record["dataset_id"]),
+                            fingerprint=str(record["fingerprint"]),
+                            name=record.get("name"),
+                            items=[int(item) for item in record.get("items", [])],
+                            transactions=[
+                                [int(item) for item in txn]
+                                for txn in record["transactions"]
+                            ],
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        replay.skipped_lines += 1
+                        continue
+                    key = (parsed.tenant, parsed.dataset_id)
+                    if key not in seen_datasets:
+                        seen_datasets.add(key)
+                        replay.datasets.append(parsed)
+                elif event == "job":
+                    query_id = record.get("query_id")
+                    tenant = record.get("tenant")
+                    if not isinstance(query_id, str):
+                        replay.skipped_lines += 1
+                        continue
+                    job = replay.jobs.get(query_id)
+                    if job is None:
+                        if not isinstance(tenant, str):
+                            # A transition for a job whose submission record
+                            # is gone (aged-out or torn): nothing to rebuild.
+                            replay.skipped_lines += 1
+                            continue
+                        job = replay.jobs[query_id] = JobRecord(
+                            query_id=query_id, tenant=tenant
+                        )
+                    status = record.get("status")
+                    if isinstance(status, str):
+                        job.status = status
+                    for attr in ("dataset_id", "fingerprint", "spec", "error"):
+                        value = record.get(attr)
+                        if value is not None:
+                            setattr(job, attr, value)
+                    for flag in ("shed", "refined"):
+                        value = record.get(flag)
+                        if value is not None:
+                            setattr(job, flag, bool(value))
+                else:
+                    replay.skipped_lines += 1
+        return replay
+
+    def __repr__(self) -> str:
+        return f"<QueryJournal: {self.path!r}>"
+
+
+@dataclass
+class RecoveryReport:
+    """What a startup replay actually rebuilt (surfaced in ``/v1/statz``)."""
+
+    datasets_restored: int = 0
+    jobs_reenqueued: int = 0
+    jobs_recovered: int = 0  # died mid-running, re-enqueued
+    jobs_terminal: int = 0  # failed/cancelled, re-indexed as-is
+    jobs_lost: int = 0  # unreplayable (missing dataset/spec) -> failed
+    refinements_reenqueued: int = 0
+    skipped_lines: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "datasets_restored": self.datasets_restored,
+            "jobs_reenqueued": self.jobs_reenqueued,
+            "jobs_recovered": self.jobs_recovered,
+            "jobs_terminal": self.jobs_terminal,
+            "jobs_lost": self.jobs_lost,
+            "refinements_reenqueued": self.refinements_reenqueued,
+            "skipped_lines": self.skipped_lines,
+        }
+
+
+def recover_server(journal: QueryJournal, state, broker) -> RecoveryReport:
+    """Replay ``journal`` into a fresh ``state`` + ``broker`` pair.
+
+    Datasets first (jobs resolve against them), then jobs in journal
+    order.  Every journalled query id resolves after recovery: terminal
+    jobs are re-indexed with their final status, live ones are re-enqueued
+    to re-run (cache hits for anything that finished before the crash),
+    and a job whose dataset or spec cannot be rebuilt is indexed as
+    ``failed`` with an explanatory error — degraded to an honest failure,
+    never a 404/500.
+    """
+    from repro.data.dataset import TransactionDataset
+    from repro.engine.spec import RunSpec
+
+    report = RecoveryReport()
+    replay = journal.replay()
+    report.skipped_lines = replay.skipped_lines
+
+    restored_fingerprints: set[str] = set()
+    for record in replay.datasets:
+        dataset = TransactionDataset(
+            record.transactions, items=record.items, name=record.name
+        )
+        state.restore_dataset(
+            record.tenant,
+            dataset,
+            dataset_id=record.dataset_id,
+            fingerprint=record.fingerprint,
+            name=record.name,
+        )
+        restored_fingerprints.add(record.fingerprint)
+        report.datasets_restored += 1
+
+    for record in replay.jobs.values():
+        if record.status in TERMINAL_STATUSES:
+            broker.restore_terminal(record)
+            report.jobs_terminal += 1
+            continue
+        if (
+            record.fingerprint is None
+            or record.spec is None
+            or record.fingerprint not in state.registry
+        ):
+            record.error = (
+                "unrecoverable after restart: the journal holds no replayable "
+                "spec/dataset for this query"
+            )
+            record.status = "failed"
+            broker.restore_terminal(record)
+            report.jobs_lost += 1
+            continue
+        try:
+            spec = RunSpec.from_dict(record.spec)
+        except (KeyError, TypeError, ValueError):
+            record.error = "unrecoverable after restart: journalled spec unreadable"
+            record.status = "failed"
+            broker.restore_terminal(record)
+            report.jobs_lost += 1
+            continue
+        needs_refine = record.shed and not record.refined
+        recovered = record.status == "running"
+        broker.restore_job(
+            record.tenant,
+            spec,
+            record.fingerprint,
+            record.dataset_id or "",
+            query_id=record.query_id,
+            shed=needs_refine,
+            recovered=recovered,
+        )
+        report.jobs_reenqueued += 1
+        if recovered:
+            report.jobs_recovered += 1
+        if needs_refine:
+            report.refinements_reenqueued += 1
+    return report

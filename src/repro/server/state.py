@@ -110,6 +110,24 @@ class TenantNamespace:
             self._by_fingerprint[fingerprint] = dataset_id
             return entry, False
 
+    def restore(self, entry: TenantDataset) -> bool:
+        """Re-install a journalled mapping with its *original* dataset id.
+
+        Recovery must hand tenants back the exact ids they were given before
+        the crash, so — unlike :meth:`add` — no fresh id is minted.  Returns
+        False (and changes nothing) when the id or fingerprint is already
+        mapped, making journal replay idempotent.
+        """
+        with self._lock:
+            if (
+                entry.dataset_id in self._by_id
+                or entry.fingerprint in self._by_fingerprint
+            ):
+                return False
+            self._by_id[entry.dataset_id] = entry
+            self._by_fingerprint[entry.fingerprint] = entry.dataset_id
+            return True
+
     def get(self, dataset_id: str) -> TenantDataset:
         """Resolve one of *this tenant's* dataset ids (KeyError otherwise)."""
         with self._lock:
@@ -228,6 +246,42 @@ class ServerState:
             alias=False,
         )
         return namespace.add(fingerprint, dataset, name)
+
+    def restore_dataset(
+        self,
+        tenant: str,
+        dataset: TransactionDataset,
+        *,
+        dataset_id: str,
+        fingerprint: str,
+        name: Optional[str] = None,
+    ) -> TenantDataset:
+        """Replay a journalled registration with its original id.
+
+        The recovery path of :func:`repro.server.journal.recover_server`:
+        the dataset content is re-registered against the shared registry
+        (verifying it still fingerprints to the journalled address) and the
+        tenant's original ``dataset_id`` mapping is re-installed verbatim —
+        queries submitted before the crash keep resolving after it.
+        Idempotent per (tenant, id, fingerprint).
+        """
+        from repro.fim.bitmap import resolve_backend
+
+        namespace = self.tenant(tenant)
+        self.registry.restore(
+            dataset,
+            fingerprint,
+            build_packed=resolve_backend(self.backend) == "numpy",
+        )
+        entry = TenantDataset(
+            dataset_id=dataset_id,
+            fingerprint=fingerprint,
+            name=name,
+            num_transactions=dataset.num_transactions,
+            num_items=dataset.num_items,
+        )
+        namespace.restore(entry)
+        return namespace.get(dataset_id)
 
     def resolve_dataset(self, tenant: str, dataset_id: str) -> TenantDataset:
         """Resolve a dataset id *within* a tenant's namespace."""

@@ -9,7 +9,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import random
+import socket
+import subprocess
+import sys
 import time
 
 import pytest
@@ -54,3 +58,54 @@ def make_fimi(num_transactions=40, num_items=10, density=0.35, seed=7):
 @pytest.fixture
 def fimi_text():
     return make_fimi()
+
+
+def free_port():
+    """Ask the OS for an ephemeral localhost port."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_serve(cwd, *extra_args, port=None):
+    """Start a real ``repro serve`` subprocess; returns (process, port).
+
+    The lifecycle tests exercise the actual CLI signal handling — SIGINT,
+    SIGTERM drain, SIGKILL crash — which only exists across a process
+    boundary.  Callers own termination (and should ``communicate()`` to
+    reap the pipes).
+    """
+    port = port or free_port()
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", str(port)]
+        + [str(arg) for arg in extra_args],
+        cwd=cwd,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    return process, port
+
+
+def wait_serving(process, port, timeout=30.0):
+    """Block until the subprocess answers /v1/healthz (or fail the test)."""
+
+    def up():
+        if process.poll() is not None:
+            out, err = process.communicate()
+            pytest.fail(
+                f"serve exited early ({process.returncode}):\n{out}\n{err}"
+            )
+        try:
+            status, _ = http_json(port, "GET", "/v1/healthz", timeout=2.0)
+            return status == 200
+        except OSError:
+            return False
+
+    wait_until(up, timeout=timeout, interval=0.05)

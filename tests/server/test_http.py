@@ -69,6 +69,8 @@ class TestRouting:
             "cache",
             "queue",
             "tenants",
+            "journal",
+            "recovery",
         }
         assert set(payload["engine"]) == {
             "datasets_registered",

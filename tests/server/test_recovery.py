@@ -1,0 +1,599 @@
+"""The durability tier: journal replay, crash recovery, deadlines, drain.
+
+The lifecycle contract of ``docs/server.md``:
+
+* the write-ahead :class:`~repro.server.journal.QueryJournal` survives torn
+  trailing lines and replays last-wins per query id;
+* :func:`~repro.server.journal.recover_server` rebuilds a dead server's
+  conversational state — every journalled query id resolves after restart,
+  terminal jobs keep their status, live ones re-enqueue (mid-``running``
+  deaths flagged ``recovered``), unreplayable ones degrade to an honest
+  ``failed``, never a 404/500;
+* a ``deadline_ms`` budget (and ``DELETE /v1/queries/{id}``) stops the
+  Monte-Carlo loop at a draw boundary and serves the strict prefix with
+  ``degraded=True`` — bit-identical to a fixed run at the spent Δ;
+* drain flips ``/v1/readyz`` to 503 + ``Retry-After`` and refuses new
+  submissions while in-flight work completes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.poisson_threshold import find_poisson_threshold
+from repro.engine import DirectoryArtifactStore, RunSpec
+from repro.parallel import CancelToken
+from repro.server import (
+    BrokerDraining,
+    QueryBroker,
+    QueryJournal,
+    ReproServer,
+    ServerState,
+    recover_server,
+)
+from repro.server.journal import JobRecord
+
+from tests.server.conftest import http_json, make_fimi, wait_until
+
+SPEC = {
+    "ks": [2],
+    "epsilon": 0.1,
+    "num_datasets": 12,
+    "seed": 11,
+}
+
+
+def upload(port, tenant, data):
+    status, payload = http_json(
+        port, "POST", f"/v1/tenants/{tenant}/datasets", {"data": data}
+    )
+    assert status in (200, 201), payload
+    return payload
+
+
+def submit(port, tenant, dataset_id, **overrides):
+    status, payload = http_json(
+        port,
+        "POST",
+        f"/v1/tenants/{tenant}/queries",
+        dict(SPEC, dataset=dataset_id, **overrides),
+    )
+    assert status in (200, 202), payload
+    return payload
+
+
+def finished(port, query_id, timeout=60.0):
+    def poll():
+        status, payload = http_json(port, "GET", f"/v1/queries/{query_id}")
+        assert status == 200, payload
+        return payload if payload["status"] in ("done", "failed") else None
+
+    return wait_until(poll, timeout=timeout)
+
+
+def http_raw(port, method, path, body=None, headers=None):
+    """Like http_json but also returns the response headers."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30.0)
+    try:
+        payload = None if body is None else json.dumps(body)
+        connection.request(method, path, body=payload, headers=headers or {})
+        response = connection.getresponse()
+        raw = response.read()
+        return (
+            response.status,
+            json.loads(raw) if raw else None,
+            dict(response.getheaders()),
+        )
+    finally:
+        connection.close()
+
+
+# ---------------------------------------------------------------------------
+# The journal itself
+# ---------------------------------------------------------------------------
+
+
+class TestJournalReplay:
+    def test_round_trip_last_wins(self, tmp_path):
+        journal = QueryJournal(str(tmp_path / "wal.jsonl"))
+        journal.dataset_registered(
+            "acme",
+            dataset_id="ds-1",
+            fingerprint="sha-1",
+            name="toy",
+            items=[1, 2],
+            transactions=[[1, 2], [1]],
+        )
+        journal.job_event(
+            "q-1",
+            "submitted",
+            tenant="acme",
+            dataset_id="ds-1",
+            fingerprint="sha-1",
+            spec={"ks": [2]},
+        )
+        journal.job_event("q-1", "running")
+        journal.job_event("q-1", "done", shed=True)
+
+        replay = journal.replay()
+        assert replay.skipped_lines == 0
+        assert [d.dataset_id for d in replay.datasets] == ["ds-1"]
+        assert replay.datasets[0].transactions == [[1, 2], [1]]
+        job = replay.jobs["q-1"]
+        # Last-wins status, sparse fields merged from earlier records.
+        assert job.status == "done"
+        assert job.tenant == "acme"
+        assert job.fingerprint == "sha-1"
+        assert job.spec == {"ks": [2]}
+        assert job.shed is True
+
+    def test_torn_trailing_line_costs_one_record(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = QueryJournal(str(path))
+        journal.job_event("q-1", "submitted", tenant="acme", spec={})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "job", "query_id": "q-2", "stat')  # torn
+
+        replay = journal.replay()
+        assert replay.skipped_lines == 1
+        assert set(replay.jobs) == {"q-1"}
+
+    def test_unknown_events_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        journal = QueryJournal(str(path))
+        journal.append({"event": "lease", "v": 2})  # future record kind
+        journal.job_event("q-1", "submitted", tenant="acme")
+        replay = journal.replay()
+        assert replay.skipped_lines == 1
+        assert set(replay.jobs) == {"q-1"}
+
+    def test_transition_without_submission_is_skipped(self, tmp_path):
+        journal = QueryJournal(str(tmp_path / "wal.jsonl"))
+        journal.job_event("q-ghost", "running")  # no tenant, no prior record
+        replay = journal.replay()
+        assert replay.jobs == {}
+        assert replay.skipped_lines == 1
+
+    def test_missing_file_is_an_empty_replay(self, tmp_path):
+        journal = QueryJournal(str(tmp_path / "never-written.jsonl"))
+        replay = journal.replay()
+        assert replay.datasets == [] and replay.jobs == {}
+
+
+class TestCancelToken:
+    def test_expired_deadline_fires_with_deadline_reason(self):
+        token = CancelToken.after(0.0)
+        assert token.should_stop() is True
+        assert token.reason == "deadline"
+
+    def test_first_reason_wins(self):
+        token = CancelToken()
+        token.cancel("client")
+        token.cancel("drain")
+        assert token.reason == "client"
+
+    def test_unarmed_token_never_fires(self):
+        token = CancelToken()
+        assert token.should_stop() is False
+        assert token.reason is None
+
+
+# ---------------------------------------------------------------------------
+# Deadlines: strict-prefix degradation, bit-identical at the spent budget
+# ---------------------------------------------------------------------------
+
+
+class TestDeadlineStrictPrefix:
+    def test_cancelled_threshold_bit_identical_to_spent_budget(self):
+        # The cancelled run must be a *strict prefix* of the Monte-Carlo
+        # stream: byte-for-byte the run you would have gotten by asking for
+        # the spent Δ in the first place (same seed, per-draw child RNGs).
+        # The guarantee holds when the halving search decides within its
+        # first estimator (every later iteration re-spawns Δ child streams,
+        # so a Δ=12 run and a Δ=1 run diverge from iteration two on); this
+        # dense pinned-seed dataset exits in the first iteration.
+        dataset_text = make_fimi(
+            num_transactions=60, num_items=8, density=0.7, seed=1
+        )
+        from io import StringIO
+
+        from repro.data.io import read_fimi
+
+        dataset = read_fimi(StringIO(dataset_text), name="dense")
+
+        expired = CancelToken.after(0.0)
+        cut = find_poisson_threshold(
+            dataset,
+            2,
+            epsilon=0.1,
+            num_datasets=12,
+            rng=np.random.default_rng(5),
+            cancel=expired,
+        )
+        assert cut.degraded is True
+        spent = cut.delta_spent or cut.num_datasets
+        assert spent < 12
+
+        reference = find_poisson_threshold(
+            dataset,
+            2,
+            epsilon=0.1,
+            num_datasets=spent,
+            rng=np.random.default_rng(5),
+        )
+        assert reference.s_min == cut.s_min
+        assert reference.bound_at_s_min == cut.bound_at_s_min
+        assert reference.bound_curve == cut.bound_curve
+
+    def test_deadline_ms_zero_yields_degraded_strict_prefix(self, fimi_text):
+        with ReproServer(max_workers=1, max_pending=8) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            submitted = submit(
+                server.port, "acme", dataset["dataset_id"], deadline_ms=0
+            )
+            document = finished(server.port, submitted["query_id"])
+            assert document["status"] == "done"
+            assert document["error"] is None
+            assert document["degraded"] is True
+            assert document["cancel_reason"] == "deadline"
+            spent = document["delta_spent"]["2"]
+            assert 0 < spent < SPEC["num_datasets"]
+
+            _, statz = http_json(server.port, "GET", "/v1/statz")
+            assert statz["queue"]["deadline_exceeded"] == 1
+            # A deadline-truncated threshold is never persisted: a later
+            # full-budget query must not inherit the truncation.
+            full = submit(server.port, "acme", dataset["dataset_id"])
+            complete = finished(server.port, full["query_id"])
+            assert complete["degraded"] is False
+            assert complete["delta_spent"] == {"2": SPEC["num_datasets"]}
+
+    def test_negative_and_non_integer_deadlines_rejected(self, fimi_text):
+        with ReproServer(max_workers=1, max_pending=8) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            for bad in (-1, 1.5, True, "fast"):
+                status, payload = http_json(
+                    server.port,
+                    "POST",
+                    "/v1/tenants/acme/queries",
+                    dict(SPEC, dataset=dataset["dataset_id"], deadline_ms=bad),
+                )
+                assert status == 400, payload
+
+
+class TestCancelVerb:
+    def test_delete_queued_query_cancels_terminally(self, fimi_text):
+        with ReproServer(max_workers=1, max_pending=8) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            # One slow query occupies the only worker; the next one queues.
+            slow = submit(
+                server.port,
+                "acme",
+                dataset["dataset_id"],
+                num_datasets=4000,
+                seed=1,
+            )
+            queued = submit(
+                server.port, "acme", dataset["dataset_id"], seed=2
+            )
+            status, payload = http_json(
+                server.port, "DELETE", f"/v1/queries/{queued['query_id']}"
+            )
+            assert status == 200, payload
+            assert payload["cancel"] in ("cancelled", "finished")
+            if payload["cancel"] == "cancelled":
+                assert payload["status"] == "cancelled"
+                # The id keeps resolving after cancellation.
+                status, again = http_json(
+                    server.port, "GET", f"/v1/queries/{queued['query_id']}"
+                )
+                assert status == 200 and again["status"] == "cancelled"
+
+            # Cancel the running query: it finishes as an honest
+            # strict-prefix degraded result, not an error.
+            status, payload = http_json(
+                server.port, "DELETE", f"/v1/queries/{slow['query_id']}"
+            )
+            assert status == 200, payload
+            assert payload["cancel"] in ("cancelling", "finished")
+            document = finished(server.port, slow["query_id"])
+            assert document["status"] == "done"
+            assert document["error"] is None
+            if payload["cancel"] == "cancelling":
+                assert document["cancel_reason"] == "client"
+                assert document["delta_spent"]["2"] <= 4000
+
+            _, statz = http_json(server.port, "GET", "/v1/statz")
+            assert statz["queue"]["cancelled"] >= 1
+
+    def test_delete_unknown_and_cross_tenant_are_404(self, fimi_text):
+        with ReproServer(max_workers=1, max_pending=8) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            submitted = submit(server.port, "acme", dataset["dataset_id"])
+            status, _ = http_json(
+                server.port, "DELETE", "/v1/queries/q-doesnotexist"
+            )
+            assert status == 404
+            # A wrong tenant must not learn the id is real.
+            status, _ = http_json(
+                server.port,
+                "DELETE",
+                f"/v1/queries/{submitted['query_id']}",
+                headers={"X-Tenant": "rival"},
+            )
+            assert status == 404
+            finished(server.port, submitted["query_id"])
+
+
+# ---------------------------------------------------------------------------
+# Drain and readiness
+# ---------------------------------------------------------------------------
+
+
+class TestDrainAndReadyz:
+    def test_drain_flips_readyz_and_refuses_submissions(self, fimi_text):
+        with ReproServer(max_workers=1, max_pending=8) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            status, ready, _ = http_raw(server.port, "GET", "/v1/readyz")
+            assert status == 200 and ready["status"] == "ready"
+
+            report = server.drain(timeout=5.0)
+            assert report["drained"] is True
+
+            status, body, headers = http_raw(server.port, "GET", "/v1/readyz")
+            assert status == 503
+            assert "Retry-After" in headers
+
+            status, body, headers = http_raw(
+                server.port,
+                "POST",
+                "/v1/tenants/acme/queries",
+                dict(SPEC, dataset=dataset["dataset_id"]),
+            )
+            assert status == 503, body
+            assert "Retry-After" in headers
+            # Reads keep working while draining: a peer (or the operator)
+            # can still collect answers.
+            status, _ = http_json(server.port, "GET", "/v1/healthz")
+            assert status == 200
+
+    def test_drain_completes_inflight_work(self, fimi_text):
+        with ReproServer(max_workers=1, max_pending=8) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            submitted = submit(server.port, "acme", dataset["dataset_id"])
+            report = server.drain(timeout=30.0)
+            assert report["drained"] is True
+            status, document = http_json(
+                server.port, "GET", f"/v1/queries/{submitted['query_id']}"
+            )
+            assert status == 200
+            assert document["status"] == "done"
+            assert document["degraded"] is False
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery (staged: a max_workers=0 broker runs nothing, so the
+# re-enqueued queue can be inspected exactly as replay left it)
+# ---------------------------------------------------------------------------
+
+
+def _register_and_journal(state, journal, tenant, dataset):
+    entry, deduplicated = state.register_dataset(tenant, dataset, dataset.name)
+    if not deduplicated:
+        journal.dataset_registered(
+            tenant,
+            dataset_id=entry.dataset_id,
+            fingerprint=entry.fingerprint,
+            name=dataset.name,
+            items=dataset.items,
+            transactions=dataset.transactions,
+        )
+    return entry
+
+
+class TestStagedRecovery:
+    def _dataset(self):
+        from io import StringIO
+
+        from repro.data.io import read_fimi
+
+        return read_fimi(StringIO(make_fimi()), name="toy")
+
+    def test_every_journalled_id_resolves_after_replay(self, tmp_path):
+        journal = QueryJournal(str(tmp_path / "wal.jsonl"))
+        state_a = ServerState()
+        broker_a = QueryBroker(state_a, max_workers=0, journal=journal)
+        entry = _register_and_journal(state_a, journal, "acme", self._dataset())
+        spec = RunSpec(ks=(2,), epsilon=0.1, num_datasets=4, seed=3)
+
+        queued = broker_a.submit("acme", spec, entry.fingerprint, entry.dataset_id)
+        cancelled = broker_a.submit(
+            "acme", spec, entry.fingerprint, entry.dataset_id
+        )
+        broker_a.cancel(cancelled.query_id)
+        running = broker_a.submit(
+            "acme", spec, entry.fingerprint, entry.dataset_id
+        )
+        # Simulate the crash arriving mid-run: the journal saw "running",
+        # the process never wrote "done".
+        journal.job_event(running.query_id, "running", tenant="acme")
+        broker_a.close()
+
+        state_b = ServerState()
+        broker_b = QueryBroker(state_b, max_workers=0, journal=None)
+        report = recover_server(journal, state_b, broker_b)
+        try:
+            assert report.datasets_restored == 1
+            assert report.jobs_terminal == 1  # the cancelled one
+            assert report.jobs_reenqueued == 2  # queued + running
+            assert report.jobs_recovered == 1  # died mid-running
+            assert report.jobs_lost == 0
+
+            # The tenant's original opaque id resolves to the same content.
+            restored = state_b.resolve_dataset("acme", entry.dataset_id)
+            assert restored.fingerprint == entry.fingerprint
+
+            assert broker_b.get(cancelled.query_id).status == "cancelled"
+            assert broker_b.get(queued.query_id).status == "queued"
+            recovered_job = broker_b.get(running.query_id)
+            assert recovered_job.status == "queued"
+            assert recovered_job.recovered is True
+            assert broker_b.stats()["recovered"] == 1
+        finally:
+            broker_b.close()
+
+    def test_unreplayable_job_degrades_to_honest_failure(self, tmp_path):
+        journal = QueryJournal(str(tmp_path / "wal.jsonl"))
+        # A submission whose spec/dataset never made it to the journal
+        # (e.g. the crash tore the spec line away).
+        journal.job_event("q-orphan", "submitted", tenant="acme")
+        state = ServerState()
+        broker = QueryBroker(state, max_workers=0, journal=None)
+        try:
+            report = recover_server(journal, state, broker)
+            assert report.jobs_lost == 1
+            job = broker.get("q-orphan")
+            assert job.status == "failed"
+            assert "unrecoverable" in job.error
+        finally:
+            broker.close()
+
+    def test_shed_unrefined_job_reenqueues_its_refinement(self, tmp_path):
+        journal = QueryJournal(str(tmp_path / "wal.jsonl"))
+        state_a = ServerState()
+        broker_a = QueryBroker(state_a, max_workers=0, journal=journal)
+        entry = _register_and_journal(state_a, journal, "acme", self._dataset())
+        spec = RunSpec(ks=(2,), epsilon=0.1, num_datasets=64, seed=3)
+        job = broker_a.submit("acme", spec, entry.fingerprint, entry.dataset_id)
+        # The crash hit after the shed answer was served but before the
+        # background refinement ran.
+        journal.job_event(job.query_id, "done", tenant="acme", shed=True)
+        broker_a.close()
+
+        state_b = ServerState()
+        broker_b = QueryBroker(state_b, max_workers=0, journal=None)
+        try:
+            report = recover_server(journal, state_b, broker_b)
+            assert report.refinements_reenqueued == 1
+            restored = broker_b.get(job.query_id)
+            assert restored.shed is True  # replays the shed answer first
+        finally:
+            broker_b.close()
+
+    def test_corrupt_dataset_record_aborts_recovery(self, tmp_path):
+        journal = QueryJournal(str(tmp_path / "wal.jsonl"))
+        dataset = self._dataset()
+        journal.dataset_registered(
+            "acme",
+            dataset_id="ds-forged",
+            fingerprint="sha256:not-the-real-fingerprint",
+            name="toy",
+            items=dataset.items,
+            transactions=dataset.transactions,
+        )
+        state = ServerState()
+        broker = QueryBroker(state, max_workers=0, journal=None)
+        try:
+            with pytest.raises(ValueError, match="journal corruption"):
+                recover_server(journal, state, broker)
+        finally:
+            broker.close()
+
+
+class TestBrokerShutdownHonesty:
+    def test_close_reports_and_warns_on_abandoned_work(self, tmp_path, caplog):
+        import logging
+
+        journal = QueryJournal(str(tmp_path / "wal.jsonl"))
+        state = ServerState()
+        broker = QueryBroker(state, max_workers=0, journal=journal)
+        entry = _register_and_journal(
+            state, journal, "acme", TestStagedRecovery()._dataset()
+        )
+        spec = RunSpec(ks=(2,), epsilon=0.1, num_datasets=4, seed=3)
+        broker.submit("acme", spec, entry.fingerprint, entry.dataset_id)
+
+        with caplog.at_level(logging.WARNING, logger="repro.server"):
+            report = broker.close()
+        assert report["pending"] == 1
+        assert any("abandoned" in record.message for record in caplog.records)
+        # Idempotent: a second close re-returns the same report, no re-log.
+        assert broker.close() is report
+
+    def test_draining_broker_refuses_submissions(self):
+        state = ServerState()
+        broker = QueryBroker(state, max_workers=0)
+        try:
+            broker.drain(timeout=0.1, grace=0.0)
+            spec = RunSpec(ks=(2,), epsilon=0.1, num_datasets=4, seed=3)
+            with pytest.raises(BrokerDraining):
+                broker.submit("acme", spec, "sha-x", "ds-x")
+        finally:
+            broker.close()
+
+    def test_restore_terminal_never_loses_the_error(self):
+        state = ServerState()
+        broker = QueryBroker(state, max_workers=0)
+        try:
+            record = JobRecord(
+                query_id="q-dead",
+                tenant="acme",
+                status="failed",
+                error="ValueError: boom",
+            )
+            job = broker.restore_terminal(record)
+            assert job.status == "failed"
+            assert job.error == "ValueError: boom"
+            assert job.done_event.is_set()
+        finally:
+            broker.close()
+
+
+# ---------------------------------------------------------------------------
+# Full in-process restart: same journal + same store → bit-identical answers
+# ---------------------------------------------------------------------------
+
+
+class TestServerRestart:
+    def test_restarted_server_replays_bit_identically(self, tmp_path, fimi_text):
+        journal_path = str(tmp_path / "wal.jsonl")
+        store_path = tmp_path / "store"
+
+        with ReproServer(
+            ServerState(DirectoryArtifactStore(store_path)),
+            max_workers=1,
+            max_pending=8,
+            journal=journal_path,
+        ) as server:
+            dataset = upload(server.port, "acme", fimi_text)
+            submitted = submit(server.port, "acme", dataset["dataset_id"])
+            before = finished(server.port, submitted["query_id"])
+            assert before["status"] == "done"
+
+        with ReproServer(
+            ServerState(DirectoryArtifactStore(store_path)),
+            max_workers=1,
+            max_pending=8,
+            journal=journal_path,
+        ) as server:
+            # The id resolves immediately (202-style queued or already done).
+            status, _ = http_json(
+                server.port, "GET", f"/v1/queries/{submitted['query_id']}"
+            )
+            assert status == 200
+            after = finished(server.port, submitted["query_id"])
+            assert after["status"] == "done"
+            assert json.dumps(after["result"], sort_keys=True) == json.dumps(
+                before["result"], sort_keys=True
+            )
+            # The re-run hit the artifact store, not the simulator.
+            _, statz = http_json(server.port, "GET", "/v1/statz")
+            assert statz["engine"]["simulations_run"] == 0
+            assert statz["recovery"]["jobs_reenqueued"] == 1
+            # The tenant's dataset id survived the restart too.
+            resubmit = submit(server.port, "acme", dataset["dataset_id"])
+            finished(server.port, resubmit["query_id"])

@@ -1,0 +1,183 @@
+"""Signal lifecycle of the real ``repro serve`` process.
+
+The operational contract of the CLI entry point (``docs/server.md``,
+"Lifecycle"): SIGINT is an interrupt — cancel everything, exit 130;
+SIGTERM is a graceful drain — stop admission, finish in-flight queries,
+journal the rest, exit 0; a second signal of either kind forces a fast
+shutdown.  These only exist across a process boundary, so each test runs
+the actual CLI in a subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+
+from repro.engine import DirectoryArtifactStore
+from repro.server import ReproServer, ServerState
+
+from tests.server.conftest import (
+    http_json,
+    spawn_serve,
+    wait_serving,
+    wait_until,
+)
+
+SPEC = {
+    "ks": [2],
+    "epsilon": 0.1,
+    "num_datasets": 12,
+    "seed": 11,
+}
+
+FIMI = "1 2 3\n1 2\n2 3\n1 3\n1 2 3\n2 3 4\n1 4\n3 4\n"
+
+
+def upload(port, data=FIMI):
+    status, payload = http_json(
+        port, "POST", "/v1/tenants/acme/datasets", {"data": data}
+    )
+    assert status in (200, 201), payload
+    return payload
+
+
+def submit(port, dataset_id, **overrides):
+    status, payload = http_json(
+        port,
+        "POST",
+        "/v1/tenants/acme/queries",
+        dict(SPEC, dataset=dataset_id, **overrides),
+    )
+    assert status in (200, 202), payload
+    return payload
+
+
+class TestSigint:
+    def test_sigint_interrupts_with_exit_130(self, tmp_path):
+        process, port = spawn_serve(tmp_path, "--workers", "1")
+        wait_serving(process, port)
+        process.send_signal(signal.SIGINT)
+        out, err = process.communicate(timeout=30)
+        assert process.returncode == 130, (out, err)
+        assert "interrupted" in err
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_cleanly_and_journal_survives(self, tmp_path):
+        journal = tmp_path / "wal.jsonl"
+        store = tmp_path / "store"
+        process, port = spawn_serve(
+            tmp_path,
+            "--workers",
+            "1",
+            "--journal",
+            journal,
+            "--store",
+            store,
+            "--drain-timeout",
+            "60",
+        )
+        wait_serving(process, port)
+        dataset = upload(port)
+        submitted = submit(port, dataset["dataset_id"])
+
+        # SIGTERM while the query may still be queued or running: the
+        # drain must complete it, journal everything, and exit 0.
+        process.send_signal(signal.SIGTERM)
+        out, err = process.communicate(timeout=60)
+        assert process.returncode == 0, (out, err)
+        assert "draining" in err
+        assert "drained" in err
+        assert journal.exists()
+
+        # The drained conversation is still answerable: a fresh server on
+        # the same journal + store resolves the query id and serves the
+        # full-budget answer (a cache hit if the drain finished the run).
+        with ReproServer(
+            ServerState(DirectoryArtifactStore(store)),
+            max_workers=1,
+            max_pending=8,
+            journal=str(journal),
+        ) as server:
+            def done():
+                status, payload = http_json(
+                    server.port, "GET", f"/v1/queries/{submitted['query_id']}"
+                )
+                assert status == 200, payload
+                return payload if payload["status"] == "done" else None
+
+            document = wait_until(done, timeout=60.0)
+            assert document["error"] is None
+            assert document["delta_spent"] == {"2": SPEC["num_datasets"]}
+
+    def test_second_signal_forces_fast_shutdown(self, tmp_path):
+        process, port = spawn_serve(
+            tmp_path,
+            "--workers",
+            "1",
+            "--journal",
+            tmp_path / "wal.jsonl",
+            "--drain-timeout",
+            "120",
+        )
+        wait_serving(process, port)
+        # A deliberately heavy query so a polite drain would take a while.
+        dataset = upload(
+            port, "\n".join("1 2 3 4 5 6 7 8" for _ in range(50)) + "\n"
+        )
+        submit(port, dataset["dataset_id"], num_datasets=200_000, seed=1)
+
+        process.send_signal(signal.SIGTERM)
+
+        def draining():
+            status, _ = http_json(port, "GET", "/v1/readyz", timeout=2.0)
+            return status == 503
+
+        wait_until(draining, timeout=10.0)
+        process.send_signal(signal.SIGTERM)
+        out, err = process.communicate(timeout=60)
+        assert process.returncode == 130, (out, err)
+        assert "forced shutdown" in err
+
+
+class TestCrashLeavesReplayableJournal:
+    def test_sigkill_then_inprocess_restart_resolves_query(self, tmp_path):
+        journal = tmp_path / "wal.jsonl"
+        store = tmp_path / "store"
+        process, port = spawn_serve(
+            tmp_path,
+            "--workers",
+            "1",
+            "--journal",
+            journal,
+            "--store",
+            store,
+        )
+        wait_serving(process, port)
+        dataset = upload(port)
+        submitted = submit(port, dataset["dataset_id"])
+        # SIGKILL: no handler runs, nothing flushes except what the
+        # write-ahead journal already holds.
+        process.kill()
+        process.communicate(timeout=30)
+
+        with ReproServer(
+            ServerState(DirectoryArtifactStore(store)),
+            max_workers=1,
+            max_pending=8,
+            journal=str(journal),
+        ) as server:
+            status, payload = http_json(
+                server.port, "GET", f"/v1/queries/{submitted['query_id']}"
+            )
+            assert status == 200, payload
+
+            def done():
+                _, doc = http_json(
+                    server.port, "GET", f"/v1/queries/{submitted['query_id']}"
+                )
+                return doc if doc["status"] in ("done", "failed") else None
+
+            document = wait_until(done, timeout=60.0)
+            assert document["status"] == "done"
+            assert document["delta_spent"] == {"2": SPEC["num_datasets"]}
