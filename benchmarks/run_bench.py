@@ -7,6 +7,9 @@ this script, so later PRs have a perf trajectory to regress against:
 * ``mine_k_itemsets`` at the "interesting region" support (``t / 200``) for
   ``k = 2, 3, 4`` — the fixed-k primitive issued by Algorithm 1, Procedure 1
   and Procedure 2;
+* ``sparse_counting``: the same primitive on the lowest-density analogue
+  (kosarak), packed ``uint64`` bitmaps vs the ``scipy.sparse`` CSC backend,
+  with the resident index bytes of each (skipped without scipy);
 * the end-to-end ``SignificantItemsetMiner.fit`` (Algorithm 1 with Δ = 100
   Monte-Carlo datasets);
 * the overlapping-pair kernel behind the Chen–Stein ``b2`` estimate
@@ -118,6 +121,78 @@ def bench_fixed_k(repeats: int = 3) -> list[dict]:
         )
     )
     return entries
+
+
+#: Fixed k sizes of the sparse-counting workload.
+SPARSE_K_SIZES = (2, 3)
+
+
+def bench_sparse_counting(repeats: int = 3) -> dict:
+    """``mine_k_itemsets`` on the lowest-density analogue: packed vs sparse CSC.
+
+    The kosarak analogue is the sparsest workload the generator produces
+    (incidence density ~2e-3; the real FIMI files go down to ~1e-5, where
+    the dense packed index stops fitting at all).  Results are asserted
+    bit-identical before timing; the entry also records the resident bytes
+    of each index — the structural reason the sparse backend exists: its
+    footprint scales with the *occurrences*, the packed index with
+    ``n_items x ceil(n_txns/64)`` regardless of density.
+    """
+    from repro.fim.sparse import HAS_SCIPY
+
+    if not HAS_SCIPY:
+        return {
+            "workload": "sparse_counting[kosarak]",
+            "skipped": "scipy not installed",
+        }
+
+    from repro.data.benchmarks import generate_benchmark
+    from repro.fim.kitemsets import mine_k_itemsets
+
+    dataset = generate_benchmark("kosarak", rng=0)
+    t, n = dataset.num_transactions, dataset.num_items
+    occurrences = sum(len(txn) for txn in dataset.transactions)
+    min_support = max(2, t // 200)
+    packed = dataset.packed()
+    sparse = dataset.sparse()
+    matrix = sparse.matrix
+
+    numpy_total = 0.0
+    sparse_total = 0.0
+    per_k = {}
+    for k in SPARSE_K_SIZES:
+        assert mine_k_itemsets(dataset, k, min_support, backend="numpy") == (
+            mine_k_itemsets(dataset, k, min_support, backend="sparse")
+        )
+        seconds = {}
+        for backend in ("numpy", "sparse"):
+            seconds[backend] = _time_call(
+                lambda b=backend, kk=k: mine_k_itemsets(
+                    dataset, kk, min_support, backend=b
+                ),
+                repeats,
+            )
+        numpy_total += seconds["numpy"]
+        sparse_total += seconds["sparse"]
+        per_k[f"k{k}"] = {
+            "numpy_seconds": round(seconds["numpy"], 6),
+            "sparse_seconds": round(seconds["sparse"], 6),
+        }
+    return {
+        "workload": (
+            f"sparse_counting[kosarak,t={t},n={n},s={min_support},"
+            f"k={SPARSE_K_SIZES}]"
+        ),
+        "density": round(occurrences / (t * n), 6) if t and n else 0.0,
+        "numpy_seconds": round(numpy_total, 6),
+        "sparse_seconds": round(sparse_total, 6),
+        "ratio_sparse_vs_numpy": round(sparse_total / numpy_total, 3),
+        "per_k": per_k,
+        "packed_index_bytes": int(packed.rows.nbytes),
+        "sparse_index_bytes": int(
+            matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        ),
+    }
 
 
 def bench_fit(repeats: int = 1) -> dict:
@@ -419,6 +494,7 @@ def run_smoke(delta: int = 96, delta0: int = 24) -> dict:
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "workloads": [
+            bench_sparse_counting(repeats=1),
             bench_executor(delta=delta, legacy_seconds=legacy),
             bench_adaptive_delta(delta=delta, delta0=delta0, legacy_seconds=legacy),
         ],
@@ -433,6 +509,7 @@ def run_all(repeats: int = 3, fit_repeats: int = 1) -> dict:
     from repro.data.benchmarks import generate_benchmark
 
     workloads = bench_fixed_k(repeats=repeats)
+    workloads.append(bench_sparse_counting(repeats=repeats))
     workloads.append(bench_fit(repeats=fit_repeats))
     workloads.append(bench_overlap_kernel(repeats=repeats))
     workloads.append(bench_swap_walk(repeats=repeats))
@@ -462,7 +539,18 @@ def write_report(report: dict, output_path: Optional[str] = None) -> str:
 
 def _print_entry(entry: dict) -> None:
     workload = entry["workload"]
-    if "python_seconds" in entry:
+    if "skipped" in entry:
+        print(f"{workload}: skipped ({entry['skipped']})")
+    elif "sparse_seconds" in entry:
+        print(
+            f"{workload}: numpy={entry['numpy_seconds']:.4f}s "
+            f"sparse={entry['sparse_seconds']:.4f}s "
+            f"ratio={entry['ratio_sparse_vs_numpy']:.2f}x "
+            f"density={entry['density']:.4g} "
+            f"bytes packed={entry['packed_index_bytes']} "
+            f"sparse={entry['sparse_index_bytes']}"
+        )
+    elif "python_seconds" in entry:
         extra = ""
         if "thread_scaling" in entry:
             extra = (

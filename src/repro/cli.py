@@ -14,6 +14,10 @@ Same, but against the margin-preserving swap-randomization null::
 
     python -m repro mine --input bms1.dat --k 2 --null-model swap
 
+Mine a named registry dataset on the sparse (scipy CSC) backend::
+
+    python -m repro mine --dataset retail --backend sparse --k 2
+
 Emit the full machine-readable result and render it again later::
 
     python -m repro mine --input bms1.dat --k 2 --output json > result.json
@@ -71,11 +75,36 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="print Table 1 style statistics of a FIMI file"
     )
     summary.add_argument("--input", required=True, help="input .dat path")
+    summary.add_argument(
+        "--keep-empty",
+        action="store_true",
+        help="keep genuinely empty transactions (blank lines) when reading",
+    )
 
     mine = subparsers.add_parser(
         "mine", help="find the significant k-itemsets of a FIMI file"
     )
-    mine.add_argument("--input", required=True, help="input .dat path")
+    mine.add_argument(
+        "--input", default=None, help="input .dat path (or use --dataset)"
+    )
+    mine.add_argument(
+        "--dataset",
+        default=None,
+        help=(
+            "named dataset from the registry (repro.data.registry) instead "
+            "of --input: one of the synthetic analogues "
+            f"({', '.join(sorted(BENCHMARK_NAMES))}) or a name added via "
+            "repro.data.add_fimi"
+        ),
+    )
+    mine.add_argument(
+        "--keep-empty",
+        action="store_true",
+        help=(
+            "keep genuinely empty transactions when reading --input "
+            "(by default blank lines are skipped as formatting noise)"
+        ),
+    )
     mine.add_argument("--k", type=int, default=2)
     mine.add_argument("--alpha", type=float, default=0.05)
     mine.add_argument("--beta", type=float, default=0.05)
@@ -100,9 +129,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument(
         "--backend",
-        choices=["numpy", "python"],
+        choices=["numpy", "python", "sparse"],
         default=None,
-        help="counting backend (default: REPRO_BACKEND env var, then numpy)",
+        help=(
+            "counting backend (default: REPRO_BACKEND env var, then numpy); "
+            "sparse requires scipy"
+        ),
     )
     mine.add_argument(
         "--swap-walk",
@@ -196,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the durable artifact tier (shared across restarts)",
     )
     serve.add_argument(
-        "--backend", choices=["numpy", "python"], default=None
+        "--backend", choices=["numpy", "python", "sparse"], default=None
     )
     serve.add_argument("--n-jobs", type=int, default=1)
     serve.add_argument(
@@ -278,7 +310,7 @@ def _command_generate(args: argparse.Namespace) -> int:
 
 
 def _command_summary(args: argparse.Namespace) -> int:
-    dataset = read_fimi(args.input)
+    dataset = read_fimi(args.input, keep_empty=args.keep_empty)
     print(summarize(dataset))
     return 0
 
@@ -305,7 +337,18 @@ def _command_mine(args: argparse.Namespace) -> int:
 
 
 def _run_mine(args: argparse.Namespace) -> int:
-    dataset = read_fimi(args.input)
+    if (args.input is None) == (args.dataset is None):
+        raise ValueError("pass exactly one of --input or --dataset")
+    if args.dataset is not None:
+        from repro.data.registry import load_dataset
+
+        try:
+            dataset = load_dataset(args.dataset)
+        except KeyError as error:
+            # Unknown names get the CLI's one-line operational-error exit.
+            raise ValueError(error.args[0]) from None
+    else:
+        dataset = read_fimi(args.input, keep_empty=args.keep_empty)
     store = None
     if args.store is not None:
         from repro.engine import DirectoryArtifactStore

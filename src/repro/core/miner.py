@@ -73,9 +73,10 @@ class MinerConfig:
         ``1/Δ``).
     backend:
         Counting backend used for mining and the Monte-Carlo simulation:
-        ``"numpy"`` (packed bitmaps, the default) or ``"python"`` (int
-        bitsets); ``None`` defers to the ``REPRO_BACKEND`` environment
-        variable.
+        ``"numpy"`` (packed bitmaps, the default), ``"python"`` (int
+        bitsets), or ``"sparse"`` (``scipy.sparse`` CSC, for very
+        low-density data; requires scipy); ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable.
     n_jobs:
         Workers for the Δ Monte-Carlo sample/mine passes of Algorithm 1
         (1 = sequential; results are identical for every value, and one

@@ -15,6 +15,11 @@ This package provides everything the methodology needs to know about data:
   and ground-truth experiments.
 * :mod:`~repro.data.benchmarks` — the registry of benchmark-analogue
   configurations mirroring Table 1 of the paper.
+* :mod:`~repro.data.registry` — the named-dataset catalog (synthetic
+  analogues plus FIMI files on disk) resolving to cached
+  packed/sparse/sharded counting forms keyed by content fingerprint.
+* :mod:`~repro.data.sharded` — transaction-sharded, memory-mapped
+  out-of-core counting (:class:`~repro.data.sharded.ShardedIndex`).
 * :mod:`~repro.data.swap` — the swap-randomisation null model of Gionis et al.
   (margin-preserving alternative null mentioned in the paper).
 * :mod:`~repro.data.stats` — dataset summary statistics (one row of Table 1).
@@ -35,34 +40,60 @@ from repro.data.generators import (
     uniform_frequencies,
 )
 from repro.data.io import (
+    iter_fimi,
     read_fimi,
     read_transactions_csv,
+    spill_fimi_shards,
     write_fimi,
     write_transactions_csv,
 )
 from repro.data.random_model import RandomDatasetModel, generate_random_dataset
+from repro.data.registry import (
+    DatasetCatalog,
+    add_fimi,
+    dataset_names,
+    default_catalog,
+    load_dataset,
+)
+from repro.data.sharded import (
+    ShardedCountingCancelled,
+    ShardedIndex,
+    shard_dataset,
+    write_shards,
+)
 from repro.data.stats import DatasetSummary, summarize
 from repro.data.swap import swap_randomize, swap_randomize_packed
 
 __all__ = [
     "BENCHMARK_NAMES",
     "BenchmarkSpec",
+    "DatasetCatalog",
     "DatasetSummary",
     "PlantedItemset",
     "RandomDatasetModel",
+    "ShardedCountingCancelled",
+    "ShardedIndex",
     "TransactionDataset",
+    "add_fimi",
     "benchmark_spec",
+    "dataset_names",
+    "default_catalog",
     "generate_benchmark",
     "generate_planted_dataset",
     "generate_random_analogue",
     "generate_random_dataset",
+    "iter_fimi",
+    "load_dataset",
     "powerlaw_frequencies",
     "read_fimi",
     "read_transactions_csv",
+    "shard_dataset",
+    "spill_fimi_shards",
     "summarize",
     "swap_randomize",
     "swap_randomize_packed",
     "uniform_frequencies",
     "write_fimi",
+    "write_shards",
     "write_transactions_csv",
 ]

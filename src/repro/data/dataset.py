@@ -14,11 +14,16 @@ API and keeps two synchronized views of the data:
 * a *packed* view (:meth:`TransactionDataset.packed`) — the same vertical
   information as rows of a 2-D ``uint64`` NumPy array
   (:class:`~repro.fim.bitmap.PackedIndex`), the substrate of the vectorized
-  ``numpy`` counting backend.
+  ``numpy`` counting backend; and
+* a *sparse* view (:meth:`TransactionDataset.sparse`) — the same vertical
+  information as a ``scipy.sparse`` CSC incidence matrix
+  (:class:`~repro.fim.sparse.SparseIndex`), the substrate of the ``sparse``
+  counting backend for very low-density data (requires scipy).
 
-The vertical and packed views are built lazily and cached; all mining code in
-:mod:`repro.fim` works off one of them (selected via ``REPRO_BACKEND`` or a
-``backend=`` argument; the packed view is the default).
+The vertical, packed and sparse views are built lazily and cached; all mining
+code in :mod:`repro.fim` works off one of them (selected via
+``REPRO_BACKEND`` or a ``backend=`` argument; the packed view is the
+default).
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
     from repro.fim.bitmap import PackedIndex
+    from repro.fim.sparse import SparseIndex
 
 __all__ = ["TransactionDataset"]
 
@@ -68,6 +74,7 @@ class TransactionDataset:
         "_item_supports",
         "_vertical",
         "_packed",
+        "_sparse",
         "_name",
     )
 
@@ -95,6 +102,7 @@ class TransactionDataset:
         }
         self._vertical: Optional[dict[int, int]] = None
         self._packed: Optional["PackedIndex"] = None
+        self._sparse: Optional["SparseIndex"] = None
         self._name = name
 
     # ------------------------------------------------------------------
@@ -229,6 +237,23 @@ class TransactionDataset:
 
             self._packed = PackedIndex.from_dataset(self)
         return self._packed
+
+    def sparse(self) -> "SparseIndex":
+        """Return the sparse CSC view (item -> sorted tidset column).
+
+        This is the substrate of the ``sparse`` counting backend (see
+        :mod:`repro.fim.sparse`), suited to the very low-density incidence
+        matrices of the FIMI datasets.  Requires :mod:`scipy` (raises a
+        clean ``ValueError`` otherwise).  The view is computed once and
+        cached.
+        """
+        if self._sparse is None:
+            # Imported lazily: repro.fim modules import this module at load
+            # time, so a top-level import would be circular.
+            from repro.fim.sparse import SparseIndex
+
+            self._sparse = SparseIndex.from_dataset(self)
+        return self._sparse
 
     def tidset(self, item: int) -> int:
         """Bitset of transactions containing ``item`` (0 if unknown)."""

@@ -14,12 +14,18 @@ Two formats are supported:
 from __future__ import annotations
 
 import os
-from typing import Optional, TextIO, Union
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Optional, TextIO, Union
 
 from repro.data.dataset import TransactionDataset
 
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle guard)
+    from repro.data.sharded import ShardedIndex
+
 __all__ = [
+    "iter_fimi",
     "read_fimi",
+    "spill_fimi_shards",
     "write_fimi",
     "read_transactions_csv",
     "write_transactions_csv",
@@ -40,10 +46,68 @@ def _open_for_write(target: PathOrFile):
     return open(target, "w", encoding="utf-8"), True
 
 
+def _default_name(source: PathOrFile) -> Optional[str]:
+    """Dataset name derived from a path source (``None`` for file handles)."""
+    if hasattr(source, "read"):
+        return None
+    return os.path.splitext(os.path.basename(os.fspath(source)))[0]
+
+
+def iter_fimi(
+    source: PathOrFile,
+    max_transactions: Optional[int] = None,
+    keep_empty: bool = False,
+) -> Iterator[tuple[int, ...]]:
+    """Stream a FIMI ``.dat`` file as canonical transaction tuples.
+
+    Each yielded transaction is sorted and deduplicated (real FIMI files
+    contain repeated items within a line, which would otherwise inflate
+    supports downstream), matching what
+    :class:`~repro.data.dataset.TransactionDataset` would store.  Blank
+    lines — including accidental trailing ones — are *skipped* unless
+    ``keep_empty`` is true, in which case each becomes a genuinely empty
+    transaction that still counts towards ``t``.
+
+    This is the streaming substrate of both :func:`read_fimi` and the
+    out-of-core shard spiller :func:`spill_fimi_shards`: it never holds more
+    than one line in memory.
+
+    Raises
+    ------
+    ValueError
+        If a line contains a token that is not an integer.
+    """
+    handle, should_close = _open_for_read(source)
+    yielded = 0
+    try:
+        for lineno, line in enumerate(handle, start=1):
+            if max_transactions is not None and yielded >= max_transactions:
+                break
+            stripped = line.strip()
+            if not stripped:
+                if keep_empty:
+                    yielded += 1
+                    yield ()
+                continue
+            try:
+                txn = tuple(sorted(set(int(tok) for tok in stripped.split())))
+            except ValueError as exc:
+                raise ValueError(
+                    f"line {lineno}: expected whitespace-separated integers, "
+                    f"got {stripped!r}"
+                ) from exc
+            yielded += 1
+            yield txn
+    finally:
+        if should_close:
+            handle.close()
+
+
 def read_fimi(
     source: PathOrFile,
     name: Optional[str] = None,
     max_transactions: Optional[int] = None,
+    keep_empty: bool = False,
 ) -> TransactionDataset:
     """Read a FIMI ``.dat`` file into a :class:`TransactionDataset`.
 
@@ -56,36 +120,79 @@ def read_fimi(
         given.
     max_transactions:
         If given, read at most this many transactions (useful for smoke tests
-        on the very large FIMI files).
+        on the very large FIMI files).  Skipped blank lines do not count.
+    keep_empty:
+        Opt in to treating blank lines as genuinely empty transactions (they
+        then count towards ``t`` and towards ``max_transactions``).  By
+        default blank lines are skipped: trailing newlines in real files
+        must not shift ``num_transactions`` and every item frequency.
 
     Raises
     ------
     ValueError
         If a line contains a token that is not an integer.
     """
-    handle, should_close = _open_for_read(source)
-    if name is None and not hasattr(source, "read"):
-        name = os.path.splitext(os.path.basename(os.fspath(source)))[0]
-    transactions: list[list[int]] = []
-    try:
-        for lineno, line in enumerate(handle, start=1):
-            if max_transactions is not None and len(transactions) >= max_transactions:
-                break
-            stripped = line.strip()
-            if not stripped:
-                transactions.append([])
-                continue
-            try:
-                transactions.append([int(tok) for tok in stripped.split()])
-            except ValueError as exc:
-                raise ValueError(
-                    f"line {lineno}: expected whitespace-separated integers, "
-                    f"got {stripped!r}"
-                ) from exc
-    finally:
-        if should_close:
-            handle.close()
+    if name is None:
+        name = _default_name(source)
+    transactions = list(
+        iter_fimi(source, max_transactions=max_transactions, keep_empty=keep_empty)
+    )
     return TransactionDataset(transactions, name=name)
+
+
+def spill_fimi_shards(
+    source: Union[str, os.PathLike],
+    directory: Union[str, os.PathLike],
+    *,
+    shard_transactions: int = 4096,
+    form: str = "packed",
+    name: Optional[str] = None,
+    max_transactions: Optional[int] = None,
+    keep_empty: bool = False,
+) -> "ShardedIndex":
+    """Stream a FIMI file into memory-mapped on-disk shards.
+
+    Two streaming passes over the file — the first collects the global item
+    universe and transaction count, the second packs successive blocks of
+    ``shard_transactions`` transactions into per-shard ``.npy`` files under
+    ``directory`` (``form="packed"`` for ``uint64`` bitmap rows,
+    ``form="sparse"`` for CSC components) — so the whole dataset is never
+    resident in memory.  Returns the :class:`~repro.data.sharded.ShardedIndex`
+    over the spilled shards; reopen later with
+    :meth:`~repro.data.sharded.ShardedIndex.load`.
+
+    ``source`` must be a path (not a file handle): the spiller reads the
+    file twice.
+    """
+    if hasattr(source, "read"):
+        raise TypeError(
+            "spill_fimi_shards requires a file path, not a file handle: "
+            "the streaming spiller reads the source twice"
+        )
+    from repro.data.sharded import write_shards
+
+    if name is None:
+        name = _default_name(source)
+
+    def transactions() -> Iterator[tuple[int, ...]]:
+        return iter_fimi(
+            source, max_transactions=max_transactions, keep_empty=keep_empty
+        )
+
+    universe: set[int] = set()
+    num_transactions = 0
+    for txn in transactions():
+        universe.update(txn)
+        num_transactions += 1
+    return write_shards(
+        transactions(),
+        sorted(universe),
+        num_transactions,
+        directory,
+        shard_transactions=shard_transactions,
+        form=form,
+        name=name,
+    )
 
 
 def write_fimi(dataset: TransactionDataset, target: PathOrFile) -> None:

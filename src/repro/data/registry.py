@@ -1,0 +1,345 @@
+"""Named-dataset registry: one catalog from names to cached counting forms.
+
+:mod:`repro.data.benchmarks` knows how to *generate* the synthetic analogues
+of the paper's Table 1 datasets; real evaluations also mine FIMI files on
+disk.  This module unifies both behind one name-addressed catalog:
+
+* :class:`DatasetCatalog` maps names to lazy dataset *sources* — a synthetic
+  analogue spec or a FIMI ``.dat`` path — and materialises each exactly once.
+* Materialised datasets are deduplicated by their Engine content fingerprint
+  (:func:`repro.engine.fingerprint.dataset_fingerprint`), so two names over
+  equal content share one :class:`~repro.data.dataset.TransactionDataset`
+  and therefore one cached packed / sparse index.
+* :meth:`DatasetCatalog.sharded` resolves a name to an on-disk
+  :class:`~repro.data.sharded.ShardedIndex`, spilled under a
+  fingerprint-keyed directory so a re-run (or another process pointed at
+  the same cache directory) reopens the existing shards instead of
+  re-spilling.
+
+The module-level :func:`default_catalog` carries the six synthetic analogues
+pre-registered at their Table 1 scales; :func:`load_dataset`,
+:func:`dataset_names`, and :func:`add_fimi` are conveniences over it (this is
+what the CLI ``mine --dataset`` flag resolves against).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.data.benchmarks import BENCHMARK_NAMES, generate_benchmark
+from repro.data.dataset import TransactionDataset
+from repro.data.io import read_fimi
+
+__all__ = [
+    "CatalogEntry",
+    "DatasetCatalog",
+    "add_fimi",
+    "dataset_names",
+    "default_catalog",
+    "load_dataset",
+]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One named source in a :class:`DatasetCatalog` (lazy until resolved)."""
+
+    name: str
+    kind: str  # "synthetic" | "fimi" | "dataset"
+    location: Optional[str]  # file path for "fimi", None otherwise
+
+
+class DatasetCatalog:
+    """Thread-safe catalog of named datasets and their cached counting forms.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory for fingerprint-keyed shard spills (created on first use).
+        ``None`` leaves :meth:`sharded` requiring an explicit ``directory``.
+    """
+
+    def __init__(self, cache_dir: Union[str, os.PathLike, None] = None) -> None:
+        self._lock = threading.RLock()
+        self._cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self._entries: dict[str, CatalogEntry] = {}
+        self._loaders: dict[str, Callable[[], TransactionDataset]] = {}
+        # name -> fingerprint, fingerprint -> the one shared dataset object.
+        self._fingerprints: dict[str, str] = {}
+        self._datasets: dict[str, TransactionDataset] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _key(self, name: str) -> str:
+        key = str(name).strip().lower()
+        if not key:
+            raise ValueError("dataset name must be non-empty")
+        return key
+
+    def _add(
+        self,
+        entry: CatalogEntry,
+        loader: Callable[[], TransactionDataset],
+    ) -> CatalogEntry:
+        with self._lock:
+            if entry.name in self._entries:
+                raise ValueError(
+                    f"dataset name {entry.name!r} is already registered"
+                )
+            self._entries[entry.name] = entry
+            self._loaders[entry.name] = loader
+        return entry
+
+    def add_synthetic(
+        self,
+        name: str,
+        *,
+        benchmark: Optional[str] = None,
+        scale: Optional[float] = None,
+        seed: int = 0,
+    ) -> CatalogEntry:
+        """Register a synthetic benchmark analogue under ``name``.
+
+        ``benchmark`` (default: ``name`` itself) must be one of
+        :data:`~repro.data.benchmarks.BENCHMARK_NAMES`; generation is
+        deterministic in ``seed``, so every resolve of the name sees the
+        same content (and the same fingerprint).
+        """
+        key = self._key(name)
+        spec = benchmark if benchmark is not None else key
+
+        def loader() -> TransactionDataset:
+            return generate_benchmark(spec, scale=scale, rng=seed)
+
+        return self._add(CatalogEntry(key, "synthetic", None), loader)
+
+    def add_fimi(
+        self,
+        name: str,
+        path: Union[str, os.PathLike],
+        *,
+        max_transactions: Optional[int] = None,
+        keep_empty: bool = False,
+    ) -> CatalogEntry:
+        """Register a FIMI ``.dat`` file on disk under ``name``.
+
+        The file is read lazily on first resolve (missing files fail then,
+        with the usual :class:`OSError`), through the hardened
+        :func:`~repro.data.io.read_fimi` — duplicate items canonicalised,
+        blank lines skipped unless ``keep_empty``.
+        """
+        key = self._key(name)
+        location = os.fspath(path)
+
+        def loader() -> TransactionDataset:
+            return read_fimi(
+                location,
+                name=key,
+                max_transactions=max_transactions,
+                keep_empty=keep_empty,
+            )
+
+        return self._add(CatalogEntry(key, "fimi", location), loader)
+
+    def add_dataset(
+        self, name: str, dataset: TransactionDataset
+    ) -> CatalogEntry:
+        """Register an already-materialised dataset under ``name``."""
+        key = self._key(name)
+        return self._add(CatalogEntry(key, "dataset", None), lambda: dataset)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def names(self) -> tuple[str, ...]:
+        """Registered names, in registration order."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The :class:`CatalogEntry` for ``name`` (raising on unknown names)."""
+        key = self._key(name)
+        with self._lock:
+            if key not in self._entries:
+                known = ", ".join(self._entries) or "<none>"
+                raise KeyError(
+                    f"unknown dataset {name!r}; catalog knows: {known}"
+                )
+            return self._entries[key]
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.entry(name)
+        except KeyError:
+            return False
+        return True
+
+    def dataset(self, name: str) -> TransactionDataset:
+        """Materialise (once) and return the dataset registered under ``name``.
+
+        Content-deduplicated: if another name already resolved to equal
+        content, that object is returned, so its cached packed/sparse
+        indexes are shared.
+        """
+        entry = self.entry(name)
+        with self._lock:
+            fingerprint = self._fingerprints.get(entry.name)
+            if fingerprint is not None:
+                return self._datasets[fingerprint]
+        # Materialise outside the lock (FIMI reads can be slow); the only
+        # race is two threads loading the same content, which fingerprint
+        # dedup below collapses back to one object.
+        dataset = self._loaders[entry.name]()
+        fingerprint = self.fingerprint_of(dataset)
+        with self._lock:
+            canonical = self._datasets.setdefault(fingerprint, dataset)
+            self._fingerprints[entry.name] = fingerprint
+            return canonical
+
+    @staticmethod
+    def fingerprint_of(dataset: TransactionDataset) -> str:
+        """The Engine content fingerprint keying every cached form."""
+        # Lazy: repro.engine imports repro.data, not the other way around.
+        from repro.engine.fingerprint import dataset_fingerprint
+
+        return dataset_fingerprint(dataset)
+
+    def fingerprint(self, name: str) -> str:
+        """The content fingerprint of ``name`` (materialising if needed)."""
+        self.dataset(name)
+        with self._lock:
+            return self._fingerprints[self._key(name)]
+
+    # ------------------------------------------------------------------
+    # Cached counting forms
+    # ------------------------------------------------------------------
+    def packed(self, name: str):
+        """The (cached) packed bitmap index of ``name``."""
+        return self.dataset(name).packed()
+
+    def sparse(self, name: str):
+        """The (cached) ``scipy.sparse`` CSC index of ``name``.
+
+        Raises the same clean :class:`ValueError` as backend selection when
+        scipy is not installed.
+        """
+        from repro.fim.sparse import require_scipy
+
+        require_scipy()
+        return self.dataset(name).sparse()
+
+    def form(self, name: str, backend: Optional[str] = None):
+        """The counting index of ``name`` matching a backend selection.
+
+        Resolves ``backend`` through the usual precedence (explicit
+        argument, then ``REPRO_BACKEND``, then the default) and returns the
+        packed index for ``numpy``, the CSC index for ``sparse``, or the
+        vertical bitset index for ``python``.
+        """
+        from repro.fim.bitmap import resolve_backend
+
+        resolved = resolve_backend(backend)
+        if resolved == "sparse":
+            return self.sparse(name)
+        if resolved == "python":
+            from repro.fim.counting import VerticalIndex
+
+            return VerticalIndex(self.dataset(name))
+        return self.packed(name)
+
+    def sharded(
+        self,
+        name: str,
+        *,
+        shard_transactions: int = 4096,
+        form: str = "packed",
+        directory: Union[str, os.PathLike, None] = None,
+    ):
+        """An on-disk :class:`~repro.data.sharded.ShardedIndex` of ``name``.
+
+        Shards land under ``directory`` (default: the catalog's
+        ``cache_dir``) in a subdirectory keyed by the dataset's content
+        fingerprint plus the shard geometry, so resolving the same content
+        again — in this process or another one sharing the cache directory —
+        reopens the spilled shards instead of re-spilling.
+        """
+        from repro.data.sharded import (
+            MANIFEST_NAME,
+            ShardedIndex,
+            shard_dataset,
+        )
+
+        root = os.fspath(directory) if directory is not None else self._cache_dir
+        if root is None:
+            raise ValueError(
+                "no shard directory: pass directory=... or build the "
+                "catalog with cache_dir=..."
+            )
+        dataset = self.dataset(name)
+        fingerprint = self.fingerprint(name)
+        spill = os.path.join(
+            root, f"{fingerprint[:16]}-{form}-t{int(shard_transactions)}"
+        )
+        with self._lock:
+            if os.path.exists(os.path.join(spill, MANIFEST_NAME)):
+                return ShardedIndex.load(spill)
+            os.makedirs(spill, exist_ok=True)
+            return shard_dataset(
+                dataset,
+                spill,
+                shard_transactions=shard_transactions,
+                form=form,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"<DatasetCatalog: {len(self)} names>"
+
+
+# ----------------------------------------------------------------------
+# The default catalog (what the CLI resolves --dataset against)
+# ----------------------------------------------------------------------
+_default_lock = threading.Lock()
+_default: Optional[DatasetCatalog] = None
+
+
+def default_catalog() -> DatasetCatalog:
+    """The process-wide catalog, with every synthetic analogue registered."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            catalog = DatasetCatalog()
+            for name in BENCHMARK_NAMES:
+                catalog.add_synthetic(name)
+            _default = catalog
+        return _default
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Names resolvable by :func:`load_dataset`."""
+    return default_catalog().names()
+
+
+def load_dataset(name: str) -> TransactionDataset:
+    """Resolve a name from the default catalog to its dataset."""
+    return default_catalog().dataset(name)
+
+
+def add_fimi(
+    name: str,
+    path: Union[str, os.PathLike],
+    *,
+    max_transactions: Optional[int] = None,
+    keep_empty: bool = False,
+) -> CatalogEntry:
+    """Register a FIMI file in the default catalog (see :class:`DatasetCatalog`)."""
+    return default_catalog().add_fimi(
+        name, path, max_transactions=max_transactions, keep_empty=keep_empty
+    )

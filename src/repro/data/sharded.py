@@ -1,0 +1,539 @@
+"""Transaction-sharded, memory-mapped out-of-core counting.
+
+FIMI-scale files (Kosarak is ~a million transactions) need not be resident in
+memory to be counted: transactions partition cleanly into contiguous *shards*,
+and the support of any itemset is the sum of its per-shard supports.  This
+module provides the on-disk layout and the query surface:
+
+* :func:`write_shards` spills an iterable of canonical transactions into a
+  directory of per-shard ``.npy`` files — packed ``uint64`` bitmap rows over
+  the *global* item universe (``form="packed"``), or CSC components
+  (``form="sparse"``) — plus a ``manifest.json``.  The streaming FIMI
+  front-end is :func:`repro.data.io.spill_fimi_shards`.
+* :class:`ShardedIndex` opens a spilled directory; shards are loaded lazily
+  with ``np.load(mmap_mode="r")``, so a support query touches only the bytes
+  it reads and a dataset larger than RAM streams shard by shard.
+
+Per-shard counting routes through the existing executor layer
+(:func:`repro.parallel.executors.as_executor`: ``serial`` / ``thread`` /
+``process``), one task per shard via the ``needs_draw_index`` opt-in, with the
+shard-level :class:`~repro.parallel.cancellation.CancelToken` check supplied
+by ``map_draws``'s between-draw polling.  Partial shard sums are *not* a
+valid strict prefix of anything, so a fired token raises
+:class:`ShardedCountingCancelled` instead of degrading.
+
+Mining over shards is level-wise Apriori (complete and exact), so a sharded
+:meth:`ShardedIndex.mine_k_itemsets` run is bit-identical to the in-memory
+:func:`repro.fim.kitemsets.mine_k_itemsets` on the same data — enforced by
+``tests/data/test_sharded.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Iterable, Iterator
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.fim.bitmap import PackedIndex, pack_bool_columns, words_for
+from repro.fim.itemsets import Itemset, generate_candidates
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SHARD_FORMS",
+    "ShardedCountingCancelled",
+    "ShardedIndex",
+    "shard_dataset",
+    "write_shards",
+]
+
+MANIFEST_NAME = "manifest.json"
+
+#: On-disk shard layouts.
+SHARD_FORMS = ("packed", "sparse")
+
+_FORMAT = "repro-shards-v1"
+
+
+class ShardedCountingCancelled(RuntimeError):
+    """A sharded counting pass was cancelled before every shard was summed.
+
+    Unlike the Monte-Carlo draw loop — where a strict prefix of completed
+    draws is still an honest (degraded) estimate — a partial sum over shards
+    is not the support of anything, so cancellation must raise rather than
+    return.
+    """
+
+    def __init__(self, done: int, total: int, reason: Optional[str]) -> None:
+        self.done = int(done)
+        self.total = int(total)
+        self.reason = reason
+        super().__init__(
+            f"sharded counting cancelled ({reason or 'cancelled'}) after "
+            f"{done}/{total} shards; partial shard sums are not a valid result"
+        )
+
+
+def _shard_supports_task(index: "ShardedIndex", positions, rng, shard: int):
+    """Per-shard supports of a candidate batch (one executor draw per shard)."""
+    return index.shard(shard).supports_batch(positions)
+
+
+_shard_supports_task.needs_draw_index = True
+
+
+def _shard_item_supports_task(index: "ShardedIndex", rng, shard: int):
+    """Per-shard single-item supports (one executor draw per shard)."""
+    return index.shard(shard).supports_array()
+
+
+_shard_item_supports_task.needs_draw_index = True
+
+
+def write_shards(
+    transactions: Iterable[tuple[int, ...]],
+    items: Iterable[int],
+    num_transactions: int,
+    directory: Union[str, os.PathLike],
+    *,
+    shard_transactions: int = 4096,
+    form: str = "packed",
+    name: Optional[str] = None,
+) -> "ShardedIndex":
+    """Spill canonical transactions into per-shard ``.npy`` files.
+
+    ``transactions`` must yield sorted, deduplicated tuples over the given
+    global ``items`` universe (what :class:`~repro.data.dataset.TransactionDataset`
+    stores and :func:`repro.data.io.iter_fimi` yields); only one shard's
+    worth is ever held in memory.  Returns the :class:`ShardedIndex` over the
+    written directory.
+    """
+    if shard_transactions < 1:
+        raise ValueError("shard_transactions must be at least 1")
+    if form not in SHARD_FORMS:
+        raise ValueError(
+            f"unknown shard form {form!r}; expected one of {', '.join(SHARD_FORMS)}"
+        )
+    if form == "sparse":
+        from repro.fim.sparse import require_scipy
+
+        require_scipy()
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    item_list = [int(item) for item in items]
+    position = {item: pos for pos, item in enumerate(item_list)}
+    shards: list[dict] = []
+    buffer: list[tuple[int, ...]] = []
+    seen = 0
+
+    def flush() -> None:
+        if not buffer:
+            return
+        ordinal = len(shards)
+        entry: dict = {"transactions": len(buffer), "files": {}}
+        if form == "packed":
+            rows = _pack_shard(buffer, position, len(item_list))
+            filename = f"shard{ordinal:05d}.packed.npy"
+            np.save(os.path.join(directory, filename), rows)
+            entry["files"]["rows"] = filename
+        else:
+            data, indices, indptr = _sparse_shard_components(
+                buffer, position, len(item_list)
+            )
+            for label, array in (("data", data), ("indices", indices), ("indptr", indptr)):
+                filename = f"shard{ordinal:05d}.{label}.npy"
+                np.save(os.path.join(directory, filename), array)
+                entry["files"][label] = filename
+        shards.append(entry)
+        buffer.clear()
+
+    for txn in transactions:
+        for item in txn:
+            if item not in position:
+                raise ValueError(
+                    f"transaction item {item} is not in the declared item universe"
+                )
+        buffer.append(tuple(txn))
+        seen += 1
+        if len(buffer) >= shard_transactions:
+            flush()
+    flush()
+    if seen != num_transactions:
+        raise ValueError(
+            f"declared num_transactions={num_transactions} but the stream "
+            f"yielded {seen}"
+        )
+    manifest = {
+        "format": _FORMAT,
+        "form": form,
+        "name": name,
+        "items": item_list,
+        "num_transactions": int(num_transactions),
+        "shard_transactions": int(shard_transactions),
+        "shards": shards,
+    }
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    tmp_path = manifest_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+    os.replace(tmp_path, manifest_path)
+    return ShardedIndex(directory, manifest)
+
+
+def _pack_shard(
+    buffer: list[tuple[int, ...]], position: dict[int, int], num_items: int
+) -> np.ndarray:
+    """Pack one shard's transactions into ``(num_items, W)`` uint64 rows."""
+    matrix = np.zeros((len(buffer), num_items), dtype=bool)
+    for tid, txn in enumerate(buffer):
+        for item in txn:
+            matrix[tid, position[item]] = True
+    rows = pack_bool_columns(matrix)
+    expected = (num_items, words_for(len(buffer)))
+    assert rows.shape == expected
+    return rows
+
+
+def _sparse_shard_components(
+    buffer: list[tuple[int, ...]], position: dict[int, int], num_items: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSC components of one shard's ``(t, num_items)`` incidence matrix."""
+    columns: list[list[int]] = [[] for _ in range(num_items)]
+    for tid, txn in enumerate(buffer):
+        for item in txn:
+            columns[position[item]].append(tid)
+    indptr = np.zeros(num_items + 1, dtype=np.int64)
+    for pos, tids in enumerate(columns):
+        indptr[pos + 1] = indptr[pos] + len(tids)
+    indices = np.fromiter(
+        (tid for tids in columns for tid in tids), dtype=np.int64, count=int(indptr[-1])
+    )
+    data = np.ones(indices.size, dtype=np.int64)
+    return data, indices, indptr
+
+
+def shard_dataset(
+    dataset,
+    directory: Union[str, os.PathLike],
+    *,
+    shard_transactions: int = 4096,
+    form: str = "packed",
+) -> "ShardedIndex":
+    """Spill an in-memory :class:`~repro.data.dataset.TransactionDataset`.
+
+    Convenience wrapper over :func:`write_shards`, mainly for the dataset
+    registry's sharded form and for parity tests against in-memory counting.
+    """
+    return write_shards(
+        iter(dataset.transactions),
+        dataset.items,
+        dataset.num_transactions,
+        directory,
+        shard_transactions=shard_transactions,
+        form=form,
+        name=dataset.name,
+    )
+
+
+class ShardedIndex:
+    """Query surface over a directory of spilled transaction shards.
+
+    Shards are opened lazily and memory-mapped; the instance is picklable
+    (loaded shards are dropped from the pickle), so the ``process`` executor
+    backend works — each worker re-maps the files it touches.
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike], manifest: Optional[dict] = None):
+        self._directory = os.fspath(directory)
+        if manifest is None:
+            with open(
+                os.path.join(self._directory, MANIFEST_NAME), encoding="utf-8"
+            ) as handle:
+                manifest = json.load(handle)
+        if manifest.get("format") != _FORMAT:
+            raise ValueError(
+                f"{self._directory!r} does not hold a {_FORMAT} shard directory"
+            )
+        self._manifest = manifest
+        self._items: tuple[int, ...] = tuple(manifest["items"])
+        self._form: str = manifest["form"]
+        self._positions: Optional[dict[int, int]] = None
+        self._shards: dict[int, object] = {}
+        # First transaction index of each shard (offsets into the global tid
+        # space), so shard-local results can be interpreted globally.
+        offsets = [0]
+        for entry in manifest["shards"]:
+            offsets.append(offsets[-1] + int(entry["transactions"]))
+        self._offsets = tuple(offsets)
+
+    @classmethod
+    def load(cls, directory: Union[str, os.PathLike]) -> "ShardedIndex":
+        """Reopen a shard directory written by :func:`write_shards`."""
+        return cls(directory)
+
+    # ------------------------------------------------------------------
+    # Pickling: carry the directory + manifest, never the mapped shards.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {"directory": self._directory, "manifest": self._manifest}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["directory"], state["manifest"])
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        """The shard directory path."""
+        return self._directory
+
+    @property
+    def items(self) -> tuple[int, ...]:
+        """Sorted global item universe."""
+        return self._items
+
+    @property
+    def form(self) -> str:
+        """On-disk shard layout: ``"packed"`` or ``"sparse"``."""
+        return self._form
+
+    @property
+    def name(self) -> Optional[str]:
+        """Dataset name recorded at spill time."""
+        return self._manifest.get("name")
+
+    @property
+    def num_transactions(self) -> int:
+        """Total number of transactions across all shards."""
+        return int(self._manifest["num_transactions"])
+
+    @property
+    def num_shards(self) -> int:
+        """Number of on-disk shards."""
+        return len(self._manifest["shards"])
+
+    def position(self, item: int) -> Optional[int]:
+        """Row/column position of ``item`` in the global universe."""
+        if self._positions is None:
+            self._positions = {item: pos for pos, item in enumerate(self._items)}
+        return self._positions.get(item)
+
+    def shard(self, ordinal: int):
+        """The ``ordinal``-th shard as an in-memory-API index (mmap-backed).
+
+        ``form="packed"`` shards come back as
+        :class:`~repro.fim.bitmap.PackedIndex` over memory-mapped rows;
+        ``form="sparse"`` shards as :class:`~repro.fim.sparse.SparseIndex`
+        over memory-mapped CSC components.  Both expose ``supports_array`` /
+        ``supports_batch`` against the *global* item positions.
+        """
+        cached = self._shards.get(ordinal)
+        if cached is not None:
+            return cached
+        entry = self._manifest["shards"][ordinal]
+        files = entry["files"]
+        transactions = int(entry["transactions"])
+        if self._form == "packed":
+            rows = np.load(
+                os.path.join(self._directory, files["rows"]), mmap_mode="r"
+            )
+            index = PackedIndex(rows, self._items, transactions, name=self.name)
+        else:
+            from repro.fim.sparse import SparseIndex, require_scipy
+
+            require_scipy()
+            import scipy.sparse as sp
+
+            components = {
+                label: np.load(
+                    os.path.join(self._directory, files[label]), mmap_mode="r"
+                )
+                for label in ("data", "indices", "indptr")
+            }
+            matrix = sp.csc_array(
+                (components["data"], components["indices"], components["indptr"]),
+                shape=(transactions, len(self._items)),
+            )
+            index = SparseIndex(matrix, self._items, transactions, name=self.name)
+        self._shards[ordinal] = index
+        return index
+
+    def _shard_rngs(self) -> list[np.random.Generator]:
+        """One (unused) generator per shard: ``map_draws`` requires rngs."""
+        return [np.random.default_rng(ordinal) for ordinal in range(self.num_shards)]
+
+    def _sum_over_shards(self, task, args, zeros, executor, n_jobs, cancel):
+        """Fan one task per shard through an executor and sum the results."""
+        from repro.parallel.executors import as_executor
+
+        totals = zeros
+        done = 0
+        resolved, owned = as_executor(executor, n_jobs)
+        try:
+            for partial in resolved.map_draws(
+                task, self, args, self._shard_rngs(), cancel=cancel
+            ):
+                totals = totals + np.asarray(partial, dtype=np.int64)
+                done += 1
+        finally:
+            if owned:
+                resolved.close()
+        if done < self.num_shards:
+            raise ShardedCountingCancelled(
+                done, self.num_shards, getattr(cancel, "reason", None)
+            )
+        return totals
+
+    # ------------------------------------------------------------------
+    # Counting
+    # ------------------------------------------------------------------
+    def supports_array(self, *, executor=None, n_jobs: int = 1, cancel=None) -> np.ndarray:
+        """Per-item supports (aligned with :attr:`items`), summed over shards."""
+        return self._sum_over_shards(
+            _shard_item_supports_task,
+            (),
+            np.zeros(len(self._items), dtype=np.int64),
+            executor,
+            n_jobs,
+            cancel,
+        )
+
+    def item_supports(self, *, executor=None, n_jobs: int = 1, cancel=None) -> dict[int, int]:
+        """Mapping item -> support."""
+        supports = self.supports_array(executor=executor, n_jobs=n_jobs, cancel=cancel)
+        return {item: int(supports[pos]) for pos, item in enumerate(self._items)}
+
+    def supports_batch(
+        self,
+        positions: np.ndarray,
+        *,
+        executor=None,
+        n_jobs: int = 1,
+        cancel=None,
+    ) -> np.ndarray:
+        """Supports of a ``(C, k)`` array of global position combinations."""
+        positions = np.asarray(positions, dtype=np.intp)
+        if positions.size == 0:
+            return np.zeros(positions.shape[0] if positions.ndim else 0, dtype=np.int64)
+        return self._sum_over_shards(
+            _shard_supports_task,
+            (positions,),
+            np.zeros(positions.shape[0], dtype=np.int64),
+            executor,
+            n_jobs,
+            cancel,
+        )
+
+    def support(self, itemset: Iterable[int], *, executor=None, n_jobs: int = 1) -> int:
+        """Support of one itemset (the empty itemset has support ``t``)."""
+        positions = []
+        for item in set(itemset):
+            position = self.position(item)
+            if position is None:
+                return 0
+            positions.append(position)
+        if not positions:
+            return self.num_transactions
+        batch = np.asarray([sorted(positions)], dtype=np.intp)
+        return int(
+            self.supports_batch(batch, executor=executor, n_jobs=n_jobs)[0]
+        )
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+    def mine_k_itemsets(
+        self,
+        k: int,
+        min_support: int,
+        *,
+        executor=None,
+        n_jobs: int = 1,
+        cancel=None,
+    ) -> dict[Itemset, int]:
+        """All itemsets of size exactly ``k`` with support >= ``min_support``.
+
+        Level-wise Apriori with each level's candidate list counted shard by
+        shard (one executor task per shard, summed).  Complete and exact, so
+        the result dict equals the in-memory
+        :func:`repro.fim.kitemsets.mine_k_itemsets` on the same data,
+        bit-identically.
+        """
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        from repro.parallel.executors import as_executor
+
+        resolved, owned = as_executor(executor, n_jobs)
+        try:
+            supports = self.supports_array(executor=resolved, cancel=cancel)
+            frequent = np.flatnonzero(supports >= min_support)
+            if k == 1:
+                return {
+                    (self._items[pos],): int(supports[pos]) for pos in frequent
+                }
+            current_level: list[Itemset] = [(self._items[pos],) for pos in frequent]
+            size = 2
+            while current_level and size <= k:
+                candidates = generate_candidates(current_level, size)
+                if not candidates:
+                    return {}
+                positions = np.array(
+                    [
+                        [self.position(item) for item in candidate]
+                        for candidate in candidates
+                    ],
+                    dtype=np.intp,
+                )
+                counts = self.supports_batch(
+                    positions, executor=resolved, cancel=cancel
+                )
+                survivors = [
+                    (candidate, int(count))
+                    for candidate, count in zip(candidates, counts)
+                    if count >= min_support
+                ]
+                if size == k:
+                    return dict(survivors)
+                current_level = [candidate for candidate, _ in survivors]
+                size += 1
+            return {}
+        finally:
+            if owned:
+                resolved.close()
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def iter_transactions(self) -> Iterator[tuple[int, ...]]:
+        """Stream the stored transactions back (canonical tuples)."""
+        for ordinal in range(self.num_shards):
+            index = self.shard(ordinal)
+            transactions = int(self._manifest["shards"][ordinal]["transactions"])
+            if self._form == "packed":
+                from repro.fim.bitmap import unpack_rows_bool
+
+                matrix = unpack_rows_bool(index.rows, transactions).T
+                for row in matrix:
+                    yield tuple(self._items[pos] for pos in np.flatnonzero(row))
+            else:
+                coo = index.matrix.tocoo()
+                rows: list[list[int]] = [[] for _ in range(transactions)]
+                order = np.lexsort((coo.coords[1], coo.coords[0]))
+                for tid, col in zip(coo.coords[0][order], coo.coords[1][order]):
+                    rows[int(tid)].append(self._items[int(col)])
+                for row in rows:
+                    yield tuple(row)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedIndex {self._form!r}: items={len(self._items)}, "
+            f"t={self.num_transactions}, shards={self.num_shards}>"
+        )

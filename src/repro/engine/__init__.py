@@ -20,7 +20,7 @@ from repro.engine.fingerprint import (
     dataset_fingerprint,
     null_model_key,
 )
-from repro.engine.registry import DatasetRegistry
+from repro.engine.registry import DatasetRegistry, backend_build_form
 from repro.engine.results import QueryResult, RunResult
 from repro.engine.session import Engine, EngineStats
 from repro.engine.spec import PROCEDURE_CHOICES, RunSpec
@@ -44,6 +44,7 @@ __all__ = [
     "RunResult",
     "RunSpec",
     "artifact_key",
+    "backend_build_form",
     "dataset_fingerprint",
     "null_model_key",
 ]

@@ -25,7 +25,20 @@ from typing import Optional, Union
 from repro.data.dataset import TransactionDataset
 from repro.engine.fingerprint import dataset_fingerprint
 
-__all__ = ["DatasetRegistry"]
+__all__ = ["DatasetRegistry", "backend_build_form"]
+
+#: Index forms the registry can build eagerly at registration time.
+_BUILD_FORMS = ("packed", "sparse")
+
+
+def backend_build_form(backend: str) -> Optional[str]:
+    """The index form to warm for a *resolved* counting backend name.
+
+    The ``numpy`` backend counts over the packed bitmap index, ``sparse``
+    over the CSC index; the pure-``python`` backend builds its vertical
+    bitsets cheaply on demand, so nothing is warmed for it.
+    """
+    return {"numpy": "packed", "sparse": "sparse"}.get(backend)
 
 
 class DatasetRegistry:
@@ -47,25 +60,37 @@ class DatasetRegistry:
         name: Optional[str] = None,
         *,
         build_packed: bool = False,
+        build: Optional[str] = None,
         alias: bool = True,
     ) -> tuple[str, bool]:
         """Register ``dataset`` and return ``(fingerprint, fresh)``.
 
         ``fresh`` is True when this call added a dataset the registry had
-        not seen before (by content).  ``build_packed`` eagerly builds the
-        bitmap index for new entries, inside the registry lock, so
-        concurrent registrants of the same content pay for it once.
+        not seen before (by content).  ``build`` (``"packed"`` or
+        ``"sparse"``; see :func:`backend_build_form`) eagerly builds that
+        index for new entries, inside the registry lock, so concurrent
+        registrants of the same content pay for it once.  ``build_packed``
+        is the older boolean spelling of ``build="packed"``.
         ``alias=False`` suppresses name registration entirely — a
         multi-tenant server shares the registry but must keep tenant-chosen
         names out of the shared namespace.
         """
+        if build is None and build_packed:
+            build = "packed"
+        if build is not None and build not in _BUILD_FORMS:
+            raise ValueError(
+                f"unknown build form {build!r}; expected one of "
+                f"{', '.join(_BUILD_FORMS)}"
+            )
         fingerprint = dataset_fingerprint(dataset)
         with self._lock:
             fresh = fingerprint not in self._datasets
             if fresh:
                 self._datasets[fingerprint] = dataset
-                if build_packed:
+                if build == "packed":
                     dataset.packed()
+                elif build == "sparse":
+                    dataset.sparse()
             if alias:
                 label = name if name is not None else dataset.name
                 if label:
@@ -78,6 +103,7 @@ class DatasetRegistry:
         fingerprint: str,
         *,
         build_packed: bool = False,
+        build: Optional[str] = None,
     ) -> bool:
         """Re-register a dataset recovered from a journal, verifying identity.
 
@@ -95,7 +121,9 @@ class DatasetRegistry:
             If the replayed dataset's content fingerprint does not match
             the journalled one.
         """
-        actual, fresh = self.register(dataset, build_packed=build_packed, alias=False)
+        actual, fresh = self.register(
+            dataset, build_packed=build_packed, build=build, alias=False
+        )
         if actual != fingerprint:
             raise ValueError(
                 f"journal corruption: replayed dataset fingerprints to "

@@ -179,10 +179,12 @@ class Engine:
         ``stats.datasets_registered`` counts only registrations that were
         new to the registry.
         """
+        from repro.engine.registry import backend_build_form
+
         fingerprint, fresh = self.registry.register(
             dataset,
             name,
-            build_packed=resolve_backend(self.backend) == "numpy",
+            build=backend_build_form(resolve_backend(self.backend)),
         )
         if fresh:
             self.stats.datasets_registered += 1

@@ -9,7 +9,10 @@ miners it is benchmarked against:
 * :mod:`~repro.fim.counting` — vertical bitset index and support counting
   (the pure-Python backend),
 * :mod:`~repro.fim.bitmap` — NumPy packed-bitmap counting backend (the
-  default; select with ``REPRO_BACKEND=python|numpy`` or ``backend=``),
+  default; select with ``REPRO_BACKEND=python|numpy|sparse`` or ``backend=``),
+* :mod:`~repro.fim.sparse` — ``scipy.sparse`` CSC counting backend for very
+  low-density data (optional dependency; selection fails cleanly without
+  scipy),
 * :mod:`~repro.fim.itemsets` — itemset canonicalisation and lattice helpers,
 * :mod:`~repro.fim.apriori` — level-wise Apriori,
 * :mod:`~repro.fim.eclat` — depth-first Eclat over tidset intersections,
@@ -35,12 +38,15 @@ from repro.fim.itemsets import (
 )
 from repro.fim.kitemsets import count_k_itemsets_at_thresholds, mine_k_itemsets
 from repro.fim.maximal import is_maximal, maximal_itemsets
+from repro.fim.sparse import HAS_SCIPY, SparseIndex
 from repro.fim.rules import AssociationRule, generate_rules, significant_rules
 
 __all__ = [
     "AssociationRule",
     "FPTree",
+    "HAS_SCIPY",
     "PackedIndex",
+    "SparseIndex",
     "VerticalIndex",
     "apriori",
     "canonical",

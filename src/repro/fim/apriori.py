@@ -20,12 +20,13 @@ from repro.data.dataset import TransactionDataset
 from repro.fim.bitmap import PackedIndex, apriori_packed, resolve_backend
 from repro.fim.counting import VerticalIndex
 from repro.fim.itemsets import Itemset, generate_candidates
+from repro.fim.sparse import SparseIndex, apriori_sparse
 
 __all__ = ["apriori"]
 
 
 def apriori(
-    data: Union[TransactionDataset, VerticalIndex, PackedIndex],
+    data: Union[TransactionDataset, VerticalIndex, PackedIndex, SparseIndex],
     min_support: int,
     max_size: Optional[int] = None,
     backend: Optional[str] = None,
@@ -42,9 +43,11 @@ def apriori(
     max_size:
         If given, stop after itemsets of this size.
     backend:
-        Counting backend (``"numpy"``/``"python"``); ``None`` defers to
-        ``REPRO_BACKEND``.  A :class:`~repro.fim.bitmap.PackedIndex` input is
-        always mined with the numpy backend.
+        Counting backend (``"numpy"``/``"python"``/``"sparse"``); ``None``
+        defers to ``REPRO_BACKEND``.  A pre-built
+        :class:`~repro.fim.bitmap.PackedIndex` /
+        :class:`~repro.fim.sparse.SparseIndex` input is always mined with
+        its own backend.
 
     Returns
     -------
@@ -56,11 +59,19 @@ def apriori(
         raise ValueError("min_support must be at least 1")
     if isinstance(data, PackedIndex):
         return apriori_packed(data, min_support, max_size)
-    if resolve_backend(backend) == "numpy":
+    if isinstance(data, SparseIndex):
+        return apriori_sparse(data, min_support, max_size)
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
         packed = (
             data.to_packed() if isinstance(data, VerticalIndex) else data.packed()
         )
         return apriori_packed(packed, min_support, max_size)
+    if resolved == "sparse":
+        sparse = (
+            data.to_sparse() if isinstance(data, VerticalIndex) else data.sparse()
+        )
+        return apriori_sparse(sparse, min_support, max_size)
     index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
 
     result: dict[Itemset, int] = {}

@@ -19,9 +19,10 @@ vectorized pass:
 Backend selection
 -----------------
 Callers such as :func:`repro.fim.kitemsets.mine_k_itemsets` pick between this
-backend and the pure-Python ``int``-bitset one through :func:`resolve_backend`:
-an explicit ``backend=`` argument wins, then the ``REPRO_BACKEND`` environment
-variable (``python`` or ``numpy``), and the default is ``numpy``.  Both
+backend, the pure-Python ``int``-bitset one, and the ``scipy.sparse`` one
+(:mod:`repro.fim.sparse`) through :func:`resolve_backend`: an explicit
+``backend=`` argument wins, then the ``REPRO_BACKEND`` environment variable
+(``python``, ``numpy`` or ``sparse``), and the default is ``numpy``.  All
 backends produce bit-identical itemset -> support mappings (enforced by
 ``tests/fim/test_backend_parity.py``).
 """
@@ -60,13 +61,16 @@ __all__ = [
 #: Environment variable overriding the default counting backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
-_VALID_BACKENDS = ("python", "numpy")
+_VALID_BACKENDS = ("python", "numpy", "sparse")
 
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
 #: Per-byte population counts, the fallback when ``np.bitwise_count`` (NumPy
-#: >= 2.0) is unavailable.
-_BYTE_POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+#: >= 2.0) is unavailable.  The table itself is ``uint8`` (a byte holds at
+#: most 8 set bits); the row sums below accumulate in an explicit ``int64``,
+#: so rows of any width count exactly — summing in the table dtype would wrap
+#: at 255, i.e. on rows past 4 words of all-ones.
+_BYTE_POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
@@ -74,7 +78,8 @@ def resolve_backend(backend: Optional[str] = None) -> str:
 
     Precedence: the explicit ``backend`` argument, then the ``REPRO_BACKEND``
     environment variable, then the default (``numpy``).  ``auto`` (or an empty
-    string) means "use the default".
+    string) means "use the default".  Resolving ``sparse`` fails fast with a
+    clean error when :mod:`scipy` is not installed.
     """
     value = backend if backend is not None else os.environ.get(BACKEND_ENV_VAR, "")
     value = value.strip().lower()
@@ -85,6 +90,10 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             f"unknown counting backend {value!r}; expected one of "
             f"{', '.join(_VALID_BACKENDS)} (or 'auto')"
         )
+    if value == "sparse":
+        from repro.fim.sparse import require_scipy
+
+        require_scipy()
     return value
 
 

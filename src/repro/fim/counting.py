@@ -153,6 +153,17 @@ class VerticalIndex:
             self._tidsets, self._num_transactions
         )
 
+    def to_sparse(self):
+        """Convert to the scipy CSC index (the ``sparse`` backend).
+
+        Requires :mod:`scipy`; raises a clean ``ValueError`` otherwise.
+        """
+        from repro.fim.sparse import SparseIndex
+
+        return SparseIndex.from_vertical_bitsets(
+            self._tidsets, self._num_transactions
+        )
+
     def restrict(self, items: Iterable[int]) -> "VerticalIndex":
         """A new index containing only the given items."""
         keep = set(items)

@@ -21,12 +21,13 @@ from repro.data.dataset import TransactionDataset
 from repro.fim.bitmap import PackedIndex, eclat_packed, resolve_backend
 from repro.fim.counting import VerticalIndex
 from repro.fim.itemsets import Itemset
+from repro.fim.sparse import SparseIndex, eclat_sparse
 
 __all__ = ["eclat"]
 
 
 def eclat(
-    data: Union[TransactionDataset, VerticalIndex, PackedIndex],
+    data: Union[TransactionDataset, VerticalIndex, PackedIndex, SparseIndex],
     min_support: int,
     max_size: Optional[int] = None,
     backend: Optional[str] = None,
@@ -43,9 +44,11 @@ def eclat(
     max_size:
         If given, do not extend itemsets beyond this size.
     backend:
-        Counting backend (``"numpy"``/``"python"``); ``None`` defers to
-        ``REPRO_BACKEND``.  A :class:`~repro.fim.bitmap.PackedIndex` input is
-        always mined with the numpy backend.
+        Counting backend (``"numpy"``/``"python"``/``"sparse"``); ``None``
+        defers to ``REPRO_BACKEND``.  A pre-built
+        :class:`~repro.fim.bitmap.PackedIndex` /
+        :class:`~repro.fim.sparse.SparseIndex` input is always mined with
+        its own backend.
 
     Returns
     -------
@@ -56,11 +59,19 @@ def eclat(
         raise ValueError("min_support must be at least 1")
     if isinstance(data, PackedIndex):
         return eclat_packed(data, min_support, max_size)
-    if resolve_backend(backend) == "numpy":
+    if isinstance(data, SparseIndex):
+        return eclat_sparse(data, min_support, max_size)
+    resolved = resolve_backend(backend)
+    if resolved == "numpy":
         packed = (
             data.to_packed() if isinstance(data, VerticalIndex) else data.packed()
         )
         return eclat_packed(packed, min_support, max_size)
+    if resolved == "sparse":
+        sparse = (
+            data.to_sparse() if isinstance(data, VerticalIndex) else data.sparse()
+        )
+        return eclat_sparse(sparse, min_support, max_size)
     index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
 
     frequent_items = index.frequent_items(min_support)

@@ -31,6 +31,7 @@ from repro.data.dataset import TransactionDataset
 from repro.fim.bitmap import PackedIndex, mine_k_itemsets_packed, resolve_backend
 from repro.fim.counting import VerticalIndex
 from repro.fim.itemsets import Itemset
+from repro.fim.sparse import SparseIndex, mine_k_itemsets_sparse
 
 __all__ = ["mine_k_itemsets", "count_k_itemsets_at_thresholds", "support_histogram"]
 
@@ -82,12 +83,16 @@ def _enumeration_is_cheaper(
     )
     pairs = num_frequent * (num_frequent - 1) // 2
     words = max(1, (dataset.num_transactions + 63) // 64)
-    rival_cost = pairs * words // 100 if backend == "numpy" else pairs * words
+    # Both vectorized backends (numpy's AND/popcount sweep, sparse's
+    # per-pivot matrix product) process the pair level far faster than
+    # Counter-based enumeration processes subsets.
+    vectorized = backend in ("numpy", "sparse")
+    rival_cost = pairs * words // 100 if vectorized else pairs * words
     return enumeration_cost < rival_cost
 
 
 def mine_k_itemsets(
-    data: Union[TransactionDataset, VerticalIndex, PackedIndex],
+    data: Union[TransactionDataset, VerticalIndex, PackedIndex, SparseIndex],
     k: int,
     min_support: int,
     backend: Optional[str] = None,
@@ -98,16 +103,19 @@ def mine_k_itemsets(
     ----------
     data:
         The dataset (or a pre-built :class:`VerticalIndex` /
-        :class:`~repro.fim.bitmap.PackedIndex` over it).
+        :class:`~repro.fim.bitmap.PackedIndex` /
+        :class:`~repro.fim.sparse.SparseIndex` over it).
     k:
         Itemset size (>= 1).
     min_support:
         Absolute support threshold (>= 1).
     backend:
-        Counting backend: ``"numpy"`` (packed-bitmap, the default) or
-        ``"python"`` (int bitsets); ``None`` defers to the ``REPRO_BACKEND``
-        environment variable.  A :class:`~repro.fim.bitmap.PackedIndex` input
-        is always mined with the numpy backend.
+        Counting backend: ``"numpy"`` (packed-bitmap, the default),
+        ``"python"`` (int bitsets) or ``"sparse"`` (scipy CSC columns);
+        ``None`` defers to the ``REPRO_BACKEND`` environment variable.  A
+        pre-built :class:`~repro.fim.bitmap.PackedIndex` /
+        :class:`~repro.fim.sparse.SparseIndex` input is always mined with
+        its own backend.
 
     Returns
     -------
@@ -136,6 +144,8 @@ def mine_k_itemsets(
 
     if isinstance(data, PackedIndex):
         return mine_k_itemsets_packed(data, k, min_support)
+    if isinstance(data, SparseIndex):
+        return mine_k_itemsets_sparse(data, k, min_support)
     resolved = resolve_backend(backend)
     if (
         isinstance(data, TransactionDataset)
@@ -150,6 +160,13 @@ def mine_k_itemsets(
             else data.packed()
         )
         return mine_k_itemsets_packed(packed, k, min_support)
+    if resolved == "sparse":
+        sparse = (
+            data.to_sparse()
+            if isinstance(data, VerticalIndex)
+            else data.sparse()
+        )
+        return mine_k_itemsets_sparse(sparse, k, min_support)
 
     index = data if isinstance(data, VerticalIndex) else VerticalIndex(data)
 
@@ -188,7 +205,7 @@ def mine_k_itemsets(
 
 
 def count_k_itemsets_at_thresholds(
-    data: Union[TransactionDataset, VerticalIndex, PackedIndex],
+    data: Union[TransactionDataset, VerticalIndex, PackedIndex, SparseIndex],
     k: int,
     thresholds: Iterable[int],
     base_support: int = 1,

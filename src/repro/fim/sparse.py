@@ -1,0 +1,513 @@
+"""``scipy.sparse`` counting backend for very low-density datasets.
+
+The FIMI repository datasets the paper evaluates on have incidence matrices
+around ``10^-5`` dense; the packed ``uint64`` bitmap of
+:mod:`repro.fim.bitmap` spends almost all of its words on zeros there.  This
+module stores the same vertical information sparsely: a CSC incidence matrix
+of shape ``(num_transactions, num_items)`` whose column ``p`` holds the
+(sorted) transaction indices containing the ``p``-th item — item *tidsets* as
+CSC columns.
+
+Counting mirrors the packed kernels structurally:
+
+* :func:`pair_supports_sparse` computes the supports of all candidate pairs
+  with **one sparse matrix product per pivot item** — ``M.T @ M[:, pivot]``
+  yields every pair count against the pivot in a single pass over the stored
+  entries, the sparse analogue of the packed AND/popcount sweep;
+* :func:`mine_k_itemsets_sparse` descends the depth-first search only on
+  surviving pairs, intersecting the sorted tidset columns of the remaining
+  candidates (``k``-itemset supports by column intersection);
+* :func:`eclat_sparse` / :func:`apriori_sparse` are the general miners over
+  the same substrate.
+
+All counts are exact integers, so the results are bit-identical to the
+``numpy`` and ``python`` backends (enforced by
+``tests/fim/test_backend_parity.py``).  scipy is an *optional* dependency:
+importing this module without scipy succeeds, and :func:`require_scipy` —
+called by :func:`repro.fim.bitmap.resolve_backend` for ``backend="sparse"`` —
+raises a clean :class:`ValueError` instead of an ``ImportError`` deep inside
+a mining pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.fim.itemsets import Itemset, generate_candidates
+
+try:  # pragma: no cover - exercised through HAS_SCIPY on both kinds of host
+    import scipy.sparse as _sparse
+except ImportError:  # pragma: no cover - scipy-free hosts
+    _sparse = None
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.dataset import TransactionDataset
+
+__all__ = [
+    "HAS_SCIPY",
+    "SparseIndex",
+    "apriori_sparse",
+    "eclat_sparse",
+    "mine_k_itemsets_sparse",
+    "pair_supports_sparse",
+    "require_scipy",
+]
+
+#: Whether :mod:`scipy.sparse` is importable on this host.
+HAS_SCIPY = _sparse is not None
+
+
+def require_scipy() -> None:
+    """Fail fast — with a clean, actionable error — when scipy is missing."""
+    if _sparse is None:
+        raise ValueError(
+            "counting backend 'sparse' requires scipy, which is not "
+            "installed; install scipy or select the 'numpy' or 'python' "
+            "backend"
+        )
+
+
+class SparseIndex:
+    """Vertical item -> sparse-tidset index over a transaction dataset.
+
+    The matrix is CSC of shape ``(num_transactions, num_items)`` with
+    ``int64`` ones as stored values, sorted row indices per column, no
+    duplicate or explicit-zero entries — column ``p``'s index array *is* the
+    sorted tidset of the ``p``-th item of the (sorted) item universe.
+    """
+
+    __slots__ = ("_items", "_matrix", "_num_transactions", "_name", "_positions")
+
+    def __init__(
+        self,
+        matrix,
+        items: Iterable[int],
+        num_transactions: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        require_scipy()
+        items = tuple(items)
+        matrix = _sparse.csc_array(matrix, dtype=np.int64)
+        if num_transactions is None:
+            num_transactions = matrix.shape[0]
+        if num_transactions < 0:
+            raise ValueError("num_transactions must be non-negative")
+        expected = (int(num_transactions), len(items))
+        if matrix.shape != expected:
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {expected}"
+            )
+        if any(a >= b for a, b in zip(items, items[1:])):
+            raise ValueError("items must be strictly increasing")
+        # Canonicalize the stored entries: counting reads index arrays
+        # directly, so duplicates or explicit zeros would corrupt supports.
+        # Already-canonical all-ones matrices (e.g. read-only memory-mapped
+        # shard components) pass through untouched; anything else is
+        # canonicalized on a copy.
+        canonical = matrix.has_canonical_format and (
+            matrix.data.size == 0 or bool((matrix.data == 1).all())
+        )
+        if not canonical:
+            matrix = matrix.copy()
+            matrix.sum_duplicates()
+            matrix.eliminate_zeros()
+            matrix.data[:] = 1
+            matrix.sort_indices()
+        self._items = items
+        self._matrix = matrix
+        self._num_transactions = int(num_transactions)
+        self._name = name
+        self._positions: Optional[dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dataset(cls, dataset: "TransactionDataset") -> "SparseIndex":
+        """Build the index from a :class:`~repro.data.dataset.TransactionDataset`."""
+        require_scipy()
+        return cls.from_transactions(
+            dataset.transactions,
+            dataset.num_transactions,
+            items=dataset.items,
+            name=dataset.name,
+        )
+
+    @classmethod
+    def from_transactions(
+        cls,
+        transactions: Iterable[Iterable[int]],
+        num_transactions: int,
+        items: Iterable[int],
+        name: Optional[str] = None,
+    ) -> "SparseIndex":
+        """Build the index from horizontal transactions over a known universe.
+
+        Transactions must already be canonical (sorted, deduplicated) —
+        exactly what :class:`~repro.data.dataset.TransactionDataset` stores
+        and :func:`repro.data.io.iter_fimi` yields.
+        """
+        require_scipy()
+        item_list = tuple(items)
+        position = {item: pos for pos, item in enumerate(item_list)}
+        rows: list[int] = []
+        cols: list[int] = []
+        for tid, txn in enumerate(transactions):
+            for item in txn:
+                rows.append(tid)
+                cols.append(position[item])
+        matrix = _sparse.csc_array(
+            (
+                np.ones(len(rows), dtype=np.int64),
+                (np.asarray(rows, dtype=np.int64), np.asarray(cols, dtype=np.int64)),
+            ),
+            shape=(num_transactions, len(item_list)),
+        )
+        return cls(matrix, item_list, num_transactions, name=name)
+
+    @classmethod
+    def from_vertical_bitsets(
+        cls,
+        tidsets: dict[int, int],
+        num_transactions: int,
+        items: Optional[Iterable[int]] = None,
+        name: Optional[str] = None,
+    ) -> "SparseIndex":
+        """Build the index from ``item -> Python int bitset`` (the pure view)."""
+        require_scipy()
+        item_list = sorted(tidsets) if items is None else sorted(items)
+        num_bytes = (num_transactions + 7) // 8
+        columns: list[np.ndarray] = []
+        for item in item_list:
+            bits = tidsets.get(item, 0)
+            if not bits or num_bytes == 0:
+                columns.append(np.empty(0, dtype=np.int64))
+                continue
+            as_bytes = np.frombuffer(
+                bits.to_bytes(num_bytes, "little"), dtype=np.uint8
+            )
+            unpacked = np.unpackbits(as_bytes, bitorder="little")[:num_transactions]
+            columns.append(np.flatnonzero(unpacked).astype(np.int64))
+        return cls.from_tidset_arrays(
+            dict(zip(item_list, columns)), num_transactions, name=name
+        )
+
+    @classmethod
+    def from_tidset_arrays(
+        cls,
+        tidsets: dict[int, Iterable[int]],
+        num_transactions: int,
+        name: Optional[str] = None,
+    ) -> "SparseIndex":
+        """Build the index from ``item -> iterable of transaction indices``."""
+        require_scipy()
+        item_list = sorted(tidsets)
+        indices_parts: list[np.ndarray] = []
+        indptr = np.zeros(len(item_list) + 1, dtype=np.int64)
+        for pos, item in enumerate(item_list):
+            tids = np.asarray(sorted(int(t) for t in tidsets[item]), dtype=np.int64)
+            if tids.size and (tids[0] < 0 or tids[-1] >= num_transactions):
+                raise ValueError(
+                    f"transaction index out of range for item {item}"
+                )
+            indices_parts.append(tids)
+            indptr[pos + 1] = indptr[pos] + tids.size
+        indices = (
+            np.concatenate(indices_parts)
+            if indices_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        matrix = _sparse.csc_array(
+            (np.ones(indices.size, dtype=np.int64), indices, indptr),
+            shape=(num_transactions, len(item_list)),
+        )
+        return cls(matrix, item_list, num_transactions, name=name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def items(self) -> tuple[int, ...]:
+        """Sorted item universe."""
+        return self._items
+
+    @property
+    def matrix(self):
+        """The ``(t, n)`` CSC incidence matrix (do not mutate)."""
+        return self._matrix
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions ``t``."""
+        return self._num_transactions
+
+    @property
+    def name(self) -> Optional[str]:
+        """Optional dataset name carried through from the source."""
+        return self._name
+
+    @property
+    def density(self) -> float:
+        """Fraction of incidence-matrix cells that are set."""
+        cells = self._num_transactions * len(self._items)
+        if cells == 0:
+            return 0.0
+        return self._matrix.nnz / cells
+
+    def position(self, item: int) -> Optional[int]:
+        """Column position of ``item`` (``None`` if absent)."""
+        if self._positions is None:
+            self._positions = {item: pos for pos, item in enumerate(self._items)}
+        return self._positions.get(item)
+
+    def column_tids(self, position: int) -> np.ndarray:
+        """Sorted transaction indices containing the item at ``position``."""
+        start, stop = self._matrix.indptr[position], self._matrix.indptr[position + 1]
+        return self._matrix.indices[start:stop]
+
+    def supports_array(self) -> np.ndarray:
+        """Per-item supports, aligned with :attr:`items`."""
+        return np.diff(self._matrix.indptr).astype(np.int64)
+
+    def item_supports(self) -> dict[int, int]:
+        """Mapping item -> support."""
+        supports = self.supports_array()
+        return {item: int(supports[pos]) for pos, item in enumerate(self._items)}
+
+    def item_support(self, item: int) -> int:
+        """Support of a single item (0 if unknown)."""
+        position = self.position(item)
+        if position is None:
+            return 0
+        return int(self.supports_array()[position])
+
+    def support(self, itemset: Iterable[int]) -> int:
+        """Support of an itemset (the empty itemset has support ``t``)."""
+        positions = []
+        for item in set(itemset):
+            position = self.position(item)
+            if position is None:
+                return 0
+            positions.append(position)
+        if not positions:
+            return self._num_transactions
+        acc: Optional[np.ndarray] = None
+        for position in positions:
+            tids = self.column_tids(position)
+            acc = tids if acc is None else np.intersect1d(acc, tids, assume_unique=True)
+            if acc.size == 0:
+                return 0
+        assert acc is not None
+        return int(acc.size)
+
+    def supports_batch(self, positions: np.ndarray) -> np.ndarray:
+        """Supports of a ``(C, k)`` array of column-position combinations."""
+        positions = np.asarray(positions, dtype=np.intp)
+        if positions.size == 0:
+            return np.zeros(positions.shape[0] if positions.ndim else 0, dtype=np.int64)
+        out = np.empty(positions.shape[0], dtype=np.int64)
+        for row, combo in enumerate(positions):
+            acc = self.column_tids(int(combo[0]))
+            for position in combo[1:]:
+                if acc.size == 0:
+                    break
+                acc = np.intersect1d(
+                    acc, self.column_tids(int(position)), assume_unique=True
+                )
+            out[row] = acc.size
+        return out
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return self.position(item) is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"<SparseIndex: items={len(self._items)}, "
+            f"t={self._num_transactions}, nnz={self._matrix.nnz}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Sparse miners
+# ----------------------------------------------------------------------
+def pair_supports_sparse(
+    index: SparseIndex, min_support: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Supports of all frequent-item pairs, in array form.
+
+    One sparse matrix product per pivot item: with ``M`` the incidence
+    matrix restricted to frequent items, ``M.T @ M[:, [pivot]]`` is the
+    vector of co-occurrence counts of every frequent item with the pivot —
+    the sparse analogue of the packed backend's AND/popcount sweep
+    (:func:`repro.fim.bitmap.pair_supports_packed`), costing one pass over
+    the stored entries instead of one pass over every word.
+
+    Returns
+    -------
+    (pairs, counts):
+        ``pairs`` is an ``(M, 2)`` ``int64`` array of *positions into*
+        ``index.items`` with ``pairs[:, 0] < pairs[:, 1]``; ``counts`` the
+        matching supports.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    empty = (np.empty((0, 2), dtype=np.int64), np.empty(0, dtype=np.int64))
+    if frequent.size < 2:
+        return empty
+    matrix = index.matrix[:, frequent]
+    transposed = matrix.T.tocsr()
+    left_blocks: list[np.ndarray] = []
+    right_blocks: list[np.ndarray] = []
+    count_blocks: list[np.ndarray] = []
+    for pivot in range(frequent.size - 1):
+        counts = (transposed @ matrix[:, [pivot]]).toarray().ravel()
+        later = counts[pivot + 1 :]
+        keep = np.flatnonzero(later >= min_support)
+        if keep.size:
+            left_blocks.append(np.full(keep.size, frequent[pivot], dtype=np.int64))
+            right_blocks.append(frequent[pivot + 1 + keep])
+            count_blocks.append(later[keep].astype(np.int64, copy=False))
+    if not left_blocks:
+        return empty
+    pairs = np.stack(
+        [np.concatenate(left_blocks), np.concatenate(right_blocks)], axis=1
+    ).astype(np.int64, copy=False)
+    return pairs, np.concatenate(count_blocks)
+
+
+def mine_k_itemsets_sparse(
+    index: SparseIndex, k: int, min_support: int
+) -> dict[Itemset, int]:
+    """All itemsets of size exactly ``k`` with support >= ``min_support``.
+
+    The pair level uses :func:`pair_supports_sparse` (one sparse product per
+    pivot); for ``k >= 3`` the depth-first search descends only on surviving
+    prefixes, computing each extension's support by intersecting the sorted
+    tidset columns of the candidates (``np.intersect1d`` on unique sorted
+    arrays) — exact integer counts, bit-identical to the other backends.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    items = index.items
+    if k == 1:
+        return {(items[pos],): int(supports[pos]) for pos in frequent}
+    if frequent.size < k:
+        return {}
+    if k == 2:
+        pairs, counts = pair_supports_sparse(index, min_support)
+        return {
+            (items[left], items[right]): int(count)
+            for (left, right), count in zip(pairs, counts)
+        }
+
+    tidsets = [index.column_tids(int(pos)) for pos in frequent]
+    ids = [items[pos] for pos in frequent]
+    result: dict[Itemset, int] = {}
+
+    def extend(prefix: Itemset, prefix_tids: np.ndarray, candidates) -> None:
+        remaining = k - len(prefix)
+        if len(candidates) < remaining:
+            return
+        survivors: list[tuple[int, np.ndarray]] = []
+        for position in candidates:
+            tids = np.intersect1d(prefix_tids, tidsets[position], assume_unique=True)
+            if tids.size >= min_support:
+                survivors.append((position, tids))
+        if remaining == 1:
+            for position, tids in survivors:
+                result[prefix + (ids[position],)] = int(tids.size)
+            return
+        for offset, (position, tids) in enumerate(survivors):
+            later = [entry[0] for entry in survivors[offset + 1 :]]
+            extend(prefix + (ids[position],), tids, later)
+
+    for pivot in range(frequent.size - 1):
+        extend((ids[pivot],), tidsets[pivot], range(pivot + 1, frequent.size))
+    return result
+
+
+def eclat_sparse(
+    index: SparseIndex, min_support: int, max_size: Optional[int] = None
+) -> dict[Itemset, int]:
+    """All frequent itemsets with support >= ``min_support`` (sparse Eclat)."""
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    items = index.items
+    result: dict[Itemset, int] = {
+        (items[pos],): int(supports[pos]) for pos in frequent
+    }
+    if frequent.size == 0 or (max_size is not None and max_size <= 1):
+        return result
+    tidsets = [index.column_tids(int(pos)) for pos in frequent]
+    ids = [items[pos] for pos in frequent]
+
+    def extend(
+        prefix: Itemset, prefix_tids: np.ndarray, candidates: list[int]
+    ) -> None:
+        survivors: list[tuple[int, np.ndarray]] = []
+        for position in candidates:
+            tids = np.intersect1d(prefix_tids, tidsets[position], assume_unique=True)
+            if tids.size >= min_support:
+                survivors.append((position, tids))
+        for offset, (position, tids) in enumerate(survivors):
+            itemset = prefix + (ids[position],)
+            result[itemset] = int(tids.size)
+            if max_size is None or len(itemset) < max_size:
+                extend(itemset, tids, [entry[0] for entry in survivors[offset + 1 :]])
+
+    for pivot in range(frequent.size - 1):
+        extend(
+            (ids[pivot],),
+            tidsets[pivot],
+            list(range(pivot + 1, frequent.size)),
+        )
+    return result
+
+
+def apriori_sparse(
+    index: SparseIndex, min_support: int, max_size: Optional[int] = None
+) -> dict[Itemset, int]:
+    """Level-wise Apriori with candidate counting by column intersection."""
+    if min_support < 1:
+        raise ValueError("min_support must be at least 1")
+    supports = index.supports_array()
+    frequent = np.flatnonzero(supports >= min_support)
+    items = index.items
+    result: dict[Itemset, int] = {}
+    current_level: list[Itemset] = []
+    for pos in frequent:
+        result[(items[pos],)] = int(supports[pos])
+        current_level.append((items[pos],))
+
+    size = 2
+    while current_level and (max_size is None or size <= max_size):
+        candidates = generate_candidates(current_level, size)
+        if not candidates:
+            break
+        positions = np.array(
+            [[index.position(item) for item in candidate] for candidate in candidates],
+            dtype=np.intp,
+        )
+        counts = index.supports_batch(positions)
+        next_level: list[Itemset] = []
+        for candidate, count in zip(candidates, counts):
+            if count >= min_support:
+                result[candidate] = int(count)
+                next_level.append(candidate)
+        current_level = next_level
+        size += 1
+    return result

@@ -103,19 +103,27 @@ def clopper_pearson_interval(
     than Wilson).  Uses the Beta-quantile characterisation.
     """
     _validate(count, trials, confidence)
-    from scipy import stats as _scipy_stats
+    try:
+        from scipy import stats as _scipy_stats
+    except ImportError:  # pragma: no cover - scipy-free hosts
+        _scipy_stats = None
+
+    def _beta_quantile(q: float, a: float, b: float) -> float:
+        if _scipy_stats is not None:
+            return float(_scipy_stats.beta.ppf(q, a, b))
+        from repro.stats._special import betainc_inv
+
+        return betainc_inv(a, b, q)
 
     alpha = 1.0 - confidence
     if count == 0:
         low = 0.0
     else:
-        low = float(_scipy_stats.beta.ppf(alpha / 2.0, count, trials - count + 1))
+        low = _beta_quantile(alpha / 2.0, count, trials - count + 1)
     if count == trials:
         high = 1.0
     else:
-        high = float(
-            _scipy_stats.beta.ppf(1.0 - alpha / 2.0, count + 1, trials - count)
-        )
+        high = _beta_quantile(1.0 - alpha / 2.0, count + 1, trials - count)
     return (low, high)
 
 

@@ -56,6 +56,7 @@ from repro.parallel.faults import (
     DrawRetriesExhausted,
     FaultPlan,
     RetryPolicy,
+    call_task,
     perform_draw,
 )
 from repro.parallel.shm import (
@@ -101,7 +102,11 @@ class Executor:
 
     Subclasses implement :meth:`map_draws`; everything else (context
     management, idempotent close) is shared.  ``task`` must be a picklable
-    module-level callable invoked as ``task(model, *args, rng)``.
+    module-level callable invoked as ``task(model, *args, rng)``; a task
+    with a truthy ``needs_draw_index`` attribute is instead invoked as
+    ``task(model, *args, rng, draw)`` — the opt-in for indexed work units
+    such as per-shard counting (see
+    :func:`repro.parallel.faults.call_task`).
     """
 
     kind: str = "base"
@@ -196,7 +201,7 @@ class SerialExecutor(Executor):
             if draw and cancel is not None and cancel.should_stop():
                 return
             if plain:
-                yield task(model, *args, rng)
+                yield call_task(task, model, args, rng, draw)
             else:
                 yield _run_draw_with_retries(
                     task, model, args, rng, draw, self.retry_policy,
@@ -250,7 +255,7 @@ class _PoolExecutor(Executor):
 
     def _submit(self, pool, task, model, args, rng, draw, attempt):
         if self.fault_plan is None:
-            return pool.submit(task, model, *args, rng)
+            return pool.submit(call_task, task, model, tuple(args), rng, draw)
         return pool.submit(
             perform_draw, task, model, tuple(args), rng, draw, attempt,
             self.fault_plan,
@@ -398,17 +403,17 @@ class ThreadExecutor(_PoolExecutor):
         )
 
 
-def _run_tokenized(task, token: ModelToken, args: tuple, rng):
+def _run_tokenized(task, token: ModelToken, args: tuple, rng, draw):
     """Worker-side trampoline: resolve the token, run the draw."""
     model = import_model(token)
-    return task(model, *args, rng)
+    return call_task(task, model, args, rng, draw)
 
 
 def _run_tokenized_faulty(task, token: ModelToken, args: tuple, rng, draw, attempt, plan):
     """Tokenized trampoline with fault injection (fires before the import)."""
     plan.apply_draw_fault(draw, attempt)
     model = import_model(token)
-    return task(model, *args, rng)
+    return call_task(task, model, args, rng, draw)
 
 
 class ProcessExecutor(_PoolExecutor):
@@ -474,12 +479,12 @@ class ProcessExecutor(_PoolExecutor):
         plan = self.fault_plan
         if token is None:
             if plan is None:
-                return pool.submit(task, model, *args, rng)
+                return pool.submit(call_task, task, model, tuple(args), rng, draw)
             return pool.submit(
                 perform_draw, task, model, tuple(args), rng, draw, attempt, plan
             )
         if plan is None:
-            return pool.submit(_run_tokenized, task, token, tuple(args), rng)
+            return pool.submit(_run_tokenized, task, token, tuple(args), rng, draw)
         return pool.submit(
             _run_tokenized_faulty, task, token, tuple(args), rng, draw, attempt,
             plan,
@@ -514,7 +519,10 @@ class CompatExecutor(Executor):
 
     def map_draws(self, task, model, args, rngs, cancel=None):
         """Submit every draw to the borrowed pool; yield in order."""
-        futures = [self._pool.submit(task, model, *args, rng) for rng in rngs]
+        futures = [
+            self._pool.submit(call_task, task, model, tuple(args), rng, draw)
+            for draw, rng in enumerate(rngs)
+        ]
         try:
             for position, future in enumerate(futures):
                 if position and cancel is not None and cancel.should_stop():

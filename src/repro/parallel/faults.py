@@ -37,8 +37,25 @@ __all__ = [
     "FaultInjectionError",
     "FaultPlan",
     "RetryPolicy",
+    "call_task",
     "perform_draw",
 ]
+
+
+def call_task(task, model, args, rng, draw):
+    """Invoke one draw task, forwarding the draw index to tasks that opt in.
+
+    The executor contract is ``task(model, *args, rng)`` with only the rng
+    varying per draw; consumers whose work units are *indexed* rather than
+    random — e.g. per-shard support counting over a
+    :class:`~repro.data.sharded.ShardedIndex` — set a truthy
+    ``needs_draw_index`` attribute on the (module-level) task and are called
+    as ``task(model, *args, rng, draw)`` instead.  Module-level so process
+    pools can pickle it.
+    """
+    if getattr(task, "needs_draw_index", False):
+        return task(model, *args, rng, draw)
+    return task(model, *args, rng)
 
 
 class FaultInjectionError(RuntimeError):
@@ -248,4 +265,4 @@ def perform_draw(task, model, args, rng, draw, attempt, plan):
     """
     if plan is not None:
         plan.apply_draw_fault(draw, attempt)
-    return task(model, *args, rng)
+    return call_task(task, model, args, rng, draw)

@@ -237,12 +237,13 @@ class ServerState:
         registry — a tenant-chosen name must never resolve for another
         tenant.
         """
+        from repro.engine.registry import backend_build_form
         from repro.fim.bitmap import resolve_backend
 
         namespace = self.tenant(tenant)
         fingerprint, _ = self.registry.register(
             dataset,
-            build_packed=resolve_backend(self.backend) == "numpy",
+            build=backend_build_form(resolve_backend(self.backend)),
             alias=False,
         )
         return namespace.add(fingerprint, dataset, name)
@@ -265,13 +266,14 @@ class ServerState:
         queries submitted before the crash keep resolving after it.
         Idempotent per (tenant, id, fingerprint).
         """
+        from repro.engine.registry import backend_build_form
         from repro.fim.bitmap import resolve_backend
 
         namespace = self.tenant(tenant)
         self.registry.restore(
             dataset,
             fingerprint,
-            build_packed=resolve_backend(self.backend) == "numpy",
+            build=backend_build_form(resolve_backend(self.backend)),
         )
         entry = TenantDataset(
             dataset_id=dataset_id,

@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import math
 
-from scipy import stats as _scipy_stats
+from repro.stats import _special
+
+try:  # pragma: no cover - exercised through both CI lanes
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy-free hosts
+    _scipy_stats = None
 
 __all__ = [
     "binomial_pmf",
@@ -34,7 +39,20 @@ def binomial_pmf(successes: int, trials: int, probability: float) -> float:
     _validate(trials, probability)
     if successes < 0 or successes > trials:
         return 0.0
-    return float(_scipy_stats.binom.pmf(successes, trials, probability))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.binom.pmf(successes, trials, probability))
+    if probability == 0.0:
+        return 1.0 if successes == 0 else 0.0
+    if probability == 1.0:
+        return 1.0 if successes == trials else 0.0
+    log_pmf = (
+        math.lgamma(trials + 1)
+        - math.lgamma(successes + 1)
+        - math.lgamma(trials - successes + 1)
+        + successes * math.log(probability)
+        + (trials - successes) * math.log1p(-probability)
+    )
+    return math.exp(log_pmf)
 
 
 def binomial_sf(threshold: int, trials: int, probability: float) -> float:
@@ -64,7 +82,11 @@ def binomial_sf(threshold: int, trials: int, probability: float) -> float:
         return 1.0
     if threshold > trials:
         return 0.0
-    return float(_scipy_stats.binom.sf(threshold - 1, trials, probability))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.binom.sf(threshold - 1, trials, probability))
+    # Pr(Bin(n, p) >= k) = I_p(k, n - k + 1); this identity is exactly what
+    # scipy's sf evaluates, so the two lanes agree to floating-point noise.
+    return _special.betainc(threshold, trials - threshold + 1, probability)
 
 
 def binomial_tail_poisson(threshold: int, trials: int, probability: float) -> float:
@@ -78,7 +100,12 @@ def binomial_tail_poisson(threshold: int, trials: int, probability: float) -> fl
     if threshold <= 0:
         return 1.0
     mean = trials * probability
-    return float(_scipy_stats.poisson.sf(threshold - 1, mean))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.poisson.sf(threshold - 1, mean))
+    if mean == 0.0:
+        return 0.0
+    # Pr(Poisson(mu) >= k) = P(k, mu), the regularized lower gamma tail.
+    return _special.gammainc_lower(threshold, mean)
 
 
 def binomial_tail_normal(threshold: int, trials: int, probability: float) -> float:
@@ -93,4 +120,6 @@ def binomial_tail_normal(threshold: int, trials: int, probability: float) -> flo
     if variance == 0.0:
         return 1.0 if threshold <= mean else 0.0
     z = (threshold - 0.5 - mean) / math.sqrt(variance)
-    return float(_scipy_stats.norm.sf(z))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.norm.sf(z))
+    return _special.norm_sf(z)

@@ -3,15 +3,35 @@
 Above the Poisson threshold ``s_min`` the number of k-itemsets with support at
 least ``s`` in a random dataset is approximately ``Poisson(λ(s))``; Procedure
 2 tests the observed count against that distribution.  The functions here wrap
-:mod:`scipy.stats` with the exact tail conventions used in the paper
-(``Pr(Poisson(λ) >= q)`` with an *inclusive* inequality).
+:mod:`scipy.stats` (with a pure floating-point fallback via the regularized
+incomplete gamma when SciPy is absent) with the exact tail conventions used in
+the paper (``Pr(Poisson(λ) >= q)`` with an *inclusive* inequality).
 """
 
 from __future__ import annotations
 
-from scipy import stats as _scipy_stats
+import math
+
+from repro.stats import _special
+
+try:  # pragma: no cover - exercised through both CI lanes
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy-free hosts
+    _scipy_stats = None
 
 __all__ = ["poisson_pmf", "poisson_cdf", "poisson_sf", "poisson_upper_tail"]
+
+
+def _sf_inclusive(count: int, mean: float) -> float:
+    """``Pr(Poisson(mean) >= count)`` for ``count >= 1`` without scipy.
+
+    ``Pr(Poisson(mu) >= k) = P(k, mu)``, the regularized lower incomplete
+    gamma — the same identity scipy evaluates, so both lanes agree to
+    floating-point noise.
+    """
+    if mean == 0.0:
+        return 0.0
+    return _special.gammainc_lower(count, mean)
 
 
 def _validate_mean(mean: float) -> None:
@@ -24,7 +44,11 @@ def poisson_pmf(count: int, mean: float) -> float:
     _validate_mean(mean)
     if count < 0:
         return 0.0
-    return float(_scipy_stats.poisson.pmf(count, mean))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.poisson.pmf(count, mean))
+    if mean == 0.0:
+        return 1.0 if count == 0 else 0.0
+    return math.exp(count * math.log(mean) - mean - math.lgamma(count + 1))
 
 
 def poisson_cdf(count: int, mean: float) -> float:
@@ -32,7 +56,12 @@ def poisson_cdf(count: int, mean: float) -> float:
     _validate_mean(mean)
     if count < 0:
         return 0.0
-    return float(_scipy_stats.poisson.cdf(count, mean))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.poisson.cdf(count, mean))
+    if mean == 0.0:
+        return 1.0
+    # Pr(Poisson(mu) <= k) = Q(k + 1, mu), the regularized upper gamma tail.
+    return _special.gammainc_upper(count + 1, mean)
 
 
 def poisson_sf(count: int, mean: float) -> float:
@@ -40,7 +69,9 @@ def poisson_sf(count: int, mean: float) -> float:
     _validate_mean(mean)
     if count < 0:
         return 1.0
-    return float(_scipy_stats.poisson.sf(count, mean))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.poisson.sf(count, mean))
+    return _sf_inclusive(count + 1, mean)
 
 
 def poisson_upper_tail(count: int, mean: float) -> float:
@@ -65,4 +96,6 @@ def poisson_upper_tail(count: int, mean: float) -> float:
     _validate_mean(mean)
     if count <= 0:
         return 1.0
-    return float(_scipy_stats.poisson.sf(count - 1, mean))
+    if _scipy_stats is not None:
+        return float(_scipy_stats.poisson.sf(count - 1, mean))
+    return _sf_inclusive(count, mean)

@@ -10,8 +10,10 @@ from hypothesis import strategies as st
 
 from repro.data.dataset import TransactionDataset
 from repro.data.io import (
+    iter_fimi,
     read_fimi,
     read_transactions_csv,
+    spill_fimi_shards,
     write_fimi,
     write_transactions_csv,
 )
@@ -21,9 +23,26 @@ class TestFimi:
     def test_read_simple(self):
         text = "1 2 3\n4 5\n\n1\n"
         data = read_fimi(io.StringIO(text))
+        # The blank line is noise (a phantom empty transaction would shift
+        # every item frequency), not a transaction.
+        assert data.num_transactions == 3
+        assert data.transactions == ((1, 2, 3), (4, 5), (1,))
+
+    def test_blank_lines_skipped_by_default(self):
+        text = "\n1 2\n\n\n3\n\n"
+        data = read_fimi(io.StringIO(text))
+        assert data.transactions == ((1, 2), (3,))
+
+    def test_keep_empty_opt_in(self):
+        text = "1 2 3\n4 5\n\n1\n"
+        data = read_fimi(io.StringIO(text), keep_empty=True)
         assert data.num_transactions == 4
-        assert data.transactions[0] == (1, 2, 3)
         assert data.transactions[2] == ()
+
+    def test_duplicate_tokens_canonicalized(self):
+        data = read_fimi(io.StringIO("3 1 1 2\n2 2 2\n"))
+        assert data.transactions == ((1, 2, 3), (2,))
+        assert data.item_supports == {1: 1, 2: 2, 3: 1}
 
     def test_read_from_path(self, tmp_path):
         path = tmp_path / "toy.dat"
@@ -50,6 +69,75 @@ class TestFimi:
         buffer = io.StringIO()
         write_fimi(tiny_dataset, buffer)
         assert buffer.getvalue().splitlines()[0] == "1 2 3"
+
+
+class TestIngestionEdgeCases:
+    def test_max_transactions_counts_transactions_not_lines(self):
+        # Blank lines between the first two transactions must not consume
+        # the max_transactions budget.
+        text = "\n1\n\n\n2\n3\n"
+        data = read_fimi(io.StringIO(text), max_transactions=2)
+        assert data.transactions == ((1,), (2,))
+
+    def test_max_transactions_with_keep_empty_counts_blanks(self):
+        data = read_fimi(
+            io.StringIO("1\n\n2\n"), max_transactions=2, keep_empty=True
+        )
+        assert data.transactions == ((1,), ())
+
+    def test_handle_source_loses_name(self):
+        data = read_fimi(io.StringIO("1 2\n"))
+        assert data.name is None
+
+    def test_handle_source_explicit_name(self):
+        data = read_fimi(io.StringIO("1 2\n"), name="kosarak")
+        assert data.name == "kosarak"
+
+    def test_path_source_names_after_basename(self, tmp_path):
+        path = tmp_path / "retail.dat"
+        path.write_text("1 2\n")
+        assert read_fimi(path).name == "retail"
+        assert read_fimi(path, name="other").name == "other"
+
+    def test_iter_fimi_streams_canonical_tuples(self):
+        rows = list(iter_fimi(io.StringIO("3 1 1\n\n2\n")))
+        assert rows == [(1, 3), (2,)]
+
+    def test_iter_fimi_rejects_bad_tokens_with_lineno(self):
+        with pytest.raises(ValueError, match="line 3"):
+            list(iter_fimi(io.StringIO("1\n2\nx\n")))
+
+    def test_sharded_read_agrees_with_one_shot(self, tmp_path):
+        # The two-pass streaming spill and the one-shot reader must see the
+        # exact same transactions, including skipped blanks and duplicate
+        # tokens.
+        path = tmp_path / "messy.dat"
+        path.write_text("3 1 1 2\n\n4 5\n2 3\n\n7 7\n1 4\n")
+        oneshot = read_fimi(path)
+        sharded = spill_fimi_shards(
+            path, tmp_path / "shards", shard_transactions=2
+        )
+        assert sharded.num_transactions == oneshot.num_transactions
+        assert tuple(sharded.items) == oneshot.items
+        assert tuple(sharded.iter_transactions()) == oneshot.transactions
+        supports = sharded.item_supports()
+        assert supports == oneshot.item_supports
+
+    def test_spill_rejects_file_handles(self, tmp_path):
+        with pytest.raises(TypeError, match="twice"):
+            spill_fimi_shards(io.StringIO("1\n"), tmp_path / "shards")
+
+    def test_spill_max_transactions_and_keep_empty(self, tmp_path):
+        path = tmp_path / "toy.dat"
+        path.write_text("1\n\n2\n3\n")
+        limited = spill_fimi_shards(
+            path, tmp_path / "a", shard_transactions=2, max_transactions=2
+        )
+        assert tuple(limited.iter_transactions()) == ((1,), (2,))
+        kept = spill_fimi_shards(
+            path, tmp_path / "b", shard_transactions=2, keep_empty=True
+        )
+        assert tuple(kept.iter_transactions()) == ((1,), (), (2,), (3,))
 
 
 class TestCsv:
@@ -101,5 +189,23 @@ class TestFimiRoundTripProperty:
         buffer = io.StringIO()
         write_fimi(original, buffer)
         buffer.seek(0)
-        back = read_fimi(buffer)
+        # Empty transactions serialize as blank lines, so a faithful
+        # round trip needs the explicit keep_empty opt-in.
+        back = read_fimi(buffer, keep_empty=True)
         assert back.transactions == original.transactions
+
+    @given(
+        transactions=st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=50), min_size=1, max_size=8
+            ),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_without_empties_needs_no_opt_in(self, transactions):
+        original = TransactionDataset(transactions)
+        buffer = io.StringIO()
+        write_fimi(original, buffer)
+        buffer.seek(0)
+        assert read_fimi(buffer).transactions == original.transactions

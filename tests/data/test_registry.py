@@ -1,0 +1,170 @@
+"""The named-dataset catalog and the registry build-form extension."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.benchmarks import BENCHMARK_NAMES
+from repro.data.dataset import TransactionDataset
+from repro.data.registry import (
+    DatasetCatalog,
+    dataset_names,
+    default_catalog,
+    load_dataset,
+)
+from repro.engine.registry import DatasetRegistry, backend_build_form
+from repro.fim.counting import VerticalIndex
+from repro.fim.sparse import HAS_SCIPY
+
+requires_scipy = pytest.mark.skipif(
+    not HAS_SCIPY, reason="scipy not installed (sparse backend unavailable)"
+)
+
+
+@pytest.fixture
+def fimi_file(tmp_path):
+    path = tmp_path / "toy.dat"
+    path.write_text("1 2 3\n2 3\n\n1 3\n")
+    return path
+
+
+class TestDefaultCatalog:
+    def test_analogues_preregistered(self):
+        assert set(BENCHMARK_NAMES) <= set(dataset_names())
+
+    def test_load_is_cached_and_deterministic(self):
+        first = load_dataset("bms1")
+        second = load_dataset("bms1")
+        assert first is second
+        assert first.num_transactions > 0
+
+    def test_default_catalog_is_shared(self):
+        assert default_catalog() is default_catalog()
+
+
+class TestDatasetCatalog:
+    def test_fimi_entry_lazy_and_named(self, fimi_file, tmp_path):
+        catalog = DatasetCatalog()
+        entry = catalog.add_fimi("toy", fimi_file)
+        assert entry.kind == "fimi"
+        assert entry.location == os.fspath(fimi_file)
+        dataset = catalog.dataset("toy")
+        assert dataset.name == "toy"
+        assert dataset.num_transactions == 3  # blank line skipped
+
+    def test_content_dedup_across_names(self, fimi_file):
+        catalog = DatasetCatalog()
+        catalog.add_fimi("a", fimi_file)
+        catalog.add_fimi("b", fimi_file)
+        assert catalog.dataset("a") is catalog.dataset("b")
+        assert catalog.fingerprint("a") == catalog.fingerprint("b")
+
+    def test_duplicate_name_rejected(self, fimi_file):
+        catalog = DatasetCatalog()
+        catalog.add_fimi("toy", fimi_file)
+        with pytest.raises(ValueError, match="already registered"):
+            catalog.add_fimi("toy", fimi_file)
+
+    def test_unknown_name_lists_known(self):
+        catalog = DatasetCatalog()
+        catalog.add_dataset("only", TransactionDataset([[1, 2]]))
+        with pytest.raises(KeyError, match="only"):
+            catalog.dataset("nope")
+        assert "only" in catalog
+        assert "nope" not in catalog
+
+    def test_names_case_insensitive(self, fimi_file):
+        catalog = DatasetCatalog()
+        catalog.add_fimi("Toy", fimi_file)
+        assert catalog.dataset("TOY") is catalog.dataset("toy")
+
+    def test_synthetic_entry_deterministic(self):
+        catalog = DatasetCatalog()
+        catalog.add_synthetic("bms1")
+        assert catalog.fingerprint("bms1") == DatasetCatalog.fingerprint_of(
+            load_dataset("bms1")
+        )
+
+    def test_form_resolves_backend(self, fimi_file):
+        catalog = DatasetCatalog()
+        catalog.add_fimi("toy", fimi_file)
+        assert catalog.form("toy", "numpy") is catalog.packed("toy")
+        assert isinstance(catalog.form("toy", "python"), VerticalIndex)
+        if HAS_SCIPY:
+            assert catalog.form("toy", "sparse") is catalog.sparse("toy")
+
+    @requires_scipy
+    def test_sparse_form_cached_on_dataset(self, fimi_file):
+        catalog = DatasetCatalog()
+        catalog.add_fimi("toy", fimi_file)
+        assert catalog.sparse("toy") is catalog.dataset("toy").sparse()
+
+    def test_sparse_without_scipy_errors_cleanly(self, fimi_file, monkeypatch):
+        import repro.fim.sparse as sparse_module
+
+        monkeypatch.setattr(sparse_module, "_sparse", None)
+        catalog = DatasetCatalog()
+        catalog.add_fimi("toy", fimi_file)
+        with pytest.raises(ValueError, match="requires scipy"):
+            catalog.sparse("toy")
+
+
+class TestCatalogSharding:
+    def test_sharded_requires_a_directory(self, fimi_file):
+        catalog = DatasetCatalog()
+        catalog.add_fimi("toy", fimi_file)
+        with pytest.raises(ValueError, match="cache_dir"):
+            catalog.sharded("toy")
+
+    def test_sharded_spills_and_reopens(self, fimi_file, tmp_path):
+        cache = tmp_path / "cache"
+        catalog = DatasetCatalog(cache_dir=cache)
+        catalog.add_fimi("toy", fimi_file)
+        first = catalog.sharded("toy", shard_transactions=2)
+        spilled = sorted(os.listdir(cache))
+        # Resolving again reopens the fingerprint-keyed spill, no new dirs.
+        second = catalog.sharded("toy", shard_transactions=2)
+        assert sorted(os.listdir(cache)) == spilled
+        assert first.item_supports() == second.item_supports()
+        assert first.item_supports() == catalog.dataset("toy").item_supports
+
+    def test_sharded_geometry_keys_are_distinct(self, fimi_file, tmp_path):
+        catalog = DatasetCatalog(cache_dir=tmp_path / "cache")
+        catalog.add_fimi("toy", fimi_file)
+        a = catalog.sharded("toy", shard_transactions=1)
+        b = catalog.sharded("toy", shard_transactions=2)
+        assert a.directory != b.directory
+        assert a.num_shards != b.num_shards
+
+
+class TestRegistryBuildForms:
+    def test_backend_build_form_mapping(self):
+        assert backend_build_form("numpy") == "packed"
+        assert backend_build_form("sparse") == "sparse"
+        assert backend_build_form("python") is None
+
+    def test_register_build_packed_form(self):
+        dataset = TransactionDataset([[1, 2], [2, 3]])
+        registry = DatasetRegistry()
+        registry.register(dataset, build="packed")
+        assert dataset._packed is not None
+
+    @requires_scipy
+    def test_register_build_sparse_form(self):
+        dataset = TransactionDataset([[1, 2], [2, 3]])
+        registry = DatasetRegistry()
+        registry.register(dataset, build="sparse")
+        assert dataset._sparse is not None
+
+    def test_register_build_packed_boolean_compat(self):
+        dataset = TransactionDataset([[1, 2]])
+        registry = DatasetRegistry()
+        registry.register(dataset, build_packed=True)
+        assert dataset._packed is not None
+
+    def test_register_rejects_unknown_form(self):
+        registry = DatasetRegistry()
+        with pytest.raises(ValueError, match="build form"):
+            registry.register(TransactionDataset([[1]]), build="dense")

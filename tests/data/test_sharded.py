@@ -1,0 +1,152 @@
+"""Out-of-core sharded counting: exactness, executor routing, cancellation.
+
+The load-bearing contract (an ISSUE 10 acceptance criterion): a sharded
+out-of-core run over a dataset *larger than the shard budget* — several
+memory-mapped shards on disk — matches the in-memory result exactly, for
+both shard forms and every executor.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TransactionDataset
+from repro.data.sharded import (
+    MANIFEST_NAME,
+    SHARD_FORMS,
+    ShardedCountingCancelled,
+    ShardedIndex,
+    shard_dataset,
+    write_shards,
+)
+from repro.fim.kitemsets import mine_k_itemsets
+from repro.fim.sparse import HAS_SCIPY
+from repro.parallel.cancellation import CancelToken
+
+
+def forms() -> tuple[str, ...]:
+    return SHARD_FORMS if HAS_SCIPY else ("packed",)
+
+
+def random_dataset(seed: int, t: int = 300, n: int = 24, density: float = 0.12):
+    rng = np.random.default_rng(seed)
+    transactions = [
+        list(np.flatnonzero(rng.random(n) < density)) for _ in range(t)
+    ]
+    return TransactionDataset(transactions, items=range(n))
+
+
+@pytest.fixture(params=forms())
+def spilled(request, tmp_path):
+    """A 300-transaction dataset spilled into 5 shards (budget 64)."""
+    dataset = random_dataset(42)
+    index = shard_dataset(
+        dataset, tmp_path / request.param, shard_transactions=64, form=request.param
+    )
+    return dataset, index
+
+
+class TestExactness:
+    def test_larger_than_shard_budget_matches_in_memory(self, spilled):
+        dataset, index = spilled
+        assert index.num_shards == 5  # genuinely out-of-core: many shards
+        assert index.num_transactions == dataset.num_transactions
+        assert tuple(index.items) == dataset.items
+        assert index.item_supports() == dataset.item_supports
+
+    def test_mine_k_itemsets_bit_identical(self, spilled):
+        dataset, index = spilled
+        for k in (1, 2, 3):
+            for min_support in (2, 5):
+                assert index.mine_k_itemsets(k, min_support) == mine_k_itemsets(
+                    dataset, k, min_support, backend="python"
+                )
+
+    def test_support_single_itemset(self, spilled):
+        dataset, index = spilled
+        for itemset in [(0,), (0, 1), (1, 2, 3)]:
+            assert index.support(itemset) == dataset.support(itemset)
+
+    def test_iter_transactions_round_trip(self, spilled):
+        dataset, index = spilled
+        assert tuple(index.iter_transactions()) == dataset.transactions
+
+
+class TestExecutorRouting:
+    def test_thread_executor_identical(self, spilled):
+        dataset, index = spilled
+        serial = index.mine_k_itemsets(2, 2)
+        threaded = index.mine_k_itemsets(2, 2, executor="thread", n_jobs=2)
+        assert serial == threaded == mine_k_itemsets(
+            dataset, 2, 2, backend="python"
+        )
+
+    def test_serial_executor_explicit(self, spilled):
+        _, index = spilled
+        assert np.array_equal(
+            index.supports_array(executor="serial"), index.supports_array()
+        )
+
+    def test_cancel_token_raises_not_degrades(self, spilled):
+        _, index = spilled
+        token = CancelToken()
+        token.cancel("test shutdown")
+        with pytest.raises(ShardedCountingCancelled) as excinfo:
+            index.supports_array(cancel=token)
+        # A partial sum over shards is not a valid strict prefix.
+        assert excinfo.value.done < excinfo.value.total
+        assert "test shutdown" in str(excinfo.value)
+
+
+class TestPersistence:
+    def test_load_reopens(self, spilled, tmp_path):
+        dataset, index = spilled
+        reopened = ShardedIndex.load(index.directory)
+        assert reopened.form == index.form
+        assert reopened.item_supports() == dataset.item_supports
+
+    def test_pickle_round_trip(self, spilled):
+        dataset, index = spilled
+        clone = pickle.loads(pickle.dumps(index))
+        assert clone.item_supports() == dataset.item_supports
+
+    def test_missing_manifest_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises((OSError, ValueError)):
+            ShardedIndex.load(tmp_path / "empty")
+
+    def test_corrupt_manifest_format_raises(self, tmp_path, spilled):
+        _, index = spilled
+        with open(f"{index.directory}/{MANIFEST_NAME}") as handle:
+            manifest = json.load(handle)
+        manifest["format"] = "bogus-v0"
+        target = tmp_path / "corrupt"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            ShardedIndex.load(target)
+
+
+class TestWriteShards:
+    def test_rejects_unknown_form(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_shards([(0,)], [0], 1, tmp_path / "x", form="dense")
+
+    def test_rejects_item_outside_universe(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_shards([(7,)], [0, 1], 1, tmp_path / "x")
+
+    def test_rejects_count_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_shards([(0,), (1,)], [0, 1], 3, tmp_path / "x")
+
+    def test_empty_dataset(self, tmp_path):
+        index = write_shards([], [], 0, tmp_path / "empty")
+        assert index.num_transactions == 0
+        assert index.num_shards == 0
+        assert index.item_supports() == {}
+        assert index.mine_k_itemsets(2, 1) == {}

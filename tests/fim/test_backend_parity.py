@@ -1,13 +1,15 @@
-"""Seeded randomized parity suite: NumPy packed backend vs pure Python.
+"""Seeded randomized parity suite across the counting backends.
 
-The contract of the packed-bitmap backend (:mod:`repro.fim.bitmap`) is
-*bit-identical* mining results: for every miner and every dataset shape, the
-``numpy`` and ``python`` backends must return exactly the same itemset ->
-support dictionaries.  This suite exercises that contract across the shapes
-that stress the packing (empty datasets, a single item, dense data, and
+The contract of the packed-bitmap backend (:mod:`repro.fim.bitmap`) and the
+sparse CSC backend (:mod:`repro.fim.sparse`) is *bit-identical* mining
+results: for every miner and every dataset shape, the ``numpy``, ``sparse``
+and ``python`` backends must return exactly the same itemset -> support
+dictionaries.  This suite exercises that contract across the shapes that
+stress the packing (empty datasets, a single item, dense data, and
 transaction counts crossing the 64- and 128-bit word boundaries), plus the
 distributional parity of :meth:`RandomDatasetModel.sample_packed` against
-:meth:`RandomDatasetModel.sample`.
+:meth:`RandomDatasetModel.sample`.  Sparse-backend tests skip cleanly on
+scipy-free hosts.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import zlib
 import numpy as np
 import pytest
 
+import repro.fim.bitmap as bitmap_module
 from repro.data.dataset import TransactionDataset
 from repro.data.random_model import RandomDatasetModel
 from repro.fim.apriori import apriori
@@ -25,12 +28,18 @@ from repro.fim.bitmap import (
     PackedIndex,
     mine_k_itemsets_packed,
     popcount_rows,
+    popcount_words,
     resolve_backend,
     words_for,
 )
 from repro.fim.counting import VerticalIndex
 from repro.fim.eclat import eclat
 from repro.fim.kitemsets import count_k_itemsets_at_thresholds, mine_k_itemsets
+from repro.fim.sparse import HAS_SCIPY, SparseIndex
+
+requires_scipy = pytest.mark.skipif(
+    not HAS_SCIPY, reason="scipy not installed (sparse backend unavailable)"
+)
 
 
 def _seed(label: str) -> int:
@@ -138,6 +147,162 @@ class TestRandomizedSweep:
         )
 
 
+@requires_scipy
+@pytest.mark.parametrize("label,t,n,density", SHAPES, ids=[s[0] for s in SHAPES])
+class TestSparseMiningParity:
+    """The scipy CSC backend must be bit-identical to the other two."""
+
+    def test_mine_k_itemsets_identical(self, label, t, n, density):
+        data = random_dataset(_seed(label), t, n, density)
+        for k in (1, 2, 3):
+            for min_support in (1, 2, 5):
+                python = mine_k_itemsets(data, k, min_support, backend="python")
+                sparse = mine_k_itemsets(data, k, min_support, backend="sparse")
+                assert python == sparse
+
+    def test_sparse_index_input_matches(self, label, t, n, density):
+        data = random_dataset(_seed(label), t, n, density)
+        sparse = data.sparse()
+        assert isinstance(sparse, SparseIndex)
+        assert mine_k_itemsets(sparse, 2, 2) == mine_k_itemsets(
+            data, 2, 2, backend="python"
+        )
+
+    def test_eclat_identical(self, label, t, n, density):
+        data = random_dataset(_seed(label), t, n, density)
+        for max_size in (None, 3):
+            assert eclat(data, 2, max_size, backend="python") == eclat(
+                data, 2, max_size, backend="sparse"
+            )
+
+    def test_apriori_identical(self, label, t, n, density):
+        data = random_dataset(_seed(label), t, n, density)
+        assert apriori(data, 2, 3, backend="python") == apriori(
+            data, 2, 3, backend="sparse"
+        )
+
+    def test_threshold_curve_identical(self, label, t, n, density):
+        data = random_dataset(_seed(label), t, n, density)
+        thresholds = [1, 2, 4, 8]
+        assert count_k_itemsets_at_thresholds(
+            data, 2, thresholds, backend="python"
+        ) == count_k_itemsets_at_thresholds(data, 2, thresholds, backend="sparse")
+
+    def test_sparse_supports_match_dataset(self, label, t, n, density):
+        data = random_dataset(_seed(label), t, n, density)
+        sparse = data.sparse()
+        assert sparse.item_supports() == data.item_supports
+        assert sparse.num_transactions == data.num_transactions
+        for itemset in [(), (0,), (0, 1), (0, 1, 2), (999,)]:
+            assert sparse.support(itemset) == data.support(itemset)
+
+
+@requires_scipy
+class TestSparseConversions:
+    def test_vertical_index_to_sparse_round_trip(self):
+        data = random_dataset(7, 130, 9, 0.3)
+        index = VerticalIndex(data)
+        sparse = index.to_sparse()
+        assert sparse.item_supports() == index.item_supports()
+        assert mine_k_itemsets(index, 2, 2, backend="sparse") == mine_k_itemsets(
+            index, 2, 2, backend="python"
+        )
+
+    def test_randomized_sweep(self):
+        rng = np.random.default_rng(2027)
+        for _ in range(15):
+            t = int(rng.integers(0, 260))
+            n = int(rng.integers(1, 20))
+            density = float(rng.uniform(0.0, 0.4))
+            data = random_dataset(int(rng.integers(2**32)), t, n, density)
+            k = int(rng.integers(1, 4))
+            min_support = int(rng.integers(1, 6))
+            assert mine_k_itemsets(data, k, min_support, backend="sparse") == (
+                mine_k_itemsets(data, k, min_support, backend="numpy")
+            )
+
+
+class TestDuplicateItemsRegression:
+    """Duplicate items within a transaction must not inflate any support.
+
+    Real FIMI files contain duplicated tokens; canonicalisation (sort +
+    dedupe) happens at :class:`TransactionDataset` construction, so every
+    backend counts each item at most once per transaction.
+    """
+
+    DUPLICATED = [[3, 1, 1, 2], [2, 2, 2, 3], [1, 3, 3], [1, 1], [3, 2, 3]]
+    CLEAN = [[1, 2, 3], [2, 3], [1, 3], [1], [2, 3]]
+
+    def backends(self):
+        return ("python", "numpy") + (("sparse",) if HAS_SCIPY else ())
+
+    def test_construction_canonicalizes(self):
+        data = TransactionDataset(self.DUPLICATED)
+        assert data.transactions == TransactionDataset(self.CLEAN).transactions
+
+    def test_supports_identical_across_backends(self):
+        duplicated = TransactionDataset(self.DUPLICATED)
+        clean = TransactionDataset(self.CLEAN)
+        expected = {(1,): 3, (2,): 3, (3,): 4}
+        assert mine_k_itemsets(clean, 1, 1, backend="python") == expected
+        for backend in self.backends():
+            for k in (1, 2, 3):
+                assert mine_k_itemsets(duplicated, k, 1, backend=backend) == (
+                    mine_k_itemsets(clean, k, 1, backend="python")
+                )
+
+    def test_pair_supports_not_inflated(self):
+        # {2, 3} occurs in three transactions; the duplicated tokens in
+        # "2 2 2 3" and "3 2 3" must not push it higher on any backend.
+        duplicated = TransactionDataset(self.DUPLICATED)
+        for backend in self.backends():
+            pairs = mine_k_itemsets(duplicated, 2, 1, backend=backend)
+            assert pairs[(2, 3)] == 3
+
+
+class TestPopcountFallback:
+    """The byte-LUT popcount lane (NumPy < 2.0 hosts) must count exactly.
+
+    Forced via monkeypatch so the lane is exercised even on NumPy >= 2.0
+    hosts, on rows wide enough (> 255 set bits) that an accumulator in the
+    table's own uint8 dtype would wrap.
+    """
+
+    def _force_fallback(self, monkeypatch):
+        monkeypatch.setattr(bitmap_module, "_HAS_BITWISE_COUNT", False)
+
+    def test_popcount_rows_wide_all_ones(self, monkeypatch):
+        self._force_fallback(monkeypatch)
+        # 8 words of all-ones = 512 set bits per row: a uint8 accumulator
+        # would wrap at 255, int64 accumulation counts exactly.
+        words = np.full((3, 8), np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+        assert popcount_rows(words).tolist() == [512, 512, 512]
+        assert popcount_rows(words).dtype == np.int64
+
+    def test_popcount_rows_matches_python_bit_count(self, monkeypatch):
+        self._force_fallback(monkeypatch)
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2**64, size=(7, 9), dtype=np.uint64)
+        expected = [sum(int(w).bit_count() for w in row) for row in words]
+        assert popcount_rows(words).tolist() == expected
+
+    def test_popcount_words_matches_python_bit_count(self, monkeypatch):
+        self._force_fallback(monkeypatch)
+        rng = np.random.default_rng(6)
+        words = rng.integers(0, 2**64, size=(4, 3), dtype=np.uint64)
+        expected = [[int(w).bit_count() for w in row] for row in words]
+        assert popcount_words(words).tolist() == expected
+
+    def test_mining_parity_under_fallback(self, monkeypatch):
+        self._force_fallback(monkeypatch)
+        # > 256 transactions so supports can exceed a uint8's range per row.
+        data = random_dataset(99, 600, 8, 0.7)
+        assert max(data.item_supports.values()) > 255
+        assert mine_k_itemsets(data, 2, 2, backend="numpy") == mine_k_itemsets(
+            data, 2, 2, backend="python"
+        )
+
+
 class TestBackendSelection:
     def test_resolve_backend_precedence(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
@@ -153,6 +318,20 @@ class TestBackendSelection:
     def test_resolve_backend_rejects_unknown(self):
         with pytest.raises(ValueError):
             resolve_backend("fortran")
+
+    @requires_scipy
+    def test_resolve_backend_sparse(self, monkeypatch):
+        assert resolve_backend("sparse") == "sparse"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        assert resolve_backend() == "sparse"
+
+    def test_resolve_backend_sparse_without_scipy(self, monkeypatch):
+        """Selection fails with a clean, actionable error when scipy is gone."""
+        import repro.fim.sparse as sparse_module
+
+        monkeypatch.setattr(sparse_module, "_sparse", None)
+        with pytest.raises(ValueError, match="requires scipy"):
+            resolve_backend("sparse")
 
     def test_env_var_steers_mining(self, monkeypatch, tiny_dataset):
         monkeypatch.setenv(BACKEND_ENV_VAR, "python")

@@ -321,3 +321,18 @@ class TestSpec:
     def test_delta_max_validation(self):
         with pytest.raises(ValueError, match="delta_max"):
             RunSpec(num_datasets=100, delta_max=50)
+
+
+class TestClopperPearsonScipyFree:
+    def test_fallback_matches_scipy(self, monkeypatch):
+        pytest.importorskip("scipy")
+        cases = [(0, 20), (7, 20), (20, 20), (100, 400), (1, 1000)]
+        reference = {case: clopper_pearson_interval(*case) for case in cases}
+        # Poison the import so the function takes the betainc_inv lane.
+        import sys
+
+        monkeypatch.setitem(sys.modules, "scipy", None)
+        for case, (low, high) in reference.items():
+            got_low, got_high = clopper_pearson_interval(*case)
+            assert got_low == pytest.approx(low, abs=1e-9)
+            assert got_high == pytest.approx(high, abs=1e-9)

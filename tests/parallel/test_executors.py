@@ -383,3 +383,61 @@ class TestLifecycle:
 
 def _sample_support(model, rng):
     return int(model.sample_packed(rng).supports_array().sum())
+
+
+def _indexed_task(model, offset, rng, draw):
+    return model + offset + draw
+
+
+_indexed_task.needs_draw_index = True
+
+
+def _plain_task(model, offset, rng):
+    return model + offset
+
+
+class TestDrawIndexOptIn:
+    """Tasks with ``needs_draw_index`` receive their draw ordinal.
+
+    This is the convention sharded out-of-core counting rides on: one
+    executor draw per shard, the draw index selecting the shard (see
+    :mod:`repro.data.sharded`).
+    """
+
+    def _rngs(self, count):
+        return [np.random.default_rng(i) for i in range(count)]
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_indexed_task_sees_ordinals(self, kind):
+        executor, _ = as_executor(kind, n_jobs=2)
+        with executor:
+            results = list(
+                executor.map_draws(_indexed_task, 100, (10,), self._rngs(4))
+            )
+        assert results == [110, 111, 112, 113]
+
+    @pytest.mark.parametrize("kind", ["serial", "thread"])
+    def test_plain_task_signature_unchanged(self, kind):
+        executor, _ = as_executor(kind, n_jobs=2)
+        with executor:
+            results = list(
+                executor.map_draws(_plain_task, 100, (10,), self._rngs(3))
+            )
+        assert results == [110, 110, 110]
+
+    def test_indexed_task_through_retry_path(self):
+        from repro.parallel.faults import RetryPolicy
+
+        with SerialExecutor(retry_policy=RetryPolicy(max_retries=1)) as executor:
+            results = list(
+                executor.map_draws(_indexed_task, 0, (0,), self._rngs(3))
+            )
+        assert results == [0, 1, 2]
+
+    def test_compat_executor_forwards_index(self):
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            compat = CompatExecutor(pool)
+            results = list(
+                compat.map_draws(_indexed_task, 5, (0,), self._rngs(3))
+            )
+        assert results == [5, 6, 7]

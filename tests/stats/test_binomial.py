@@ -92,3 +92,59 @@ class TestApproximations:
         assert binomial_tail_normal(0, 10, 0.1) == 1.0
         assert binomial_tail_normal(5, 0, 0.1) == 0.0
         assert binomial_tail_normal(3, 10, 0.0) == 0.0
+
+
+class TestScipyFreeFallback:
+    """The pure-math lane must agree with scipy wherever scipy is present.
+
+    The scipy-free CI lane exercises the fallback for real; this class forces
+    it on scipy-installed hosts so a fallback regression cannot hide there.
+    """
+
+    CASES = [
+        (2, 3, 0.5),
+        (7, 1_000_000, 1e-6),
+        (38, 7920, 0.004),
+        (500, 1000, 0.5),
+        (999, 1000, 0.99),
+        (1, 10, 0.0),
+        (10, 10, 1.0),
+    ]
+
+    @pytest.fixture()
+    def fallback(self, monkeypatch):
+        import repro.stats.binomial as binomial_module
+
+        if binomial_module._scipy_stats is None:
+            pytest.skip("scipy not installed: the fallback is the only lane")
+        reference = {
+            "sf": {case: binomial_sf(*case) for case in self.CASES},
+            "pmf": {
+                case: binomial_pmf(case[0], case[1], case[2]) for case in self.CASES
+            },
+            "poisson": {case: binomial_tail_poisson(*case) for case in self.CASES},
+            "normal": {case: binomial_tail_normal(*case) for case in self.CASES},
+        }
+        monkeypatch.setattr(binomial_module, "_scipy_stats", None)
+        return reference
+
+    def test_sf_matches_scipy(self, fallback):
+        for case, expected in fallback["sf"].items():
+            assert binomial_sf(*case) == pytest.approx(expected, rel=1e-8, abs=1e-300)
+
+    def test_pmf_matches_scipy(self, fallback):
+        for case, expected in fallback["pmf"].items():
+            successes, trials, probability = case
+            assert binomial_pmf(successes, trials, probability) == pytest.approx(
+                expected, rel=1e-8, abs=1e-300
+            )
+
+    def test_approximations_match_scipy(self, fallback):
+        for case, expected in fallback["poisson"].items():
+            assert binomial_tail_poisson(*case) == pytest.approx(
+                expected, rel=1e-8, abs=1e-300
+            )
+        for case, expected in fallback["normal"].items():
+            assert binomial_tail_normal(*case) == pytest.approx(
+                expected, rel=1e-8, abs=1e-300
+            )

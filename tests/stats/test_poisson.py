@@ -57,3 +57,37 @@ class TestPoisson:
         lhs = poisson_upper_tail(count, mean)
         rhs = poisson_upper_tail(count + 1, mean) + poisson_pmf(count, mean)
         assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+class TestScipyFreeFallback:
+    """Force the pure incomplete-gamma lane and pin it against scipy."""
+
+    CASES = [(0, 2.0), (4, 2.5), (1, 0.0), (40, 3.0), (120, 100.0), (3, 1e-4)]
+
+    @pytest.fixture()
+    def fallback(self, monkeypatch):
+        import repro.stats.poisson as poisson_module
+
+        if poisson_module._scipy_stats is None:
+            pytest.skip("scipy not installed: the fallback is the only lane")
+        reference = {
+            case: (
+                poisson_pmf(*case),
+                poisson_cdf(*case),
+                poisson_sf(*case),
+                poisson_upper_tail(*case),
+            )
+            for case in self.CASES
+        }
+        monkeypatch.setattr(poisson_module, "_scipy_stats", None)
+        return reference
+
+    def test_all_tails_match_scipy(self, fallback):
+        for case, (pmf, cdf, sf, upper) in fallback.items():
+            count, mean = case
+            assert poisson_pmf(count, mean) == pytest.approx(pmf, rel=1e-8, abs=1e-300)
+            assert poisson_cdf(count, mean) == pytest.approx(cdf, rel=1e-8, abs=1e-300)
+            assert poisson_sf(count, mean) == pytest.approx(sf, rel=1e-8, abs=1e-300)
+            assert poisson_upper_tail(count, mean) == pytest.approx(
+                upper, rel=1e-8, abs=1e-300
+            )

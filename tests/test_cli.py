@@ -188,3 +188,23 @@ class TestCrashUX:
         code = main(["mine", "--input", str(data)])
         assert code == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestKeepEmptyFlag:
+    def test_summary_and_mine_keep_empty_round_trip(self, tmp_path, capsys):
+        # A file with a genuinely empty transaction: skipped by default,
+        # kept with --keep-empty (the generate -> mine round trip of a
+        # sparse synthetic dataset needs the flag to preserve t).
+        path = tmp_path / "empties.dat"
+        path.write_text("1 2\n\n2 3\n")
+
+        assert main(["summary", "--input", str(path)]) == 0
+        assert "t=2" in capsys.readouterr().out
+        assert main(["summary", "--input", str(path), "--keep-empty"]) == 0
+        assert "t=3" in capsys.readouterr().out
+
+        code = main(
+            ["mine", "--input", str(path), "--keep-empty", "--k", "2", "--delta", "5"]
+        )
+        assert code == 0
+        assert "t=3" in capsys.readouterr().out
